@@ -1,0 +1,71 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Every bench prints (1) the paper's reported shape, (2) the simulated
+// series, and (3) the ASCII rendering of the figure. Scale knobs come
+// from the environment so CI can run small and a full reproduction can
+// run at paper scale:
+//   PSC_SESSIONS   viewing sessions in the unlimited-bandwidth campaign
+//                  (paper: 3382; default here: 240)
+//   PSC_BW_SESSIONS  sessions per bandwidth limit (paper: 18-91; 36)
+//   PSC_CRAWL_HOURS  targeted crawl length in sim hours (paper: 4-10; 2)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/charts.h"
+#include "analysis/stats.h"
+#include "core/study.h"
+
+namespace psc::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+inline int sessions_unlimited() { return env_int("PSC_SESSIONS", 240); }
+inline int sessions_per_bw() { return env_int("PSC_BW_SESSIONS", 60); }
+inline double crawl_hours() { return env_int("PSC_CRAWL_HOURS", 2); }
+
+inline core::StudyConfig default_study_config(std::uint64_t seed = 2016) {
+  core::StudyConfig cfg;
+  cfg.seed = seed;
+  cfg.world.target_concurrent = 800;
+  cfg.world.hotspot_count = 120;
+  return cfg;
+}
+
+inline void print_header(const char* id, const char* title,
+                         const char* paper_shape) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("paper shape: %s\n", paper_shape);
+  std::printf("==============================================================\n");
+}
+
+/// The tc sweep used in §5: limits in Mbps, 0 = unlimited (plotted as
+/// "100" in the paper's figures).
+inline std::vector<double> bandwidth_limits_mbps() {
+  return {0.5, 1.0, 2.0, 4.0, 0.0};
+}
+
+inline std::string bw_label(double mbps) {
+  if (mbps <= 0) return "unlim";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g Mbps", mbps);
+  return buf;
+}
+
+inline std::vector<double> collect(
+    const std::vector<core::SessionRecord>& recs,
+    double (*fn)(const core::SessionRecord&)) {
+  std::vector<double> out;
+  out.reserve(recs.size());
+  for (const auto& r : recs) out.push_back(fn(r));
+  return out;
+}
+
+}  // namespace psc::bench

@@ -1,0 +1,193 @@
+// The in-text statistical findings of §5 that are not figures:
+//  * Welch's t-tests between the Galaxy S3 and S4 datasets (stalling and
+//    latency NOT significantly different; frame rate IS);
+//  * HLS used only beyond ~100 concurrent viewers;
+//  * 87 distinct RTMP origin IPs (location-based), 2 HLS edge IPs;
+//  * frame-pattern census (most IBP; ~20% RTMP / 18.4% HLS IP-only);
+//  * correlation matrix across QoE metrics, distance and viewers — no
+//    strong correlations.
+#include <map>
+#include <set>
+
+#include "bench_common.h"
+
+using namespace psc;
+
+int main() {
+  bench::print_header(
+      "§5 text", "Statistical findings",
+      "t-tests: stall/latency p=0.04-0.7 (not rejected), frame rate "
+      "differs; HLS boundary ~100 viewers; 87 RTMP servers / 2 HLS IPs; "
+      "IBP dominant, ~20% IP-only; no strong metric correlations");
+
+  core::Study study(bench::default_study_config(91));
+  const int n = bench::sessions_unlimited();
+  const core::CampaignResult s3 =
+      study.run_campaign(n / 2, 0, core::Study::galaxy_s3(), true);
+  const core::CampaignResult s4 =
+      study.run_campaign(n / 2, 0, core::Study::galaxy_s4(), true);
+
+  auto metric = [](const core::CampaignResult& r, auto fn) {
+    std::vector<double> out;
+    for (const auto& rec : r.sessions) {
+      if (rec.stats.ever_played) out.push_back(fn(rec));
+    }
+    return out;
+  };
+
+  // ---- Welch's t-tests S3 vs S4 ----
+  struct NamedMetric {
+    const char* name;
+    double (*fn)(const core::SessionRecord&);
+  };
+  const NamedMetric metrics[] = {
+      {"stall ratio",
+       [](const core::SessionRecord& r) { return r.stats.stall_ratio; }},
+      {"join time",
+       [](const core::SessionRecord& r) { return r.stats.join_time_s; }},
+      {"playback latency",
+       [](const core::SessionRecord& r) {
+         return r.stats.playback_latency_s;
+       }},
+      {"frame rate",
+       [](const core::SessionRecord& r) { return r.stats.reported_fps; }},
+  };
+  std::printf("\nWelch's t-tests, Galaxy S3 (n=%zu) vs S4 (n=%zu):\n",
+              s3.sessions.size(), s4.sessions.size());
+  for (const NamedMetric& m : metrics) {
+    const auto a = metric(s3, m.fn);
+    const auto b = metric(s4, m.fn);
+    const analysis::WelchResult t = analysis::welch_t_test(a, b);
+    std::printf("  %-17s t=%+6.2f df=%6.1f p=%.4f -> %s\n", m.name, t.t,
+                t.df, t.p_value,
+                t.p_value < 0.01 ? "DIFFERS (reject H0)"
+                                 : "not rejected");
+  }
+  std::printf("  paper: stalling & latency similar across devices "
+              "(network-bound); frame rate differs (hardware-bound)\n");
+
+  // Distribution-level check (beyond the paper's mean-based t-test):
+  // two-sample KS on the same metrics.
+  std::printf("\nKolmogorov-Smirnov (distributions, S3 vs S4):\n");
+  for (const NamedMetric& m : metrics) {
+    const auto a = metric(s3, m.fn);
+    const auto b = metric(s4, m.fn);
+    const analysis::KsResult k = analysis::ks_test(a, b);
+    std::printf("  %-17s D=%.3f p=%.4f -> %s\n", m.name, k.statistic,
+                k.p_value,
+                k.p_value < 0.01 ? "distributions differ" : "not rejected");
+  }
+
+  // ---- protocol boundary & server pools ----
+  core::CampaignResult all;
+  for (const auto& r : s3.sessions) all.sessions.push_back(r);
+  for (const auto& r : s4.sessions) all.sessions.push_back(r);
+  double max_rtmp_viewers = 0, min_hls_viewers = 1e18;
+  std::set<std::string> rtmp_ips, hls_ips;
+  for (const auto& r : all.sessions) {
+    if (r.stats.protocol == client::Protocol::Rtmp) {
+      max_rtmp_viewers = std::max(max_rtmp_viewers, r.stats.avg_viewers);
+      rtmp_ips.insert(r.stats.server_ip);
+    } else {
+      min_hls_viewers = std::min(min_hls_viewers, r.stats.avg_viewers);
+      hls_ips.insert(r.stats.server_ip);
+      if (!r.stats.secondary_server_ip.empty()) {
+        hls_ips.insert(r.stats.secondary_server_ip);
+      }
+    }
+  }
+  std::printf("\nprotocol split: %zu RTMP / %zu HLS sessions\n",
+              all.rtmp().size(), all.hls().size());
+  std::printf("  HLS sessions' min lifetime-avg viewers: %.0f "
+              "(service switches at ~100 concurrent)\n",
+              min_hls_viewers);
+  std::printf("  distinct RTMP origin IPs seen: %zu of a pool of %zu "
+              "(paper: 87)\n",
+              rtmp_ips.size(), study.servers().rtmp_origins().size());
+  std::printf("  distinct HLS edge IPs: %zu (paper: 2, EU + SF)\n",
+              hls_ips.size());
+
+  // ---- frame pattern census (from capture reconstruction) ----
+  std::map<analysis::FramePattern, int> rtmp_census, hls_census;
+  for (const auto& r : all.sessions) {
+    if (r.analysis.frames.empty()) continue;
+    auto& census = r.stats.protocol == client::Protocol::Rtmp ? rtmp_census
+                                                              : hls_census;
+    ++census[r.analysis.frame_pattern()];
+  }
+  auto print_census = [](const char* label,
+                         std::map<analysis::FramePattern, int>& c) {
+    const int total = c[analysis::FramePattern::IBP] +
+                      c[analysis::FramePattern::IPOnly] +
+                      c[analysis::FramePattern::IOnly];
+    if (total == 0) return;
+    std::printf("  %-5s IBP %.1f%%  IP-only %.1f%%  I-only %.1f%% "
+                "(n=%d)\n",
+                label,
+                100.0 * c[analysis::FramePattern::IBP] / total,
+                100.0 * c[analysis::FramePattern::IPOnly] / total,
+                100.0 * c[analysis::FramePattern::IOnly] / total, total);
+  };
+  std::printf("\nframe pattern census (paper: IP-only 20.0%% RTMP / "
+              "18.4%% HLS; I-only in 2 streams):\n");
+  print_census("RTMP", rtmp_census);
+  print_census("HLS", hls_census);
+
+  // ---- missing frames / concealment ----
+  std::size_t streams_with_gaps = 0, analyzed = 0;
+  for (const auto& r : all.sessions) {
+    if (r.analysis.frames.empty()) continue;
+    ++analyzed;
+    if (r.analysis.missing_frames() > 0) ++streams_with_gaps;
+  }
+  std::printf("\nmissing source frames (concealment needed): %zu of %zu "
+              "streams (paper: 'occasionally, some frames are missing')\n",
+              streams_with_gaps, analyzed);
+
+  // ---- correlation matrix ----
+  std::vector<double> stall, join, latency, distance, viewers;
+  for (const auto& r : all.sessions) {
+    if (!r.stats.ever_played ||
+        r.stats.protocol != client::Protocol::Rtmp) {
+      continue;
+    }
+    stall.push_back(r.stats.stall_ratio);
+    join.push_back(r.stats.join_time_s);
+    latency.push_back(r.stats.playback_latency_s);
+    distance.push_back(r.stats.distance_km);
+    viewers.push_back(std::min(r.stats.avg_viewers, 500.0));
+  }
+  const char* names[] = {"stall", "join", "latency", "distance",
+                         "viewers"};
+  const std::vector<double>* cols[] = {&stall, &join, &latency, &distance,
+                                       &viewers};
+  std::printf("\ncorrelation matrix (RTMP sessions, n=%zu):\n         ",
+              stall.size());
+  for (const char* nm : names) std::printf("%9s", nm);
+  std::printf("\n");
+  double max_off_diag = 0;
+  for (int i = 0; i < 5; ++i) {
+    std::printf("%-9s", names[i]);
+    for (int j = 0; j < 5; ++j) {
+      const double c = analysis::pearson(*cols[i], *cols[j]);
+      std::printf("%9.2f", c);
+      if (i != j) max_off_diag = std::max(max_off_diag, std::abs(c));
+    }
+    std::printf("\n");
+  }
+  std::printf("  max |off-diagonal| = %.2f (paper: no strong "
+              "correlations; only stall & join slightly correlated; the "
+              "stall-latency link here is mechanical — stalls push the "
+              "playhead behind the wall clock)\n",
+              max_off_diag);
+  std::printf("\nSpearman (rank) correlations for the heavy-tailed pairs:\n");
+  std::printf("  viewers vs stall   : %+.2f\n",
+              analysis::spearman(viewers, stall));
+  std::printf("  viewers vs latency : %+.2f\n",
+              analysis::spearman(viewers, latency));
+  std::printf("  distance vs latency: %+.2f\n",
+              analysis::spearman(distance, latency));
+  std::printf("  paper: QoE does not degrade with popularity or distance "
+              "— 'stream delivery is provisioned in a balanced way'\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+#include "amf/amf0.h"
+
+namespace psc::amf {
+
+namespace {
+const Value& null_value() {
+  static const Value v;
+  return v;
+}
+
+void encode_string_body(ByteWriter& w, const std::string& s) {
+  w.u16be(static_cast<std::uint16_t>(s.size()));
+  w.raw(s);
+}
+
+void encode_object_body(ByteWriter& w, const Object& obj) {
+  for (const auto& [k, v] : obj) {
+    encode_string_body(w, k);
+    encode(w, v);
+  }
+  w.u16be(0);  // empty key
+  w.u8(static_cast<std::uint8_t>(Type::ObjectEnd));
+}
+
+}  // namespace
+
+const Value& Value::operator[](const std::string& key) const {
+  if (!is_object()) return null_value();
+  auto it = obj_->find(key);
+  return it == obj_->end() ? null_value() : it->second;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::Number:
+      return num_ == other.num_;
+    case Type::Boolean:
+      return bool_ == other.bool_;
+    case Type::String:
+      return str_ == other.str_;
+    case Type::Object:
+    case Type::EcmaArray:
+      return as_object() == other.as_object();
+    case Type::Null:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void encode(ByteWriter& w, const Value& v) {
+  w.u8(static_cast<std::uint8_t>(v.type()));
+  switch (v.type()) {
+    case Type::Number:
+      w.f64be(v.as_number());
+      break;
+    case Type::Boolean:
+      w.u8(v.as_bool() ? 1 : 0);
+      break;
+    case Type::String:
+      encode_string_body(w, v.as_string());
+      break;
+    case Type::Object:
+      encode_object_body(w, v.as_object());
+      break;
+    case Type::EcmaArray:
+      w.u32be(static_cast<std::uint32_t>(v.as_object().size()));
+      encode_object_body(w, v.as_object());
+      break;
+    case Type::Null:
+      break;
+    default:
+      break;
+  }
+}
+
+Bytes encode_all(const std::vector<Value>& values) {
+  ByteWriter w;
+  for (const Value& v : values) encode(w, v);
+  return w.take();
+}
+
+namespace {
+
+Result<std::string> decode_string_body(ByteReader& r) {
+  auto len = r.u16be();
+  if (!len) return len.error();
+  return r.string(len.value());
+}
+
+Result<Object> decode_object_body(ByteReader& r) {
+  Object obj;
+  for (;;) {
+    auto key = decode_string_body(r);
+    if (!key) return key.error();
+    if (key.value().empty()) {
+      auto marker = r.u8();
+      if (!marker) return marker.error();
+      if (marker.value() != static_cast<std::uint8_t>(Type::ObjectEnd)) {
+        return make_error("amf0", "expected object-end marker");
+      }
+      return obj;
+    }
+    auto v = decode(r);
+    if (!v) return v.error();
+    obj[key.value()] = std::move(v).value();
+  }
+}
+
+}  // namespace
+
+Result<Value> decode(ByteReader& r) {
+  auto marker = r.u8();
+  if (!marker) return marker.error();
+  switch (static_cast<Type>(marker.value())) {
+    case Type::Number: {
+      auto n = r.f64be();
+      if (!n) return n.error();
+      return Value(n.value());
+    }
+    case Type::Boolean: {
+      auto b = r.u8();
+      if (!b) return b.error();
+      return Value(b.value() != 0);
+    }
+    case Type::String: {
+      auto s = decode_string_body(r);
+      if (!s) return s.error();
+      return Value(std::move(s).value());
+    }
+    case Type::Object: {
+      auto obj = decode_object_body(r);
+      if (!obj) return obj.error();
+      return Value(std::move(obj).value());
+    }
+    case Type::EcmaArray: {
+      auto count = r.u32be();
+      if (!count) return count.error();
+      auto obj = decode_object_body(r);
+      if (!obj) return obj.error();
+      return Value::ecma_array(std::move(obj).value());
+    }
+    case Type::Null:
+      return Value();
+    default:
+      return make_error("amf0",
+                        "unsupported AMF0 marker " +
+                            std::to_string(marker.value()));
+  }
+}
+
+Result<std::vector<Value>> decode_all(BytesView data) {
+  ByteReader r(data);
+  std::vector<Value> out;
+  while (!r.at_end()) {
+    auto v = decode(r);
+    if (!v) return v.error();
+    out.push_back(std::move(v).value());
+  }
+  return out;
+}
+
+}  // namespace psc::amf

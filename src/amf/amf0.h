@@ -1,0 +1,90 @@
+// AMF0 (Action Message Format) encoder/decoder.
+//
+// RTMP command messages ("connect", "play", "onStatus", ...) are AMF0
+// encoded: a sequence of typed values. This implements the subset RTMP
+// uses: Number, Boolean, String, Object, Null, ECMA Array.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace psc::amf {
+
+enum class Type : std::uint8_t {
+  Number = 0x00,
+  Boolean = 0x01,
+  String = 0x02,
+  Object = 0x03,
+  Null = 0x05,
+  EcmaArray = 0x08,
+  ObjectEnd = 0x09,
+};
+
+class Value;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : type_(Type::Null) {}
+  Value(double n) : type_(Type::Number), num_(n) {}
+  Value(int n) : type_(Type::Number), num_(n) {}
+  Value(bool b) : type_(Type::Boolean), bool_(b) {}
+  Value(const char* s) : type_(Type::String), str_(s) {}
+  Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Value(Object o)
+      : type_(Type::Object), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  static Value ecma_array(Object o) {
+    Value v{std::move(o)};
+    v.type_ = Type::EcmaArray;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_object() const {
+    return type_ == Type::Object || type_ == Type::EcmaArray;
+  }
+  bool is_null() const { return type_ == Type::Null; }
+
+  double as_number(double fallback = 0.0) const {
+    return is_number() ? num_ : fallback;
+  }
+  bool as_bool(bool fallback = false) const {
+    return type_ == Type::Boolean ? bool_ : fallback;
+  }
+  const std::string& as_string() const { return str_; }
+  const Object& as_object() const {
+    static const Object empty;
+    return obj_ ? *obj_ : empty;
+  }
+
+  /// Object field lookup; returns Null for missing keys / non-objects.
+  const Value& operator[](const std::string& key) const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  Type type_;
+  double num_ = 0.0;
+  bool bool_ = false;
+  std::string str_;
+  std::shared_ptr<Object> obj_;  // shared: Value stays cheap to copy
+};
+
+/// Serialise one value.
+void encode(ByteWriter& w, const Value& v);
+Bytes encode_all(const std::vector<Value>& values);
+
+/// Decode a single value from the reader position.
+Result<Value> decode(ByteReader& r);
+/// Decode values until the buffer is exhausted.
+Result<std::vector<Value>> decode_all(BytesView data);
+
+}  // namespace psc::amf

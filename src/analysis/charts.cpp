@@ -1,0 +1,167 @@
+#include "analysis/charts.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace psc::analysis {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+int x_to_col(double x, double lo, double hi, int width) {
+  if (hi <= lo) return 0;
+  const double f = (x - lo) / (hi - lo);
+  return std::clamp(static_cast<int>(std::lround(f * (width - 1))), 0,
+                    width - 1);
+}
+
+std::string x_axis(double lo, double hi, int width,
+                   const std::string& label) {
+  std::string out(static_cast<std::size_t>(width), '-');
+  out += "\n";
+  out += strf("%-10.3g", lo);
+  const std::string mid = strf("%.3g", (lo + hi) / 2);
+  const std::string right = strf("%10.3g", hi);
+  const int mid_col = width / 2 - static_cast<int>(mid.size()) / 2;
+  while (static_cast<int>(out.size()) -
+             (static_cast<int>(out.find('\n')) + 1) <
+         mid_col) {
+    out += ' ';
+  }
+  out += mid;
+  while (static_cast<int>(out.size()) -
+             (static_cast<int>(out.find('\n')) + 1) <
+         width - static_cast<int>(right.size())) {
+    out += ' ';
+  }
+  out += right;
+  out += "\n";
+  out += "  " + label + "\n";
+  return out;
+}
+
+}  // namespace
+
+std::string render_cdf(std::span<const Series> series, double x_lo,
+                       double x_hi, const std::string& x_label, int width,
+                       int height) {
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    if (series[s].values.empty()) continue;
+    const Ecdf cdf(series[s].values);
+    const char glyph = kGlyphs[s % sizeof(kGlyphs)];
+    for (int col = 0; col < width; ++col) {
+      const double x =
+          x_lo + (x_hi - x_lo) * static_cast<double>(col) / (width - 1);
+      const double p = cdf(x);
+      const int row =
+          std::clamp(static_cast<int>(std::lround((1.0 - p) * (height - 1))),
+                     0, height - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          glyph;
+    }
+  }
+  std::string out;
+  for (int row = 0; row < height; ++row) {
+    const double p = 1.0 - static_cast<double>(row) / (height - 1);
+    out += strf("%4.2f |", p);
+    out += grid[static_cast<std::size_t>(row)];
+    out += "\n";
+  }
+  out += "     +";
+  out += x_axis(x_lo, x_hi, width, x_label);
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    out += strf("     %c = %s (n=%zu)\n", kGlyphs[s % sizeof(kGlyphs)],
+                series[s].label.c_str(), series[s].values.size());
+  }
+  return out;
+}
+
+std::string render_boxplots(std::span<const Series> series, double x_lo,
+                            double x_hi, const std::string& x_label,
+                            int width) {
+  std::string out;
+  std::size_t label_w = 0;
+  for (const auto& s : series) label_w = std::max(label_w, s.label.size());
+  for (const auto& s : series) {
+    const BoxplotSummary b = boxplot(s.values);
+    std::string row(static_cast<std::size_t>(width), ' ');
+    auto col = [&](double x) { return x_to_col(x, x_lo, x_hi, width); };
+    if (b.n > 0) {
+      const int wl = col(b.whisker_lo), q1 = col(b.q1), md = col(b.median),
+                q3 = col(b.q3), wh = col(b.whisker_hi);
+      for (int c = wl; c <= wh; ++c) row[static_cast<std::size_t>(c)] = '-';
+      for (int c = q1; c <= q3; ++c) row[static_cast<std::size_t>(c)] = '=';
+      row[static_cast<std::size_t>(wl)] = '|';
+      row[static_cast<std::size_t>(wh)] = '|';
+      row[static_cast<std::size_t>(md)] = 'M';
+      for (double o : b.outliers) {
+        const auto c = static_cast<std::size_t>(col(o));
+        if (row[c] == ' ') row[c] = 'o';
+      }
+    }
+    out += strf("%-*s |", static_cast<int>(label_w), s.label.c_str());
+    out += row;
+    out += strf("| n=%zu med=%.3g\n", b.n, b.median);
+  }
+  out += std::string(label_w + 2, ' ');
+  out += x_axis(x_lo, x_hi, width, x_label);
+  return out;
+}
+
+std::string render_scatter(std::span<const double> xs,
+                           std::span<const double> ys,
+                           const std::string& x_label,
+                           const std::string& y_label, int width,
+                           int height) {
+  if (xs.empty() || xs.size() != ys.size()) return "(no data)\n";
+  const double x_lo = minimum(xs), x_hi = maximum(xs);
+  const double y_lo = minimum(ys), y_hi = maximum(ys);
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const int c = x_to_col(xs[i], x_lo, x_hi, width);
+    const int r =
+        height - 1 -
+        x_to_col(ys[i], y_lo, y_hi == y_lo ? y_lo + 1 : y_hi, height);
+    auto& cell = grid[static_cast<std::size_t>(std::clamp(r, 0, height - 1))]
+                     [static_cast<std::size_t>(c)];
+    cell = cell == ' ' ? '.' : (cell == '.' ? 'o' : '@');
+  }
+  std::string out = strf("  %s\n", y_label.c_str());
+  for (int r = 0; r < height; ++r) {
+    const double y =
+        y_hi - (y_hi - y_lo) * static_cast<double>(r) / (height - 1);
+    out += strf("%9.3g |", y);
+    out += grid[static_cast<std::size_t>(r)];
+    out += "\n";
+  }
+  out += "          +";
+  out += x_axis(x_lo, x_hi, width, x_label);
+  return out;
+}
+
+std::string render_bars(std::span<const Bar> bars, const std::string& unit,
+                        int width) {
+  double vmax = 0;
+  std::size_t label_w = 0;
+  for (const auto& b : bars) {
+    vmax = std::max(vmax, b.value);
+    label_w = std::max(label_w, b.label.size());
+  }
+  if (vmax <= 0) vmax = 1;
+  std::string out;
+  for (const auto& b : bars) {
+    const int len = static_cast<int>(std::lround(b.value / vmax * width));
+    out += strf("%-*s |%s %.0f %s\n", static_cast<int>(label_w),
+                b.label.c_str(), std::string(static_cast<std::size_t>(len), '#').c_str(),
+                b.value, unit.c_str());
+  }
+  return out;
+}
+
+}  // namespace psc::analysis

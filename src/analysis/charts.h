@@ -1,0 +1,47 @@
+// ASCII renderings of the figure types used in the paper: CDF curves,
+// boxplot panels, scatter plots and bar charts. The bench binaries print
+// these next to the numeric series so the figure "shape" can be eyeballed
+// in a terminal.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+
+namespace psc::analysis {
+
+struct Series {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Multi-series CDF plot. X range is [x_lo, x_hi]; each series gets its own
+/// glyph. `width`/`height` are the plot body dimensions in characters.
+std::string render_cdf(std::span<const Series> series, double x_lo,
+                       double x_hi, const std::string& x_label,
+                       int width = 72, int height = 20);
+
+/// One horizontal boxplot row per series, on a shared x axis.
+std::string render_boxplots(std::span<const Series> series, double x_lo,
+                            double x_hi, const std::string& x_label,
+                            int width = 72);
+
+/// Scatter plot of (x, y) pairs.
+std::string render_scatter(std::span<const double> xs,
+                           std::span<const double> ys,
+                           const std::string& x_label,
+                           const std::string& y_label, int width = 72,
+                           int height = 24);
+
+struct Bar {
+  std::string label;
+  double value = 0;
+};
+
+/// Horizontal bar chart (Fig. 8 style).
+std::string render_bars(std::span<const Bar> bars, const std::string& unit,
+                        int width = 60);
+
+}  // namespace psc::analysis

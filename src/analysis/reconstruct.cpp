@@ -1,0 +1,262 @@
+#include "analysis/reconstruct.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/stats.h"
+#include "flv/flv.h"
+#include "mpegts/mpegts.h"
+#include "rtmp/chunk.h"
+#include "rtmp/handshake.h"
+#include "rtmp/message.h"
+
+namespace psc::analysis {
+
+namespace {
+
+constexpr double kNominalFps = 30.0;
+
+/// Shared per-stream decoding state: active parameter sets.
+struct DecodeState {
+  std::optional<media::Sps> sps;
+  std::optional<media::Pps> pps;
+};
+
+/// Analyse one video access unit (a list of NALs): update parameter sets,
+/// extract slice header + NTP SEI.
+void analyze_access_unit(const std::vector<media::NalUnit>& nals,
+                         DecodeState& state, Duration pts, TimePoint arrival,
+                         std::size_t wire_bytes, StreamAnalysis& out) {
+  FrameRecord rec;
+  rec.pts = pts;
+  rec.arrival = arrival;
+  rec.bytes = wire_bytes;
+  bool have_slice = false;
+  for (const media::NalUnit& nal : nals) {
+    switch (nal.type) {
+      case media::NalType::Sps: {
+        auto sps = media::parse_sps_rbsp(nal.rbsp);
+        if (sps) {
+          state.sps = sps.value();
+          out.width = sps.value().width;
+          out.height = sps.value().height;
+        }
+        break;
+      }
+      case media::NalType::Pps: {
+        auto pps = media::parse_pps_rbsp(nal.rbsp);
+        if (pps) state.pps = pps.value();
+        break;
+      }
+      case media::NalType::Sei: {
+        auto ntp = media::parse_ntp_sei(nal);
+        if (ntp) {
+          out.ntp_marks.push_back(
+              NtpMark{media::seconds_from_ntp(*ntp), arrival});
+        }
+        break;
+      }
+      case media::NalType::IdrSlice:
+      case media::NalType::NonIdrSlice: {
+        if (!state.sps || !state.pps) break;
+        auto hdr = media::parse_slice_header(nal, *state.sps, *state.pps);
+        if (hdr) {
+          rec.type = hdr.value().type;
+          rec.qp = hdr.value().qp;
+          have_slice = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (have_slice) out.frames.push_back(rec);
+}
+
+void note_adts(BytesView data, StreamAnalysis& out,
+               std::size_t* audio_bytes) {
+  auto info = media::parse_adts_header(data);
+  if (!info) return;
+  out.audio_sample_rate = info.value().sample_rate;
+  out.audio_channels = info.value().channels;
+  *audio_bytes += data.size();
+}
+
+}  // namespace
+
+double StreamAnalysis::video_duration_s() const {
+  if (frames.size() < 2) return 0;
+  double lo = 1e18, hi = -1e18;
+  for (const FrameRecord& f : frames) {
+    lo = std::min(lo, to_s(f.pts));
+    hi = std::max(hi, to_s(f.pts));
+  }
+  return hi - lo + 1.0 / kNominalFps;
+}
+
+double StreamAnalysis::video_bitrate_bps() const {
+  const double dur = video_duration_s();
+  if (dur <= 0) return 0;
+  std::size_t bytes = 0;
+  for (const FrameRecord& f : frames) bytes += f.bytes;
+  return static_cast<double>(bytes) * 8.0 / dur;
+}
+
+double StreamAnalysis::fps() const {
+  const double dur = video_duration_s();
+  return dur <= 0 ? 0 : static_cast<double>(frames.size()) / dur;
+}
+
+double StreamAnalysis::avg_qp() const {
+  if (frames.empty()) return 0;
+  double s = 0;
+  for (const FrameRecord& f : frames) s += f.qp;
+  return s / static_cast<double>(frames.size());
+}
+
+double StreamAnalysis::qp_stddev() const {
+  std::vector<double> qps;
+  qps.reserve(frames.size());
+  for (const FrameRecord& f : frames) qps.push_back(f.qp);
+  return stddev(qps);
+}
+
+FramePattern StreamAnalysis::frame_pattern() const {
+  bool has_b = false, has_p = false;
+  for (const FrameRecord& f : frames) {
+    if (f.type == media::FrameType::B) has_b = true;
+    if (f.type == media::FrameType::P) has_p = true;
+  }
+  if (has_b) return FramePattern::IBP;
+  if (has_p) return FramePattern::IPOnly;
+  return FramePattern::IOnly;
+}
+
+std::size_t StreamAnalysis::missing_frames() const {
+  if (frames.size() < 2) return 0;
+  std::vector<double> pts;
+  pts.reserve(frames.size());
+  for (const FrameRecord& f : frames) pts.push_back(to_s(f.pts));
+  std::sort(pts.begin(), pts.end());
+  const double period = 1.0 / kNominalFps;
+  std::size_t missing = 0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double gap = pts[i] - pts[i - 1];
+    if (gap > 1.5 * period) {
+      missing += static_cast<std::size_t>(std::lround(gap / period)) - 1;
+    }
+  }
+  return missing;
+}
+
+Result<StreamAnalysis> reconstruct_rtmp(const net::Capture& cap) {
+  StreamAnalysis out;
+  const Bytes& payload = cap.payload();
+  // Skip S0+S1+S2.
+  const std::size_t hs = 1 + 2 * rtmp::kHandshakeBlobSize;
+  if (payload.size() < hs) {
+    return make_error("capture", "capture shorter than RTMP handshake");
+  }
+  DecodeState state;
+  std::size_t audio_bytes = 0;
+  rtmp::ChunkReader reader;
+  // Feed packet by packet so message completion times are known.
+  for (const net::Capture::Packet& pkt : cap.packets()) {
+    const std::size_t begin = std::max(pkt.offset, hs);
+    const std::size_t end = pkt.offset + pkt.size;
+    if (end <= begin) continue;
+    if (auto s = reader.push(
+            BytesView(payload).subspan(begin, end - begin));
+        !s) {
+      return s.error();
+    }
+    for (const rtmp::Message& msg : reader.take_messages()) {
+      if (msg.type == rtmp::MessageType::Video) {
+        auto tag = flv::parse_video_tag(msg.payload);
+        if (!tag) continue;
+        if (tag.value().packet_type == flv::AvcPacketType::SequenceHeader) {
+          auto cfg = media::parse_avc_decoder_config(tag.value().data);
+          if (cfg) {
+            state.sps = cfg.value().sps;
+            state.pps = cfg.value().pps;
+            out.width = cfg.value().sps.width;
+            out.height = cfg.value().sps.height;
+          }
+          continue;
+        }
+        auto nals = media::split_avcc(tag.value().data);
+        if (!nals) continue;
+        const Duration pts =
+            millis(static_cast<double>(msg.timestamp_ms) +
+                   tag.value().composition_time_ms);
+        analyze_access_unit(nals.value(), state, pts, pkt.time,
+                            msg.payload.size(), out);
+      } else if (msg.type == rtmp::MessageType::Audio) {
+        auto tag = flv::parse_audio_tag(msg.payload);
+        if (!tag) continue;
+        note_adts(tag.value().data, out, &audio_bytes);
+      }
+    }
+  }
+  const double dur = out.video_duration_s();
+  if (dur > 0) {
+    out.audio_bitrate_bps = static_cast<double>(audio_bytes) * 8.0 / dur;
+  }
+  return out;
+}
+
+Result<StreamAnalysis> reconstruct_hls(const net::Capture& cap) {
+  StreamAnalysis out;
+  DecodeState state;
+  std::size_t audio_bytes = 0;
+  const Bytes& payload = cap.payload();
+
+  for (const net::Capture::Packet& pkt : cap.packets()) {
+    // Each capture record is one GET response = one MPEG-TS file.
+    mpegts::TsDemuxer demux;
+    if (auto s = demux.push(BytesView(payload).subspan(pkt.offset, pkt.size));
+        !s) {
+      return s.error();
+    }
+    demux.flush();
+
+    SegmentInfo seg;
+    seg.bytes = pkt.size;
+    double pts_lo = 1e18, pts_hi = -1e18;
+    std::size_t seg_video_bytes = 0;
+    std::vector<double> seg_qps;
+    for (const mpegts::TsSample& s : demux.take_samples()) {
+      if (s.kind == media::SampleKind::Video) {
+        auto nals = media::split_annexb(s.data);
+        if (!nals) continue;
+        const std::size_t before = out.frames.size();
+        analyze_access_unit(nals.value(), state, s.pts, pkt.time,
+                            s.data.size(), out);
+        if (out.frames.size() > before) {
+          seg_qps.push_back(out.frames.back().qp);
+          ++seg.frames;
+        }
+        seg_video_bytes += s.data.size();
+        pts_lo = std::min(pts_lo, to_s(s.pts));
+        pts_hi = std::max(pts_hi, to_s(s.pts));
+      } else {
+        note_adts(s.data, out, &audio_bytes);
+      }
+    }
+    if (seg.frames > 0 && pts_hi > pts_lo) {
+      seg.duration = seconds(pts_hi - pts_lo + 1.0 / kNominalFps);
+      seg.video_bitrate_bps =
+          static_cast<double>(seg_video_bytes) * 8.0 / to_s(seg.duration);
+      seg.avg_qp = mean(seg_qps);
+      out.segments.push_back(seg);
+    }
+  }
+  const double dur = out.video_duration_s();
+  if (dur > 0) {
+    out.audio_bitrate_bps = static_cast<double>(audio_bytes) * 8.0 / dur;
+  }
+  return out;
+}
+
+}  // namespace psc::analysis

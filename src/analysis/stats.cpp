@@ -1,0 +1,274 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace psc::analysis {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double minimum(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double maximum(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double idx = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+std::string BoxplotSummary::to_string() const {
+  return strf(
+      "n=%zu min=%.3g q1=%.3g med=%.3g q3=%.3g max=%.3g mean=%.3g "
+      "whiskers=[%.3g,%.3g] outliers=%zu",
+      n, min, q1, median, q3, max, mean, whisker_lo, whisker_hi,
+      outliers.size());
+}
+
+BoxplotSummary boxplot(std::span<const double> xs) {
+  BoxplotSummary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  s.min = v.front();
+  s.max = v.back();
+  s.q1 = quantile(v, 0.25);
+  s.median = quantile(v, 0.5);
+  s.q3 = quantile(v, 0.75);
+  s.mean = analysis::mean(v);
+  const double iqr = s.q3 - s.q1;
+  const double lo_fence = s.q1 - 1.5 * iqr;
+  const double hi_fence = s.q3 + 1.5 * iqr;
+  s.whisker_lo = s.max;
+  s.whisker_hi = s.min;
+  for (double x : v) {
+    if (x >= lo_fence && x < s.whisker_lo) s.whisker_lo = x;
+    if (x <= hi_fence && x > s.whisker_hi) s.whisker_hi = x;
+    if (x < lo_fence || x > hi_fence) s.outliers.push_back(x);
+  }
+  return s;
+}
+
+Ecdf::Ecdf(std::span<const double> xs) : sorted_(xs.begin(), xs.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::inverse(double p) const {
+  if (sorted_.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const std::size_t n = sorted_.size();
+  const std::size_t idx = p <= 0.0
+                              ? 0
+                              : std::min(n - 1, static_cast<std::size_t>(
+                                                    std::ceil(p * n) - 1));
+  return sorted_[idx];
+}
+
+std::vector<HistogramBin> histogram(std::span<const double> xs, double lo,
+                                    double hi, std::size_t bins) {
+  assert(bins > 0 && hi > lo);
+  std::vector<HistogramBin> out(bins);
+  const double w = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    out[i].lo = lo + w * static_cast<double>(i);
+    out[i].hi = out[i].lo + w;
+  }
+  for (double x : xs) {
+    auto idx = static_cast<std::ptrdiff_t>((x - lo) / w);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    ++out[static_cast<std::size_t>(idx)].count;
+  }
+  return out;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double incomplete_beta(double a, double b, double x) {
+  // Continued-fraction evaluation (Lentz), per Numerical Recipes 6.4.
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta =
+      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front =
+      std::exp(ln_beta + a * std::log(x) + b * std::log(1.0 - x));
+
+  auto contfrac = [](double aa, double bb, double xx) {
+    constexpr int kMaxIter = 300;
+    constexpr double kEps = 3e-14;
+    constexpr double kTiny = 1e-300;
+    double qab = aa + bb, qap = aa + 1.0, qam = aa - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * xx / qap;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIter; ++m) {
+      const int m2 = 2 * m;
+      double num = m * (bb - m) * xx / ((qam + m2) * (aa + m2));
+      d = 1.0 + num * d;
+      if (std::fabs(d) < kTiny) d = kTiny;
+      c = 1.0 + num / c;
+      if (std::fabs(c) < kTiny) c = kTiny;
+      d = 1.0 / d;
+      h *= d * c;
+      num = -(aa + m) * (qab + m) * xx / ((aa + m2) * (qap + m2));
+      d = 1.0 + num * d;
+      if (std::fabs(d) < kTiny) d = kTiny;
+      c = 1.0 + num / c;
+      if (std::fabs(c) < kTiny) c = kTiny;
+      d = 1.0 / d;
+      const double del = d * c;
+      h *= del;
+      if (std::fabs(del - 1.0) < kEps) break;
+    }
+    return h;
+  };
+
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * contfrac(a, b, x) / a;
+  }
+  return 1.0 - std::exp(std::lgamma(a + b) - std::lgamma(b) - std::lgamma(a) +
+                        b * std::log(1.0 - x) + a * std::log(x)) *
+                   contfrac(b, a, 1.0 - x) / b;
+}
+
+namespace {
+
+/// Mean ranks (1-based), ties averaged.
+std::vector<double> ranks_of(std::span<const double> xs) {
+  std::vector<std::size_t> idx(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&xs](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size());
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    std::size_t j = i;
+    while (j + 1 < idx.size() && xs[idx[j + 1]] == xs[idx[i]]) ++j;
+    const double mean_rank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[idx[k]] = mean_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const std::vector<double> rx = ranks_of(xs);
+  const std::vector<double> ry = ranks_of(ys);
+  return pearson(rx, ry);
+}
+
+KsResult ks_test(std::span<const double> a, std::span<const double> b) {
+  KsResult r;
+  if (a.empty() || b.empty()) return r;
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t i = 0, j = 0;
+  double d = 0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    d = std::max(d, std::fabs(static_cast<double>(i) / na -
+                              static_cast<double>(j) / nb));
+  }
+  r.statistic = d;
+  // Smirnov's asymptotic tail: Q(λ) = 2 Σ (-1)^{k-1} e^{-2 k² λ²}.
+  const double en = std::sqrt(na * nb / (na + nb));
+  const double lambda = (en + 0.12 + 0.11 / en) * d;
+  double p = 0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term =
+        2.0 * ((k % 2 == 1) ? 1.0 : -1.0) *
+        std::exp(-2.0 * k * k * lambda * lambda);
+    p += term;
+    if (std::fabs(term) < 1e-12) break;
+  }
+  r.p_value = std::clamp(p, 0.0, 1.0);
+  r.valid = true;
+  return r;
+}
+
+WelchResult welch_t_test(std::span<const double> a, std::span<const double> b) {
+  WelchResult r;
+  if (a.size() < 2 || b.size() < 2) return r;
+  const double ma = mean(a), mb = mean(b);
+  const double va = variance(a), vb = variance(b);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double se2 = va / na + vb / nb;
+  if (se2 <= 0) return r;
+  r.t = (ma - mb) / std::sqrt(se2);
+  const double num = se2 * se2;
+  const double den = (va / na) * (va / na) / (na - 1) +
+                     (vb / nb) * (vb / nb) / (nb - 1);
+  r.df = den > 0 ? num / den : na + nb - 2;
+  // Two-sided p-value from the t CDF via the incomplete beta function:
+  // P(T > |t|) = I_{df/(df+t^2)}(df/2, 1/2).
+  const double x = r.df / (r.df + r.t * r.t);
+  r.p_value = incomplete_beta(r.df / 2.0, 0.5, x);
+  r.p_value = std::clamp(r.p_value, 0.0, 1.0);
+  r.valid = true;
+  return r;
+}
+
+}  // namespace psc::analysis

@@ -1,0 +1,99 @@
+// Descriptive statistics used throughout the study: moments, quantiles,
+// five-number boxplot summaries, ECDFs, histograms, Pearson correlation and
+// Welch's t-test (the paper uses Welch's t-test to compare the Galaxy S3
+// and S4 datasets, and boxplots/CDFs for nearly every figure).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace psc::analysis {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // sample variance (n-1)
+double stddev(std::span<const double> xs);
+double minimum(std::span<const double> xs);
+double maximum(std::span<const double> xs);
+
+/// Linear-interpolation quantile (type 7, same as numpy default).
+/// q in [0,1]. Input need not be sorted.
+double quantile(std::span<const double> xs, double q);
+
+double median(std::span<const double> xs);
+
+/// Five-number summary + whiskers as drawn by a Tukey boxplot
+/// (whiskers at the most extreme data points within 1.5*IQR of the box).
+struct BoxplotSummary {
+  std::size_t n = 0;
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  double whisker_lo = 0, whisker_hi = 0;
+  double mean = 0;
+  std::vector<double> outliers;
+
+  std::string to_string() const;
+};
+
+BoxplotSummary boxplot(std::span<const double> xs);
+
+/// Empirical CDF: evaluate at x, or extract the full step function.
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> xs);
+
+  /// P(X <= x).
+  double operator()(double x) const;
+  /// Inverse: smallest sample value v with P(X <= v) >= p.
+  double inverse(double p) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+struct HistogramBin {
+  double lo = 0, hi = 0;
+  std::size_t count = 0;
+};
+
+/// Fixed-width histogram over [lo, hi) with `bins` bins; values outside
+/// are clamped into the first/last bin.
+std::vector<HistogramBin> histogram(std::span<const double> xs, double lo,
+                                    double hi, std::size_t bins);
+
+/// Pearson product-moment correlation coefficient. Returns 0 for
+/// degenerate inputs (size < 2 or zero variance).
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Welch's unequal-variance t-test (two-sided).
+struct WelchResult {
+  double t = 0;         // test statistic
+  double df = 0;        // Welch-Satterthwaite degrees of freedom
+  double p_value = 1;   // two-sided
+  bool valid = false;   // false when inputs are degenerate
+};
+
+WelchResult welch_t_test(std::span<const double> a, std::span<const double> b);
+
+/// Regularised incomplete beta function (exposed for tests; used by the
+/// t-distribution CDF inside welch_t_test).
+double incomplete_beta(double a, double b, double x);
+
+/// Spearman rank correlation (Pearson on ranks, ties get mean ranks) —
+/// robust companion to pearson() for the §5 correlation analysis, since
+/// several QoE metrics are heavy-tailed.
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Two-sample Kolmogorov-Smirnov test.
+struct KsResult {
+  double statistic = 0;  // sup |F1 - F2|
+  double p_value = 1;    // asymptotic (Smirnov) approximation
+  bool valid = false;
+};
+
+KsResult ks_test(std::span<const double> a, std::span<const double> b);
+
+}  // namespace psc::analysis

@@ -1,0 +1,91 @@
+#include "client/broadcaster_session.h"
+
+namespace psc::client {
+
+namespace {
+Duration path_latency_km(const geo::GeoPoint& a, const geo::GeoPoint& b) {
+  return millis(10) + seconds(geo::distance_km(a, b) / 200000.0);
+}
+}  // namespace
+
+BroadcasterSession::BroadcasterSession(sim::Simulation& sim, Device& device,
+                                       const service::MediaServer& origin,
+                                       const service::BroadcastInfo& info,
+                                       std::uint64_t seed)
+    : sim_(sim),
+      device_(device),
+      to_origin_(sim, 400e6,
+                 path_latency_km(device.config().location, origin.location)),
+      from_origin_(sim, 400e6,
+                   path_latency_km(origin.location,
+                                   device.config().location)),
+      source_(service::video_config_for(info),
+              service::audio_config_for(info),
+              service::content_config_for(info), to_s(sim.now()),
+              Rng(seed)),
+      publisher_("live", info.id, seed),
+      origin_(seed ^ 0x0121),
+      epoch_s_(to_s(sim.now())) {
+  rtmp::ServerSession::PublishCallbacks cbs;
+  cbs.on_sample = [this](media::MediaSample s) {
+    origin_samples_.push_back(std::move(s));
+  };
+  cbs.on_avc_config = [this](const media::AvcDecoderConfig& cfg) {
+    origin_config_ = cfg;
+  };
+  origin_.set_publish_callbacks(std::move(cbs));
+}
+
+void BroadcasterSession::start(Duration broadcast_time) {
+  stop_at_ = sim_.now() + broadcast_time;
+  produce_next();
+  pump();
+}
+
+void BroadcasterSession::pump() {
+  if (stopped_) return;
+  if (publisher_.has_output()) {
+    Bytes up = publisher_.take_output();
+    uplink_capture_.record(sim_.now(), up);
+    // Phone uplink (possibly shaped) then the path leg to the origin.
+    device_.uplink().send(std::move(up), [this](TimePoint, Bytes data) {
+      to_origin_.send(std::move(data), [this](TimePoint, Bytes d) {
+        if (stopped_) return;
+        (void)origin_.on_input(d);
+        pump();
+      });
+    });
+  }
+  if (origin_.has_output()) {
+    from_origin_.send(origin_.take_output(), [this](TimePoint, Bytes data) {
+      if (stopped_) return;
+      (void)publisher_.on_input(data);
+      pump();
+    });
+  }
+}
+
+void BroadcasterSession::produce_next() {
+  if (stopped_ || sim_.now() >= stop_at_) {
+    stopped_ = true;
+    return;
+  }
+  if (publisher_.publishing()) {
+    if (!config_sent_) {
+      config_sent_ = true;
+      publisher_.send_avc_config(source_.video().sps(),
+                                 source_.video().pps());
+    }
+    // Emit every sample due by now (camera/encoder real-time pacing).
+    for (;;) {
+      if (!pending_sample_) pending_sample_ = source_.next_sample();
+      if (time_at(epoch_s_) + pending_sample_->dts > sim_.now()) break;
+      publisher_.send_sample(*pending_sample_);
+      pending_sample_.reset();
+    }
+    pump();
+  }
+  sim_.schedule_after(millis(100), [this] { produce_next(); });
+}
+
+}  // namespace psc::client

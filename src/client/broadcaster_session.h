@@ -1,0 +1,70 @@
+// The broadcasting phone: captures/encodes live video and publishes it to
+// an RTMP origin over the simulated network using the real publish flow
+// (connect -> releaseStream/FCPublish -> createStream -> publish -> FLV
+// tags). This is the other half of the Periscope app — §5.3 measures its
+// power draw, and the paper's controlled experiments ("we controlled both
+// the broadcasting and receiving client") ran exactly this setup.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "client/device.h"
+#include "media/encoder.h"
+#include "net/capture.h"
+#include "rtmp/session.h"
+#include "service/broadcast.h"
+#include "service/pipeline.h"
+#include "service/servers.h"
+
+namespace psc::client {
+
+class BroadcasterSession {
+ public:
+  BroadcasterSession(sim::Simulation& sim, Device& device,
+                     const service::MediaServer& origin,
+                     const service::BroadcastInfo& info, std::uint64_t seed);
+
+  /// Start capturing/publishing; stops after `broadcast_time`.
+  void start(Duration broadcast_time);
+  void stop() { stopped_ = true; }
+
+  bool publishing() const { return publisher_.publishing(); }
+  bool finished() const { return stopped_; }
+
+  /// Media samples as received by the origin (decode order) — the feed a
+  /// real origin would fan out to viewers / the HLS packager.
+  const std::vector<media::MediaSample>& received_at_origin() const {
+    return origin_samples_;
+  }
+  std::optional<media::AvcDecoderConfig> origin_config() const {
+    return origin_config_;
+  }
+
+  /// Upstream byte trace at the phone (for the energy model).
+  const net::Capture& uplink_capture() const { return uplink_capture_; }
+
+  double epoch_s() const { return epoch_s_; }
+
+ private:
+  void pump();
+  void produce_next();
+
+  sim::Simulation& sim_;
+  Device& device_;
+  net::Link to_origin_;    // device uplink -> origin (path leg)
+  net::Link from_origin_;  // origin -> device (control responses)
+  media::BroadcastSource source_;
+  rtmp::PublisherSession publisher_;
+  rtmp::ServerSession origin_;
+  net::Capture uplink_capture_;
+  double epoch_s_;
+  TimePoint stop_at_{};
+  bool stopped_ = false;
+  bool config_sent_ = false;
+  std::optional<media::MediaSample> pending_sample_;
+  std::vector<media::MediaSample> origin_samples_;
+  std::optional<media::AvcDecoderConfig> origin_config_;
+};
+
+}  // namespace psc::client

@@ -1,0 +1,106 @@
+#include "client/chat_session.h"
+
+#include "util/base64.h"
+
+namespace psc::client {
+
+ChatSession::ChatSession(sim::Simulation& sim, Device& device,
+                         service::ChatRoom& room, std::uint64_t seed)
+    : sim_(sim),
+      device_(device),
+      room_(room),
+      server_link_(sim, 200e6, millis(35)),
+      rng_(seed) {
+  // Random 16-byte nonce, base64-encoded (RFC 6455 §4.1).
+  Bytes nonce(16);
+  for (auto& b : nonce) {
+    b = static_cast<std::uint8_t>(rng_.uniform_int(0, 255));
+  }
+  ws_key_ = base64_encode(nonce);
+}
+
+ChatSession::~ChatSession() { disconnect(); }
+
+void ChatSession::on_downlink(TimePoint t, Bytes data) {
+  capture_.record(t, data);
+  if (auto s = decoder_.push(data); !s) return;
+  for (const ws::Frame& f : decoder_.take_frames()) {
+    ++frames_decoded_;
+    if (f.opcode != ws::Opcode::Text) continue;
+    auto doc = json::parse(to_string(f.payload));
+    if (!doc) continue;
+    service::ChatMessage msg;
+    msg.from = doc.value()["from"].as_string();
+    msg.text = doc.value()["text"].as_string();
+    msg.wire_bytes = data.size();
+    received_.push_back(std::move(msg));
+  }
+}
+
+void ChatSession::connect() {
+  if (connected_ || handshake_sent_) return;
+  handshake_sent_ = true;
+  const std::string request =
+      ws::upgrade_request("chan.periscope.tv", "/chatapi/v1/chat", ws_key_);
+  device_.uplink().send(to_bytes(request), [this](TimePoint, Bytes) {
+    // Chat frontend answers 101 and starts streaming the room.
+    const std::string response = ws::upgrade_response(ws_key_);
+    server_link_.send(to_bytes(response), [this](TimePoint, Bytes resp) {
+      device_.downlink().send(std::move(resp), [this](TimePoint t2,
+                                                      Bytes data) {
+        capture_.record(t2, data);
+        if (to_string(data).find("101 Switching Protocols") ==
+            std::string::npos) {
+          return;
+        }
+        connected_ = true;
+        room_token_ = room_.join(
+            [this](TimePoint, const service::ChatMessage& msg) {
+              // The frontend frames the JSON envelope and pushes it.
+              json::Object env;
+              env["kind"] = "chat";
+              env["from"] = msg.from;
+              env["text"] = msg.text;
+              Bytes frame =
+                  ws::server_text_frame(json::Value(std::move(env)).dump());
+              server_link_.send(std::move(frame),
+                                [this](TimePoint, Bytes f) {
+                                  device_.downlink().send(
+                                      std::move(f),
+                                      [this](TimePoint t, Bytes d) {
+                                        if (connected_) {
+                                          on_downlink(t, std::move(d));
+                                        }
+                                      });
+                                });
+            });
+      });
+    });
+  });
+}
+
+void ChatSession::disconnect() {
+  if (room_token_ != 0) {
+    room_.leave(room_token_);
+    room_token_ = 0;
+  }
+  connected_ = false;
+}
+
+bool ChatSession::can_send() const {
+  return connected_ && room_.can_send(room_token_);
+}
+
+void ChatSession::send_message(const std::string& text) {
+  if (!can_send()) return;  // chat full or not connected
+  json::Object env;
+  env["kind"] = "chat";
+  env["text"] = text;
+  const Bytes frame = ws::client_text_frame(
+      json::Value(std::move(env)).dump(),
+      static_cast<std::uint32_t>(rng_.engine()()));
+  capture_.record(sim_.now(), frame);
+  device_.uplink().send(frame, [](TimePoint, Bytes) {});
+}
+
+}  // namespace psc::client

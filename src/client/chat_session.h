@@ -1,0 +1,66 @@
+// The viewer's chat connection: a WebSocket client that upgrades over
+// HTTP, receives the room's messages as server text frames and sends its
+// own as masked client frames — end to end over the simulated network
+// (paper §3: "The chat uses Websockets to deliver messages"; §5.3: the
+// chat traffic is what wrecks the power budget).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "client/device.h"
+#include "http/websocket.h"
+#include "json/json.h"
+#include "net/capture.h"
+#include "service/chat.h"
+
+namespace psc::client {
+
+class ChatSession {
+ public:
+  ChatSession(sim::Simulation& sim, Device& device, service::ChatRoom& room,
+              std::uint64_t seed);
+  ~ChatSession();
+
+  /// Perform the HTTP upgrade handshake; join the room on completion.
+  void connect();
+  void disconnect();
+
+  bool connected() const { return connected_; }
+  /// False when the room was already full at join time (paper §3).
+  bool can_send() const;
+
+  /// Send a chat message upstream (masked client frame). Silently
+  /// dropped when the chat is full — mirroring the app's behaviour.
+  void send_message(const std::string& text);
+
+  /// Messages received (decoded from WS frames + JSON envelopes).
+  const std::vector<service::ChatMessage>& received() const {
+    return received_;
+  }
+  /// Every byte that crossed the radio for chat, with timestamps — feeds
+  /// the energy model.
+  const net::Capture& wire_capture() const { return capture_; }
+
+  std::uint64_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  void on_downlink(TimePoint t, Bytes data);
+
+  sim::Simulation& sim_;
+  Device& device_;
+  service::ChatRoom& room_;
+  net::Link server_link_;  // chat frontend -> device path leg
+  Rng rng_;
+  std::string ws_key_;
+  bool connected_ = false;
+  bool handshake_sent_ = false;
+  int room_token_ = 0;
+  ws::FrameDecoder decoder_;
+  std::vector<service::ChatMessage> received_;
+  net::Capture capture_;
+  std::uint64_t frames_decoded_ = 0;
+};
+
+}  // namespace psc::client

@@ -1,0 +1,63 @@
+// The measurement phone.
+//
+// Mirrors the paper's setup: Samsung Galaxy S3/S4 reverse-tethered to a
+// Linux host with >100 Mbps both ways; artificial bandwidth limits are
+// imposed on the downlink with `tc` (set_bandwidth_limit). All of a
+// device's connections share its downlink, exactly like a real last mile.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "geo/geo.h"
+#include "net/link.h"
+#include "sim/simulation.h"
+
+namespace psc::client {
+
+struct DeviceConfig {
+  std::string model = "Galaxy S4";
+  /// Espoo, Finland — the authors' lab.
+  geo::GeoPoint location{60.19, 24.83};
+  BitRate down_rate = 100e6;
+  BitRate up_rate = 100e6;
+  Duration last_mile_latency = millis(4);
+  /// Decoder capability: highest frame rate this device sustains
+  /// (the paper found frame rate differed significantly between S3/S4).
+  double max_decode_fps = 30.0;
+};
+
+class Device {
+ public:
+  Device(sim::Simulation& sim, const DeviceConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg),
+        seed_(seed),
+        downlink_(sim, cfg.down_rate, cfg.last_mile_latency),
+        uplink_(sim, cfg.up_rate, cfg.last_mile_latency) {
+    downlink_.set_noise(Rng(seed), seconds(1.5), 0.88, 1.05);
+  }
+
+  net::Link& downlink() { return downlink_; }
+  net::Link& uplink() { return uplink_; }
+
+  /// `tc`-style shaping of the access downlink. The shaper queue is
+  /// shallow (~250 ms at line rate, htb/tbf-style defaults), so bursts —
+  /// the RTMP join backlog, I-frames, catch-up after an uplink hiccup —
+  /// overflow it and trigger TCP loss-recovery stalls at low limits.
+  void set_bandwidth_limit(BitRate rate) {
+    downlink_.set_rate(rate);
+    const auto queue_bytes =
+        static_cast<std::size_t>(std::max(8e3, rate * 0.25 / 8.0));
+    downlink_.enable_shaped_queue(queue_bytes, Rng(seed_ ^ 0x7C));
+  }
+
+  const DeviceConfig& config() const { return cfg_; }
+
+ private:
+  DeviceConfig cfg_;
+  std::uint64_t seed_ = 0;
+  net::Link downlink_;
+  net::Link uplink_;
+};
+
+}  // namespace psc::client

@@ -1,0 +1,93 @@
+#include "client/player.h"
+
+#include <algorithm>
+
+namespace psc::client {
+
+Player::Player(const PlayerConfig& cfg, TimePoint session_start,
+               double broadcast_epoch_s)
+    : cfg_(cfg),
+      session_start_(session_start),
+      epoch_s_(broadcast_epoch_s),
+      last_(session_start) {}
+
+void Player::advance(TimePoint t) {
+  if (t <= last_) return;
+  Duration dt = t - last_;
+  if (state_ == State::Playing) {
+    const Duration available = buffer_end_ - playhead_;
+    const Duration playable = std::min(dt, available);
+    if (playable.count() > 0) {
+      // Latency integral: latency(t) = (wall - epoch) - playhead grows
+      // linearly as wall time passes and decreases as playhead advances;
+      // while playing both advance together, so latency is constant over
+      // the interval. Evaluate at the interval start.
+      const double lat =
+          to_s(last_) - epoch_s_ - to_s(playhead_);
+      latency_weighted_sum_ += lat * to_s(playable);
+      playhead_ += playable;
+      played_ += playable;
+    }
+    if (playable < dt) {
+      // Buffer drained mid-interval: stall for the remainder.
+      state_ = State::Stalled;
+      ++stall_count_;
+      stalled_ += dt - playable;
+    }
+  } else if (state_ == State::Stalled) {
+    stalled_ += dt;
+  }
+  // Joining time is derived at start; no accumulation needed.
+  last_ = t;
+}
+
+void Player::on_media(TimePoint arrival, Duration pts_begin,
+                      Duration pts_end) {
+  advance(arrival);
+  if (state_ == State::Finished) return;
+  if (!have_media_) {
+    playhead_ = pts_begin;
+    buffer_end_ = pts_begin;
+    have_media_ = true;
+  }
+  buffer_end_ = std::max(buffer_end_, pts_end);
+
+  const Duration buffered = buffer_end_ - playhead_;
+  if (state_ == State::Joining && buffered >= cfg_.start_threshold) {
+    state_ = State::Playing;
+    started_ = true;
+    join_time_ = arrival - session_start_;
+  } else if (state_ == State::Stalled &&
+             buffered >= cfg_.resume_threshold) {
+    state_ = State::Playing;
+  }
+}
+
+void Player::finish(TimePoint end) {
+  advance(end);
+  finish_at_ = end;
+  if (!started_) {
+    // Never played: the whole session is join time.
+    join_time_ = end - session_start_;
+  }
+  state_ = State::Finished;
+}
+
+double Player::stall_ratio() const {
+  const double total = to_s(played_) + to_s(stalled_);
+  return total <= 0 ? 0.0 : to_s(stalled_) / total;
+}
+
+Duration Player::buffered_at(TimePoint t) const {
+  Duration playhead = playhead_;
+  if (state_ == State::Playing && t > last_) {
+    playhead += std::min(t - last_, buffer_end_ - playhead_);
+  }
+  return buffer_end_ - playhead;
+}
+
+double Player::mean_playback_latency_s() const {
+  return to_s(played_) <= 0 ? 0.0 : latency_weighted_sum_ / to_s(played_);
+}
+
+}  // namespace psc::client

@@ -1,0 +1,82 @@
+// Playback model of the viewing app.
+//
+// Continuous-time buffer simulation updated at media-arrival events:
+// playback starts once `start_threshold` of contiguous media is buffered,
+// the playhead then advances in real time while the buffer is non-empty,
+// stalls when it drains, and resumes at `resume_threshold`.
+//
+// Produces exactly the metrics of §5.1: join time (60 s minus played
+// minus stalled), stall count, stall ratio (stalled / (stalled+played)),
+// and playback latency (wall clock minus broadcaster timeline at the
+// playhead, averaged over played time).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace psc::client {
+
+struct PlayerConfig {
+  Duration start_threshold = millis(800);
+  Duration resume_threshold = millis(800);
+};
+
+class Player {
+ public:
+  /// `session_start` is when the user hit Teleport; `broadcast_epoch_s`
+  /// is the broadcaster wall clock at media pts 0 (used for playback
+  /// latency).
+  Player(const PlayerConfig& cfg, TimePoint session_start,
+         double broadcast_epoch_s);
+
+  /// Contiguous media now buffered up to `pts_end` (broadcast timeline),
+  /// observed at `arrival`. The first call also anchors the playhead at
+  /// `pts_begin`.
+  void on_media(TimePoint arrival, Duration pts_begin, Duration pts_end);
+
+  /// Close the session at `end` and freeze all metrics.
+  void finish(TimePoint end);
+
+  // --- metrics (valid after finish()) ---
+  bool ever_played() const { return started_; }
+  Duration join_time() const { return join_time_; }
+  Duration played() const { return played_; }
+  Duration stalled() const { return stalled_; }
+  int stall_count() const { return stall_count_; }
+  double stall_ratio() const;
+  /// Mean playback latency over played time, seconds.
+  double mean_playback_latency_s() const;
+  Duration session_length() const { return finish_at_ - session_start_; }
+
+  /// Media buffered ahead of the playhead as of time `t` (>= last
+  /// event). Lets a bounded-buffer fetcher pace its downloads.
+  Duration buffered_at(TimePoint t) const;
+
+ private:
+  enum class State { Joining, Playing, Stalled, Finished };
+
+  /// Advance the continuous-time machine to `t`.
+  void advance(TimePoint t);
+
+  PlayerConfig cfg_;
+  TimePoint session_start_;
+  double epoch_s_;
+
+  State state_ = State::Joining;
+  TimePoint last_{};
+  Duration playhead_{0};
+  Duration buffer_end_{0};
+  bool have_media_ = false;
+  bool started_ = false;
+
+  Duration join_time_{0};
+  Duration played_{0};
+  Duration stalled_{0};
+  int stall_count_ = 0;
+  double latency_weighted_sum_ = 0;  // integral of latency over played time
+  TimePoint finish_at_{};
+};
+
+}  // namespace psc::client

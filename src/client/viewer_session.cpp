@@ -1,0 +1,411 @@
+#include "client/viewer_session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hls/playlist.h"
+#include "util/strings.h"
+
+namespace psc::client {
+
+namespace {
+
+/// One-way network latency between two points: speed-of-light-in-fiber
+/// plus a fixed routing/processing overhead.
+Duration path_latency(const geo::GeoPoint& a, const geo::GeoPoint& b) {
+  const double km = geo::distance_km(a, b);
+  return millis(10) + seconds(km / 200000.0);
+}
+
+constexpr BitRate kOriginEgressRate = 400e6;  // per-connection server side
+constexpr double kVideoFps = 30.0;
+
+}  // namespace
+
+void fill_player_stats(SessionStats& st, const Player& player,
+                       std::uint64_t video_frames, double max_decode_fps) {
+  st.ever_played = player.ever_played();
+  st.join_time_s = to_s(player.join_time());
+  st.played_s = to_s(player.played());
+  st.stalled_s = to_s(player.stalled());
+  st.stall_count = player.stall_count();
+  st.stall_ratio = player.stall_ratio();
+  st.playback_latency_s = player.mean_playback_latency_s();
+  const double measured_fps =
+      st.played_s > 0 ? static_cast<double>(video_frames) / st.played_s : 0;
+  st.reported_fps = std::min(measured_fps, max_decode_fps);
+}
+
+// ---------------- RTMP ----------------
+
+RtmpViewerSession::RtmpViewerSession(sim::Simulation& sim,
+                                     service::LiveBroadcastPipeline& pipe,
+                                     Device& device,
+                                     const service::MediaServer& origin,
+                                     const PlayerConfig& player_cfg,
+                                     std::uint64_t seed)
+    : sim_(sim),
+      pipe_(pipe),
+      device_(device),
+      origin_(origin),
+      up_link_(sim, device.config().up_rate,
+               path_latency(device.config().location, origin.location)),
+      origin_link_(sim, kOriginEgressRate,
+                   path_latency(origin.location, device.config().location)),
+      server_(seed ^ 0x5EED),
+      max_decode_fps_(device.config().max_decode_fps *
+                      Rng(seed).uniform(0.94, 1.0)) {
+  rtmp::ClientSession::Callbacks cbs;
+  cbs.on_sample = [this](media::MediaSample s) {
+    if (finished_ || !player_) return;
+    if (s.kind != media::SampleKind::Video) return;
+    ++video_frames_;
+    player_->on_media(sim_.now(), s.pts, s.pts + seconds(1.0 / kVideoFps));
+  };
+  client_ = std::make_unique<rtmp::ClientSession>(
+      "live", pipe.info().id, seed, std::move(cbs));
+  player_cfg_ = player_cfg;
+}
+
+RtmpViewerSession::~RtmpViewerSession() {
+  if (subscription_ != 0) pipe_.unsubscribe(subscription_);
+}
+
+void RtmpViewerSession::start(Duration watch_time) {
+  session_start_ = sim_.now();
+  player_.emplace(player_cfg_, session_start_, pipe_.epoch_s());
+  sim_.schedule_after(watch_time, [this] { finish(); });
+  pump();
+}
+
+void RtmpViewerSession::pump() {
+  if (finished_) return;
+  if (client_->has_output()) {
+    up_link_.send(client_->take_output(), [this](TimePoint, Bytes data) {
+      if (finished_) return;
+      (void)server_.on_input(data);
+      // Play accepted: burst the decodable backlog and go live.
+      if (server_.playing() && !media_started_) {
+        media_started_ = true;
+        server_.send_avc_config(pipe_.sps(), pipe_.pps());
+        for (const media::MediaSample& s : pipe_.backlog()) {
+          server_.send_sample(s);
+        }
+        subscription_ = pipe_.subscribe(
+            [this](TimePoint, const media::MediaSample& s) {
+              if (finished_) return;
+              server_.send_sample(s);
+              pump();
+            });
+      }
+      pump();
+    });
+  }
+  if (server_.has_output()) {
+    origin_link_.send(server_.take_output(), [this](TimePoint, Bytes data) {
+      device_.downlink().send(std::move(data),
+                              [this](TimePoint t, Bytes d) {
+                                capture_.record(t, d);
+                                if (finished_) return;
+                                (void)client_->on_input(d);
+                                pump();
+                              });
+    });
+  }
+}
+
+void RtmpViewerSession::finish() {
+  if (finished_) return;
+  if (player_) player_->finish(sim_.now());
+  if (subscription_ != 0) {
+    pipe_.unsubscribe(subscription_);
+    subscription_ = 0;
+  }
+  finished_ = true;
+}
+
+SessionStats RtmpViewerSession::stats() const {
+  SessionStats st;
+  st.protocol = Protocol::Rtmp;
+  st.broadcast_id = pipe_.info().id;
+  st.device_model = device_.config().model;
+  st.server_ip = origin_.ip;
+  st.server_region = origin_.region;
+  st.distance_km =
+      geo::distance_km(device_.config().location, pipe_.info().location);
+  st.avg_viewers = pipe_.info().average_viewers();
+  st.bytes_received = capture_.total_bytes();
+  if (player_) {
+    fill_player_stats(st, *player_, video_frames_, max_decode_fps_);
+  }
+  return st;
+}
+
+// ---------------- HLS ----------------
+
+HlsViewerSession::HlsViewerSession(sim::Simulation& sim,
+                                   service::LiveBroadcastPipeline& pipe,
+                                   Device& device,
+                                   const service::MediaServer& edge_a,
+                                   const service::MediaServer& edge_b,
+                                   const PlayerConfig& player_cfg,
+                                   std::uint64_t seed, Mode mode,
+                                   bool adaptive)
+    : sim_(sim),
+      pipe_(pipe),
+      device_(device),
+      edge_server_("fastly.periscope.tv"),
+      edge_a_link_(sim, 400e6,
+                   path_latency(edge_a.location, device.config().location)),
+      edge_b_link_(sim, 400e6,
+                   path_latency(edge_b.location, device.config().location)),
+      up_link_(sim, device.config().up_rate,
+               path_latency(device.config().location, edge_a.location)),
+      player_cfg_(player_cfg),
+      edge_a_ip_(edge_a.ip),
+      edge_b_ip_(edge_b.ip),
+      mode_(mode),
+      adaptive_(adaptive),
+      max_decode_fps_(device.config().max_decode_fps *
+                      Rng(seed).uniform(0.94, 1.0)),
+      rng_(seed) {
+  edge_server_.attach(pipe.info().id, &pipe);
+}
+
+void HlsViewerSession::start(Duration watch_time) {
+  session_start_ = sim_.now();
+  stop_at_ = session_start_ + watch_time;
+  player_.emplace(player_cfg_, session_start_, pipe_.epoch_s());
+  sim_.schedule_at(stop_at_, [this] { finish(); });
+  if (adaptive_ && pipe_.rendition_count() > 1) {
+    // Fetch the master playlist first; start at the lowest rendition and
+    // let the throughput estimator ramp up.
+    http::Request master_req;
+    master_req.path = hls_base() + "master.m3u8";
+    up_link_.send(to_bytes(master_req.serialize()),
+                  [this, master_req](TimePoint t_edge, Bytes) {
+      if (finished_) return;
+      const http::Response resp = edge_server_.handle(master_req, t_edge);
+      edge_a_link_.send(resp.serialize(), [this](TimePoint, Bytes data) {
+        device_.downlink().send(std::move(data), [this](TimePoint,
+                                                        Bytes d) {
+          if (finished_) return;
+          playlist_bytes_ += d.size();
+          auto parsed_resp = http::Response::parse(d);
+          if (!parsed_resp || parsed_resp.value().status != 200) return;
+          auto variants = hls::parse_master_m3u8(
+              to_string(parsed_resp.value().body));
+          if (variants) {
+            variant_bandwidths_.clear();
+            for (const hls::VariantRef& v : variants.value()) {
+              variant_bandwidths_.push_back(v.bandwidth_bps);
+            }
+            // Lowest-bandwidth rendition first.
+            std::size_t lowest = 0;
+            for (std::size_t i = 1; i < variant_bandwidths_.size(); ++i) {
+              if (variant_bandwidths_[i] < variant_bandwidths_[lowest]) {
+                lowest = i;
+              }
+            }
+            current_rendition_ = lowest;
+          }
+          poll_playlist();
+        });
+      });
+    });
+    ++http_requests_;
+  } else {
+    poll_playlist();
+  }
+}
+
+std::size_t HlsViewerSession::pick_rendition() const {
+  if (variant_bandwidths_.size() < 2 || throughput_est_bps_ <= 0) {
+    return current_rendition_;
+  }
+  // Highest rendition whose advertised bandwidth fits in ~70% of the
+  // estimated throughput; fall back to the lowest.
+  std::size_t best = 0;
+  double best_bw = -1;
+  std::size_t lowest = 0;
+  for (std::size_t i = 0; i < variant_bandwidths_.size(); ++i) {
+    if (variant_bandwidths_[i] < variant_bandwidths_[lowest]) lowest = i;
+    if (variant_bandwidths_[i] <= 0.7 * throughput_est_bps_ &&
+        variant_bandwidths_[i] > best_bw) {
+      best = i;
+      best_bw = variant_bandwidths_[i];
+    }
+  }
+  return best_bw < 0 ? lowest : best;
+}
+
+std::size_t HlsViewerSession::abr_switches() const {
+  std::size_t switches = 0;
+  for (std::size_t i = 1; i < fetched_renditions_.size(); ++i) {
+    if (fetched_renditions_[i] != fetched_renditions_[i - 1]) ++switches;
+  }
+  return switches;
+}
+
+void HlsViewerSession::poll_playlist() {
+  if (finished_) return;
+  // A real GET rides the uplink to the edge; the response is the M3U8.
+  http::Request pl_req;
+  pl_req.path = hls_base() +
+                (mode_ == Mode::Replay ? "vod.m3u8" : "playlist.m3u8");
+  up_link_.send(to_bytes(pl_req.serialize()),
+                [this, pl_req](TimePoint t_edge, Bytes) {
+    if (finished_) return;
+    const http::Response resp = edge_server_.handle(pl_req, t_edge);
+    edge_a_link_.send(resp.serialize(), [this](TimePoint, Bytes data) {
+      device_.downlink().send(std::move(data), [this](TimePoint, Bytes d) {
+        if (finished_) return;
+        playlist_bytes_ += d.size();
+        auto parsed_resp = http::Response::parse(d);
+        if (!parsed_resp || parsed_resp.value().status != 200) return;
+        auto pl2 = hls::parse_m3u8(to_string(parsed_resp.value().body));
+        if (!pl2 || pl2.value().segments.empty()) return;
+        // Reload cadence follows the advertised target duration.
+        if (to_s(pl2.value().target_duration) >= 1.0) {
+          poll_interval_ = pl2.value().target_duration;
+        }
+        const auto& segs = pl2.value().segments;
+        playlist_ended_ = pl2.value().ended;
+        if (!started_fetching_) {
+          if (mode_ == Mode::Replay) {
+            // Replay plays from the beginning of the recording.
+            next_seq_ = segs.front().sequence;
+          } else {
+            // Live-edge start: a few segments back, per HLS convention.
+            const std::uint64_t last = segs.back().sequence;
+            const std::uint64_t first = segs.front().sequence;
+            next_seq_ = last >= first + 2 ? last - 2 : first;
+          }
+          started_fetching_ = true;
+        }
+        last_known_seq_ = segs.back().sequence;
+        maybe_fetch_next();
+      });
+    });
+  });
+  ++http_requests_;
+  // Reload cadence per the HLS spec: once per target segment duration.
+  // A VOD playlist (#EXT-X-ENDLIST) is never reloaded.
+  if (!playlist_ended_) {
+    sim_.schedule_after(poll_interval_, [this] { poll_playlist(); });
+  }
+}
+
+void HlsViewerSession::maybe_fetch_next() {
+  if (finished_ || !started_fetching_) return;
+  // Replay paces itself like a real VOD player: keep ~20 s buffered,
+  // don't slurp the whole recording (this is also why Fig. 8 found
+  // replay power equal to live — the radio duty cycle is the same).
+  if (mode_ == Mode::Replay && player_ &&
+      player_->buffered_at(sim_.now()) > seconds(20)) {
+    if (!refetch_scheduled_) {
+      refetch_scheduled_ = true;
+      sim_.schedule_after(seconds(1), [this] {
+        refetch_scheduled_ = false;
+        maybe_fetch_next();
+      });
+    }
+    return;
+  }
+  // Two parallel connections to the two edges (the paper observed HLS
+  // chunks fetched over multiple connections to different servers).
+  while (in_flight_ < 2 && next_seq_ <= last_known_seq_) {
+    const std::uint64_t seq = next_seq_++;
+    ++in_flight_;
+    ++http_requests_;
+    if (adaptive_) current_rendition_ = pick_rendition();
+    const std::size_t rendition = current_rendition_;
+    const std::string uri =
+        rendition == 0
+            ? strf("seg_%llu.ts", static_cast<unsigned long long>(seq))
+            : strf("r%zu/seg_%llu.ts", rendition,
+                   static_cast<unsigned long long>(seq));
+    net::Link& edge_link = (seq % 2 == 0) ? edge_a_link_ : edge_b_link_;
+    const TimePoint fetch_start = sim_.now();
+    http::Request seg_req;
+    seg_req.path = hls_base() + uri;
+    up_link_.send(to_bytes(seg_req.serialize()),
+                  [this, seg_req, uri, rendition, fetch_start,
+                   &edge_link](TimePoint t_edge, Bytes) {
+      if (finished_) {
+        return;
+      }
+      const http::Response resp = edge_server_.handle(seg_req, t_edge);
+      if (resp.status != 200) {
+        // 404: not on the edge (yet); the client backs off and re-polls.
+        --in_flight_;
+        return;
+      }
+      const auto* es = pipe_.find_segment(uri);
+      edge_link.send(resp.serialize(), [this, es, rendition,
+                                        fetch_start](TimePoint,
+                                                     Bytes data) {
+        device_.downlink().send(
+            std::move(data),
+            [this, es, rendition, fetch_start](TimePoint t2, Bytes d) {
+              --in_flight_;
+              if (finished_ || es == nullptr) return;
+              auto parsed = http::Response::parse(d);
+              if (!parsed || parsed.value().status != 200) return;
+              const double dl_s = to_s(t2 - fetch_start);
+              if (dl_s > 1e-6) {
+                const double thr =
+                    static_cast<double>(d.size()) * 8.0 / dl_s;
+                throughput_est_bps_ = throughput_est_bps_ <= 0
+                                          ? thr
+                                          : 0.7 * throughput_est_bps_ +
+                                                0.3 * thr;
+              }
+              fetched_renditions_.push_back(rendition);
+              // Isolate the GET response body — "saving the response of
+              // HTTP GET request which contains an MPEG-TS file" (§2).
+              on_segment(t2, *es, std::move(parsed.value().body));
+            });
+      });
+    });
+  }
+}
+
+void HlsViewerSession::on_segment(
+    TimePoint t, const service::LiveBroadcastPipeline::EdgeSegment& seg,
+    Bytes body) {
+  capture_.record(t, body);
+  video_frames_ += static_cast<std::uint64_t>(
+      std::llround(to_s(seg.segment.duration) * kVideoFps));
+  player_->on_media(t, seg.segment.start_dts,
+                    seg.segment.start_dts + seg.segment.duration);
+  maybe_fetch_next();
+}
+
+void HlsViewerSession::finish() {
+  if (finished_) return;
+  if (player_) player_->finish(sim_.now());
+  finished_ = true;
+}
+
+SessionStats HlsViewerSession::stats() const {
+  SessionStats st;
+  st.protocol = Protocol::Hls;
+  st.broadcast_id = pipe_.info().id;
+  st.device_model = device_.config().model;
+  // Segments alternate across the two CDN edges; report the one used for
+  // even-numbered segments first (both appear in the capture).
+  st.server_ip = edge_a_ip_;
+  st.secondary_server_ip = edge_b_ip_;
+  st.server_region = "fastly";
+  st.distance_km =
+      geo::distance_km(device_.config().location, pipe_.info().location);
+  st.avg_viewers = pipe_.info().average_viewers();
+  st.bytes_received = capture_.total_bytes() + playlist_bytes_;
+  if (player_) {
+    fill_player_stats(st, *player_, video_frames_, max_decode_fps_);
+  }
+  return st;
+}
+
+}  // namespace psc::client

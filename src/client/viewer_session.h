@@ -1,0 +1,214 @@
+// One automated viewing session: the app "teleports" into a broadcast,
+// watches for a fixed time (60 s in the paper) while tcpdump-style
+// capture records the incoming media bytes, then reports playback
+// statistics.
+//
+// RtmpViewerSession glues rtmp::ClientSession <-> simulated network <->
+// rtmp::ServerSession fed by the broadcast pipeline. HlsViewerSession
+// polls the edge playlist and fetches MPEG-TS segments over HTTP.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "client/device.h"
+#include "client/player.h"
+#include "http/http.h"
+#include "net/capture.h"
+#include "rtmp/session.h"
+#include "service/cdn_edge.h"
+#include "service/pipeline.h"
+#include "service/servers.h"
+
+namespace psc::client {
+
+enum class Protocol { Rtmp, Hls };
+
+/// End-of-session statistics — what playbackMeta uploads plus what the
+/// offline capture analysis needs.
+struct SessionStats {
+  Protocol protocol = Protocol::Rtmp;
+  std::string broadcast_id;
+  std::string device_model;
+  std::string server_ip;
+  std::string secondary_server_ip;  // HLS: the second CDN edge used
+  std::string server_region;
+  double distance_km = 0;   // viewer <-> broadcaster
+  double avg_viewers = 0;
+
+  bool ever_played = false;
+  double join_time_s = 0;
+  double played_s = 0;
+  double stalled_s = 0;
+  int stall_count = 0;
+  double stall_ratio = 0;
+  double playback_latency_s = 0;
+  double reported_fps = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// Common interface so the study code can drive both protocols alike.
+class ViewerSession {
+ public:
+  virtual ~ViewerSession() = default;
+  /// Begin the session at the current sim time; ends after `watch_time`.
+  virtual void start(Duration watch_time) = 0;
+  virtual bool finished() const = 0;
+  virtual SessionStats stats() const = 0;
+  virtual const net::Capture& capture() const = 0;
+  /// Stop and free bulk buffers (capture trace). The object must outlive
+  /// any simulation events still referencing it; they become no-ops.
+  virtual void retire() = 0;
+  /// Earliest simulation time at which no scheduled event can still
+  /// reference this object (poll chains and link deliveries are
+  /// bounded) — destroying it after this point is safe.
+  virtual TimePoint safe_destroy_at() const = 0;
+};
+
+class RtmpViewerSession : public ViewerSession {
+ public:
+  RtmpViewerSession(sim::Simulation& sim, service::LiveBroadcastPipeline& pipe,
+                    Device& device, const service::MediaServer& origin,
+                    const PlayerConfig& player_cfg, std::uint64_t seed);
+  ~RtmpViewerSession() override;
+
+  void start(Duration watch_time) override;
+  bool finished() const override { return finished_; }
+  SessionStats stats() const override;
+  const net::Capture& capture() const override { return capture_; }
+  void retire() override {
+    finish();
+    capture_.clear();
+    server_.discard_buffers();
+    if (client_) client_->discard_buffers();
+  }
+  TimePoint safe_destroy_at() const override {
+    TimePoint t = std::max(up_link_.busy_until(), origin_link_.busy_until());
+    t = std::max(t, device_.downlink().busy_until());
+    return t + seconds(15);
+  }
+
+ private:
+  void pump();
+  void finish();
+
+  sim::Simulation& sim_;
+  service::LiveBroadcastPipeline& pipe_;
+  Device& device_;
+  const service::MediaServer& origin_;
+  net::Link up_link_;      // client -> origin
+  net::Link origin_link_;  // origin -> device access link
+  net::Capture capture_;
+  rtmp::ServerSession server_;
+  std::unique_ptr<rtmp::ClientSession> client_;
+  PlayerConfig player_cfg_;
+  std::optional<Player> player_;
+  TimePoint session_start_{};
+  int subscription_ = 0;
+  bool media_started_ = false;
+  bool finished_ = false;
+  std::uint64_t video_frames_ = 0;
+  double max_decode_fps_;
+};
+
+class HlsViewerSession : public ViewerSession {
+ public:
+  /// Live: follow the sliding playlist at the live edge.
+  /// Replay: play a finished broadcast's VOD playlist from the start
+  /// (the paper: "a user can make broadcasts available also for later
+  /// replay"; replay power == live power in Fig. 8).
+  enum class Mode { Live, Replay };
+
+  HlsViewerSession(sim::Simulation& sim, service::LiveBroadcastPipeline& pipe,
+                   Device& device, const service::MediaServer& edge_a,
+                   const service::MediaServer& edge_b,
+                   const PlayerConfig& player_cfg, std::uint64_t seed,
+                   Mode mode = Mode::Live, bool adaptive = false);
+
+  void start(Duration watch_time) override;
+  bool finished() const override { return finished_; }
+  SessionStats stats() const override;
+  const net::Capture& capture() const override { return capture_; }
+  void retire() override {
+    finish();
+    capture_.clear();
+  }
+  TimePoint safe_destroy_at() const override {
+    // The playlist poll chain stops within one poll interval of finish;
+    // in-flight fetches are bounded by the link busy horizons.
+    TimePoint t = std::max(edge_a_link_.busy_until(),
+                           edge_b_link_.busy_until());
+    t = std::max(t, up_link_.busy_until());
+    t = std::max(t, device_.downlink().busy_until());
+    t = std::max(t, stop_at_ + poll_interval_);
+    return t + seconds(15);
+  }
+
+  /// Playlist polls + segment GETs issued (request-rate ablations).
+  std::uint64_t http_requests() const { return http_requests_; }
+
+  /// --- ABR introspection (adaptive mode) ---
+  /// Rendition index fetched for each segment, in fetch order.
+  const std::vector<std::size_t>& fetched_renditions() const {
+    return fetched_renditions_;
+  }
+  /// Number of up/down switches the rate adaptation made.
+  std::size_t abr_switches() const;
+  /// Current throughput estimate (EWMA over segment downloads), bits/s.
+  double throughput_estimate_bps() const { return throughput_est_bps_; }
+
+ private:
+  void poll_playlist();
+  void maybe_fetch_next();
+  void on_segment(TimePoint t, const service::LiveBroadcastPipeline::
+                                   EdgeSegment& seg, Bytes body);
+  void finish();
+  /// ABR decision: rendition to fetch next, from the throughput estimate
+  /// and the master playlist's advertised bandwidths.
+  std::size_t pick_rendition() const;
+
+  /// Base path of this broadcast's content on the edges.
+  std::string hls_base() const { return "/hls/" + pipe_.info().id + "/"; }
+
+  sim::Simulation& sim_;
+  service::LiveBroadcastPipeline& pipe_;
+  Device& device_;
+  service::CdnEdge edge_server_;  // HTTP frontend over the edge content
+  net::Link edge_a_link_;  // edge A -> device
+  net::Link edge_b_link_;  // edge B -> device
+  net::Link up_link_;
+  net::Capture capture_;
+  PlayerConfig player_cfg_;
+  std::optional<Player> player_;
+  TimePoint session_start_{};
+  TimePoint stop_at_{};
+  bool started_fetching_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t last_known_seq_ = 0;
+  Duration poll_interval_{3.6};
+  std::uint64_t http_requests_ = 0;
+  std::uint64_t playlist_bytes_ = 0;
+  std::string edge_a_ip_;
+  std::string edge_b_ip_;
+  Mode mode_ = Mode::Live;
+  bool adaptive_ = false;
+  std::vector<double> variant_bandwidths_;  // per rendition, from master
+  std::size_t current_rendition_ = 0;
+  double throughput_est_bps_ = 0;
+  std::vector<std::size_t> fetched_renditions_;
+  bool playlist_ended_ = false;
+  bool refetch_scheduled_ = false;
+  int in_flight_ = 0;
+  bool finished_ = false;
+  std::uint64_t video_frames_ = 0;
+  double max_decode_fps_;
+  Rng rng_;
+};
+
+/// Fill the protocol-independent stats fields shared by both session
+/// types (exposed for tests).
+void fill_player_stats(SessionStats& st, const Player& player,
+                       std::uint64_t video_frames, double max_decode_fps);
+
+}  // namespace psc::client

@@ -1,0 +1,55 @@
+#include "core/csv.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace psc::core {
+
+std::string sessions_to_csv(const std::vector<SessionRecord>& sessions) {
+  std::string out =
+      "broadcast_id,protocol,device,server_ip,server_region,distance_km,"
+      "avg_viewers,ever_played,join_time_s,played_s,stalled_s,stall_count,"
+      "stall_ratio,playback_latency_s,reported_fps,bytes_received,"
+      "width,height,video_kbps,audio_kbps,avg_qp,qp_stddev,frame_pattern,"
+      "missing_frames,ntp_marks,segments\n";
+  for (const SessionRecord& r : sessions) {
+    const client::SessionStats& s = r.stats;
+    const analysis::StreamAnalysis& a = r.analysis;
+    const char* pattern =
+        a.frames.empty()
+            ? ""
+            : (a.frame_pattern() == analysis::FramePattern::IBP
+                   ? "IBP"
+                   : (a.frame_pattern() == analysis::FramePattern::IPOnly
+                          ? "IP"
+                          : "I"));
+    out += strf(
+        "%s,%s,%s,%s,%s,%.1f,%.1f,%d,%.3f,%.3f,%.3f,%d,%.4f,%.3f,%.1f,"
+        "%llu,%d,%d,%.1f,%.1f,%.2f,%.2f,%s,%zu,%zu,%zu\n",
+        s.broadcast_id.c_str(),
+        s.protocol == client::Protocol::Rtmp ? "rtmp" : "hls",
+        s.device_model.c_str(), s.server_ip.c_str(),
+        s.server_region.c_str(), s.distance_km, s.avg_viewers,
+        s.ever_played ? 1 : 0, s.join_time_s, s.played_s, s.stalled_s,
+        s.stall_count, s.stall_ratio, s.playback_latency_s, s.reported_fps,
+        static_cast<unsigned long long>(s.bytes_received), a.width,
+        a.height, a.video_bitrate_bps() / 1e3, a.audio_bitrate_bps / 1e3,
+        a.avg_qp(), a.qp_stddev(), pattern, a.missing_frames(),
+        a.ntp_marks.size(), a.segments.size());
+  }
+  return out;
+}
+
+Status write_sessions_csv(const std::vector<SessionRecord>& sessions,
+                          const std::string& path) {
+  const std::string csv = sessions_to_csv(sessions);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Error{"io", "cannot open " + path};
+  const std::size_t n = std::fwrite(csv.data(), 1, csv.size(), f);
+  std::fclose(f);
+  if (n != csv.size()) return Error{"io", "short write to " + path};
+  return {};
+}
+
+}  // namespace psc::core

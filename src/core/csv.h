@@ -1,0 +1,22 @@
+// CSV export of campaign results — the dataset a downstream analyst would
+// load into pandas/R, mirroring the per-session rows the paper's own
+// scripts produced from playbackMeta + capture post-processing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+
+namespace psc::core {
+
+/// Header + one row per session. Columns cover both the app-reported QoE
+/// metrics and the capture-derived media metrics.
+std::string sessions_to_csv(const std::vector<SessionRecord>& sessions);
+
+/// Write to a file; returns false (with errno untouched for the caller)
+/// on I/O failure.
+Status write_sessions_csv(const std::vector<SessionRecord>& sessions,
+                          const std::string& path);
+
+}  // namespace psc::core

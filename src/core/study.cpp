@@ -1,0 +1,193 @@
+#include "core/study.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace psc::core {
+
+std::vector<SessionRecord> CampaignResult::rtmp() const {
+  std::vector<SessionRecord> out;
+  for (const SessionRecord& r : sessions) {
+    if (r.stats.protocol == client::Protocol::Rtmp) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<SessionRecord> CampaignResult::hls() const {
+  std::vector<SessionRecord> out;
+  for (const SessionRecord& r : sessions) {
+    if (r.stats.protocol == client::Protocol::Hls) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<double> CampaignResult::metric(
+    const std::vector<SessionRecord>& recs,
+    double (*fn)(const SessionRecord&)) {
+  std::vector<double> out;
+  out.reserve(recs.size());
+  for (const SessionRecord& r : recs) out.push_back(fn(r));
+  return out;
+}
+
+client::DeviceConfig Study::galaxy_s3() {
+  client::DeviceConfig d;
+  d.model = "Galaxy S3";
+  d.max_decode_fps = 26.5;  // older SoC drops frames at 30 fps
+  return d;
+}
+
+client::DeviceConfig Study::galaxy_s4() {
+  client::DeviceConfig d;
+  d.model = "Galaxy S4";
+  d.max_decode_fps = 29.7;
+  return d;
+}
+
+Study::Study(const StudyConfig& cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      world_(sim_, cfg.world, cfg.seed ^ 0x0170BB57ull),
+      servers_(cfg.seed ^ 0x5EEDull),
+      api_(world_, servers_, cfg.api) {}
+
+void Study::report_playback_meta(const client::SessionStats& st) {
+  json::Object stats;
+  stats["n_stalls"] = st.stall_count;
+  if (st.protocol == client::Protocol::Rtmp) {
+    stats["join_time_s"] = st.join_time_s;
+    stats["stall_time_s"] = st.stalled_s;
+    stats["playback_latency_s"] = st.playback_latency_s;
+    stats["frame_rate"] = st.reported_fps;
+  }
+  json::Object body;
+  body["cookie"] = "auto-viewer";
+  body["broadcast_id"] = st.broadcast_id;
+  body["stats"] = json::Value(std::move(stats));
+  (void)api_.call("playbackMeta", json::Value(std::move(body)), sim_.now());
+}
+
+std::optional<SessionRecord> Study::run_one_session(client::Device& device,
+                                                    bool analyze) {
+  const Duration need = cfg_.preroll + cfg_.watch_time + seconds(5);
+  const service::BroadcastInfo* b = world_.teleport(rng_, need);
+  if (b == nullptr) return std::nullopt;
+
+  // Spin up the live pipeline for this broadcast and let it run so the
+  // origin backlog / CDN edge have content before the viewer arrives.
+  service::PipelineConfig pipe_cfg = cfg_.pipeline;
+  if (cfg_.hls_adaptive && pipe_cfg.transcode_ladder.empty()) {
+    pipe_cfg.transcode_ladder = {
+        {"mid", media::TranscodeProfile{0.55, 5}, 220e3},
+        {"low", media::TranscodeProfile{0.3, 10}, 120e3},
+    };
+  }
+  auto pipeline_ptr = std::make_unique<service::LiveBroadcastPipeline>(
+      sim_, *b, pipe_cfg);
+  service::LiveBroadcastPipeline& pipeline = *pipeline_ptr;
+  pipeline.start(need + seconds(5));
+  sim_.run_until(sim_.now() + cfg_.preroll);
+
+  // accessVideo: the service decides RTMP vs HLS from current popularity.
+  json::Object req;
+  req["cookie"] = strf("viewer-%zu", session_counter_++);
+  req["broadcast_id"] = b->id;
+  const json::Value access =
+      api_.call("accessVideo", json::Value(std::move(req)), sim_.now());
+  const bool use_hls = access["protocol"].as_string() == "hls";
+
+  // Per-session buffer jitter: the app's effective startup buffer varies
+  // with device state and stream conditions, which is what spreads the
+  // join-time and latency boxplots in Fig. 4 (identical thresholds would
+  // collapse them to a point).
+  const double jitter = rng_.uniform(0.7, 1.8);
+  std::unique_ptr<client::ViewerSession> session;
+  if (use_hls) {
+    client::PlayerConfig pc = cfg_.hls_player;
+    pc.start_threshold = seconds(to_s(pc.start_threshold) * jitter);
+    session = std::make_unique<client::HlsViewerSession>(
+        sim_, pipeline, device, servers_.hls_edges()[0],
+        servers_.hls_edges()[1], pc, rng_.engine()(),
+        client::HlsViewerSession::Mode::Live, cfg_.hls_adaptive);
+  } else {
+    client::PlayerConfig pc = cfg_.rtmp_player;
+    pc.start_threshold = seconds(to_s(pc.start_threshold) * jitter);
+    pc.resume_threshold = seconds(to_s(pc.resume_threshold) * jitter);
+    const service::MediaServer& origin =
+        servers_.rtmp_origin_for(b->location, b->id);
+    session = std::make_unique<client::RtmpViewerSession>(
+        sim_, pipeline, device, origin, pc, rng_.engine()());
+  }
+  session->start(cfg_.watch_time);
+  sim_.run_until(sim_.now() + cfg_.watch_time + seconds(2));
+  pipeline.stop();
+
+  SessionRecord rec;
+  rec.stats = session->stats();
+  report_playback_meta(rec.stats);
+  if (analyze) {
+    auto analysis = use_hls
+                        ? analysis::reconstruct_hls(session->capture())
+                        : analysis::reconstruct_rtmp(session->capture());
+    if (analysis) rec.analysis = std::move(analysis).value();
+  }
+  // Retire rather than destroy: late events may still reference these
+  // objects; retirement frees their bulk buffers and neuters callbacks.
+  // Destruction happens in purge_retired() once each object's event
+  // horizon has passed.
+  session->retire();
+  pipeline.retire();
+  retired_sessions_.emplace_back(session->safe_destroy_at(),
+                                 std::move(session));
+  retired_pipelines_.emplace_back(pipeline.safe_destroy_at(),
+                                  std::move(pipeline_ptr));
+  return rec;
+}
+
+void Study::purge_retired() {
+  const TimePoint now = sim_.now();
+  std::erase_if(retired_pipelines_,
+                [now](const auto& e) { return e.first < now; });
+  std::erase_if(retired_sessions_,
+                [now](const auto& e) { return e.first < now; });
+}
+
+CampaignResult Study::run_campaign(int n, BitRate bandwidth_limit,
+                                   const client::DeviceConfig& device_cfg,
+                                   bool analyze) {
+  if (!world_started_) {
+    world_.start();
+    world_started_ = true;
+    sim_.run_until(sim_.now() + seconds(30));
+  }
+  devices_.push_back(
+      std::make_unique<client::Device>(sim_, device_cfg, rng_.engine()()));
+  client::Device& device = *devices_.back();
+  if (bandwidth_limit > 0) device.set_bandwidth_limit(bandwidth_limit);
+
+  CampaignResult result;
+  for (int i = 0; i < n; ++i) {
+    auto rec = run_one_session(device, analyze);
+    if (rec) result.sessions.push_back(std::move(*rec));
+    // The adb script pushes "close", "home", then Teleports again.
+    sim_.run_until(sim_.now() + seconds(3));
+    purge_retired();
+  }
+  return result;
+}
+
+CampaignResult Study::run_two_device_campaign(int n, BitRate bandwidth_limit,
+                                              bool analyze) {
+  CampaignResult all;
+  const int half = n / 2;
+  CampaignResult s3 = run_campaign(half, bandwidth_limit, galaxy_s3(),
+                                   analyze);
+  CampaignResult s4 = run_campaign(n - half, bandwidth_limit, galaxy_s4(),
+                                   analyze);
+  all.sessions = std::move(s3.sessions);
+  for (SessionRecord& r : s4.sessions) all.sessions.push_back(std::move(r));
+  return all;
+}
+
+}  // namespace psc::core

@@ -1,0 +1,126 @@
+// Study: the top-level facade tying the whole reproduction together.
+//
+// A Study owns one simulation, one world, the API server and the media
+// server pools, and can run:
+//   * automated viewing campaigns (the paper's adb Teleport script:
+//     teleport -> watch 60 s -> close -> repeat, with tcpdump capture and
+//     a mitmproxy logging playbackMeta) — the data of §5;
+//   * crawls, via the crawler module against study.api() — the data
+//     of §4.
+//
+// This is the public API a downstream user starts from; see
+// examples/quickstart.cpp.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/reconstruct.h"
+#include "client/device.h"
+#include "client/viewer_session.h"
+#include "service/api.h"
+#include "service/chat.h"
+#include "service/pipeline.h"
+#include "service/servers.h"
+#include "service/world.h"
+#include "sim/simulation.h"
+
+namespace psc::core {
+
+struct StudyConfig {
+  std::uint64_t seed = 42;
+  service::WorldConfig world;
+  service::ApiConfig api;
+  service::PipelineConfig pipeline;
+  /// RTMP keeps ~2 s of buffer (the paper: delivery is <0.3 s, so "the
+  /// majority of the few seconds of playback latency ... comes from
+  /// buffering"); HLS effectively buffers whole segments.
+  client::PlayerConfig rtmp_player{millis(1800), millis(1000)};
+  client::PlayerConfig hls_player{millis(500), millis(2000)};
+  Duration watch_time = seconds(60);
+  /// Enable the HLS transcode ladder + adaptive client (an extension the
+  /// paper hypothesised but did not observe in production; see
+  /// bench_ablation_abr). Off by default to match the measured service.
+  bool hls_adaptive = false;
+  /// Broadcast runs this long before the viewer teleports in, so the
+  /// origin backlog and the CDN edge have content (a real broadcast has
+  /// been running for a while when a viewer joins).
+  Duration preroll = seconds(16);
+};
+
+/// One completed viewing session: the app-reported stats plus the offline
+/// capture reconstruction.
+struct SessionRecord {
+  client::SessionStats stats;
+  analysis::StreamAnalysis analysis;
+};
+
+struct CampaignResult {
+  std::vector<SessionRecord> sessions;
+
+  std::vector<SessionRecord> rtmp() const;
+  std::vector<SessionRecord> hls() const;
+  /// Extract one metric across records.
+  static std::vector<double> metric(
+      const std::vector<SessionRecord>& recs,
+      double (*fn)(const SessionRecord&));
+};
+
+class Study {
+ public:
+  explicit Study(const StudyConfig& cfg);
+
+  /// Run `n` sequential Teleport sessions on `device_cfg` with the given
+  /// downlink cap (0 => unlimited). Captures are reconstructed when
+  /// `analyze` is set. Alternating sessions across two device configs is
+  /// the caller's job (see run_two_device_campaign).
+  CampaignResult run_campaign(int n, BitRate bandwidth_limit,
+                              const client::DeviceConfig& device_cfg,
+                              bool analyze = true);
+
+  /// The paper's setup: half the sessions on a Galaxy S3, half on an S4.
+  CampaignResult run_two_device_campaign(int n, BitRate bandwidth_limit,
+                                         bool analyze = true);
+
+  sim::Simulation& sim() { return sim_; }
+  service::World& world() { return world_; }
+  service::ApiServer& api() { return api_; }
+  service::MediaServerPool& servers() { return servers_; }
+  const StudyConfig& config() const { return cfg_; }
+
+  static client::DeviceConfig galaxy_s3();
+  static client::DeviceConfig galaxy_s4();
+
+ private:
+  /// One teleport-watch-close cycle; returns nullopt when no broadcast
+  /// was available.
+  std::optional<SessionRecord> run_one_session(
+      client::Device& device, bool analyze);
+
+  /// Retired pipelines/sessions/devices: kept alive (with bulk buffers
+  /// freed) because late simulation events may still reference them.
+
+  /// Upload playbackMeta as the app does (full stats for RTMP, only the
+  /// stall count after an HLS session — §2 of the paper).
+  void report_playback_meta(const client::SessionStats& st);
+
+  StudyConfig cfg_;
+  sim::Simulation sim_;
+  Rng rng_;
+  service::World world_;
+  service::MediaServerPool servers_;
+  service::ApiServer api_;
+  /// Destroy retired objects whose event horizon has passed.
+  void purge_retired();
+
+  bool world_started_ = false;
+  std::size_t session_counter_ = 0;
+  std::vector<std::pair<TimePoint,
+                        std::unique_ptr<service::LiveBroadcastPipeline>>>
+      retired_pipelines_;
+  std::vector<std::pair<TimePoint, std::unique_ptr<client::ViewerSession>>>
+      retired_sessions_;
+  std::vector<std::unique_ptr<client::Device>> devices_;
+};
+
+}  // namespace psc::core

@@ -1,0 +1,226 @@
+#include "crawler/crawler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace psc::crawler {
+
+namespace {
+
+json::Value map_feed_body(const std::string& account,
+                          const geo::GeoRect& rect) {
+  json::Object body;
+  body["cookie"] = account;
+  body["p_lat_min"] = rect.lat_min;
+  body["p_lat_max"] = rect.lat_max;
+  body["p_lng_min"] = rect.lon_min;
+  body["p_lng_max"] = rect.lon_max;
+  body["include_replay"] = false;  // the paper's script forces this
+  return json::Value(std::move(body));
+}
+
+}  // namespace
+
+std::vector<AreaCount> DeepCrawlResult::ranked() const {
+  std::vector<AreaCount> r = areas;
+  std::sort(r.begin(), r.end(), [](const AreaCount& a, const AreaCount& b) {
+    return a.new_broadcasts > b.new_broadcasts;
+  });
+  return r;
+}
+
+std::vector<std::size_t> DeepCrawlResult::cumulative_ranked() const {
+  std::vector<std::size_t> out;
+  std::size_t acc = 0;
+  for (const AreaCount& a : ranked()) {
+    acc += a.new_broadcasts;
+    out.push_back(acc);
+  }
+  return out;
+}
+
+DeepCrawler::DeepCrawler(sim::Simulation& sim, service::ApiServer& api,
+                         const DeepCrawlConfig& cfg)
+    : sim_(sim), api_(api), cfg_(cfg) {}
+
+void DeepCrawler::run(std::function<void(DeepCrawlResult)> done) {
+  done_ = std::move(done);
+  started_ = sim_.now();
+  // Seed with the world split into quadrants (depth 1) so the first
+  // requests are already meaningfully sized.
+  for (const geo::GeoRect& q : geo::GeoRect::world().quadrants()) {
+    queue_.push_back(q);
+  }
+  issue_next();
+}
+
+void DeepCrawler::issue_next() {
+  if (queue_.empty()) {
+    result_.took = sim_.now() - started_;
+    done_(std::move(result_));
+    return;
+  }
+  const geo::GeoRect rect = queue_.front();
+  queue_.erase(queue_.begin());
+
+  int status = 0;
+  ++result_.requests;
+  const json::Value resp = api_.call(
+      "mapGeoBroadcastFeed", map_feed_body(cfg_.account, rect), sim_.now(),
+      &status);
+  if (status == 429) {
+    ++result_.throttled;
+    queue_.insert(queue_.begin(), rect);  // retry after backoff
+    sim_.schedule_after(cfg_.backoff_on_429, [this] { issue_next(); });
+    return;
+  }
+
+  const json::Array& broadcasts = resp["broadcasts"].as_array();
+  std::size_t fresh = 0;
+  for (const json::Value& b : broadcasts) {
+    if (result_.ids.insert(b["id"].as_string()).second) ++fresh;
+  }
+  // Depth heuristic from the paper: keep zooming while smaller areas keep
+  // revealing substantially more broadcasts (zoom-dependent visibility)
+  // or while the response is truncated at the server cap.
+  const double depth =
+      std::log2(360.0 / std::max(1e-9, rect.lon_max - rect.lon_min));
+  // Every crawled area contributes a data point (Fig. 1's x-axis counts
+  // crawled areas, not just leaves).
+  result_.areas.push_back(AreaCount{rect, fresh});
+  if ((broadcasts.size() >= cfg_.subdivide_at ||
+       fresh >= cfg_.min_gain_to_subdivide) &&
+      depth < static_cast<double>(cfg_.max_depth)) {
+    for (const geo::GeoRect& q : rect.quadrants()) queue_.push_back(q);
+  }
+  sim_.schedule_after(cfg_.pacing, [this] { issue_next(); });
+}
+
+std::vector<double> UsageDataset::ended_durations(Duration grace) const {
+  std::vector<double> out;
+  const TimePoint cutoff = crawl_end - grace;
+  for (const auto& [id, t] : tracks) {
+    if (t.last_seen < cutoff) {
+      const double dur = to_s(t.last_seen) - t.start_time_s;
+      if (dur > 0) out.push_back(dur);
+    }
+  }
+  return out;
+}
+
+TargetedCrawler::TargetedCrawler(sim::Simulation& sim,
+                                 service::ApiServer& api,
+                                 std::vector<geo::GeoRect> areas,
+                                 const TargetedCrawlConfig& cfg)
+    : sim_(sim), api_(api), cfg_(cfg) {
+  workers_.resize(static_cast<std::size_t>(cfg.accounts));
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w].account = strf("crawler-acct-%zu", w);
+  }
+  // Deal areas round-robin across the workers.
+  for (std::size_t i = 0; i < areas.size(); ++i) {
+    workers_[i % workers_.size()].areas.push_back(areas[i]);
+  }
+}
+
+void TargetedCrawler::record_sighting(const json::Value& desc,
+                                      TimePoint now) {
+  const service::BroadcastId id = desc["id"].as_string();
+  if (id.empty()) return;
+  BroadcastTrack& t = dataset_.tracks[id];
+  if (t.viewer_samples == 0 && t.first_seen == TimePoint{}) {
+    t.first_seen = now;
+    t.start_time_s = desc["start"].as_number();
+    t.lon_deg = desc["ip_lng"].as_number();
+    t.available_for_replay = desc["available_for_replay"].as_bool();
+  }
+  t.last_seen = now;
+  if (desc.has("n_watching")) {
+    t.viewer_sum += desc["n_watching"].as_number();
+    t.viewer_samples += 1;
+  }
+}
+
+void TargetedCrawler::run(Duration total,
+                          std::function<void(UsageDataset)> done) {
+  done_ = std::move(done);
+  dataset_.crawl_start = sim_.now();
+  stop_at_ = sim_.now() + total;
+  bool any = false;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w].sweep_started = sim_.now();
+    if (!workers_[w].areas.empty()) any = true;
+    issue_next(w);
+  }
+  if (!any && !done_fired_) {
+    done_fired_ = true;
+    dataset_.crawl_end = sim_.now();
+    done_(std::move(dataset_));
+  }
+}
+
+void TargetedCrawler::issue_next(std::size_t widx) {
+  if (sim_.now() >= stop_at_) {
+    if (!done_fired_) {
+      done_fired_ = true;
+      dataset_.crawl_end = sim_.now();
+      done_(std::move(dataset_));
+    }
+    return;
+  }
+  Worker& w = workers_[widx];
+  if (w.areas.empty()) return;  // fewer areas than accounts: worker idles
+
+  // Flush viewer queries first: the paper's script replaced the app's
+  // /getBroadcasts content with the ids found since the last request.
+  if (w.pending_ids.size() >= cfg_.get_broadcasts_batch ||
+      (w.next_area == 0 && !w.pending_ids.empty())) {
+    json::Array ids;
+    const std::size_t n =
+        std::min(cfg_.get_broadcasts_batch, w.pending_ids.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(json::Value(w.pending_ids[i]));
+    }
+    w.pending_ids.erase(w.pending_ids.begin(),
+                        w.pending_ids.begin() + static_cast<std::ptrdiff_t>(n));
+    json::Object body;
+    body["cookie"] = w.account;
+    body["broadcast_ids"] = json::Value(std::move(ids));
+    int status = 0;
+    const json::Value resp = api_.call(
+        "getBroadcasts", json::Value(std::move(body)), sim_.now(), &status);
+    if (status == 200) {
+      for (const json::Value& d : resp["broadcasts"].as_array()) {
+        record_sighting(d, sim_.now());
+      }
+    }
+    sim_.schedule_after(status == 429 ? cfg_.backoff_on_429 : cfg_.pacing,
+                        [this, widx] { issue_next(widx); });
+    return;
+  }
+
+  const geo::GeoRect rect = w.areas[w.next_area];
+  int status = 0;
+  const json::Value resp = api_.call(
+      "mapGeoBroadcastFeed", map_feed_body(w.account, rect), sim_.now(),
+      &status);
+  if (status == 429) {
+    sim_.schedule_after(cfg_.backoff_on_429,
+                        [this, widx] { issue_next(widx); });
+    return;
+  }
+  for (const json::Value& d : resp["broadcasts"].as_array()) {
+    record_sighting(d, sim_.now());
+    w.pending_ids.push_back(d["id"].as_string());
+  }
+  w.next_area = (w.next_area + 1) % std::max<std::size_t>(1, w.areas.size());
+  if (w.next_area == 0) {
+    last_sweep_ = sim_.now() - w.sweep_started;
+    w.sweep_started = sim_.now();
+  }
+  sim_.schedule_after(cfg_.pacing, [this, widx] { issue_next(widx); });
+}
+
+}  // namespace psc::crawler

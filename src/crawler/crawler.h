@@ -1,0 +1,150 @@
+// Service crawlers (paper §4).
+//
+// DeepCrawler reproduces the mitmproxy inline script: it replays
+// mapGeoBroadcastFeed with modified coordinates, recursively subdividing
+// any area whose response hits the server's cap ("when specifying a
+// smaller area, new broadcasts are discovered for the same area"), paced
+// to stay under the rate limiter ("too frequent requests will be answered
+// with HTTP 429").
+//
+// TargetedCrawler takes the top-ranked areas from a deep crawl, splits
+// them across four accounts (the paper ran four emulators with different
+// users logged in to dodge per-account rate limiting) and repeatedly
+// sweeps them, tracking per-broadcast first/last sightings, start times
+// and viewer counts via getBroadcasts.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "geo/geo.h"
+#include "service/api.h"
+#include "sim/simulation.h"
+
+namespace psc::crawler {
+
+struct AreaCount {
+  geo::GeoRect rect;
+  std::size_t new_broadcasts = 0;  // first discovered in this area
+};
+
+struct DeepCrawlResult {
+  std::vector<AreaCount> areas;  // leaf areas, crawl order
+  std::set<service::BroadcastId> ids;
+  Duration took{0};
+  std::size_t requests = 0;
+  std::size_t throttled = 0;
+
+  /// Areas ranked by broadcast count (descending) — the basis for
+  /// selecting targeted-crawl areas and for Fig. 1's x-axis.
+  std::vector<AreaCount> ranked() const;
+  /// Cumulative broadcast counts over the ranked areas (Fig. 1 curve).
+  std::vector<std::size_t> cumulative_ranked() const;
+};
+
+struct DeepCrawlConfig {
+  std::string account = "deep-crawler";
+  Duration pacing = millis(850);
+  Duration backoff_on_429 = seconds(2);
+  int max_depth = 7;
+  /// Subdivide an area when its response is truncated at the server cap…
+  std::size_t subdivide_at = 60;
+  /// …or when the query still revealed at least this many previously
+  /// unseen broadcasts — the paper's "recursively continues until it no
+  /// longer discovers substantially more broadcasts".
+  std::size_t min_gain_to_subdivide = 8;
+};
+
+class DeepCrawler {
+ public:
+  DeepCrawler(sim::Simulation& sim, service::ApiServer& api,
+              const DeepCrawlConfig& cfg);
+
+  /// Start crawling; `done` fires in sim time when the queue drains.
+  void run(std::function<void(DeepCrawlResult)> done);
+
+ private:
+  void issue_next();
+
+  sim::Simulation& sim_;
+  service::ApiServer& api_;
+  DeepCrawlConfig cfg_;
+  std::vector<geo::GeoRect> queue_;
+  DeepCrawlResult result_;
+  TimePoint started_{};
+  std::function<void(DeepCrawlResult)> done_;
+};
+
+/// Running per-broadcast observation record.
+struct BroadcastTrack {
+  double start_time_s = 0;  // from the broadcast description
+  TimePoint first_seen{};
+  TimePoint last_seen{};
+  double lon_deg = 0;
+  double viewer_sum = 0;
+  std::size_t viewer_samples = 0;
+  bool available_for_replay = false;
+
+  double avg_viewers() const {
+    return viewer_samples == 0 ? 0 : viewer_sum / viewer_samples;
+  }
+};
+
+struct UsageDataset {
+  std::map<service::BroadcastId, BroadcastTrack> tracks;
+  TimePoint crawl_start{};
+  TimePoint crawl_end{};
+
+  /// Duration (start time to last sighting) for broadcasts that ended
+  /// during the crawl — i.e. not sighted in the final `grace` (paper:
+  /// 60 s). Returns seconds.
+  std::vector<double> ended_durations(Duration grace = seconds(60)) const;
+};
+
+struct TargetedCrawlConfig {
+  int accounts = 4;            // parallel crawlers, distinct logins
+  Duration pacing = millis(800);
+  Duration backoff_on_429 = seconds(2);
+  std::size_t get_broadcasts_batch = 100;
+};
+
+class TargetedCrawler {
+ public:
+  TargetedCrawler(sim::Simulation& sim, service::ApiServer& api,
+                  std::vector<geo::GeoRect> areas,
+                  const TargetedCrawlConfig& cfg);
+
+  /// Sweep the areas repeatedly for `total`; `done` fires at the end.
+  void run(Duration total, std::function<void(UsageDataset)> done);
+
+  /// Time one full sweep of all areas currently takes (for reporting;
+  /// the paper's targeted crawl completed in ~50 s).
+  Duration last_sweep_duration() const { return last_sweep_; }
+
+ private:
+  struct Worker {
+    std::string account;
+    std::vector<geo::GeoRect> areas;
+    std::size_t next_area = 0;
+    std::vector<service::BroadcastId> pending_ids;
+    TimePoint sweep_started{};
+  };
+
+  void issue_next(std::size_t worker);
+  void record_sighting(const json::Value& desc, TimePoint now);
+
+  sim::Simulation& sim_;
+  service::ApiServer& api_;
+  TargetedCrawlConfig cfg_;
+  std::vector<Worker> workers_;
+  UsageDataset dataset_;
+  TimePoint stop_at_{};
+  Duration last_sweep_{0};
+  std::function<void(UsageDataset)> done_;
+  bool done_fired_ = false;
+};
+
+}  // namespace psc::crawler

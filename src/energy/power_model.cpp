@@ -1,0 +1,105 @@
+#include "energy/power_model.h"
+
+#include <algorithm>
+
+namespace psc::energy {
+
+RadioParams wifi_params() {
+  return RadioParams{25, 780, 180, seconds(0.25), 25e6};
+}
+
+RadioParams lte_params() {
+  // LTE RRC-connected tail is long (~10 s on Galaxy-S4-era networks) and
+  // expensive — the source of the WiFi/LTE gap in every Fig. 8 bar: the
+  // app's 5-second list refresh keeps the radio permanently connected.
+  return RadioParams{35, 1350, 700, seconds(10.0), 40e6};
+}
+
+PowerIntegrator::PowerIntegrator(Radio radio, TimePoint start,
+                                 ComponentPowers components)
+    : radio_(radio),
+      rp_(radio == Radio::Wifi ? wifi_params() : lte_params()),
+      cp_(components),
+      start_(start),
+      last_(start),
+      // Start outside any tail window: a radio that never transmitted
+      // idles from t0.
+      radio_busy_until_(start - rp_.tail) {}
+
+double PowerIntegrator::non_radio_power() const {
+  double p = cp_.base_mw;
+  if (screen_) p += cp_.screen_mw;
+  if (app_) p += cp_.app_foreground_mw;
+  if (decoding_) p += cp_.decode_mw + cp_.render_mw;
+  if (chat_) p += cp_.chat_mw;
+  if (broadcasting_) p += cp_.camera_encode_mw;
+  return p;
+}
+
+double PowerIntegrator::radio_power_between(TimePoint a, TimePoint b) const {
+  if (b <= a) return 0;
+  const double span = to_s(b - a);
+  // Decompose [a,b] into active (before radio_busy_until_), tail
+  // (tail window after busy end) and idle.
+  const TimePoint busy_end = std::min(b, std::max(a, radio_busy_until_));
+  const TimePoint tail_end =
+      std::min(b, std::max(a, radio_busy_until_ + rp_.tail));
+  const double active_s = to_s(busy_end - a);
+  const double tail_s = to_s(tail_end - busy_end);
+  const double idle_s = span - active_s - tail_s;
+  return (active_s * rp_.active_mw + tail_s * rp_.tail_mw +
+          idle_s * rp_.idle_mw) /
+         span;
+}
+
+void PowerIntegrator::advance(TimePoint t) {
+  if (t <= last_) return;
+  const double span = to_s(t - last_);
+  const double p = non_radio_power() + radio_power_between(last_, t);
+  energy_mj_ += p * span;
+  last_ = t;
+}
+
+void PowerIntegrator::set_screen(TimePoint t, bool on) {
+  advance(t);
+  screen_ = on;
+}
+void PowerIntegrator::set_app_foreground(TimePoint t, bool on) {
+  advance(t);
+  app_ = on;
+}
+void PowerIntegrator::set_decoding(TimePoint t, bool on) {
+  advance(t);
+  decoding_ = on;
+}
+void PowerIntegrator::set_chat(TimePoint t, bool on) {
+  advance(t);
+  chat_ = on;
+}
+void PowerIntegrator::set_broadcasting(TimePoint t, bool on) {
+  advance(t);
+  broadcasting_ = on;
+}
+
+void PowerIntegrator::on_network_bytes(TimePoint t, std::size_t bytes) {
+  advance(t);
+  const Duration airtime =
+      transmit_time(static_cast<std::uint64_t>(bytes), rp_.phy_rate);
+  // Transfers serialize on the radio; extend the busy window.
+  const TimePoint begin = std::max(t, radio_busy_until_);
+  radio_busy_until_ = begin + airtime;
+}
+
+double PowerIntegrator::finish(TimePoint end) {
+  advance(end);
+  const double span = to_s(end - start_);
+  return span <= 0 ? 0 : energy_mj_ / span;
+}
+
+double battery_hours(double avg_power_mw, double battery_mah,
+                     double nominal_v) {
+  const double battery_mwh = battery_mah * nominal_v;
+  return avg_power_mw <= 0 ? 0 : battery_mwh / avg_power_mw;
+}
+
+}  // namespace psc::energy

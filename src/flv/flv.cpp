@@ -1,0 +1,75 @@
+#include "flv/flv.h"
+
+namespace psc::flv {
+
+Bytes make_video_tag(bool keyframe, AvcPacketType pkt_type,
+                     std::int32_t composition_time_ms, BytesView data) {
+  ByteWriter w;
+  const auto frame_flag = keyframe ? VideoFrameFlag::Keyframe
+                                   : VideoFrameFlag::Interframe;
+  w.u8(static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(frame_flag) << 4) | kCodecAvc));
+  w.u8(static_cast<std::uint8_t>(pkt_type));
+  w.u24be(static_cast<std::uint32_t>(composition_time_ms) & 0xFFFFFF);
+  w.raw(data);
+  return w.take();
+}
+
+Bytes make_avc_sequence_header(const media::Sps& sps, const media::Pps& pps) {
+  const Bytes cfg = media::write_avc_decoder_config(sps, pps);
+  return make_video_tag(/*keyframe=*/true, AvcPacketType::SequenceHeader,
+                        /*composition_time_ms=*/0, cfg);
+}
+
+Bytes make_audio_tag(AacPacketType pkt_type, BytesView data) {
+  ByteWriter w;
+  // SoundFormat=10 (AAC), SoundRate=3 (44kHz), SoundSize=1, SoundType=1.
+  w.u8(static_cast<std::uint8_t>((kSoundFormatAac << 4) | 0x0F));
+  w.u8(static_cast<std::uint8_t>(pkt_type));
+  w.raw(data);
+  return w.take();
+}
+
+Result<VideoTag> parse_video_tag(BytesView body) {
+  ByteReader r(body);
+  auto b0 = r.u8();
+  if (!b0) return b0.error();
+  if ((b0.value() & 0x0F) != kCodecAvc) {
+    return make_error("unsupported", "non-AVC video tag");
+  }
+  VideoTag tag;
+  tag.keyframe =
+      ((b0.value() >> 4) & 0x0F) == static_cast<int>(VideoFrameFlag::Keyframe);
+  auto pt = r.u8();
+  if (!pt) return pt.error();
+  tag.packet_type = static_cast<AvcPacketType>(pt.value());
+  auto cts = r.u24be();
+  if (!cts) return cts.error();
+  // Sign-extend 24-bit composition time.
+  std::int32_t v = static_cast<std::int32_t>(cts.value());
+  if (v & 0x800000) v |= static_cast<std::int32_t>(0xFF000000u);
+  tag.composition_time_ms = v;
+  auto data = r.bytes(r.remaining());
+  if (!data) return data.error();
+  tag.data = std::move(data).value();
+  return tag;
+}
+
+Result<AudioTag> parse_audio_tag(BytesView body) {
+  ByteReader r(body);
+  auto b0 = r.u8();
+  if (!b0) return b0.error();
+  if ((b0.value() >> 4) != kSoundFormatAac) {
+    return make_error("unsupported", "non-AAC audio tag");
+  }
+  AudioTag tag;
+  auto pt = r.u8();
+  if (!pt) return pt.error();
+  tag.packet_type = static_cast<AacPacketType>(pt.value());
+  auto data = r.bytes(r.remaining());
+  if (!data) return data.error();
+  tag.data = std::move(data).value();
+  return tag;
+}
+
+}  // namespace psc::flv

@@ -1,0 +1,51 @@
+#include "geo/geo.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace psc::geo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+}  // namespace
+
+std::array<GeoRect, 4> GeoRect::quadrants() const {
+  const double lat_mid = (lat_min + lat_max) / 2;
+  const double lon_mid = (lon_min + lon_max) / 2;
+  return {
+      GeoRect{lat_mid, lat_max, lon_min, lon_mid},  // NW
+      GeoRect{lat_mid, lat_max, lon_mid, lon_max},  // NE
+      GeoRect{lat_min, lat_mid, lon_min, lon_mid},  // SW
+      GeoRect{lat_min, lat_mid, lon_mid, lon_max},  // SE
+  };
+}
+
+std::string GeoRect::to_string() const {
+  return strf("[%.2f,%.2f]x[%.2f,%.2f]", lat_min, lat_max, lon_min, lon_max);
+}
+
+double distance_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+int utc_offset_hours(double lon_deg) {
+  return static_cast<int>(std::lround(lon_deg / 15.0));
+}
+
+double local_hour(TimePoint t, double lon_deg) {
+  const double utc_hours = to_s(t) / 3600.0;
+  double h = std::fmod(utc_hours + utc_offset_hours(lon_deg), 24.0);
+  if (h < 0) h += 24.0;
+  return h;
+}
+
+}  // namespace psc::geo

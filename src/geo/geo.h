@@ -1,0 +1,69 @@
+// Geographic primitives: points, rectangles, quadtree subdivision,
+// great-circle distance and longitude-based local time.
+//
+// The Periscope map API (mapGeoBroadcastFeed) takes a lat/lon rectangle;
+// the crawler recursively subdivides rectangles ("zooming in") exactly as
+// the paper's mitmproxy script did.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace psc::geo {
+
+struct GeoPoint {
+  double lat_deg = 0.0;  // [-90, 90]
+  double lon_deg = 0.0;  // [-180, 180)
+
+  bool operator==(const GeoPoint&) const = default;
+};
+
+/// Axis-aligned lat/lon rectangle. Does not handle antimeridian wrap;
+/// the crawler only ever subdivides [-180,180)x[-90,90), so children never
+/// wrap.
+struct GeoRect {
+  double lat_min = -90.0;
+  double lat_max = 90.0;
+  double lon_min = -180.0;
+  double lon_max = 180.0;
+
+  static GeoRect world() { return GeoRect{}; }
+
+  bool contains(const GeoPoint& p) const {
+    return p.lat_deg >= lat_min && p.lat_deg < lat_max &&
+           p.lon_deg >= lon_min && p.lon_deg < lon_max;
+  }
+
+  GeoPoint center() const {
+    return GeoPoint{(lat_min + lat_max) / 2, (lon_min + lon_max) / 2};
+  }
+
+  /// Solid angle proxy used to decide how "zoomed in" a request is.
+  double area_deg2() const {
+    return (lat_max - lat_min) * (lon_max - lon_min);
+  }
+
+  /// Quadtree children (NW, NE, SW, SE).
+  std::array<GeoRect, 4> quadrants() const;
+
+  std::string to_string() const;
+
+  bool operator==(const GeoRect&) const = default;
+};
+
+/// Great-circle distance in kilometres (haversine, mean Earth radius).
+double distance_km(const GeoPoint& a, const GeoPoint& b);
+
+/// Crude time zone: UTC offset in hours from longitude (15 deg per hour,
+/// rounded). The paper derives "local time of day" from the broadcaster's
+/// time zone; this is the simulation's equivalent.
+int utc_offset_hours(double lon_deg);
+
+/// Local hour-of-day [0,24) for an absolute sim time, where sim epoch is
+/// UTC midnight.
+double local_hour(TimePoint t, double lon_deg);
+
+}  // namespace psc::geo

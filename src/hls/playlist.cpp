@@ -1,0 +1,139 @@
+#include "hls/playlist.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+
+#include "util/strings.h"
+
+namespace psc::hls {
+
+std::string write_m3u8(const MediaPlaylist& pl) {
+  std::string out = "#EXTM3U\n";
+  out += strf("#EXT-X-VERSION:%d\n", pl.version);
+  out += strf("#EXT-X-TARGETDURATION:%d\n",
+              static_cast<int>(std::ceil(to_s(pl.target_duration))));
+  out += strf("#EXT-X-MEDIA-SEQUENCE:%llu\n",
+              static_cast<unsigned long long>(pl.media_sequence));
+  for (const SegmentRef& seg : pl.segments) {
+    out += strf("#EXTINF:%.3f,\n", to_s(seg.duration));
+    out += seg.uri + "\n";
+  }
+  if (pl.ended) out += "#EXT-X-ENDLIST\n";
+  return out;
+}
+
+Result<MediaPlaylist> parse_m3u8(const std::string& text) {
+  MediaPlaylist pl;
+  pl.target_duration = seconds(0);
+  const std::vector<std::string> lines = split(text, '\n');
+  if (lines.empty() || trim(lines[0]) != "#EXTM3U") {
+    return make_error("m3u8", "missing #EXTM3U header");
+  }
+  Duration pending_duration{-1};
+  std::uint64_t seq = 0;
+  bool seq_set = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string line{trim(lines[i])};
+    if (line.empty()) continue;
+    if (starts_with(line, "#EXT-X-VERSION:")) {
+      pl.version = std::atoi(line.c_str() + 15);
+    } else if (starts_with(line, "#EXT-X-TARGETDURATION:")) {
+      pl.target_duration = seconds(std::atof(line.c_str() + 22));
+    } else if (starts_with(line, "#EXT-X-MEDIA-SEQUENCE:")) {
+      pl.media_sequence =
+          static_cast<std::uint64_t>(std::atoll(line.c_str() + 22));
+      seq = pl.media_sequence;
+      seq_set = true;
+    } else if (starts_with(line, "#EXTINF:")) {
+      pending_duration = seconds(std::atof(line.c_str() + 8));
+    } else if (starts_with(line, "#EXT-X-ENDLIST")) {
+      pl.ended = true;
+    } else if (!starts_with(line, "#")) {
+      if (pending_duration.count() < 0) {
+        return make_error("m3u8", "segment URI without #EXTINF");
+      }
+      SegmentRef seg;
+      seg.uri = line;
+      seg.duration = pending_duration;
+      seg.sequence = seq_set ? seq : pl.media_sequence;
+      ++seq;
+      seq_set = true;
+      pl.segments.push_back(std::move(seg));
+      pending_duration = seconds(-1);
+    }
+  }
+  return pl;
+}
+
+std::string write_master_m3u8(const std::vector<VariantRef>& variants) {
+  std::string out = "#EXTM3U\n";
+  for (const VariantRef& v : variants) {
+    out += strf("#EXT-X-STREAM-INF:BANDWIDTH=%.0f", v.bandwidth_bps);
+    if (v.width > 0 && v.height > 0) {
+      out += strf(",RESOLUTION=%dx%d", v.width, v.height);
+    }
+    out += "\n" + v.uri + "\n";
+  }
+  return out;
+}
+
+Result<std::vector<VariantRef>> parse_master_m3u8(const std::string& text) {
+  const std::vector<std::string> lines = split(text, '\n');
+  if (lines.empty() || trim(lines[0]) != "#EXTM3U") {
+    return make_error("m3u8", "missing #EXTM3U header");
+  }
+  std::vector<VariantRef> out;
+  std::optional<VariantRef> pending;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string line{trim(lines[i])};
+    if (line.empty()) continue;
+    if (starts_with(line, "#EXT-X-STREAM-INF:")) {
+      VariantRef v;
+      for (const std::string& attr : split(line.substr(18), ',')) {
+        if (starts_with(attr, "BANDWIDTH=")) {
+          v.bandwidth_bps = std::atof(attr.c_str() + 10);
+        } else if (starts_with(attr, "RESOLUTION=")) {
+          const auto dims = split(attr.substr(11), 'x');
+          if (dims.size() == 2) {
+            v.width = std::atoi(dims[0].c_str());
+            v.height = std::atoi(dims[1].c_str());
+          }
+        }
+      }
+      pending = v;
+    } else if (!starts_with(line, "#")) {
+      if (!pending) {
+        return make_error("m3u8", "variant URI without #EXT-X-STREAM-INF");
+      }
+      pending->uri = line;
+      out.push_back(*pending);
+      pending.reset();
+    }
+  }
+  return out;
+}
+
+LivePlaylistWindow::LivePlaylistWindow(std::size_t window_size,
+                                       Duration target)
+    : window_size_(window_size), target_(target) {}
+
+void LivePlaylistWindow::add_segment(std::string uri, Duration duration) {
+  SegmentRef seg;
+  seg.uri = std::move(uri);
+  seg.duration = duration;
+  seg.sequence = next_seq_++;
+  window_.push_back(std::move(seg));
+  while (window_.size() > window_size_) window_.pop_front();
+}
+
+MediaPlaylist LivePlaylistWindow::snapshot() const {
+  MediaPlaylist pl;
+  pl.target_duration = target_;
+  pl.ended = ended_;
+  pl.media_sequence = window_.empty() ? next_seq_ : window_.front().sequence;
+  pl.segments.assign(window_.begin(), window_.end());
+  return pl;
+}
+
+}  // namespace psc::hls

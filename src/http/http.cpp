@@ -1,0 +1,141 @@
+#include "http/http.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace psc::http {
+
+const char* reason_for(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 429:
+      return "Too Many Requests";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string Request::serialize() const {
+  std::string out = method + " " + path + " HTTP/1.1\r\n";
+  for (const auto& [k, v] : headers) out += k + ": " + v + "\r\n";
+  out += strf("Content-Length: %zu\r\n\r\n", body.size());
+  out += body;
+  return out;
+}
+
+namespace {
+
+/// Split head (start line + headers) from body at CRLFCRLF.
+Result<std::pair<std::string, std::string>> split_head(
+    const std::string& text) {
+  const std::size_t pos = text.find("\r\n\r\n");
+  if (pos == std::string::npos) {
+    return make_error("http", "missing header terminator");
+  }
+  return std::make_pair(text.substr(0, pos), text.substr(pos + 4));
+}
+
+std::map<std::string, std::string> parse_headers(
+    const std::vector<std::string>& lines) {
+  std::map<std::string, std::string> headers;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::size_t colon = lines[i].find(':');
+    if (colon == std::string::npos) continue;
+    headers[std::string(trim(lines[i].substr(0, colon)))] =
+        std::string(trim(lines[i].substr(colon + 1)));
+  }
+  return headers;
+}
+
+}  // namespace
+
+Result<Request> Request::parse(const std::string& text) {
+  auto parts = split_head(text);
+  if (!parts) return parts.error();
+  const auto& [head, body] = parts.value();
+  const std::vector<std::string> lines = split(head, '\n');
+  if (lines.empty()) return make_error("http", "empty request");
+  const std::vector<std::string> start = split(trim(lines[0]), ' ');
+  if (start.size() < 3) return make_error("http", "malformed request line");
+  Request req;
+  req.method = start[0];
+  req.path = start[1];
+  req.headers = parse_headers(lines);
+  req.body = body;
+  return req;
+}
+
+Bytes Response::serialize() const {
+  std::string head = strf("HTTP/1.1 %d %s\r\n", status, reason.c_str());
+  for (const auto& [k, v] : headers) head += k + ": " + v + "\r\n";
+  head += strf("Content-Length: %zu\r\n\r\n", body.size());
+  ByteWriter w;
+  w.raw(head);
+  w.raw(body);
+  return w.take();
+}
+
+Result<Response> Response::parse(BytesView data) {
+  // Headers are ASCII; find the terminator in the raw bytes first.
+  const std::string needle = "\r\n\r\n";
+  std::size_t pos = std::string::npos;
+  for (std::size_t i = 0; i + 4 <= data.size(); ++i) {
+    if (data[i] == '\r' && data[i + 1] == '\n' && data[i + 2] == '\r' &&
+        data[i + 3] == '\n') {
+      pos = i;
+      break;
+    }
+  }
+  if (pos == std::string::npos) {
+    return make_error("http", "missing header terminator");
+  }
+  const std::string head = to_string(data.subspan(0, pos));
+  const std::vector<std::string> lines = split(head, '\n');
+  if (lines.empty()) return make_error("http", "empty response");
+  const std::vector<std::string> start = split(trim(lines[0]), ' ');
+  if (start.size() < 2 || !starts_with(start[0], "HTTP/")) {
+    return make_error("http", "malformed status line");
+  }
+  Response resp;
+  resp.status = std::atoi(start[1].c_str());
+  resp.reason = reason_for(resp.status);
+  resp.headers = parse_headers(lines);
+  resp.body.assign(data.begin() + static_cast<std::ptrdiff_t>(pos) + 4,
+                   data.end());
+  return resp;
+}
+
+Response Response::ok(Bytes body, std::string content_type) {
+  Response r;
+  r.status = 200;
+  r.reason = "OK";
+  r.headers["Content-Type"] = std::move(content_type);
+  r.body = std::move(body);
+  return r;
+}
+
+Response Response::json(const std::string& body) {
+  return ok(to_bytes(body), "application/json");
+}
+
+Response Response::too_many_requests() {
+  Response r;
+  r.status = 429;
+  r.reason = reason_for(429);
+  return r;
+}
+
+Response Response::not_found() {
+  Response r;
+  r.status = 404;
+  r.reason = reason_for(404);
+  return r;
+}
+
+}  // namespace psc::http

@@ -1,0 +1,45 @@
+// Minimal HTTP/1.1 message model.
+//
+// Two uses in the study: (1) the Periscope API — JSON bodies POSTed to
+// https://api.periscope.tv/api/v2/<apiRequest>; (2) HLS — GETs for the
+// M3U8 playlist and the MPEG-TS segments from the CDN edge. Rate-limited
+// API calls get "429 Too Many Requests", which the crawler must pace
+// around exactly as the paper describes.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace psc::http {
+
+struct Request {
+  std::string method = "GET";
+  std::string path = "/";
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string serialize() const;
+  static Result<Request> parse(const std::string& text);
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;
+  Bytes body;
+
+  Bytes serialize() const;
+  static Result<Response> parse(BytesView data);
+
+  static Response ok(Bytes body, std::string content_type);
+  static Response json(const std::string& body);
+  static Response too_many_requests();
+  static Response not_found();
+};
+
+const char* reason_for(int status);
+
+}  // namespace psc::http

@@ -1,0 +1,141 @@
+#include "http/websocket.h"
+
+#include "util/base64.h"
+#include "util/sha1.h"
+#include "util/strings.h"
+
+namespace psc::ws {
+
+namespace {
+// RFC 6455 §1.3 magic GUID.
+constexpr const char* kMagic = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11";
+}  // namespace
+
+std::string accept_key(const std::string& client_key) {
+  const Bytes digest_input = to_bytes(client_key + kMagic);
+  const auto digest = sha1(digest_input);
+  return base64_encode(BytesView(digest.data(), digest.size()));
+}
+
+std::string upgrade_request(const std::string& host, const std::string& path,
+                            const std::string& client_key) {
+  return strf(
+      "GET %s HTTP/1.1\r\nHost: %s\r\nUpgrade: websocket\r\n"
+      "Connection: Upgrade\r\nSec-WebSocket-Key: %s\r\n"
+      "Sec-WebSocket-Version: 13\r\n\r\n",
+      path.c_str(), host.c_str(), client_key.c_str());
+}
+
+std::string upgrade_response(const std::string& client_key) {
+  return strf(
+      "HTTP/1.1 101 Switching Protocols\r\nUpgrade: websocket\r\n"
+      "Connection: Upgrade\r\nSec-WebSocket-Accept: %s\r\n\r\n",
+      accept_key(client_key).c_str());
+}
+
+Bytes encode_frame(const Frame& frame,
+                   std::optional<std::uint32_t> masking_key) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>((frame.fin ? 0x80 : 0x00) |
+                                 static_cast<int>(frame.opcode)));
+  const bool masked = masking_key.has_value();
+  const std::size_t len = frame.payload.size();
+  const std::uint8_t mask_bit = masked ? 0x80 : 0x00;
+  if (len < 126) {
+    w.u8(static_cast<std::uint8_t>(mask_bit | len));
+  } else if (len <= 0xFFFF) {
+    w.u8(static_cast<std::uint8_t>(mask_bit | 126));
+    w.u16be(static_cast<std::uint16_t>(len));
+  } else {
+    w.u8(static_cast<std::uint8_t>(mask_bit | 127));
+    w.u64be(len);
+  }
+  if (masked) {
+    w.u32be(*masking_key);
+    Bytes masked_payload = frame.payload;
+    for (std::size_t i = 0; i < masked_payload.size(); ++i) {
+      masked_payload[i] ^= static_cast<std::uint8_t>(
+          *masking_key >> (8 * (3 - (i % 4))));
+    }
+    w.raw(masked_payload);
+  } else {
+    w.raw(frame.payload);
+  }
+  return w.take();
+}
+
+Bytes client_text_frame(std::string_view text, std::uint32_t masking_key) {
+  Frame f;
+  f.opcode = Opcode::Text;
+  f.payload = to_bytes(text);
+  return encode_frame(f, masking_key);
+}
+
+Bytes server_text_frame(std::string_view text) {
+  Frame f;
+  f.opcode = Opcode::Text;
+  f.payload = to_bytes(text);
+  return encode_frame(f);
+}
+
+Status FrameDecoder::push(BytesView data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  for (;;) {
+    if (buffer_.size() < 2) return {};
+    const std::uint8_t b0 = buffer_[0];
+    const std::uint8_t b1 = buffer_[1];
+    if ((b0 & 0x70) != 0) {
+      return Error{"ws", "reserved bits set"};
+    }
+    const bool masked = (b1 & 0x80) != 0;
+    std::size_t header = 2;
+    std::uint64_t len = b1 & 0x7F;
+    if (len == 126) {
+      if (buffer_.size() < 4) return {};
+      len = (std::uint64_t{buffer_[2]} << 8) | buffer_[3];
+      header = 4;
+    } else if (len == 127) {
+      if (buffer_.size() < 10) return {};
+      len = 0;
+      for (int i = 0; i < 8; ++i) {
+        len = (len << 8) | buffer_[2 + static_cast<std::size_t>(i)];
+      }
+      header = 10;
+    }
+    std::uint32_t key = 0;
+    if (masked) {
+      if (buffer_.size() < header + 4) return {};
+      key = (std::uint32_t{buffer_[header]} << 24) |
+            (std::uint32_t{buffer_[header + 1]} << 16) |
+            (std::uint32_t{buffer_[header + 2]} << 8) |
+            buffer_[header + 3];
+      header += 4;
+    }
+    if (buffer_.size() < header + len) return {};
+
+    Frame f;
+    f.fin = (b0 & 0x80) != 0;
+    f.opcode = static_cast<Opcode>(b0 & 0x0F);
+    f.masked = masked;
+    f.payload.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(header),
+                     buffer_.begin() +
+                         static_cast<std::ptrdiff_t>(header + len));
+    if (masked) {
+      for (std::size_t i = 0; i < f.payload.size(); ++i) {
+        f.payload[i] ^=
+            static_cast<std::uint8_t>(key >> (8 * (3 - (i % 4))));
+      }
+    }
+    frames_.push_back(std::move(f));
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(header + len));
+  }
+}
+
+std::vector<Frame> FrameDecoder::take_frames() {
+  std::vector<Frame> out = std::move(frames_);
+  frames_.clear();
+  return out;
+}
+
+}  // namespace psc::ws

@@ -1,0 +1,64 @@
+// WebSocket (RFC 6455) framing and upgrade handshake.
+//
+// "The chat uses Websockets to deliver messages" (paper §3). The chat
+// room's wire format is built here: upgrade handshake key derivation,
+// frame encode (client frames masked, server frames not) and an
+// incremental frame decoder.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace psc::ws {
+
+enum class Opcode : std::uint8_t {
+  Continuation = 0x0,
+  Text = 0x1,
+  Binary = 0x2,
+  Close = 0x8,
+  Ping = 0x9,
+  Pong = 0xA,
+};
+
+struct Frame {
+  bool fin = true;
+  Opcode opcode = Opcode::Text;
+  bool masked = false;
+  Bytes payload;
+};
+
+/// Sec-WebSocket-Accept value for a client's Sec-WebSocket-Key.
+std::string accept_key(const std::string& client_key);
+
+/// The client's upgrade request / server's 101 response (for tests and
+/// the chat connection setup).
+std::string upgrade_request(const std::string& host, const std::string& path,
+                            const std::string& client_key);
+std::string upgrade_response(const std::string& client_key);
+
+/// Serialise a frame. Client->server frames MUST be masked (RFC 6455
+/// §5.1); pass a masking key for those.
+Bytes encode_frame(const Frame& frame,
+                   std::optional<std::uint32_t> masking_key = std::nullopt);
+
+/// Convenience: a masked client text frame / an unmasked server one.
+Bytes client_text_frame(std::string_view text, std::uint32_t masking_key);
+Bytes server_text_frame(std::string_view text);
+
+/// Incremental decoder: feed bytes, take complete frames.
+class FrameDecoder {
+ public:
+  Status push(BytesView data);
+  std::vector<Frame> take_frames();
+
+ private:
+  Bytes buffer_;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace psc::ws

@@ -1,0 +1,404 @@
+#include "json/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace psc::json {
+
+namespace {
+const Value& null_value() {
+  static const Value v;
+  return v;
+}
+}  // namespace
+
+const Value& Value::operator[](const std::string& key) const {
+  if (!is_object()) return null_value();
+  auto it = obj_.find(key);
+  return it == obj_.end() ? null_value() : it->second;
+}
+
+const Value& Value::operator[](std::size_t index) const {
+  if (!is_array() || index >= arr_.size()) return null_value();
+  return arr_[index];
+}
+
+void Value::set(std::string key, Value v) {
+  if (is_null()) {
+    type_ = Type::Object;
+  }
+  assert(is_object());
+  obj_[std::move(key)] = std::move(v);
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::Null:
+      return true;
+    case Type::Bool:
+      return bool_ == other.bool_;
+    case Type::Number:
+      return num_ == other.num_;
+    case Type::String:
+      return str_ == other.str_;
+    case Type::Array:
+      return arr_ == other.arr_;
+    case Type::Object:
+      return obj_ == other.obj_;
+  }
+  return false;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string number_to_string(double n) {
+  if (std::isfinite(n) && n == std::floor(n) && std::fabs(n) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+    return buf;
+  }
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[40];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, n);
+    if (std::strtod(buf, nullptr) == n) return buf;
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, bool pretty, int indent) const {
+  const std::string pad = pretty ? std::string(indent * 2, ' ') : "";
+  const std::string pad_in = pretty ? std::string((indent + 1) * 2, ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  switch (type_) {
+    case Type::Null:
+      out += "null";
+      break;
+    case Type::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::Number:
+      out += number_to_string(num_);
+      break;
+    case Type::String:
+      out += '"';
+      out += escape(str_);
+      out += '"';
+      break;
+    case Type::Array: {
+      out += '[';
+      bool first = true;
+      for (const Value& v : arr_) {
+        if (!first) out += ',';
+        out += nl;
+        out += pad_in;
+        v.dump_to(out, pretty, indent + 1);
+        first = false;
+      }
+      if (!arr_.empty()) {
+        out += nl;
+        out += pad;
+      }
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        out += nl;
+        out += pad_in;
+        out += '"';
+        out += escape(k);
+        out += pretty ? "\": " : "\":";
+        v.dump_to(out, pretty, indent + 1);
+        first = false;
+      }
+      if (!obj_.empty()) {
+        out += nl;
+        out += pad;
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(bool pretty) const {
+  std::string out;
+  dump_to(out, pretty, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> parse_document() {
+    auto v = parse_value();
+    if (!v) return v;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return make_error("json_trailing", "trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> parse_value() {
+    // Containers recurse; bound the depth so hostile input ("[[[[...")
+    // cannot exhaust the stack.
+    if (depth_ > kMaxDepth) {
+      return make_error("json_depth", "nesting deeper than 256 levels");
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      return make_error("json_eof", "unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s) return s.error();
+        return Value(std::move(s).value());
+      }
+      case 't':
+        return parse_literal("true", Value(true));
+      case 'f':
+        return parse_literal("false", Value(false));
+      case 'n':
+        return parse_literal("null", Value());
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<Value> parse_literal(std::string_view lit, Value v) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return make_error("json_literal", "bad literal");
+    }
+    pos_ += lit.size();
+    return v;
+  }
+
+  Result<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return make_error("json_number", "expected a number");
+    }
+    const std::string s(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size()) {
+      return make_error("json_number", "malformed number: " + s);
+    }
+    return Value(v);
+  }
+
+  Result<std::string> parse_string() {
+    if (!consume('"')) {
+      return make_error("json_string", "expected opening quote");
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return make_error("json_string", "truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return make_error("json_string", "bad \\u escape digit");
+              }
+            }
+            // Encode the code point as UTF-8 (BMP only; surrogate pairs
+            // are passed through as two 3-byte sequences, adequate here).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return make_error("json_string", "bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return make_error("json_string", "unterminated string");
+  }
+
+  Result<Value> parse_array() {
+    consume('[');
+    ++depth_;
+    const DepthGuard guard(depth_);
+    Array arr;
+    skip_ws();
+    if (consume(']')) return Value(std::move(arr));
+    for (;;) {
+      auto v = parse_value();
+      if (!v) return v;
+      arr.push_back(std::move(v).value());
+      if (consume(']')) return Value(std::move(arr));
+      if (!consume(',')) {
+        return make_error("json_array", "expected ',' or ']'");
+      }
+    }
+  }
+
+  Result<Value> parse_object() {
+    consume('{');
+    ++depth_;
+    const DepthGuard guard(depth_);
+    Object obj;
+    skip_ws();
+    if (consume('}')) return Value(std::move(obj));
+    for (;;) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return key.error();
+      if (!consume(':')) {
+        return make_error("json_object", "expected ':'");
+      }
+      auto v = parse_value();
+      if (!v) return v;
+      obj[std::move(key).value()] = std::move(v).value();
+      if (consume('}')) return Value(std::move(obj));
+      if (!consume(',')) {
+        return make_error("json_object", "expected ',' or '}'");
+      }
+    }
+  }
+
+  struct DepthGuard {
+    explicit DepthGuard(int& d) : depth(d) {}
+    ~DepthGuard() { --depth; }
+    int& depth;
+  };
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace psc::json

@@ -1,0 +1,99 @@
+// Minimal JSON document model, parser and serializer.
+//
+// The Periscope API exchanges JSON bodies over HTTPS POSTs
+// (https://api.periscope.tv/api/v2/<apiRequest>); this module is the wire
+// format for service/ApiServer and crawler/*.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace psc::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// std::map keeps serialization order deterministic across runs.
+using Object = std::map<std::string, Value>;
+
+enum class Type { Null, Bool, Number, String, Array, Object };
+
+/// A JSON value. Small, copyable, value-semantic (Core Guidelines C.10).
+class Value {
+ public:
+  Value() : type_(Type::Null) {}
+  Value(std::nullptr_t) : type_(Type::Null) {}
+  Value(bool b) : type_(Type::Bool), bool_(b) {}
+  Value(double n) : type_(Type::Number), num_(n) {}
+  Value(int n) : type_(Type::Number), num_(n) {}
+  Value(std::int64_t n) : type_(Type::Number), num_(static_cast<double>(n)) {}
+  Value(std::uint64_t n) : type_(Type::Number), num_(static_cast<double>(n)) {}
+  Value(const char* s) : type_(Type::String), str_(s) {}
+  Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Value(Array a) : type_(Type::Array), arr_(std::move(a)) {}
+  Value(Object o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0.0) const {
+    return is_number() ? num_ : fallback;
+  }
+  std::int64_t as_int(std::int64_t fallback = 0) const {
+    return is_number() ? static_cast<std::int64_t>(num_) : fallback;
+  }
+  const std::string& as_string() const { return str_; }
+
+  const Array& as_array() const { return arr_; }
+  Array& as_array() { return arr_; }
+  const Object& as_object() const { return obj_; }
+  Object& as_object() { return obj_; }
+
+  /// Object field access; returns a shared Null for missing keys.
+  const Value& operator[](const std::string& key) const;
+  /// Array element access; returns a shared Null when out of range.
+  const Value& operator[](std::size_t index) const;
+
+  bool has(const std::string& key) const {
+    return is_object() && obj_.count(key) > 0;
+  }
+
+  /// Insert/overwrite a field (value must be an object or null; null is
+  /// promoted to an empty object).
+  void set(std::string key, Value v);
+
+  std::string dump(bool pretty = false) const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  void dump_to(std::string& out, bool pretty, int indent) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parses a complete JSON document. Trailing garbage is an error.
+Result<Value> parse(std::string_view text);
+
+/// Escapes a string per RFC 8259 (used by dump(); exposed for tests).
+std::string escape(std::string_view s);
+
+}  // namespace psc::json

@@ -1,0 +1,66 @@
+#include "media/content.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psc::media {
+
+const char* content_class_name(ContentClass c) {
+  switch (c) {
+    case ContentClass::StaticTalk:
+      return "static-talk";
+    case ContentClass::Indoor:
+      return "indoor";
+    case ContentClass::Outdoor:
+      return "outdoor";
+    case ContentClass::Sports:
+      return "sports";
+  }
+  return "?";
+}
+
+ContentClass draw_content_class(Rng& rng) {
+  // Rough mix inferred from the paper's description of captured content:
+  // plenty of static selfie-style streams, fewer high-motion ones.
+  const double weights[] = {0.40, 0.30, 0.20, 0.10};
+  return static_cast<ContentClass>(rng.weighted_index(weights));
+}
+
+ContentModel::ContentModel(const ContentModelConfig& cfg, Rng rng)
+    : cfg_(cfg), rng_(std::move(rng)) {
+  scene_base_ = draw_scene_base();
+}
+
+double ContentModel::draw_scene_base() {
+  switch (cfg_.content_class) {
+    case ContentClass::StaticTalk:
+      return rng_.uniform(0.25, 0.55);
+    case ContentClass::Indoor:
+      return rng_.uniform(0.5, 1.0);
+    case ContentClass::Outdoor:
+      return rng_.uniform(0.8, 1.6);
+    case ContentClass::Sports:
+      return rng_.uniform(1.4, 2.6);
+  }
+  return 1.0;
+}
+
+double ContentModel::next_frame_complexity() {
+  // Scene cuts re-draw the base level; luminance events scale it sharply.
+  if (rng_.bernoulli(cfg_.scene_cut_rate_hz * frame_period_s_)) {
+    scene_base_ = draw_scene_base();
+    drift_ = 0.0;
+  }
+  if (rng_.bernoulli(cfg_.luminance_event_rate_hz * frame_period_s_)) {
+    // Dark -> bright (more detail) or bright -> dark.
+    scene_base_ *= rng_.bernoulli(0.5) ? rng_.uniform(1.6, 2.4)
+                                       : rng_.uniform(0.4, 0.65);
+  }
+  drift_ += rng_.normal(0.0, cfg_.drift_sigma);
+  drift_ = std::clamp(drift_, -0.4, 0.4);
+  const double jitter = std::exp(rng_.normal(0.0, 0.08));
+  const double c = scene_base_ * (1.0 + drift_) * jitter;
+  return std::clamp(c, 0.15, 4.0);
+}
+
+}  // namespace psc::media

@@ -1,0 +1,62 @@
+// Content complexity model.
+//
+// The paper attributes the wide bitrate spread at equal QP to "extreme time
+// variability of the captured content" — talking heads on static
+// backgrounds at one end, soccer matches filmed off a TV at the other.
+// This model produces a per-frame complexity multiplier c(t) with:
+//   * a per-broadcast base level (content class),
+//   * slow drift (camera pans),
+//   * occasional scene cuts (step changes),
+//   * rare luminance events (dark scene suddenly bright: complexity step
+//     that rate control compensates with QP, Fig. 7(b) discussion).
+#pragma once
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace psc::media {
+
+enum class ContentClass : std::uint8_t {
+  StaticTalk,   // person talking, static background
+  Indoor,       // handheld indoor scene
+  Outdoor,      // walking outdoors
+  Sports,       // high motion, e.g. soccer off a TV screen
+};
+
+const char* content_class_name(ContentClass c);
+
+struct ContentModelConfig {
+  ContentClass content_class = ContentClass::Indoor;
+  double scene_cut_rate_hz = 0.02;     // expected cuts per second
+  double luminance_event_rate_hz = 0.004;
+  double drift_sigma = 0.01;           // per-frame random walk step
+};
+
+/// Draw a content class with service-realistic frequencies.
+ContentClass draw_content_class(Rng& rng);
+
+class ContentModel {
+ public:
+  ContentModel(const ContentModelConfig& cfg, Rng rng);
+
+  /// Complexity multiplier for the next frame; call once per source frame.
+  /// Always in [0.15, 4.0].
+  double next_frame_complexity();
+
+  /// Base complexity of the current scene (exposed for tests).
+  double scene_base() const { return scene_base_; }
+
+  ContentClass content_class() const { return cfg_.content_class; }
+
+ private:
+  double draw_scene_base();
+
+  ContentModelConfig cfg_;
+  Rng rng_;
+  double scene_base_ = 1.0;
+  double drift_ = 0.0;
+  double frame_period_s_ = 1.0 / 30.0;
+};
+
+}  // namespace psc::media

@@ -1,0 +1,75 @@
+#include "media/rate_control.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psc::media {
+
+double expected_frame_bits(FrameType type, int qp, double complexity,
+                           int width, int height) {
+  // Empirical-style model: bits halve roughly every +6 QP (the H.264
+  // quantiser step doubles every 6), scale with pixel count and content
+  // complexity, and depend strongly on frame type.
+  const double pixels = static_cast<double>(width) * height;
+  const double pixel_scale = pixels / (320.0 * 568.0);
+  double base = 0;
+  switch (type) {
+    case FrameType::I:
+      base = 46000.0;
+      break;
+    case FrameType::P:
+      base = 7600.0;
+      break;
+    case FrameType::B:
+      base = 4400.0;
+      break;
+  }
+  const double qp_scale = std::exp2((26.0 - qp) / 6.0);
+  const double bits = base * pixel_scale * complexity * qp_scale;
+  return std::max(bits, 320.0);  // slice/NAL header floor
+}
+
+RateController::RateController(const VideoConfig& cfg)
+    : cfg_(cfg), qp_(cfg.qp_start) {
+  per_frame_budget_ = cfg_.target_bitrate / cfg_.fps;
+}
+
+int RateController::pick_qp(FrameType type, double complexity) {
+  // Proportional update on buffer fullness, clamped to +/-2 per frame so
+  // the controller reacts over a handful of frames, not instantaneously.
+  const double fullness = buffer_bits_ / std::max(per_frame_budget_, 1.0);
+  int delta = 0;
+  if (fullness > 8.0) {
+    delta = 2;
+  } else if (fullness > 3.0) {
+    delta = 1;
+  } else if (fullness < -8.0) {
+    delta = -2;
+  } else if (fullness < -3.0) {
+    delta = -1;
+  }
+  qp_ = std::clamp(qp_ + delta, cfg_.qp_min, cfg_.qp_max);
+
+  // If even the clamped QP would blow the budget badly for this frame
+  // type/complexity, nudge once more (mimics two-pass MB-level control).
+  const double predicted = expected_frame_bits(type, qp_, complexity,
+                                               cfg_.width, cfg_.height);
+  const double type_budget =
+      per_frame_budget_ * (type == FrameType::I ? 4.5 : 0.9);
+  if (predicted > 2.5 * type_budget) {
+    qp_ = std::min(qp_ + 2, cfg_.qp_max);
+  } else if (predicted < 0.3 * type_budget) {
+    qp_ = std::max(qp_ - 1, cfg_.qp_min);
+  }
+  return qp_;
+}
+
+void RateController::on_frame_encoded(double bits) {
+  buffer_bits_ += bits - per_frame_budget_;
+  // The bucket is bounded: a real encoder would drop/skip frames rather
+  // than let the backlog grow without bound.
+  buffer_bits_ = std::clamp(buffer_bits_, -40.0 * per_frame_budget_,
+                            40.0 * per_frame_budget_);
+}
+
+}  // namespace psc::media

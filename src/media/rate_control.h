@@ -1,0 +1,44 @@
+// QP-based rate control.
+//
+// Classic leaky-bucket controller (cf. Chen & Ngan, "Recent advances in
+// rate control for video coding", cited by the paper): the encoder tracks
+// a virtual buffer filled by produced bits and drained at the target rate;
+// QP moves up when the buffer overfills and down when it under-runs, with a
+// bounded per-frame step. The bounded step is what lets content spikes
+// leak into bitrate before QP catches up — the exact behaviour Fig. 7(b)
+// attributes to "sudden spikes in the bitrate which are not compensated".
+#pragma once
+
+#include "media/types.h"
+
+namespace psc::media {
+
+/// Frame-size model shared by the encoder (forward) and tests: the
+/// expected size in bits of a frame of `type` at quantisation `qp` with
+/// content complexity `c` for a `width`x`height` 4:2:0 frame.
+double expected_frame_bits(FrameType type, int qp, double complexity,
+                           int width, int height);
+
+class RateController {
+ public:
+  explicit RateController(const VideoConfig& cfg);
+
+  /// QP to use for the next frame, given its type and the complexity
+  /// estimate for the scene. Call exactly once per encoded frame, then
+  /// report the actual size with on_frame_encoded().
+  int pick_qp(FrameType type, double complexity);
+
+  /// Feed back the actual encoded size so the bucket tracks reality.
+  void on_frame_encoded(double bits);
+
+  double buffer_fullness_bits() const { return buffer_bits_; }
+  int current_qp() const { return qp_; }
+
+ private:
+  VideoConfig cfg_;
+  double buffer_bits_ = 0.0;       // virtual buffer occupancy
+  double per_frame_budget_ = 0.0;  // target bits per frame
+  int qp_;
+};
+
+}  // namespace psc::media

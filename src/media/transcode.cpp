@@ -1,0 +1,67 @@
+#include "media/transcode.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psc::media {
+
+Result<MediaSample> transcode_sample(const MediaSample& in,
+                                     const TranscodeProfile& profile) {
+  if (in.kind != SampleKind::Video) return in;
+
+  auto nals = split_annexb(in.data);
+  if (!nals) return nals.error();
+
+  // Track parameter sets within the AU (IDR AUs carry them in-band).
+  std::optional<Sps> sps;
+  std::optional<Pps> pps;
+  std::vector<NalUnit> out_nals;
+  MediaSample out = in;
+  out.data.clear();
+
+  for (const NalUnit& nal : nals.value()) {
+    switch (nal.type) {
+      case NalType::Sps: {
+        auto parsed = parse_sps_rbsp(nal.rbsp);
+        if (!parsed) return parsed.error();
+        sps = parsed.value();
+        out_nals.push_back(nal);
+        break;
+      }
+      case NalType::Pps: {
+        auto parsed = parse_pps_rbsp(nal.rbsp);
+        if (!parsed) return parsed.error();
+        pps = parsed.value();
+        out_nals.push_back(nal);
+        break;
+      }
+      case NalType::IdrSlice:
+      case NalType::NonIdrSlice: {
+        // Without in-band parameter sets (non-IDR AU), assume defaults —
+        // the encoder in this codebase always uses sps/pps id 0 with
+        // pic_init_qp 26.
+        const Sps active_sps = sps.value_or(Sps{});
+        const Pps active_pps = pps.value_or(Pps{});
+        auto hdr = parse_slice_header(nal, active_sps, active_pps);
+        if (!hdr) return hdr.error();
+        SliceHeader new_hdr = hdr.value();
+        new_hdr.qp = std::clamp(new_hdr.qp + profile.qp_delta, 0, 51);
+        const auto new_size = static_cast<std::size_t>(std::max(
+            48.0, static_cast<double>(nal.rbsp.size()) *
+                      profile.size_scale));
+        out_nals.push_back(make_slice_nal(new_hdr, active_sps, active_pps,
+                                          new_size, new_hdr.frame_num));
+        out.encoded_qp = new_hdr.qp;
+        break;
+      }
+      default:
+        // SEI (incl. NTP marks), AUD etc. pass through.
+        out_nals.push_back(nal);
+        break;
+    }
+  }
+  out.data = annexb_wrap(out_nals);
+  return out;
+}
+
+}  // namespace psc::media

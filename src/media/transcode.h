@@ -1,0 +1,30 @@
+// Simulated transcoder.
+//
+// The paper assumes popular broadcasts get "transcoded, repackaged and
+// delivered to Fastly CDN" — possibly "to multiple qualities". This
+// module produces lower-bitrate renditions of an encoded access unit:
+// slice headers are re-written with a coarser QP (the +6 ≈ half-rate rule)
+// and payloads re-sized accordingly, while SPS/PPS/SEI (including the NTP
+// timestamp marks) ride through — so a reconstructed rendition still
+// yields the right QP, frame pattern and delivery-latency measurements.
+#pragma once
+
+#include "media/h264.h"
+#include "media/types.h"
+#include "util/result.h"
+
+namespace psc::media {
+
+struct TranscodeProfile {
+  /// Multiplier on slice payload sizes (0.5 => roughly half the bitrate).
+  double size_scale = 0.5;
+  /// Added to every slice QP (≈ +6 per bitrate halving).
+  int qp_delta = 6;
+};
+
+/// Transcode one video access unit (Annex-B in, Annex-B out). Audio and
+/// non-video samples are returned unchanged.
+Result<MediaSample> transcode_sample(const MediaSample& in,
+                                     const TranscodeProfile& profile);
+
+}  // namespace psc::media

@@ -1,0 +1,77 @@
+// Common media types: timed samples produced by the encoder and consumed
+// by the FLV/RTMP and MPEG-TS packagers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/units.h"
+
+namespace psc::media {
+
+enum class FrameType : std::uint8_t { I, P, B };
+
+inline char frame_type_char(FrameType t) {
+  switch (t) {
+    case FrameType::I:
+      return 'I';
+    case FrameType::P:
+      return 'P';
+    case FrameType::B:
+      return 'B';
+  }
+  return '?';
+}
+
+/// GOP structure observed in the paper (§5.2): most streams use a repeated
+/// IBP pattern; ~20% use I+P only; a couple of streams were I-only
+/// ("poor efficiency coding schemes").
+enum class GopPattern : std::uint8_t { IBP, IP, IOnly };
+
+enum class SampleKind : std::uint8_t { Video, Audio };
+
+/// One encoded access unit (video) or one ADTS frame (audio), with the
+/// metadata the downstream packagers need. `data` holds Annex-B bytes for
+/// video (start-code separated NAL units) and an ADTS frame for audio.
+struct MediaSample {
+  SampleKind kind = SampleKind::Video;
+  Duration pts{0};
+  Duration dts{0};
+  bool keyframe = false;
+  Bytes data;
+
+  // Encoder-side ground truth, carried for test assertions only; the
+  // analysis pipeline must recover these from the bytes instead.
+  FrameType frame_type = FrameType::I;
+  int encoded_qp = 0;
+};
+
+/// Video encoder configuration. Defaults mirror the captured Periscope
+/// streams: 320x568 (or rotated), up to 30 fps, 200-400 kbps.
+struct VideoConfig {
+  int width = 320;
+  int height = 568;
+  double fps = 30.0;
+  double target_bitrate = 300e3;  // bits/s
+  GopPattern gop = GopPattern::IBP;
+  int gop_length = 36;  // new I frame after ~36 frames (paper §5.2)
+  int qp_min = 18;
+  int qp_max = 44;
+  int qp_start = 28;
+  /// Probability that a source frame is missing (capture glitches on the
+  /// uploading device; forces concealment at the decoder).
+  double frame_loss_prob = 0.0;
+};
+
+/// Audio: AAC-LC, 44.1 kHz, VBR at ~32 or ~64 kbps (paper §5.2).
+struct AudioConfig {
+  int sample_rate = 44100;
+  int channels = 1;
+  double target_bitrate = 32e3;
+  int samples_per_frame = 1024;
+};
+
+}  // namespace psc::media

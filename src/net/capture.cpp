@@ -1,0 +1,19 @@
+#include "net/capture.h"
+
+#include <algorithm>
+
+namespace psc::net {
+
+TimePoint Capture::time_of_byte(std::size_t offset) const {
+  // Binary search over packet offsets.
+  auto it = std::upper_bound(
+      packets_.begin(), packets_.end(), offset,
+      [](std::size_t off, const Packet& p) { return off < p.offset; });
+  if (it == packets_.begin()) {
+    return packets_.empty() ? TimePoint{} : packets_.front().time;
+  }
+  --it;
+  return it->time;
+}
+
+}  // namespace psc::net

@@ -1,0 +1,63 @@
+// tcpdump stand-in: a per-direction trace of (arrival time, byte count)
+// records plus the reassembled payload stream.
+//
+// The paper's pipeline captured all video/audio traffic with tcpdump and
+// later reconstructed the TCP streams with wireshark; analysis code here
+// consumes Capture objects the same way — it never looks at sender-side
+// ground truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/units.h"
+
+namespace psc::net {
+
+class Capture {
+ public:
+  struct Packet {
+    TimePoint time{};
+    std::size_t offset = 0;  // byte offset into payload()
+    std::size_t size = 0;
+  };
+
+  void record(TimePoint t, BytesView data) {
+    packets_.push_back(Packet{t, payload_.size(), data.size()});
+    payload_.insert(payload_.end(), data.begin(), data.end());
+  }
+
+  const std::vector<Packet>& packets() const { return packets_; }
+  const Bytes& payload() const { return payload_; }
+  std::uint64_t total_bytes() const { return payload_.size(); }
+
+  /// Arrival time of the packet containing payload byte `offset`
+  /// (the paper computes delivery latency as "time of receiving the
+  /// packet containing the NTP timestamp").
+  TimePoint time_of_byte(std::size_t offset) const;
+
+  /// Drop recorded data (a retired session frees its trace memory once
+  /// analysis has consumed it).
+  void clear() {
+    packets_.clear();
+    packets_.shrink_to_fit();
+    payload_.clear();
+    payload_.shrink_to_fit();
+  }
+
+  bool empty() const { return packets_.empty(); }
+  TimePoint first_time() const {
+    return packets_.empty() ? TimePoint{} : packets_.front().time;
+  }
+  TimePoint last_time() const {
+    return packets_.empty() ? TimePoint{} : packets_.back().time;
+  }
+
+ private:
+  std::vector<Packet> packets_;
+  Bytes payload_;
+};
+
+}  // namespace psc::net

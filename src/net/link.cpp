@@ -1,0 +1,70 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace psc::net {
+
+Link::Link(sim::Simulation& sim, BitRate rate, Duration latency)
+    : sim_(sim), rate_(rate), latency_(latency) {}
+
+void Link::set_noise(Rng rng, Duration period, double lo, double hi) {
+  noise_enabled_ = true;
+  noise_rng_ = std::move(rng);
+  noise_period_ = period;
+  noise_lo_ = lo;
+  noise_hi_ = hi;
+  noise_current_ = noise_rng_.uniform(lo, hi);
+  noise_next_ = sim_.now() + period;
+}
+
+double Link::noise_factor() {
+  if (!noise_enabled_) return 1.0;
+  while (sim_.now() >= noise_next_) {
+    noise_current_ = noise_rng_.uniform(noise_lo_, noise_hi_);
+    noise_next_ = noise_next_ + noise_period_;
+  }
+  return noise_current_;
+}
+
+void Link::enable_shaped_queue(std::size_t queue_limit_bytes, Rng rng,
+                               Duration rto_min, Duration rto_max) {
+  shaped_ = true;
+  queue_limit_bytes_ = queue_limit_bytes;
+  shaper_rng_ = std::move(rng);
+  rto_min_ = rto_min;
+  rto_max_ = rto_max;
+}
+
+void Link::send(Bytes data, DeliveryFn deliver) {
+  const std::size_t size = data.size();
+  bytes_sent_ += size;
+  if (shaped_ && busy_until_ > sim_.now() &&
+      sim_.now() >= recovery_cooldown_until_) {
+    // Bytes already committed but not yet serialized = shaper backlog.
+    const double backlog_bytes =
+        to_s(busy_until_ - sim_.now()) * rate_ / 8.0;
+    if (backlog_bytes + static_cast<double>(size) >
+        static_cast<double>(queue_limit_bytes_)) {
+      // Queue overflow: drop + one TCP loss-recovery episode. The
+      // cooldown models the sender pacing itself (cwnd) afterwards —
+      // without it every queued message would stack another RTO.
+      ++recoveries_;
+      busy_until_ += seconds(
+          shaper_rng_.uniform(to_s(rto_min_), to_s(rto_max_)));
+      recovery_cooldown_until_ = sim_.now() + seconds(2.0);
+    }
+  }
+  const TimePoint start = std::max(sim_.now(), busy_until_);
+  const BitRate eff_rate = std::max(1.0, rate_ * noise_factor());
+  const TimePoint end = start + transmit_time(size, eff_rate);
+  busy_until_ = end;
+  const TimePoint arrival = end + latency_;
+  sim_.schedule_at(arrival,
+                   [arrival, deliver = std::move(deliver),
+                    data = std::move(data)]() mutable {
+                     deliver(arrival, std::move(data));
+                   });
+}
+
+}  // namespace psc::net

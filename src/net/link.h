@@ -1,0 +1,85 @@
+// Fluid network link model.
+//
+// A Link is a unidirectional FIFO serializer: bytes depart at the link
+// rate (one transfer at a time, queueing behind earlier ones) and arrive
+// one propagation delay later. Chaining two links (origin uplink -> access
+// downlink) puts the bottleneck wherever the slower rate is — which is how
+// the paper's `tc`-limited access experiments are reproduced.
+//
+// An optional throughput-noise process multiplies the nominal rate by a
+// factor redrawn every `noise_period`, standing in for cross-traffic and
+// radio variability on a real phone's path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulation.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace psc::net {
+
+/// Called on delivery with the arrival time and the delivered bytes.
+using DeliveryFn = std::function<void(TimePoint, Bytes)>;
+
+class Link {
+ public:
+  Link(sim::Simulation& sim, BitRate rate, Duration latency);
+
+  /// Enqueue `data`; `deliver` fires when the last byte arrives.
+  void send(Bytes data, DeliveryFn deliver);
+
+  /// Change the nominal rate (takes effect for subsequent sends) — the
+  /// simulation's `tc` command.
+  void set_rate(BitRate rate) { rate_ = rate; }
+  BitRate rate() const { return rate_; }
+
+  /// Enable multiplicative throughput noise: every `period`, the
+  /// effective rate becomes rate() * U(lo, hi).
+  void set_noise(Rng rng, Duration period, double lo, double hi);
+
+  /// Model a `tc`-style shaper with a shallow queue feeding a TCP flow:
+  /// when the backlog would exceed `queue_limit_bytes`, packets drop and
+  /// the sender stalls for a loss-recovery episode of U(rto_min,rto_max)
+  /// before the data eventually gets through. This is what turns an
+  /// imposed bandwidth limit into the visible stalling of Fig. 3(b) —
+  /// a pure fluid queue would absorb the video's I-frame bursts silently.
+  void enable_shaped_queue(std::size_t queue_limit_bytes, Rng rng,
+                           Duration rto_min = millis(300),
+                           Duration rto_max = millis(1500));
+  void disable_shaped_queue() { shaped_ = false; }
+
+  std::uint64_t loss_recovery_events() const { return recoveries_; }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  /// Time the queue drains (>= now when busy).
+  TimePoint busy_until() const { return busy_until_; }
+
+ private:
+  double noise_factor();
+
+  sim::Simulation& sim_;
+  BitRate rate_;
+  Duration latency_;
+  TimePoint busy_until_{};
+  std::uint64_t bytes_sent_ = 0;
+
+  bool noise_enabled_ = false;
+  Rng noise_rng_{0};
+  Duration noise_period_{1};
+  double noise_lo_ = 1.0, noise_hi_ = 1.0;
+  double noise_current_ = 1.0;
+  TimePoint noise_next_{};
+
+  bool shaped_ = false;
+  std::size_t queue_limit_bytes_ = 0;
+  Rng shaper_rng_{0};
+  Duration rto_min_{0.3}, rto_max_{1.5};
+  TimePoint recovery_cooldown_until_{};
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace psc::net

@@ -1,0 +1,39 @@
+// Classic libpcap file export/import for Capture traces.
+//
+// The paper's dataset was tcpdump captures post-processed with wireshark;
+// this writes a Capture as a real .pcap (v2.4, LINKTYPE_RAW IPv4) with
+// synthesized IPv4/TCP headers and correct sequence-number continuity, so
+// the traces this simulator produces can be opened in wireshark — and
+// read back by read_pcap() for the offline analysis path.
+#pragma once
+
+#include <string>
+
+#include "net/capture.h"
+#include "util/result.h"
+
+namespace psc::net {
+
+struct PcapEndpoints {
+  std::uint32_t src_ip = 0x36490978;   // 54.73.9.120 (an EC2-ish origin)
+  std::uint32_t dst_ip = 0xC0A80142;   // 192.168.1.66 (the phone)
+  std::uint16_t src_port = 80;         // plaintext RTMP (paper §3)
+  std::uint16_t dst_port = 49152;
+};
+
+/// Serialise the capture as a pcap file image. Each Capture packet
+/// becomes one or more IPv4/TCP segments of at most `mtu` payload bytes.
+Bytes write_pcap(const Capture& cap, const PcapEndpoints& endpoints = {},
+                 std::size_t mtu = 1448);
+
+/// Parse a pcap image produced by write_pcap (or any LINKTYPE_RAW pcap of
+/// a single TCP flow): returns a Capture with arrival times and the
+/// reassembled payload stream.
+Result<Capture> read_pcap(BytesView file);
+
+/// File convenience wrappers.
+Status write_pcap_file(const Capture& cap, const std::string& path,
+                       const PcapEndpoints& endpoints = {});
+Result<Capture> read_pcap_file(const std::string& path);
+
+}  // namespace psc::net

@@ -1,0 +1,167 @@
+#include "net/tcp.h"
+
+#include <algorithm>
+
+namespace psc::net {
+
+TcpFlow::TcpFlow(sim::Simulation& sim, const TcpConfig& cfg,
+                 std::function<void(TimePoint, Bytes)> on_deliver)
+    : sim_(sim),
+      cfg_(cfg),
+      on_deliver_(std::move(on_deliver)),
+      cwnd_(static_cast<double>(cfg.initial_cwnd_segments * cfg.mss)) {}
+
+void TcpFlow::send(Bytes data) {
+  app_buffer_.insert(app_buffer_.end(), data.begin(), data.end());
+  try_send();
+}
+
+void TcpFlow::try_send() {
+  // Send while the congestion window and app data allow.
+  while (true) {
+    const std::uint64_t app_end = app_base_ + app_buffer_.size();
+    if (next_seq_ >= app_end) break;  // nothing new to send
+    if (bytes_in_flight() + cfg_.mss > static_cast<std::uint64_t>(cwnd_)) {
+      break;  // window full
+    }
+    const std::size_t len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(cfg_.mss, app_end - next_seq_));
+    transmit_segment(next_seq_, len, false);
+    next_seq_ += len;
+  }
+}
+
+void TcpFlow::transmit_segment(std::uint64_t seq, std::size_t len,
+                               bool is_retransmit) {
+  if (is_retransmit) ++retransmits_;
+
+  // Droptail bottleneck: buffer capacity of queue_packets * MSS bytes,
+  // serializing at the bottleneck rate. Byte-based accounting keeps the
+  // occupancy estimate correct when small (audio) and full-MSS (video)
+  // segments interleave.
+  const double backlog_s =
+      std::max(0.0, to_s(queue_busy_until_ - sim_.now()));
+  const double backlog_bytes = backlog_s * cfg_.bottleneck_rate / 8.0;
+  const double limit_bytes =
+      static_cast<double>(cfg_.queue_packets) * cfg_.mss;
+  if (backlog_bytes + static_cast<double>(len) > limit_bytes) {
+    ++drops_;  // packet lost; recovery via dup-acks or RTO
+    return;
+  }
+  const double seg_serialize_s =
+      static_cast<double>(len + 40) * 8.0 / cfg_.bottleneck_rate;
+  const TimePoint depart =
+      std::max(sim_.now(), queue_busy_until_) + seconds(seg_serialize_s);
+  queue_busy_until_ = depart;
+  const TimePoint arrive = depart + cfg_.rtt / 2;
+
+  // Copy the payload now (the app buffer may slide by the time the
+  // segment arrives).
+  Bytes payload;
+  if (seq >= app_base_) {
+    const std::size_t off = static_cast<std::size_t>(seq - app_base_);
+    payload.assign(app_buffer_.begin() + static_cast<std::ptrdiff_t>(off),
+                   app_buffer_.begin() +
+                       static_cast<std::ptrdiff_t>(off + len));
+  } else {
+    payload.assign(len, 0);  // data already trimmed (shouldn't happen)
+  }
+
+  sim_.schedule_at(arrive, [this, seq, payload = std::move(payload)]()
+                               mutable {
+    // Receiver: cumulative ack, out-of-order buffering.
+    const std::uint64_t seg_end = seq + payload.size();
+    if (seq <= rcv_next_ && seg_end > rcv_next_) {
+      // Deliver the new part and any contiguous buffered segments.
+      Bytes deliver(payload.begin() + static_cast<std::ptrdiff_t>(
+                                          rcv_next_ - seq),
+                    payload.end());
+      rcv_next_ = seg_end;
+      for (auto it = ooo_.begin(); it != ooo_.end();) {
+        if (it->first > rcv_next_) break;
+        const std::uint64_t e = it->first + it->second.size();
+        if (e > rcv_next_) {
+          deliver.insert(deliver.end(),
+                         it->second.begin() +
+                             static_cast<std::ptrdiff_t>(rcv_next_ -
+                                                         it->first),
+                         it->second.end());
+          rcv_next_ = e;
+        }
+        it = ooo_.erase(it);
+      }
+      if (on_deliver_ && !deliver.empty()) {
+        on_deliver_(sim_.now(), std::move(deliver));
+      }
+    } else if (seq > rcv_next_) {
+      ooo_.emplace(seq, std::move(payload));
+    }
+    // ACK travels back in rtt/2.
+    const std::uint64_t ack = rcv_next_;
+    sim_.schedule_after(cfg_.rtt / 2, [this, ack] { on_ack(ack); });
+  });
+  arm_rto();
+}
+
+void TcpFlow::on_ack(std::uint64_t ack_seq) {
+  if (ack_seq > snd_una_) {
+    // New data acked.
+    const double acked = static_cast<double>(ack_seq - snd_una_);
+    snd_una_ = ack_seq;
+    dup_acks_ = 0;
+    if (in_recovery_ && snd_una_ >= recovery_end_) in_recovery_ = false;
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += acked;  // slow start
+    } else {
+      cwnd_ += static_cast<double>(cfg_.mss) * cfg_.mss / cwnd_;  // CA
+    }
+    // Slide the app buffer.
+    if (snd_una_ > app_base_) {
+      const std::size_t drop =
+          static_cast<std::size_t>(snd_una_ - app_base_);
+      app_buffer_.erase(app_buffer_.begin(),
+                        app_buffer_.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                std::min(drop, app_buffer_.size())));
+      app_base_ = snd_una_;
+    }
+    arm_rto();
+  } else if (ack_seq == snd_una_ && bytes_in_flight() > 0) {
+    ++dup_acks_;
+    if (dup_acks_ == 3 && !in_recovery_) {
+      // Fast retransmit + Reno halving.
+      in_recovery_ = true;
+      recovery_end_ = next_seq_;
+      ssthresh_ = std::max(cwnd_ / 2,
+                           static_cast<double>(2 * cfg_.mss));
+      cwnd_ = ssthresh_;
+      const std::size_t len = static_cast<std::size_t>(std::min<
+          std::uint64_t>(cfg_.mss, app_base_ + app_buffer_.size() -
+                                       snd_una_));
+      if (len > 0) transmit_segment(snd_una_, len, true);
+    }
+  }
+  try_send();
+}
+
+void TcpFlow::arm_rto() {
+  sim_.cancel(rto_timer_);
+  if (bytes_in_flight() == 0) return;
+  const Duration rto =
+      std::max(cfg_.rto_min, cfg_.rtt * 2 + millis(50));
+  rto_timer_ = sim_.schedule_after(rto, [this] { on_rto(); });
+}
+
+void TcpFlow::on_rto() {
+  if (bytes_in_flight() == 0) return;
+  // Timeout: multiplicative collapse, go-back-N from snd_una_.
+  ssthresh_ = std::max(cwnd_ / 2, static_cast<double>(2 * cfg_.mss));
+  cwnd_ = static_cast<double>(cfg_.mss);
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  next_seq_ = snd_una_;  // resend everything outstanding
+  try_send();
+  arm_rto();
+}
+
+}  // namespace psc::net

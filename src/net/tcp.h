@@ -1,0 +1,88 @@
+// Packet-level TCP (Reno) flow model.
+//
+// The main campaigns run on the fluid Link model with a shaped-queue
+// loss-recovery approximation; this module is the ground truth it
+// approximates: a segment-level sender with slow start, congestion
+// avoidance, fast retransmit (3 dup-acks) and RTO, pushing through a
+// droptail bottleneck queue. Used by tests and by the transport ablation
+// bench (fluid-vs-TCP on the Fig. 3/4 bandwidth knee); cheap enough
+// (≈26 pkts/s at 300 kbps) to swap into full sessions if desired.
+//
+// Simplifications: cumulative ACKs only (no SACK), no delayed ACKs,
+// infinite receiver window, fixed MSS, go-back-N after RTO.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "sim/simulation.h"
+#include "util/bytes.h"
+#include "util/units.h"
+
+namespace psc::net {
+
+struct TcpConfig {
+  BitRate bottleneck_rate = 2e6;
+  Duration rtt = millis(100);          // propagation, both ways combined
+  std::size_t queue_packets = 25;      // droptail bottleneck buffer
+  std::size_t mss = 1448;
+  Duration rto_min = seconds(1.0);
+  std::uint32_t initial_cwnd_segments = 10;  // RFC 6928
+};
+
+class TcpFlow {
+ public:
+  /// `on_deliver` receives in-order application bytes at the receiver.
+  TcpFlow(sim::Simulation& sim, const TcpConfig& cfg,
+          std::function<void(TimePoint, Bytes)> on_deliver);
+
+  /// Enqueue application data for transmission.
+  void send(Bytes data);
+
+  /// Unacknowledged bytes currently outstanding.
+  std::uint64_t bytes_in_flight() const { return next_seq_ - snd_una_; }
+  std::uint64_t bytes_acked() const { return snd_una_; }
+  std::uint64_t bytes_queued_app() const { return app_buffer_.size(); }
+
+  double cwnd_bytes() const { return cwnd_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  void try_send();
+  void transmit_segment(std::uint64_t seq, std::size_t len,
+                        bool is_retransmit);
+  void on_ack(std::uint64_t ack_seq);
+  void arm_rto();
+  void on_rto();
+
+  sim::Simulation& sim_;
+  TcpConfig cfg_;
+  std::function<void(TimePoint, Bytes)> on_deliver_;
+
+  // Sender.
+  Bytes app_buffer_;            // bytes not yet assigned sequence space
+  std::uint64_t app_base_ = 0;  // seq of app_buffer_[0]
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t snd_una_ = 0;
+  double cwnd_;
+  double ssthresh_ = 1e18;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recovery_end_ = 0;
+  sim::EventHandle rto_timer_;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t drops_ = 0;
+
+  // Bottleneck queue.
+  TimePoint queue_busy_until_{};
+  std::size_t queued_ = 0;
+
+  // Receiver.
+  std::uint64_t rcv_next_ = 0;
+  std::map<std::uint64_t, Bytes> ooo_;  // out-of-order segments
+};
+
+}  // namespace psc::net

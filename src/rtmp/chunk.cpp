@@ -1,0 +1,225 @@
+#include "rtmp/chunk.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace psc::rtmp {
+
+namespace {
+constexpr std::uint32_t kExtTimestampSentinel = 0xFFFFFF;
+}
+
+void ChunkWriter::write_basic_header(ByteWriter& out, int fmt,
+                                     std::uint32_t csid) const {
+  assert(csid >= 2);
+  if (csid <= 63) {
+    out.u8(static_cast<std::uint8_t>((fmt << 6) | csid));
+  } else if (csid <= 319) {
+    out.u8(static_cast<std::uint8_t>(fmt << 6));
+    out.u8(static_cast<std::uint8_t>(csid - 64));
+  } else {
+    out.u8(static_cast<std::uint8_t>((fmt << 6) | 1));
+    const std::uint32_t v = csid - 64;
+    out.u8(static_cast<std::uint8_t>(v & 0xFF));
+    out.u8(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  }
+}
+
+void ChunkWriter::write(ByteWriter& out, std::uint32_t csid,
+                        const Message& msg) {
+  auto it = prev_.find(csid);
+  int fmt = 0;
+  std::uint32_t delta = 0;
+  if (it != prev_.end() && msg.timestamp_ms >= it->second.timestamp &&
+      msg.stream_id == it->second.stream_id) {
+    delta = msg.timestamp_ms - it->second.timestamp;
+    if (msg.payload.size() == it->second.length &&
+        msg.type == it->second.type) {
+      // fmt 3 message starts are legal but interact poorly with extended
+      // timestamps across implementations; fmt 2 costs 3 bytes and is
+      // unambiguous, so this writer stops there.
+      fmt = 2;
+    } else {
+      fmt = 1;
+    }
+  }
+
+  const std::uint32_t hdr_ts = fmt == 0 ? msg.timestamp_ms : delta;
+  const bool ext_ts = hdr_ts >= kExtTimestampSentinel;
+
+  std::size_t offset = 0;
+  bool first = true;
+  do {
+    const std::size_t n =
+        std::min<std::size_t>(chunk_size_, msg.payload.size() - offset);
+    if (first) {
+      write_basic_header(out, fmt, csid);
+      if (fmt <= 2) {
+        out.u24be(ext_ts ? kExtTimestampSentinel : hdr_ts);
+      }
+      if (fmt <= 1) {
+        out.u24be(static_cast<std::uint32_t>(msg.payload.size()));
+        out.u8(static_cast<std::uint8_t>(msg.type));
+      }
+      if (fmt == 0) {
+        out.u32le(msg.stream_id);  // message stream id is little-endian
+      }
+      if (ext_ts && fmt <= 2) out.u32be(hdr_ts);
+      first = false;
+    } else {
+      // Continuation chunks always use fmt 3.
+      write_basic_header(out, 3, csid);
+      if (ext_ts) out.u32be(hdr_ts);
+    }
+    out.raw(BytesView(msg.payload).subspan(offset, n));
+    offset += n;
+  } while (offset < msg.payload.size());
+
+  PrevHeader& ph = prev_[csid];
+  ph.timestamp = msg.timestamp_ms;
+  ph.length = static_cast<std::uint32_t>(msg.payload.size());
+  ph.type = msg.type;
+  ph.stream_id = msg.stream_id;
+  if (fmt != 0) {
+    ph.last_delta = delta;
+    ph.has_delta = true;
+  } else {
+    ph.has_delta = false;
+  }
+}
+
+Status ChunkReader::push(BytesView data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  for (;;) {
+    auto progressed = parse_one();
+    if (!progressed) return progressed.error();
+    if (!progressed.value()) break;
+  }
+  // Compact the consumed prefix.
+  if (cursor_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(cursor_));
+    cursor_ = 0;
+  }
+  return {};
+}
+
+Result<bool> ChunkReader::parse_one() {
+  const BytesView buf(buffer_);
+  const BytesView avail = buf.subspan(cursor_);
+  if (avail.empty()) return false;
+
+  // Basic header.
+  std::size_t pos = 0;
+  const int fmt = avail[0] >> 6;
+  std::uint32_t csid = avail[0] & 0x3F;
+  pos = 1;
+  if (csid == 0) {
+    if (avail.size() < 2) return false;
+    csid = 64 + avail[1];
+    pos = 2;
+  } else if (csid == 1) {
+    if (avail.size() < 3) return false;
+    csid = 64 + avail[1] + (static_cast<std::uint32_t>(avail[2]) << 8);
+    pos = 3;
+  }
+
+  static constexpr std::size_t kMsgHdrSize[] = {11, 7, 3, 0};
+  const std::size_t hdr_size = kMsgHdrSize[fmt];
+  if (avail.size() < pos + hdr_size) return false;
+
+  StreamState& st = streams_[csid];
+  const bool continuation = !st.assembly.empty();
+  if (continuation && fmt != 3) {
+    return make_error("rtmp_chunk",
+                      "non-fmt3 header in the middle of a message");
+  }
+
+  std::uint32_t ts_field = 0;
+  if (fmt <= 2) {
+    ts_field = (static_cast<std::uint32_t>(avail[pos]) << 16) |
+               (static_cast<std::uint32_t>(avail[pos + 1]) << 8) |
+               avail[pos + 2];
+  }
+  if (fmt <= 1) {
+    st.length = (static_cast<std::uint32_t>(avail[pos + 3]) << 16) |
+                (static_cast<std::uint32_t>(avail[pos + 4]) << 8) |
+                avail[pos + 5];
+    st.type = static_cast<MessageType>(avail[pos + 6]);
+  }
+  if (fmt == 0) {
+    st.stream_id = static_cast<std::uint32_t>(avail[pos + 7]) |
+                   (static_cast<std::uint32_t>(avail[pos + 8]) << 8) |
+                   (static_cast<std::uint32_t>(avail[pos + 9]) << 16) |
+                   (static_cast<std::uint32_t>(avail[pos + 10]) << 24);
+  }
+  pos += hdr_size;
+
+  // Extended timestamp.
+  bool ext = false;
+  if (fmt <= 2) {
+    ext = ts_field == 0xFFFFFF;
+    st.ext_timestamp = ext;
+  } else {
+    ext = st.ext_timestamp && !continuation;
+  }
+  std::uint32_t full_ts = ts_field;
+  if (ext) {
+    if (avail.size() < pos + 4) return false;
+    full_ts = (static_cast<std::uint32_t>(avail[pos]) << 24) |
+              (static_cast<std::uint32_t>(avail[pos + 1]) << 16) |
+              (static_cast<std::uint32_t>(avail[pos + 2]) << 8) |
+              avail[pos + 3];
+    pos += 4;
+  } else if (st.ext_timestamp && continuation) {
+    // Continuation chunks of an extended-timestamp message repeat the
+    // 4-byte extended timestamp in this implementation's writer.
+    if (avail.size() < pos + 4) return false;
+    pos += 4;
+  }
+
+  if (!continuation) {
+    if (fmt == 0) {
+      st.timestamp = full_ts;
+      st.timestamp_delta = 0;
+    } else {
+      const std::uint32_t delta = (fmt == 3) ? st.timestamp_delta : full_ts;
+      st.timestamp_delta = delta;
+      st.timestamp += delta;
+    }
+  }
+
+  const std::size_t already = st.assembly.size();
+  const std::size_t want =
+      std::min<std::size_t>(chunk_size_, st.length - already);
+  if (avail.size() < pos + want) return false;
+  st.assembly.insert(st.assembly.end(), avail.begin() + pos,
+                     avail.begin() + pos + want);
+  pos += want;
+  cursor_ += pos;
+  consumed_ += pos;
+
+  if (st.assembly.size() == st.length) {
+    Message msg;
+    msg.type = st.type;
+    msg.timestamp_ms = st.timestamp;
+    msg.stream_id = st.stream_id;
+    msg.payload = std::move(st.assembly);
+    st.assembly.clear();
+    // Inbound chunk-size changes apply to subsequent chunks.
+    if (msg.type == MessageType::SetChunkSize && msg.payload.size() >= 4) {
+      ByteReader r(msg.payload);
+      chunk_size_ = r.u32be().value() & 0x7FFFFFFF;
+    }
+    messages_.push_back(std::move(msg));
+  }
+  return true;
+}
+
+std::vector<Message> ChunkReader::take_messages() {
+  std::vector<Message> out = std::move(messages_);
+  messages_.clear();
+  return out;
+}
+
+}  // namespace psc::rtmp

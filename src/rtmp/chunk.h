@@ -1,0 +1,96 @@
+// RTMP chunk stream layer: splits messages into chunks with fmt 0-3
+// headers and reassembles them, handling extended timestamps and dynamic
+// chunk-size changes (Adobe RTMP specification, section 5.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "rtmp/message.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace psc::rtmp {
+
+/// Serialises messages into the chunk stream. Tracks per-chunk-stream
+/// header state so it can use compressed header formats (1/2/3) whenever
+/// the previous message on the same chunk stream allows it.
+class ChunkWriter {
+ public:
+  explicit ChunkWriter(std::uint32_t chunk_size = kDefaultChunkSize)
+      : chunk_size_(chunk_size) {}
+
+  /// Serialise one message onto `out`.
+  void write(ByteWriter& out, std::uint32_t csid, const Message& msg);
+
+  /// Change the outgoing chunk size (the caller must also send a
+  /// SetChunkSize control message).
+  void set_chunk_size(std::uint32_t size) { chunk_size_ = size; }
+  std::uint32_t chunk_size() const { return chunk_size_; }
+
+ private:
+  struct PrevHeader {
+    std::uint32_t timestamp = 0;
+    std::uint32_t length = 0;
+    MessageType type = MessageType::CommandAmf0;
+    std::uint32_t stream_id = 0;
+    std::uint32_t last_delta = 0;
+    bool has_delta = false;
+  };
+
+  void write_basic_header(ByteWriter& out, int fmt, std::uint32_t csid) const;
+
+  std::uint32_t chunk_size_;
+  std::map<std::uint32_t, PrevHeader> prev_;
+};
+
+/// Incremental chunk stream parser: feed arbitrary byte slices; complete
+/// messages come out in order. Handles interleaved chunk streams and
+/// inbound SetChunkSize messages transparently.
+class ChunkReader {
+ public:
+  /// Append bytes; parses as many complete chunks as possible.
+  /// Complete messages are appended to the internal queue.
+  Status push(BytesView data);
+
+  /// Messages completed so far, in arrival order (moves them out).
+  std::vector<Message> take_messages();
+
+  std::uint32_t chunk_size() const { return chunk_size_; }
+  std::uint64_t bytes_consumed() const { return consumed_; }
+
+  /// Release all internal buffers (retirement path).
+  void discard() {
+    Bytes{}.swap(buffer_);
+    cursor_ = 0;
+    streams_.clear();
+    messages_.clear();
+  }
+
+ private:
+  struct StreamState {
+    std::uint32_t timestamp = 0;
+    std::uint32_t timestamp_delta = 0;
+    std::uint32_t length = 0;
+    MessageType type = MessageType::CommandAmf0;
+    std::uint32_t stream_id = 0;
+    bool ext_timestamp = false;
+    Bytes assembly;
+  };
+
+  /// Try to parse one chunk from buffer_[cursor_...]. Returns false if
+  /// more bytes are needed (cursor_ unchanged).
+  Result<bool> parse_one();
+
+  Bytes buffer_;
+  std::size_t cursor_ = 0;
+  std::uint32_t chunk_size_ = kDefaultChunkSize;
+  std::map<std::uint32_t, StreamState> streams_;
+  std::vector<Message> messages_;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace psc::rtmp

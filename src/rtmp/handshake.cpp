@@ -1,0 +1,45 @@
+#include "rtmp/handshake.h"
+
+#include <algorithm>
+
+namespace psc::rtmp {
+
+Bytes make_hello(std::uint32_t time_ms, std::uint64_t seed) {
+  ByteWriter w;
+  w.u8(kRtmpVersion);
+  w.u32be(time_ms);
+  w.u32be(0);  // zero field
+  std::uint64_t state = seed | 1;
+  for (std::size_t i = 8; i < kHandshakeBlobSize; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    w.u8(static_cast<std::uint8_t>(state >> 33));
+  }
+  return w.take();
+}
+
+Bytes make_echo(BytesView peer_blob) {
+  return Bytes(peer_blob.begin(), peer_blob.end());
+}
+
+Result<HandshakeHello> parse_hello(BytesView data) {
+  if (data.size() < 1 + kHandshakeBlobSize) {
+    return make_error("truncated", "handshake hello needs 1537 bytes");
+  }
+  HandshakeHello h;
+  h.version = data[0];
+  if (h.version != kRtmpVersion) {
+    return make_error("rtmp_version", "unsupported RTMP version");
+  }
+  ByteReader r(data.subspan(1, kHandshakeBlobSize));
+  h.time_ms = r.u32be().value();
+  h.blob.assign(data.begin() + 1, data.begin() + 1 + kHandshakeBlobSize);
+  return h;
+}
+
+bool echo_matches(BytesView echo, BytesView sent_blob) {
+  return echo.size() >= kHandshakeBlobSize &&
+         sent_blob.size() == kHandshakeBlobSize &&
+         std::equal(sent_blob.begin(), sent_blob.end(), echo.begin());
+}
+
+}  // namespace psc::rtmp

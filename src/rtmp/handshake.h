@@ -1,0 +1,37 @@
+// RTMP handshake: C0/C1/C2 and S0/S1/S2 (simple, non-digest variant).
+//
+// C0/S0 carry the protocol version (3). C1/S1 are 1536-byte blobs of
+// time + random data; C2/S2 echo the peer's blob. Periscope served public
+// streams over plaintext RTMP on port 80 (paper §3), i.e. exactly this
+// handshake without a TLS layer.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace psc::rtmp {
+
+constexpr std::size_t kHandshakeBlobSize = 1536;
+constexpr std::uint8_t kRtmpVersion = 3;
+
+/// C0+C1 (or S0+S1): version byte + 1536-byte blob.
+Bytes make_hello(std::uint32_t time_ms, std::uint64_t seed);
+
+/// C2/S2: echo of the peer's 1536-byte blob.
+Bytes make_echo(BytesView peer_blob);
+
+struct HandshakeHello {
+  std::uint8_t version = 0;
+  std::uint32_t time_ms = 0;
+  Bytes blob;  // the full 1536 bytes, for echoing
+};
+
+/// Parse C0+C1 / S0+S1 from the front of `data`.
+Result<HandshakeHello> parse_hello(BytesView data);
+
+/// Verify that an echo matches the blob we sent.
+bool echo_matches(BytesView echo, BytesView sent_blob);
+
+}  // namespace psc::rtmp

@@ -1,0 +1,48 @@
+// RTMP message model (one level above the chunk stream).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace psc::rtmp {
+
+enum class MessageType : std::uint8_t {
+  SetChunkSize = 1,
+  Abort = 2,
+  Acknowledgement = 3,
+  UserControl = 4,
+  WindowAckSize = 5,
+  SetPeerBandwidth = 6,
+  Audio = 8,
+  Video = 9,
+  DataAmf0 = 18,
+  CommandAmf0 = 20,
+};
+
+/// User Control event types (message type 4).
+enum class UserControlEvent : std::uint16_t {
+  StreamBegin = 0,
+  StreamEof = 1,
+  PingRequest = 6,
+  PingResponse = 7,
+};
+
+struct Message {
+  MessageType type = MessageType::CommandAmf0;
+  std::uint32_t timestamp_ms = 0;
+  std::uint32_t stream_id = 0;
+  Bytes payload;
+};
+
+/// Well-known chunk stream ids used by this implementation (matching
+/// common server practice).
+constexpr std::uint32_t kCsidProtocol = 2;
+constexpr std::uint32_t kCsidCommand = 3;
+constexpr std::uint32_t kCsidAudio = 4;
+constexpr std::uint32_t kCsidVideo = 6;
+
+constexpr std::uint32_t kDefaultChunkSize = 128;
+
+}  // namespace psc::rtmp

@@ -1,0 +1,75 @@
+// The Periscope API server (Table 1 of the paper).
+//
+// The app POSTs JSON to https://api.periscope.tv/api/v2/<apiRequest>.
+// Implemented requests:
+//   mapGeoBroadcastFeed — broadcasts inside a lat/lon rectangle (capped,
+//                         which is why zooming in reveals more);
+//   getBroadcasts       — descriptions incl. current viewer counts for a
+//                         list of 13-char broadcast ids;
+//   accessVideo         — where/how to watch: RTMP origin for normal
+//                         broadcasts, HLS playlist URL once the viewer
+//                         count crosses the fallback threshold (~100);
+//   playbackMeta        — end-of-session playback statistics upload;
+//   accessReplay        — VOD playlist URL for a finished broadcast the
+//                         broadcaster kept available for replay;
+//   rankedBroadcastFeed — the app's home list: ~80 ranked broadcasts
+//                         plus a couple of featured ones (§3).
+//
+// Every request carries a "cookie" identifying the account; the rate
+// limiter answers 429 per account, as the paper observed.
+#pragma once
+
+#include <vector>
+
+#include "http/http.h"
+#include "json/json.h"
+#include "service/rate_limiter.h"
+#include "service/servers.h"
+#include "service/world.h"
+
+namespace psc::service {
+
+struct ApiConfig {
+  RateLimitConfig rate_limit;
+  /// Concurrent-viewer count at which accessVideo switches to HLS.
+  int hls_viewer_threshold = 100;
+};
+
+class ApiServer {
+ public:
+  ApiServer(World& world, MediaServerPool& servers, const ApiConfig& cfg);
+
+  /// Handle a POST /api/v2/<name>. `now` is the (simulated) server time.
+  http::Response handle(const http::Request& req, TimePoint now);
+
+  /// Convenience for in-process calls (no HTTP framing).
+  json::Value call(const std::string& api_request, const json::Value& body,
+                   TimePoint now, int* status_out = nullptr);
+
+  /// playbackMeta uploads received so far.
+  const std::vector<json::Value>& playback_metas() const {
+    return playback_metas_;
+  }
+
+  std::size_t requests_served() const { return served_; }
+  std::size_t requests_throttled() const { return throttled_; }
+
+ private:
+  json::Value describe(const BroadcastInfo& b, TimePoint now) const;
+  json::Value handle_map_feed(const json::Value& body, TimePoint now);
+  json::Value handle_get_broadcasts(const json::Value& body, TimePoint now);
+  json::Value handle_access_video(const json::Value& body, TimePoint now);
+  json::Value handle_access_replay(const json::Value& body, TimePoint now);
+  json::Value handle_ranked_feed(TimePoint now);
+
+  World& world_;
+  MediaServerPool& servers_;
+  ApiConfig cfg_;
+  RateLimiter limiter_;
+  std::vector<json::Value> playback_metas_;
+  std::size_t served_ = 0;
+  std::size_t throttled_ = 0;
+  std::size_t access_counter_ = 0;
+};
+
+}  // namespace psc::service

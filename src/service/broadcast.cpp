@@ -1,0 +1,102 @@
+#include "service/broadcast.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psc::service {
+
+BroadcastId make_broadcast_id(Rng& rng) {
+  static constexpr char kAlphabet[] =
+      "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+  BroadcastId id;
+  id.reserve(13);
+  for (int i = 0; i < 13; ++i) {
+    id.push_back(kAlphabet[rng.uniform_int(0, sizeof(kAlphabet) - 2)]);
+  }
+  return id;
+}
+
+int BroadcastInfo::viewers_at(TimePoint t) const {
+  if (!live_at(t) || peak_viewers <= 0) return 0;
+  const double dur = to_s(planned_duration);
+  const double x = to_s(t - start_time) / dur;  // normalized [0,1)
+  // Ramp up over the first 15%, plateau, mild decay at the end.
+  double shape = 1.0;
+  if (x < 0.15) {
+    shape = x / 0.15;
+  } else if (x > 0.85) {
+    shape = 1.0 - 0.5 * (x - 0.85) / 0.15;
+  }
+  return static_cast<int>(std::lround(peak_viewers * shape));
+}
+
+double BroadcastInfo::average_viewers() const {
+  if (peak_viewers <= 0) return 0.0;
+  // Integral of the ramp/plateau/decay profile: 0.5*0.15 + 0.7 + 0.75*0.15.
+  return peak_viewers * (0.075 + 0.70 + 0.1125);
+}
+
+BroadcastInfo draw_broadcast(const PopulationConfig& cfg, Rng& rng,
+                             geo::GeoPoint location, TimePoint start) {
+  BroadcastInfo b;
+  b.id = make_broadcast_id(rng);
+  b.location = location;
+  b.start_time = start;
+
+  const bool zero_viewers = rng.bernoulli(cfg.zero_viewer_fraction);
+  if (zero_viewers) {
+    b.peak_viewers = 0;
+    b.planned_duration = seconds(rng.lognormal(cfg.dur0_mu, cfg.dur0_sigma));
+    b.available_for_replay = rng.bernoulli(cfg.replay_fraction_zero);
+  } else {
+    b.peak_viewers = std::min(
+        cfg.viewer_cap,
+        rng.pareto(cfg.viewer_pareto_xm, cfg.viewer_pareto_alpha));
+    b.planned_duration = seconds(rng.lognormal(cfg.dur_mu, cfg.dur_sigma));
+    b.available_for_replay = rng.bernoulli(cfg.replay_fraction_watched);
+  }
+  b.planned_duration =
+      std::clamp(b.planned_duration, cfg.dur_min, cfg.dur_max);
+
+  static constexpr const char* kStatuses[] = {
+      "", "hi", "come chat", "late night stream", "just hanging out",
+      "#live", "ask me anything", "walking around", "music", "??"};
+  b.status_text = kStatuses[rng.uniform_int(0, 9)];
+
+  // Media parameters (paper §5.2): IBP dominant, ~20% IP-only, I-only
+  // rare; 200-400 kbps video; 32 or 64 kbps audio.
+  const double g = rng.uniform();
+  b.gop = g < 0.795 ? media::GopPattern::IBP
+                    : (g < 0.995 ? media::GopPattern::IP
+                                 : media::GopPattern::IOnly);
+  b.content = media::draw_content_class(rng);
+  // Typical streams target 200-400 kbps; a tail of high-motion streams
+  // runs much hotter (Fig. 6(a)'s RTMP maximum reaches ~1 Mbps) — these
+  // are the sessions that suffer first when the access link is capped.
+  b.video_bitrate = rng.bernoulli(0.12) ? rng.uniform(450e3, 900e3)
+                                        : rng.uniform(230e3, 360e3);
+  b.audio_bitrate = rng.bernoulli(0.6) ? 32e3 : 64e3;
+  b.portrait = rng.bernoulli(0.8);
+  // Broadcaster uplink: mostly comfortable, sometimes marginal.
+  b.uplink_bitrate = rng.bernoulli(0.85) ? rng.uniform(1.5e6, 8e6)
+                                         : rng.uniform(0.5e6, 1.2e6);
+  b.frame_loss_prob = rng.bernoulli(0.25) ? rng.uniform(0.001, 0.01) : 0.0;
+  b.seed = rng.engine()();
+  return b;
+}
+
+double diurnal_weight(double local_hour) {
+  // Piecewise-linear weights per hour; slump at 4-6 am, peak in the
+  // morning, rising trend toward midnight (paper Fig. 2(b) discussion).
+  static constexpr double kWeights[24] = {
+      1.10, 0.80, 0.55, 0.40, 0.30, 0.32, 0.45, 0.70,  // 0-7
+      1.00, 1.15, 1.10, 1.00, 0.95, 0.92, 0.95, 1.00,  // 8-15
+      1.02, 1.05, 1.10, 1.15, 1.22, 1.30, 1.38, 1.25,  // 16-23
+  };
+  const int h0 = static_cast<int>(local_hour) % 24;
+  const int h1 = (h0 + 1) % 24;
+  const double f = local_hour - std::floor(local_hour);
+  return kWeights[h0] * (1 - f) + kWeights[h1] * f;
+}
+
+}  // namespace psc::service

@@ -1,0 +1,99 @@
+// Broadcast descriptors and the statistical population model.
+//
+// Calibrated against §4 of the paper:
+//   * durations: log-normal, most 1-10 min, ~half under 4 min, long tail
+//     past a day; zero-viewer broadcasts much shorter (avg ~2 vs ~13 min);
+//   * viewers: >10% of broadcasts have none, >90% fewer than 20 on
+//     average, a heavy tail reaches thousands;
+//   * start times follow a diurnal pattern in the broadcaster's local
+//     time (slump in the early hours, morning peak, rise toward
+//     midnight).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geo/geo.h"
+#include "media/content.h"
+#include "media/types.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace psc::service {
+
+using BroadcastId = std::string;  // 13-character id, as in the real API
+
+BroadcastId make_broadcast_id(Rng& rng);
+
+/// Everything the service knows about one broadcast.
+struct BroadcastInfo {
+  BroadcastId id;
+  geo::GeoPoint location;
+  TimePoint start_time{};
+  Duration planned_duration{0};
+  std::string status_text;  // typically uninformative, as the paper notes
+  /// Private broadcasts are viewable by chosen users only: they never
+  /// appear on the map and their streams are encrypted (RTMPS / HTTPS,
+  /// paper §3). The study's crawler misses them entirely.
+  bool is_private = false;
+
+  // Popularity model.
+  double peak_viewers = 0;  // 0 => nobody ever watches
+  bool available_for_replay = false;
+
+  // Media parameters fixed at broadcast start.
+  media::GopPattern gop = media::GopPattern::IBP;
+  media::ContentClass content = media::ContentClass::Indoor;
+  double video_bitrate = 300e3;
+  double audio_bitrate = 32e3;
+  bool portrait = true;  // 320x568 vs 568x320
+  double uplink_bitrate = 2.5e6;
+  double frame_loss_prob = 0.002;
+  std::uint64_t seed = 0;
+
+  TimePoint end_time() const { return start_time + planned_duration; }
+  bool live_at(TimePoint t) const {
+    return t >= start_time && t < end_time();
+  }
+
+  /// Concurrent viewer count at time t: a ramp-up/plateau/decay profile
+  /// scaled by peak_viewers. Deterministic per broadcast.
+  int viewers_at(TimePoint t) const;
+
+  /// Lifetime average concurrent viewers (closed form of the profile).
+  double average_viewers() const;
+};
+
+struct PopulationConfig {
+  /// Fraction of broadcasts nobody ever watches (paper: >10%).
+  double zero_viewer_fraction = 0.12;
+  /// Pareto tail for peak viewers among watched broadcasts.
+  double viewer_pareto_xm = 1.3;
+  double viewer_pareto_alpha = 1.05;
+  double viewer_cap = 20000;
+
+  /// Log-normal duration parameters for watched broadcasts
+  /// (median ~4.3 min, heavy tail).
+  double dur_mu = 5.56;  // ln seconds
+  double dur_sigma = 1.45;
+  /// ... and for zero-viewer broadcasts (median ~1.5 min).
+  double dur0_mu = 4.5;
+  double dur0_sigma = 1.1;
+  Duration dur_min = seconds(20);
+  Duration dur_max = hours(30);
+
+  /// Probability a watched broadcast is kept for replay (the paper found
+  /// >80% of zero-viewer broadcasts were NOT available for replay).
+  double replay_fraction_watched = 0.65;
+  double replay_fraction_zero = 0.17;
+};
+
+/// Draw a full broadcast descriptor (location supplied by the world map).
+BroadcastInfo draw_broadcast(const PopulationConfig& cfg, Rng& rng,
+                             geo::GeoPoint location, TimePoint start);
+
+/// Relative broadcast start rate by local hour [0,24): slump ~4-6 am,
+/// morning peak, rise toward midnight.
+double diurnal_weight(double local_hour);
+
+}  // namespace psc::service

@@ -1,0 +1,67 @@
+#include "service/cdn_edge.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace psc::service {
+
+http::Response CdnEdge::handle(const http::Request& req,
+                               TimePoint now) const {
+  if (req.method != "GET" || !starts_with(req.path, "/hls/")) {
+    return http::Response::not_found();
+  }
+  // /hls/<id>/<rest>
+  const std::string after = req.path.substr(5);
+  const std::size_t slash = after.find('/');
+  if (slash == std::string::npos) return http::Response::not_found();
+  const std::string id = after.substr(0, slash);
+  const std::string rest = after.substr(slash + 1);
+
+  auto it = pipelines_.find(id);
+  if (it == pipelines_.end()) return http::Response::not_found();
+  const LiveBroadcastPipeline& pipe = *it->second;
+
+  // Rendition prefix "r<k>/".
+  std::size_t rendition = 0;
+  std::string leaf = rest;
+  if (!leaf.empty() && leaf[0] == 'r') {
+    const std::size_t rs = leaf.find('/');
+    if (rs != std::string::npos) {
+      const long k = std::strtol(leaf.c_str() + 1, nullptr, 10);
+      if (k > 0 && static_cast<std::size_t>(k) < pipe.rendition_count()) {
+        rendition = static_cast<std::size_t>(k);
+        leaf = leaf.substr(rs + 1);
+      }
+    }
+  }
+
+  if (leaf == "master.m3u8") {
+    return http::Response::ok(to_bytes(pipe.master_playlist()),
+                              "application/vnd.apple.mpegurl");
+  }
+  if (leaf == "playlist.m3u8") {
+    return http::Response::ok(
+        to_bytes(hls::write_m3u8(pipe.edge_playlist(now, rendition))),
+        "application/vnd.apple.mpegurl");
+  }
+  if (leaf == "vod.m3u8") {
+    return http::Response::ok(
+        to_bytes(hls::write_m3u8(pipe.vod_playlist(rendition))),
+        "application/vnd.apple.mpegurl");
+  }
+  if (starts_with(leaf, "seg_")) {
+    // Resolve through the pipeline's URI scheme (handles renditions).
+    const std::string uri =
+        rendition == 0 ? leaf : strf("r%zu/%s", rendition, leaf.c_str());
+    const LiveBroadcastPipeline::EdgeSegment* seg = pipe.find_segment(uri);
+    if (seg == nullptr || seg->available_at > now) {
+      // Not (yet) on this edge.
+      return http::Response::not_found();
+    }
+    return http::Response::ok(seg->segment.ts_data, "video/mp2t");
+  }
+  return http::Response::not_found();
+}
+
+}  // namespace psc::service

@@ -1,0 +1,47 @@
+// The Fastly-like CDN edge as an HTTP server.
+//
+// HLS clients speak real HTTP to this: GET the master/media/VOD playlist,
+// GET the MPEG-TS segments. A segment URL answers 404 until the packaged
+// segment has actually reached the edge — which is exactly the freshness
+// behaviour that bounds HLS delivery latency in Fig. 5.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "http/http.h"
+#include "service/pipeline.h"
+
+namespace psc::service {
+
+class CdnEdge {
+ public:
+  explicit CdnEdge(std::string host) : host_(std::move(host)) {}
+
+  /// Make a broadcast's content available at /hls/<broadcast_id>/...
+  /// The pipeline must outlive its registration.
+  void attach(const std::string& broadcast_id,
+              const LiveBroadcastPipeline* pipeline) {
+    pipelines_[broadcast_id] = pipeline;
+  }
+  void detach(const std::string& broadcast_id) {
+    pipelines_.erase(broadcast_id);
+  }
+
+  /// Serve one request at edge-local time `now`:
+  ///   GET /hls/<id>/master.m3u8          — variant list
+  ///   GET /hls/<id>/playlist.m3u8        — live media playlist (source)
+  ///   GET /hls/<id>/r<k>/playlist.m3u8   — ladder rendition k
+  ///   GET /hls/<id>/vod.m3u8             — replay playlist
+  ///   GET /hls/<id>/seg_<n>.ts           — source segment
+  ///   GET /hls/<id>/r<k>/seg_<n>.ts      — rendition segment
+  http::Response handle(const http::Request& req, TimePoint now) const;
+
+  const std::string& host() const { return host_; }
+
+ private:
+  std::string host_;
+  std::map<std::string, const LiveBroadcastPipeline*> pipelines_;
+};
+
+}  // namespace psc::service

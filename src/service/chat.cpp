@@ -1,0 +1,74 @@
+#include "service/chat.h"
+
+#include <cmath>
+
+#include "http/websocket.h"
+#include "json/json.h"
+#include "util/strings.h"
+
+namespace psc::service {
+
+ChatRoom::ChatRoom(sim::Simulation& sim, const BroadcastInfo* info,
+                   const ChatConfig& cfg, std::uint64_t seed)
+    : sim_(sim), info_(info), cfg_(cfg), rng_(seed) {}
+
+int ChatRoom::join(MessageFn fn) {
+  const int token = next_token_++;
+  members_[token] = std::move(fn);
+  send_allowed_[token] = joined_ever_ < cfg_.full_threshold;
+  ++joined_ever_;
+  return token;
+}
+
+void ChatRoom::leave(int token) {
+  members_.erase(token);
+  send_allowed_.erase(token);
+}
+
+bool ChatRoom::can_send(int token) const {
+  auto it = send_allowed_.find(token);
+  return it != send_allowed_.end() && it->second;
+}
+
+double ChatRoom::current_rate_hz() const {
+  const int viewers =
+      info_ != nullptr ? info_->viewers_at(sim_.now()) : 10;
+  return std::max(cfg_.min_rate_hz,
+                  cfg_.rate_per_sqrt_viewer *
+                      std::sqrt(static_cast<double>(std::max(1, viewers))));
+}
+
+void ChatRoom::start(Duration run_for) {
+  running_ = true;
+  stop_at_ = sim_.now() + run_for;
+  schedule_next();
+}
+
+void ChatRoom::schedule_next() {
+  if (!running_ || sim_.now() >= stop_at_) return;
+  const Duration gap = seconds(rng_.exponential(current_rate_hz()));
+  sim_.schedule_after(gap, [this] {
+    if (!running_ || sim_.now() >= stop_at_) return;
+    static constexpr const char* kTexts[] = {
+        "hello from brazil", "so cool", "where is this?", "lol",
+        "follow me back", "what's the song?", "nice view", "first!",
+    };
+    ChatMessage msg;
+    msg.from = strf("user%d", static_cast<int>(rng_.uniform_int(1, 99999)));
+    msg.text = kTexts[rng_.uniform_int(0, 7)];
+    // The real wire cost: a server->client WebSocket text frame carrying
+    // the JSON envelope (paper §3: chat is delivered over Websockets).
+    json::Object envelope;
+    envelope["kind"] = "chat";
+    envelope["from"] = msg.from;
+    envelope["text"] = msg.text;
+    msg.wire_bytes =
+        ws::server_text_frame(json::Value(std::move(envelope)).dump())
+            .size();
+    ++sent_;
+    for (auto& [token, fn] : members_) fn(sim_.now(), msg);
+    schedule_next();
+  });
+}
+
+}  // namespace psc::service

@@ -1,0 +1,66 @@
+// The RTMP origin media server ("vidman-*" on EC2, §3).
+//
+// A MediaOrigin owns many RTMP connections. Broadcasters publish streams
+// keyed by broadcast id; viewers play them. Published media is fanned out
+// live to every attached player, and a per-stream GOP backlog gives
+// joining viewers an immediately decodable burst — the same origin
+// behaviour LiveBroadcastPipeline models in the aggregate, here as an
+// actual byte-in/byte-out server usable over any transport.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "media/types.h"
+#include "rtmp/session.h"
+
+namespace psc::service {
+
+class MediaOrigin {
+ public:
+  explicit MediaOrigin(std::uint64_t seed) : seed_(seed) {}
+
+  /// Accept a new TCP connection; returns its id.
+  int open_connection();
+  /// Close and forget a connection (detaches it from any stream).
+  void close_connection(int conn);
+
+  /// Feed bytes received from the peer of connection `conn`.
+  Status on_input(int conn, BytesView data);
+  /// Drain bytes to send to the peer of connection `conn`.
+  Bytes take_output(int conn);
+  bool has_output(int conn) const;
+
+  /// Streams currently being published.
+  std::vector<std::string> live_streams() const;
+  /// Viewers attached to a stream.
+  std::size_t viewer_count(const std::string& stream) const;
+
+ private:
+  struct Stream {
+    std::optional<media::AvcDecoderConfig> config;
+    std::deque<media::MediaSample> backlog;  // from latest keyframe
+    std::set<int> players;
+    int publisher_conn = -1;
+  };
+
+  struct Connection {
+    std::unique_ptr<rtmp::ServerSession> session;
+    std::string stream;  // set once playing or publishing
+    bool is_publisher = false;
+  };
+
+  void wire_publish_hooks(int conn);
+  void attach_player(int conn, const std::string& stream);
+  Stream& stream_of(const std::string& name) { return streams_[name]; }
+
+  std::uint64_t seed_;
+  int next_conn_ = 1;
+  std::map<int, Connection> connections_;
+  std::map<std::string, Stream> streams_;
+};
+
+}  // namespace psc::service

@@ -1,0 +1,245 @@
+#include "service/pipeline.h"
+
+#include <algorithm>
+
+#include "media/transcode.h"
+
+#include "util/strings.h"
+
+namespace psc::service {
+
+media::VideoConfig video_config_for(const BroadcastInfo& info) {
+  media::VideoConfig v;
+  if (info.portrait) {
+    v.width = 320;
+    v.height = 568;
+  } else {
+    v.width = 568;
+    v.height = 320;
+  }
+  v.fps = 30.0;
+  v.target_bitrate = info.video_bitrate;
+  v.gop = info.gop;
+  v.gop_length = 36;
+  v.frame_loss_prob = info.frame_loss_prob;
+  return v;
+}
+
+media::AudioConfig audio_config_for(const BroadcastInfo& info) {
+  media::AudioConfig a;
+  a.target_bitrate = info.audio_bitrate;
+  return a;
+}
+
+media::ContentModelConfig content_config_for(const BroadcastInfo& info) {
+  media::ContentModelConfig c;
+  c.content_class = info.content;
+  return c;
+}
+
+LiveBroadcastPipeline::LiveBroadcastPipeline(sim::Simulation& sim,
+                                             const BroadcastInfo& info,
+                                             const PipelineConfig& cfg)
+    : sim_(sim),
+      info_(info),
+      cfg_(cfg),
+      rng_(info.seed),
+      epoch_s_(to_s(sim.now())),
+      source_(video_config_for(info), audio_config_for(info),
+              content_config_for(info), to_s(sim.now()), Rng(info.seed)),
+      uplink_(sim, info.uplink_bitrate, cfg.uplink_latency),
+      cdn_link_(sim, cfg.origin_to_cdn_rate, cfg.origin_to_cdn_latency) {
+  uplink_.set_noise(rng_.fork(3), seconds(2), 0.75, 1.1);
+  // Rendition 0 is always the untouched source; the ladder follows.
+  RenditionState source_rendition;
+  source_rendition.spec.name = "source";
+  source_rendition.spec.nominal_bandwidth_bps =
+      cfg_.source_nominal_bandwidth_bps;
+  source_rendition.is_source = true;
+  source_rendition.segmenter = hls::Segmenter(cfg_.segment_target);
+  renditions_.push_back(std::move(source_rendition));
+  for (const RenditionSpec& spec : cfg_.transcode_ladder) {
+    RenditionState r;
+    r.spec = spec;
+    r.segmenter = hls::Segmenter(cfg_.segment_target);
+    renditions_.push_back(std::move(r));
+  }
+}
+
+std::string LiveBroadcastPipeline::segment_uri(
+    std::size_t rendition, std::uint64_t sequence) const {
+  if (rendition == 0) {
+    return strf("seg_%llu.ts", static_cast<unsigned long long>(sequence));
+  }
+  return strf("r%zu/seg_%llu.ts", rendition,
+              static_cast<unsigned long long>(sequence));
+}
+
+void LiveBroadcastPipeline::start(Duration run_for) {
+  running_ = true;
+  stop_at_ = sim_.now() + run_for;
+  produce_next();
+  schedule_hiccup();
+}
+
+void LiveBroadcastPipeline::schedule_hiccup() {
+  if (cfg_.hiccup_rate_per_min <= 0) return;
+  const Duration gap =
+      seconds(rng_.exponential(cfg_.hiccup_rate_per_min / 60.0));
+  // A hiccup after production ends is pointless — and not scheduling it
+  // bounds this object's event horizon (see safe_destroy_at()).
+  if (sim_.now() + gap >= stop_at_) return;
+  sim_.schedule_after(gap, [this] {
+    if (!running_ || sim_.now() >= stop_at_) return;
+    const BitRate normal = info_.uplink_bitrate;
+    const Duration dur = seconds(
+        rng_.uniform(to_s(cfg_.hiccup_min), to_s(cfg_.hiccup_max)));
+    uplink_.set_rate(normal * 0.05);
+    sim_.schedule_after(dur, [this, normal] { uplink_.set_rate(normal); });
+    schedule_hiccup();
+  });
+}
+
+void LiveBroadcastPipeline::produce_next() {
+  if (!running_ || sim_.now() >= stop_at_) return;
+  media::MediaSample sample = source_.next_sample();
+  ++samples_produced_;
+
+  // The sample finishes encoding at epoch + dts + encode latency; ship it
+  // up the broadcaster link then.
+  const TimePoint ready =
+      time_at(epoch_s_) + sample.dts + cfg_.encode_latency;
+  const Duration next_gap = ready <= sim_.now() ? Duration{0}
+                                                : ready - sim_.now();
+  sim_.schedule_after(next_gap, [this, sample = std::move(sample)]() mutable {
+    if (!running_) return;
+    // Model the upload cost with the sample's own size; metadata rides
+    // along in the closure rather than being re-parsed at the origin.
+    Bytes wire = sample.data;
+    uplink_.send(std::move(wire),
+                 [this, sample = std::move(sample)](
+                     TimePoint t, Bytes /*data*/) mutable {
+                   on_sample_at_origin(t, std::move(sample));
+                 });
+    produce_next();
+  });
+}
+
+void LiveBroadcastPipeline::on_sample_at_origin(TimePoint now,
+                                                media::MediaSample sample) {
+  if (!running_) return;  // retired: in-flight uplink deliveries are no-ops
+  // Maintain the origin backlog: the most recent kBacklogGops GOPs in
+  // decode order, always starting at a keyframe. A joining viewer gets
+  // this burst, so a deeper backlog trades join speed on fat links for
+  // join *cost* on thin ones — the Fig. 4(a) mechanism.
+  static constexpr int kBacklogGops = 3;
+  if (sample.kind == media::SampleKind::Video && sample.keyframe) {
+    ++backlog_keyframes_;
+    if (backlog_keyframes_ > kBacklogGops) {
+      // Drop the oldest GOP: everything up to (excluding) the next
+      // keyframe after the front.
+      backlog_.pop_front();  // the front keyframe itself
+      while (!backlog_.empty() &&
+             !(backlog_.front().kind == media::SampleKind::Video &&
+               backlog_.front().keyframe)) {
+        backlog_.pop_front();
+      }
+      --backlog_keyframes_;
+    }
+  }
+  if (backlog_keyframes_ > 0) backlog_.push_back(sample);
+  static constexpr std::size_t kBacklogCap = 1024;
+  while (backlog_.size() > kBacklogCap) backlog_.pop_front();
+
+  // RTMP fan-out.
+  for (auto& [token, fn] : subscribers_) fn(now, sample);
+
+  // HLS: segment each rendition, package, ship to the edge. Ladder
+  // renditions run the sample through the transcoder first.
+  for (std::size_t r = 0; r < renditions_.size(); ++r) {
+    std::optional<hls::Segment> completed;
+    if (renditions_[r].is_source) {
+      completed = renditions_[r].segmenter.push(sample);
+    } else {
+      auto transcoded =
+          media::transcode_sample(sample, renditions_[r].spec.profile);
+      if (!transcoded) continue;
+      completed = renditions_[r].segmenter.push(transcoded.value());
+    }
+    if (!completed) continue;
+    hls::Segment seg = std::move(*completed);
+    sim_.schedule_after(
+        cfg_.packaging_delay, [this, r, seg = std::move(seg)]() mutable {
+          Bytes wire = seg.ts_data;
+          cdn_link_.send(std::move(wire),
+                         [this, r, seg = std::move(seg)](
+                             TimePoint t, Bytes /*d*/) mutable {
+                           renditions_[r].edge.push_back(
+                               EdgeSegment{std::move(seg), t});
+                         });
+        });
+  }
+}
+
+int LiveBroadcastPipeline::subscribe(OriginSampleFn fn) {
+  const int token = next_token_++;
+  subscribers_[token] = std::move(fn);
+  return token;
+}
+
+void LiveBroadcastPipeline::unsubscribe(int token) {
+  subscribers_.erase(token);
+}
+
+hls::MediaPlaylist LiveBroadcastPipeline::edge_playlist(
+    TimePoint now, std::size_t r) const {
+  // The playlist window only advances as segments land on the edge; a
+  // snapshot at `now` must exclude segments that are still in flight.
+  hls::LivePlaylistWindow window(cfg_.playlist_window, cfg_.segment_target);
+  for (const EdgeSegment& es : renditions_[r].edge) {
+    if (es.available_at <= now) {
+      window.add_segment(segment_uri(r, es.segment.sequence),
+                         es.segment.duration);
+    }
+  }
+  return window.snapshot();
+}
+
+std::string LiveBroadcastPipeline::master_playlist() const {
+  std::vector<hls::VariantRef> variants;
+  for (std::size_t r = 0; r < renditions_.size(); ++r) {
+    hls::VariantRef v;
+    v.uri = r == 0 ? "playlist.m3u8" : strf("r%zu/playlist.m3u8", r);
+    v.bandwidth_bps = renditions_[r].spec.nominal_bandwidth_bps;
+    variants.push_back(std::move(v));
+  }
+  return hls::write_master_m3u8(variants);
+}
+
+hls::MediaPlaylist LiveBroadcastPipeline::vod_playlist(std::size_t r) const {
+  const auto& edge = renditions_[r].edge;
+  hls::MediaPlaylist pl;
+  pl.target_duration = cfg_.segment_target;
+  pl.ended = true;
+  pl.media_sequence = edge.empty() ? 0 : edge.front().segment.sequence;
+  for (const EdgeSegment& es : edge) {
+    hls::SegmentRef ref;
+    ref.uri = segment_uri(r, es.segment.sequence);
+    ref.duration = es.segment.duration;
+    ref.sequence = es.segment.sequence;
+    pl.segments.push_back(std::move(ref));
+  }
+  return pl;
+}
+
+const LiveBroadcastPipeline::EdgeSegment* LiveBroadcastPipeline::find_segment(
+    const std::string& uri) const {
+  for (std::size_t r = 0; r < renditions_.size(); ++r) {
+    for (const EdgeSegment& es : renditions_[r].edge) {
+      if (segment_uri(r, es.segment.sequence) == uri) return &es;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace psc::service

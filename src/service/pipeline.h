@@ -1,0 +1,184 @@
+// The live media pipeline of one broadcast:
+//
+//   phone encoder --uplink link--> RTMP origin (EC2)
+//                                   |--> push to RTMP viewers (no delay)
+//                                   '--> segmenter -> packaging delay
+//                                         -> CDN transfer -> HLS edge
+//
+// The origin keeps a backlog from the latest keyframe so a joining RTMP
+// viewer receives an immediately decodable burst (this is what makes RTMP
+// join fast). HLS viewers fetch segments from the edge; a segment only
+// exists once it has been cut (target 3.6 s), transcoded/packaged and
+// shipped to the CDN — the structural source of the 5 s+ delivery latency
+// the paper measured for HLS.
+//
+// Broadcaster-side impairments: the uplink has throughput noise plus
+// occasional multi-second "hiccups" (rate collapse), which surface as
+// viewer-side stalls even on unconstrained access links — the paper saw
+// such stalls in the unlimited-bandwidth dataset.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hls/playlist.h"
+#include "hls/segmenter.h"
+#include "media/encoder.h"
+#include "media/transcode.h"
+#include "net/link.h"
+#include "service/broadcast.h"
+#include "sim/simulation.h"
+
+namespace psc::service {
+
+/// One lower-quality rendition of the transcode ladder.
+struct RenditionSpec {
+  std::string name;
+  media::TranscodeProfile profile;
+  /// BANDWIDTH advertised in the master playlist.
+  double nominal_bandwidth_bps = 200e3;
+};
+
+struct PipelineConfig {
+  Duration encode_latency = millis(80);
+  Duration uplink_latency = millis(40);
+  Duration origin_to_cdn_latency = millis(30);
+  BitRate origin_to_cdn_rate = 1e9;
+  Duration packaging_delay = millis(1200);  // transcode + repackage
+  Duration segment_target = seconds(3.6);
+  std::size_t playlist_window = 6;
+  /// Uplink hiccups: mean time between events and duration range.
+  double hiccup_rate_per_min = 0.5;
+  Duration hiccup_min = seconds(2);
+  Duration hiccup_max = seconds(6);
+  /// Lower renditions produced by the packager in addition to the source
+  /// ("possibly while transcoding it to multiple qualities", §5.1).
+  /// Empty = single-quality HLS, which is what the paper observed.
+  std::vector<RenditionSpec> transcode_ladder;
+  /// BANDWIDTH the master playlist advertises for the source rendition.
+  double source_nominal_bandwidth_bps = 400e3;
+};
+
+class LiveBroadcastPipeline {
+ public:
+  /// Called at origin when a sample arrives there (RTMP fan-out hook).
+  using OriginSampleFn =
+      std::function<void(TimePoint, const media::MediaSample&)>;
+
+  LiveBroadcastPipeline(sim::Simulation& sim, const BroadcastInfo& info,
+                        const PipelineConfig& cfg);
+
+  /// Start producing at the current sim time; production stops when
+  /// stop() is called or `run_for` elapses.
+  void start(Duration run_for);
+  void stop() { running_ = false; }
+
+  /// Stop and free bulk buffers. The object must stay alive until the
+  /// simulation has drained all events that may still reference it
+  /// (Study keeps retired pipelines for exactly that reason); after
+  /// retire() those events are no-ops.
+  void retire() {
+    running_ = false;
+    subscribers_.clear();
+    backlog_.clear();
+    backlog_keyframes_ = 0;
+    for (auto& r : renditions_) {
+      r.edge.clear();
+      r.segmenter.discard();  // the open partial segment's buffer
+    }
+  }
+
+  /// --- RTMP side ---
+  int subscribe(OriginSampleFn fn);
+  void unsubscribe(int token);
+  /// Decodable backlog: everything from the latest keyframe (what the
+  /// origin bursts to a joining viewer), in decode order.
+  const std::deque<media::MediaSample>& backlog() const { return backlog_; }
+  const media::Sps& sps() const { return source_.video().sps(); }
+  const media::Pps& pps() const { return source_.video().pps(); }
+
+  /// --- HLS side ---
+  struct EdgeSegment {
+    hls::Segment segment;
+    TimePoint available_at{};
+  };
+  /// Number of renditions (1 = source only; ladder adds more).
+  std::size_t rendition_count() const { return renditions_.size(); }
+  /// Segments of rendition `r` on the CDN edge. A deque so that
+  /// references handed out stay valid as new segments are appended.
+  const std::deque<EdgeSegment>& edge_segments(std::size_t r = 0) const {
+    return renditions_[r].edge;
+  }
+  /// The media playlist of rendition `r` as the edge would serve it.
+  hls::MediaPlaylist edge_playlist(TimePoint now, std::size_t r = 0) const;
+  /// The master playlist listing every rendition.
+  std::string master_playlist() const;
+  /// The replay (VOD) playlist of a finished broadcast: every segment,
+  /// #EXT-X-ENDLIST set. Replays are served from the same CDN edges —
+  /// which is why the paper measured replay power == live power.
+  hls::MediaPlaylist vod_playlist(std::size_t r = 0) const;
+  /// Find an edge segment by URI ("seg_N.ts" = source rendition,
+  /// "rK/seg_N.ts" = ladder rendition K).
+  const EdgeSegment* find_segment(const std::string& uri) const;
+
+  /// Broadcaster NTP epoch (wall-clock at pts 0).
+  double epoch_s() const { return epoch_s_; }
+
+  const BroadcastInfo& info() const { return info_; }
+
+  std::uint64_t samples_produced() const { return samples_produced_; }
+
+  /// Earliest simulation time at which no scheduled event can still
+  /// reference this object (hiccup chains are bounded by stop_at, link
+  /// deliveries by their busy horizons) — destroying it after this point
+  /// is safe.
+  TimePoint safe_destroy_at() const {
+    TimePoint t = stop_at_;
+    t = std::max(t, uplink_.busy_until());
+    t = std::max(t, cdn_link_.busy_until());
+    return t + cfg_.packaging_delay + cfg_.hiccup_max + seconds(10);
+  }
+
+ private:
+  void produce_next();
+  void on_sample_at_origin(TimePoint now, media::MediaSample sample);
+  void schedule_hiccup();
+
+  struct RenditionState {
+    RenditionSpec spec;
+    bool is_source = false;
+    hls::Segmenter segmenter;
+    std::deque<EdgeSegment> edge;
+  };
+
+  std::string segment_uri(std::size_t rendition,
+                          std::uint64_t sequence) const;
+
+  sim::Simulation& sim_;
+  BroadcastInfo info_;
+  PipelineConfig cfg_;
+  Rng rng_;
+  double epoch_s_ = 0;
+  media::BroadcastSource source_;
+  net::Link uplink_;
+  net::Link cdn_link_;
+
+  bool running_ = false;
+  TimePoint stop_at_{};
+  std::map<int, OriginSampleFn> subscribers_;
+  int next_token_ = 1;
+  std::deque<media::MediaSample> backlog_;
+  int backlog_keyframes_ = 0;
+  std::vector<RenditionState> renditions_;
+  std::uint64_t samples_produced_ = 0;
+};
+
+/// Builds the encoder configs implied by a BroadcastInfo.
+media::VideoConfig video_config_for(const BroadcastInfo& info);
+media::AudioConfig audio_config_for(const BroadcastInfo& info);
+media::ContentModelConfig content_config_for(const BroadcastInfo& info);
+
+}  // namespace psc::service

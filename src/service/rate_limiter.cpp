@@ -1,0 +1,24 @@
+#include "service/rate_limiter.h"
+
+#include <algorithm>
+
+namespace psc::service {
+
+bool RateLimiter::allow(const std::string& account, TimePoint now) {
+  Bucket& b = buckets_[account];
+  if (!b.init) {
+    b.tokens = cfg_.capacity;
+    b.last = now;
+    b.init = true;
+  }
+  b.tokens = std::min(cfg_.capacity,
+                      b.tokens + to_s(now - b.last) * cfg_.refill_per_sec);
+  b.last = now;
+  if (b.tokens >= 1.0) {
+    b.tokens -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace psc::service

@@ -1,0 +1,40 @@
+// Per-account token-bucket rate limiter.
+//
+// The paper: "Periscope servers use rate limiting so that too frequent
+// requests will be answered with HTTP 429 ('Too many requests'), which
+// forces us to pace the requests" — and the authors dodged it for
+// targeted crawls by running four emulators with different users logged
+// in. Limits here are per account id, so the same trick works.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/units.h"
+
+namespace psc::service {
+
+struct RateLimitConfig {
+  double capacity = 12;        // burst size
+  double refill_per_sec = 1.2; // sustained request rate
+};
+
+class RateLimiter {
+ public:
+  explicit RateLimiter(const RateLimitConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// True if the request is admitted; false => respond 429.
+  bool allow(const std::string& account, TimePoint now);
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    TimePoint last{};
+    bool init = false;
+  };
+
+  RateLimitConfig cfg_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+}  // namespace psc::service

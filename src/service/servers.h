@@ -1,0 +1,46 @@
+// Media server pools.
+//
+// The paper found 87 distinct Amazon EC2 servers delivering RTMP streams
+// (with at least one in every continent except Africa, chosen by
+// broadcaster location) and exactly two HLS edge IPs (Fastly CDN, one in
+// Europe and one in San Francisco). This module reproduces those pools.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geo.h"
+#include "util/rng.h"
+
+namespace psc::service {
+
+struct MediaServer {
+  std::string ip;
+  std::string hostname;
+  std::string region;
+  geo::GeoPoint location;
+};
+
+class MediaServerPool {
+ public:
+  explicit MediaServerPool(std::uint64_t seed);
+
+  /// The RTMP origin for a broadcaster: nearest region, then a
+  /// deterministic pick inside the region (load balancing by id hash).
+  const MediaServer& rtmp_origin_for(const geo::GeoPoint& broadcaster,
+                                     const std::string& broadcast_id) const;
+
+  /// The HLS edge a viewer fetches from (two IPs globally).
+  const MediaServer& hls_edge_for(std::size_t viewer_index) const;
+
+  const std::vector<MediaServer>& rtmp_origins() const { return origins_; }
+  const std::array<MediaServer, 2>& hls_edges() const { return edges_; }
+
+ private:
+  std::vector<MediaServer> origins_;
+  std::array<MediaServer, 2> edges_;
+};
+
+}  // namespace psc::service

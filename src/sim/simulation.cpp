@@ -1,0 +1,61 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace psc::sim {
+
+EventHandle Simulation::schedule_at(TimePoint when, std::function<void()> fn) {
+  assert(fn);
+  if (when < now_) when = now_;
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  ++live_count_;
+  return EventHandle{id};
+}
+
+bool Simulation::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  // We cannot remove from the middle of a priority_queue; record the id
+  // and skip the event when it surfaces. The cancelled list stays small
+  // because entries are erased when their event pops.
+  if (is_cancelled(h.id_)) return false;
+  cancelled_.push_back(h.id_);
+  if (live_count_ > 0) --live_count_;
+  return true;
+}
+
+bool Simulation::is_cancelled(std::uint64_t id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+         cancelled_.end();
+}
+
+void Simulation::run_until(TimePoint until) {
+  run_events_until(until);
+  if (now_ < until) now_ = until;
+}
+
+void Simulation::run_events_until(TimePoint until) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > until) break;
+    Event ev{top.when, top.seq, top.id, std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    --live_count_;
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+}
+
+void Simulation::run_all() {
+  // Drain everything; the clock stays at the last executed event.
+  run_events_until(TimePoint{Duration{1e18}});
+}
+
+}  // namespace psc::sim

@@ -1,0 +1,87 @@
+// Discrete-event simulation kernel.
+//
+// A Simulation owns the virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in scheduling order (a
+// monotonic sequence number breaks ties), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.h"
+
+namespace psc::sim {
+
+/// Handle used to cancel a pending event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `when` (clamped to now()).
+  EventHandle schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Schedule `fn` after a delay from now.
+  EventHandle schedule_after(Duration delay, std::function<void()> fn) {
+    return schedule_at(now_ + (delay.count() < 0 ? Duration{0} : delay),
+                       std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns false if it already ran or was
+  /// cancelled before.
+  bool cancel(EventHandle h);
+
+  /// Run until the queue drains or `until` is reached (whichever first).
+  /// The clock is left at the time of the last executed event, or `until`
+  /// if provided and no event was pending past it.
+  void run_until(TimePoint until);
+  void run_all();
+
+  /// True if any events are pending.
+  bool pending() const { return live_count_ > 0; }
+
+  std::size_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  bool is_cancelled(std::uint64_t id) const;
+  void run_events_until(TimePoint until);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::uint64_t> cancelled_;  // small, scanned linearly
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::size_t executed_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace psc::sim

@@ -1,0 +1,81 @@
+#include "util/base64.h"
+
+#include <array>
+
+namespace psc {
+
+namespace {
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> decode_table() {
+  std::array<std::int8_t, 256> t;
+  t.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    t[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return t;
+}
+}  // namespace
+
+std::string base64_encode(BytesView data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t n = (data[i] << 16) | (data[i + 1] << 8) | data[i + 2];
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += kAlphabet[(n >> 6) & 63];
+    out += kAlphabet[n & 63];
+    i += 3;
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t n = data[i] << 16;
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += "==";
+  } else if (rest == 2) {
+    const std::uint32_t n = (data[i] << 16) | (data[i + 1] << 8);
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += kAlphabet[(n >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+Result<Bytes> base64_decode(std::string_view text) {
+  static const std::array<std::int8_t, 256> table = decode_table();
+  if (text.size() % 4 != 0) {
+    return make_error("base64", "length not a multiple of 4");
+  }
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t n = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = text[i + k];
+      if (c == '=') {
+        if (i + 4 != text.size() || k < 2) {
+          return make_error("base64", "misplaced padding");
+        }
+        ++pad;
+        n <<= 6;
+        continue;
+      }
+      if (pad > 0) return make_error("base64", "data after padding");
+      const std::int8_t v = table[static_cast<unsigned char>(c)];
+      if (v < 0) return make_error("base64", "invalid character");
+      n = (n << 6) | static_cast<std::uint32_t>(v);
+    }
+    out.push_back(static_cast<std::uint8_t>(n >> 16));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>(n >> 8));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(n));
+  }
+  return out;
+}
+
+}  // namespace psc

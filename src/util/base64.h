@@ -1,0 +1,14 @@
+// Base64 (RFC 4648), used by the WebSocket upgrade handshake.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace psc {
+
+std::string base64_encode(BytesView data);
+Result<Bytes> base64_decode(std::string_view text);
+
+}  // namespace psc

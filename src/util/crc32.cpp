@@ -1,0 +1,31 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace psc {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i << 24;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 0x80000000u) ? (c << 1) ^ 0x04C11DB7u : (c << 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_mpeg(BytesView data) {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) {
+    crc = (crc << 8) ^ table[((crc >> 24) ^ b) & 0xFFu];
+  }
+  return crc;
+}
+
+}  // namespace psc

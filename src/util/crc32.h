@@ -1,0 +1,14 @@
+// CRC-32/MPEG-2, used by MPEG-TS PSI sections (PAT/PMT).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace psc {
+
+/// CRC-32/MPEG-2: poly 0x04C11DB7, init 0xFFFFFFFF, no reflection, no
+/// final xor. This is the CRC carried at the end of PAT/PMT sections.
+std::uint32_t crc32_mpeg(BytesView data);
+
+}  // namespace psc

@@ -1,0 +1,83 @@
+// Result<T>: expected-style error handling for recoverable failures.
+//
+// Parsers and protocol state machines in this library deal with untrusted
+// bytes; they report malformed input as values, not exceptions (Core
+// Guidelines E.3: use exceptions only for genuine error handling of
+// exceptional conditions — truncated network input is an expected case).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace psc {
+
+/// A failure description. `code` is a short machine-matchable slug,
+/// `message` is human-oriented detail.
+struct Error {
+  std::string code;
+  std::string message;
+
+  std::string to_string() const { return code + ": " + message; }
+};
+
+inline Error make_error(std::string code, std::string message) {
+  return Error{std::move(code), std::move(message)};
+}
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error err) : data_(std::in_place_index<1>, std::move(err)) {}
+
+  bool ok() const { return data_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<1>(data_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error err) : err_(std::move(err)) {}
+
+  static Status ok_status() { return Status{}; }
+
+  bool ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *err_;
+  }
+
+ private:
+  std::optional<Error> err_;
+};
+
+}  // namespace psc

@@ -1,0 +1,16 @@
+// SHA-1 (FIPS 180-1), used by the WebSocket upgrade handshake
+// (Sec-WebSocket-Accept). Not for new cryptographic purposes.
+#pragma once
+
+#include <array>
+
+#include "util/bytes.h"
+
+namespace psc {
+
+std::array<std::uint8_t, 20> sha1(BytesView data);
+
+/// Lowercase hex string of the digest (convenience for tests).
+std::string sha1_hex(BytesView data);
+
+}  // namespace psc

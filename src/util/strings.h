@@ -1,0 +1,22 @@
+// Small string helpers and printf-style formatting (gcc 12 lacks
+// std::format; strf() is the substitute used for log lines and reports).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psc {
+
+/// printf-style formatting into a std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::vector<std::string> split(std::string_view s, char sep);
+std::string_view trim(std::string_view s);
+std::string to_lower(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// "1.5 Mbps", "300 kbps" etc., for report labels.
+std::string format_bitrate(double bits_per_second);
+
+}  // namespace psc

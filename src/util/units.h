@@ -1,0 +1,50 @@
+// Time and data-rate units used across the simulation.
+//
+// The simulation runs on a virtual clock; all timestamps are
+// std::chrono::time_point on a dedicated clock type so that wall-clock and
+// simulated time can never be mixed by accident (Core Guidelines I.4 /
+// ES.chrono).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace psc {
+
+/// Tag clock for simulated time. Epoch = start of the simulation.
+struct SimClock {
+  using rep = double;
+  using period = std::ratio<1>;  // seconds
+  using duration = std::chrono::duration<double>;
+  using time_point = std::chrono::time_point<SimClock>;
+  static constexpr bool is_steady = true;
+};
+
+using Duration = SimClock::duration;
+using TimePoint = SimClock::time_point;
+
+constexpr Duration seconds(double s) { return Duration{s}; }
+constexpr Duration millis(double ms) { return Duration{ms / 1e3}; }
+constexpr Duration micros(double us) { return Duration{us / 1e6}; }
+constexpr Duration minutes(double m) { return Duration{m * 60.0}; }
+constexpr Duration hours(double h) { return Duration{h * 3600.0}; }
+
+/// Seconds as a plain double, for statistics.
+constexpr double to_s(Duration d) { return d.count(); }
+constexpr double to_s(TimePoint t) { return t.time_since_epoch().count(); }
+constexpr double to_ms(Duration d) { return d.count() * 1e3; }
+
+constexpr TimePoint time_at(double s) { return TimePoint{Duration{s}}; }
+
+/// Data rates are bits per second throughout.
+using BitRate = double;
+
+constexpr BitRate kbps(double v) { return v * 1e3; }
+constexpr BitRate mbps(double v) { return v * 1e6; }
+
+/// Time to serialise `bytes` at `rate` bits/s.
+constexpr Duration transmit_time(std::uint64_t bytes, BitRate rate) {
+  return Duration{static_cast<double>(bytes) * 8.0 / rate};
+}
+
+}  // namespace psc

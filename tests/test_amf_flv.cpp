@@ -1,0 +1,155 @@
+// AMF0 and FLV tag format tests.
+#include <gtest/gtest.h>
+
+#include "amf/amf0.h"
+#include "flv/flv.h"
+
+namespace psc {
+namespace {
+
+TEST(Amf0, ScalarRoundtrips) {
+  const std::vector<amf::Value> in = {
+      amf::Value(3.5), amf::Value(true), amf::Value(false),
+      amf::Value("connect"), amf::Value()};
+  auto out = amf::decode_all(amf::encode_all(in));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), in.size());
+  EXPECT_DOUBLE_EQ(out.value()[0].as_number(), 3.5);
+  EXPECT_TRUE(out.value()[1].as_bool());
+  EXPECT_FALSE(out.value()[2].as_bool(true));
+  EXPECT_EQ(out.value()[3].as_string(), "connect");
+  EXPECT_TRUE(out.value()[4].is_null());
+}
+
+TEST(Amf0, ObjectRoundtrip) {
+  amf::Object obj{{"app", amf::Value("live")},
+                  {"tcUrl", amf::Value("rtmp://x/live")},
+                  {"audioCodecs", amf::Value(3191.0)},
+                  {"fpad", amf::Value(false)}};
+  auto out = amf::decode_all(amf::encode_all({amf::Value(obj)}));
+  ASSERT_TRUE(out.ok());
+  const amf::Value& v = out.value()[0];
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v["app"].as_string(), "live");
+  EXPECT_DOUBLE_EQ(v["audioCodecs"].as_number(), 3191.0);
+  EXPECT_TRUE(v["missing"].is_null());
+}
+
+TEST(Amf0, NestedObject) {
+  amf::Object inner{{"code", amf::Value("NetStream.Play.Start")}};
+  amf::Object outer{{"info", amf::Value(inner)}};
+  auto out = amf::decode_all(amf::encode_all({amf::Value(outer)}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0]["info"]["code"].as_string(),
+            "NetStream.Play.Start");
+}
+
+TEST(Amf0, EcmaArrayRoundtrip) {
+  amf::Object entries{{"k1", amf::Value(1.0)}, {"k2", amf::Value("v")}};
+  auto out =
+      amf::decode_all(amf::encode_all({amf::Value::ecma_array(entries)}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].type(), amf::Type::EcmaArray);
+  EXPECT_DOUBLE_EQ(out.value()[0]["k1"].as_number(), 1.0);
+}
+
+TEST(Amf0, NumberIsBigEndianIeee754) {
+  ByteWriter w;
+  amf::encode(w, amf::Value(1.0));
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 9u);
+  EXPECT_EQ(b[0], 0x00);  // number marker
+  EXPECT_EQ(b[1], 0x3F);  // 1.0 = 3FF0000000000000
+  EXPECT_EQ(b[2], 0xF0);
+}
+
+TEST(Amf0, TruncatedInputFails) {
+  ByteWriter w;
+  amf::encode(w, amf::Value("hello"));
+  Bytes b = w.bytes();
+  b.resize(b.size() - 2);
+  EXPECT_FALSE(amf::decode_all(b).ok());
+}
+
+TEST(Amf0, UnknownMarkerFails) {
+  const Bytes b = {0x0D, 0x00};
+  EXPECT_FALSE(amf::decode_all(b).ok());
+}
+
+TEST(Amf0, UnterminatedObjectFails) {
+  // Object marker + one key/value, no end marker.
+  ByteWriter w;
+  w.u8(0x03);
+  w.u16be(1);
+  w.raw(std::string_view("k"));
+  w.u8(0x05);  // null value
+  EXPECT_FALSE(amf::decode_all(w.bytes()).ok());
+}
+
+TEST(Flv, VideoTagRoundtrip) {
+  const Bytes payload = {0x01, 0x02, 0x03, 0x04};
+  const Bytes tag =
+      flv::make_video_tag(true, flv::AvcPacketType::Nalu, 33, payload);
+  auto parsed = flv::parse_video_tag(tag);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().keyframe);
+  EXPECT_EQ(parsed.value().packet_type, flv::AvcPacketType::Nalu);
+  EXPECT_EQ(parsed.value().composition_time_ms, 33);
+  EXPECT_EQ(parsed.value().data, payload);
+}
+
+TEST(Flv, InterframeTag) {
+  const Bytes tag =
+      flv::make_video_tag(false, flv::AvcPacketType::Nalu, 0, Bytes{0xFF});
+  auto parsed = flv::parse_video_tag(tag);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().keyframe);
+}
+
+TEST(Flv, NegativeCompositionTimeSignExtends) {
+  const Bytes tag =
+      flv::make_video_tag(false, flv::AvcPacketType::Nalu, -40, Bytes{});
+  auto parsed = flv::parse_video_tag(tag);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().composition_time_ms, -40);
+}
+
+TEST(Flv, AudioTagRoundtrip) {
+  const Bytes adts = {0xFF, 0xF1, 0x50, 0x80, 0x01, 0x00, 0xFC, 0xAA};
+  const Bytes tag = flv::make_audio_tag(flv::AacPacketType::Raw, adts);
+  auto parsed = flv::parse_audio_tag(tag);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().packet_type, flv::AacPacketType::Raw);
+  EXPECT_EQ(parsed.value().data, adts);
+}
+
+TEST(Flv, AvcSequenceHeaderCarriesDecoderConfig) {
+  media::Sps sps;
+  sps.width = 320;
+  sps.height = 568;
+  media::Pps pps;
+  pps.pic_init_qp = 26;
+  const Bytes tag = flv::make_avc_sequence_header(sps, pps);
+  auto parsed = flv::parse_video_tag(tag);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().packet_type, flv::AvcPacketType::SequenceHeader);
+  auto cfg = media::parse_avc_decoder_config(parsed.value().data);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg.value().sps.width, 320);
+  EXPECT_EQ(cfg.value().sps.height, 568);
+}
+
+TEST(Flv, NonAvcCodecRejected) {
+  Bytes tag = flv::make_video_tag(true, flv::AvcPacketType::Nalu, 0, Bytes{});
+  tag[0] = (tag[0] & 0xF0) | 0x02;  // Sorenson H.263
+  EXPECT_FALSE(flv::parse_video_tag(tag).ok());
+}
+
+TEST(Flv, NonAacAudioRejected) {
+  Bytes tag = flv::make_audio_tag(flv::AacPacketType::Raw, Bytes{1});
+  tag[0] = (2 << 4) | 0x0F;  // MP3
+  EXPECT_FALSE(flv::parse_audio_tag(tag).ok());
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,138 @@
+// CDN edge HTTP server tests: playlist/segment serving, freshness 404s,
+// rendition routing.
+#include <gtest/gtest.h>
+
+#include "mpegts/mpegts.h"
+#include "service/cdn_edge.h"
+
+namespace psc::service {
+namespace {
+
+struct EdgeHarness {
+  EdgeHarness() : edge("fastly-test") {
+    Rng rng(1);
+    PopulationConfig pop;
+    info = draw_broadcast(pop, rng, {48.8, 2.35}, time_at(0));
+    info.peak_viewers = 200;
+    info.planned_duration = hours(1);
+    info.uplink_bitrate = 4e6;
+    info.frame_loss_prob = 0;
+    PipelineConfig cfg;
+    cfg.hiccup_rate_per_min = 0;
+    cfg.transcode_ladder = {
+        {"low", media::TranscodeProfile{0.4, 8}, 140e3}};
+    pipe = std::make_unique<LiveBroadcastPipeline>(sim, info, cfg);
+    edge.attach(info.id, pipe.get());
+    pipe->start(seconds(30));
+    sim.run_until(time_at(30));
+  }
+
+  http::Response get(const std::string& path) {
+    http::Request req;
+    req.method = "GET";
+    req.path = path;
+    return edge.handle(req, sim.now());
+  }
+
+  sim::Simulation sim;
+  BroadcastInfo info;
+  std::unique_ptr<LiveBroadcastPipeline> pipe;
+  CdnEdge edge;
+};
+
+TEST(CdnEdge, ServesMediaPlaylist) {
+  EdgeHarness h;
+  const http::Response resp = h.get("/hls/" + h.info.id + "/playlist.m3u8");
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.headers.at("Content-Type"),
+            "application/vnd.apple.mpegurl");
+  auto pl = hls::parse_m3u8(to_string(resp.body));
+  ASSERT_TRUE(pl.ok());
+  EXPECT_FALSE(pl.value().segments.empty());
+  EXPECT_FALSE(pl.value().ended);
+}
+
+TEST(CdnEdge, ServesMasterPlaylistWithLadder) {
+  EdgeHarness h;
+  const http::Response resp = h.get("/hls/" + h.info.id + "/master.m3u8");
+  ASSERT_EQ(resp.status, 200);
+  auto variants = hls::parse_master_m3u8(to_string(resp.body));
+  ASSERT_TRUE(variants.ok());
+  EXPECT_EQ(variants.value().size(), 2u);
+}
+
+TEST(CdnEdge, ServesSegmentsThatAreFresh) {
+  EdgeHarness h;
+  const http::Response pl_resp =
+      h.get("/hls/" + h.info.id + "/playlist.m3u8");
+  auto pl = hls::parse_m3u8(to_string(pl_resp.body));
+  ASSERT_TRUE(pl.ok());
+  ASSERT_FALSE(pl.value().segments.empty());
+  const http::Response seg = h.get("/hls/" + h.info.id + "/" +
+                                   pl.value().segments.front().uri);
+  ASSERT_EQ(seg.status, 200);
+  EXPECT_EQ(seg.headers.at("Content-Type"), "video/mp2t");
+  EXPECT_EQ(seg.body.size() % mpegts::kTsPacketSize, 0u);
+  // Segment body demuxes standalone.
+  mpegts::TsDemuxer demux;
+  EXPECT_TRUE(demux.push(seg.body).ok());
+}
+
+TEST(CdnEdge, FutureSegment404) {
+  EdgeHarness h;
+  // A sequence far past the live edge.
+  const http::Response resp =
+      h.get("/hls/" + h.info.id + "/seg_9999.ts");
+  EXPECT_EQ(resp.status, 404);
+}
+
+TEST(CdnEdge, RenditionRouting) {
+  EdgeHarness h;
+  const http::Response pl =
+      h.get("/hls/" + h.info.id + "/r1/playlist.m3u8");
+  ASSERT_EQ(pl.status, 200);
+  auto parsed = hls::parse_m3u8(to_string(pl.body));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_FALSE(parsed.value().segments.empty());
+  // Rendition playlist references r1/ URIs; fetch one.
+  const http::Response seg = h.get("/hls/" + h.info.id + "/" +
+                                   parsed.value().segments.front().uri);
+  ASSERT_EQ(seg.status, 200);
+  // Ladder segment is smaller than the source one of the same sequence.
+  const http::Response src = h.get(
+      "/hls/" + h.info.id + "/seg_" +
+      std::to_string(parsed.value().segments.front().sequence) + ".ts");
+  ASSERT_EQ(src.status, 200);
+  EXPECT_LT(seg.body.size(), src.body.size());
+}
+
+TEST(CdnEdge, VodPlaylistAfterStop) {
+  EdgeHarness h;
+  h.pipe->stop();
+  const http::Response resp = h.get("/hls/" + h.info.id + "/vod.m3u8");
+  ASSERT_EQ(resp.status, 200);
+  auto pl = hls::parse_m3u8(to_string(resp.body));
+  ASSERT_TRUE(pl.ok());
+  EXPECT_TRUE(pl.value().ended);
+  EXPECT_GE(pl.value().segments.size(), 6u);
+}
+
+TEST(CdnEdge, UnknownPathsAndBroadcasts404) {
+  EdgeHarness h;
+  EXPECT_EQ(h.get("/hls/unknownbcast1/playlist.m3u8").status, 404);
+  EXPECT_EQ(h.get("/other/path").status, 404);
+  EXPECT_EQ(h.get("/hls/" + h.info.id + "/bogus.bin").status, 404);
+  http::Request post;
+  post.method = "POST";
+  post.path = "/hls/" + h.info.id + "/playlist.m3u8";
+  EXPECT_EQ(h.edge.handle(post, h.sim.now()).status, 404);
+}
+
+TEST(CdnEdge, DetachRemovesContent) {
+  EdgeHarness h;
+  h.edge.detach(h.info.id);
+  EXPECT_EQ(h.get("/hls/" + h.info.id + "/playlist.m3u8").status, 404);
+}
+
+}  // namespace
+}  // namespace psc::service

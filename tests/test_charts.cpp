@@ -1,0 +1,93 @@
+// ASCII chart renderer tests (the benches' output layer).
+#include <gtest/gtest.h>
+
+#include "analysis/charts.h"
+#include "util/strings.h"
+
+namespace psc::analysis {
+namespace {
+
+TEST(Charts, CdfHasAxesAndLegend) {
+  std::vector<Series> series = {{"rtmp", {0.1, 0.2, 0.3}},
+                                {"hls", {1.0, 2.0, 3.0}}};
+  const std::string out = render_cdf(series, 0, 4, "latency (s)");
+  EXPECT_NE(out.find("1.00 |"), std::string::npos);
+  EXPECT_NE(out.find("0.00 |"), std::string::npos);
+  EXPECT_NE(out.find("rtmp (n=3)"), std::string::npos);
+  EXPECT_NE(out.find("hls (n=3)"), std::string::npos);
+  EXPECT_NE(out.find("latency (s)"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(Charts, CdfMonotoneGlyphPlacement) {
+  std::vector<Series> series = {{"x", {1, 2, 3, 4, 5}}};
+  const std::string out = render_cdf(series, 0, 6, "v", 40, 10);
+  // The glyph for larger x must never be on a lower-probability row than
+  // for smaller x: verify first glyph column of top row is right of the
+  // bottom row's.
+  const auto lines = psc::split(out, '\n');
+  int top_col = -1, bottom_col = -1;
+  for (const std::string& line : lines) {
+    const std::size_t pos = line.find('*');
+    if (pos == std::string::npos) continue;
+    if (top_col < 0) top_col = static_cast<int>(pos);
+    bottom_col = static_cast<int>(pos);
+  }
+  // Rows are printed top (p=1) first; CDF reaches p=1 at larger x.
+  EXPECT_GE(top_col, bottom_col);
+}
+
+TEST(Charts, BoxplotsOneRowPerSeries) {
+  std::vector<Series> series = {{"0.5 Mbps", {1, 2, 3, 10}},
+                                {"2 Mbps", {0.5, 0.6, 0.7}},
+                                {"unlim", {0.1}}};
+  const std::string out = render_boxplots(series, 0, 12, "join (s)");
+  EXPECT_NE(out.find("0.5 Mbps"), std::string::npos);
+  EXPECT_NE(out.find("2 Mbps"), std::string::npos);
+  EXPECT_NE(out.find("unlim"), std::string::npos);
+  EXPECT_NE(out.find('M'), std::string::npos);  // median marker
+  EXPECT_NE(out.find("n=4"), std::string::npos);
+}
+
+TEST(Charts, EmptySeriesDoesNotCrash) {
+  std::vector<Series> series = {{"empty", {}}};
+  EXPECT_FALSE(render_cdf(series, 0, 1, "x").empty());
+  EXPECT_FALSE(render_boxplots(series, 0, 1, "x").empty());
+}
+
+TEST(Charts, ScatterMarksDensity) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i % 10);
+    ys.push_back((i * 7) % 10);
+  }
+  const std::string out = render_scatter(xs, ys, "qp", "kbps");
+  EXPECT_NE(out.find("qp"), std::string::npos);
+  EXPECT_NE(out.find("kbps"), std::string::npos);
+  // Overplotting escalates glyphs . -> o -> @.
+  EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(Charts, ScatterEmptyHandled) {
+  EXPECT_EQ(render_scatter({}, {}, "x", "y"), "(no data)\n");
+}
+
+TEST(Charts, BarsScaleToMax) {
+  std::vector<Bar> bars = {{"idle", 1000}, {"chat", 4000}};
+  const std::string out = render_bars(bars, "mW", 40);
+  EXPECT_NE(out.find("idle"), std::string::npos);
+  EXPECT_NE(out.find("4000 mW"), std::string::npos);
+  // chat bar is ~4x the idle bar.
+  const auto lines = psc::split(out, '\n');
+  const auto count_hashes = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '#');
+  };
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(count_hashes(lines[1])) /
+                  count_hashes(lines[0]),
+              4.0, 0.5);
+}
+
+}  // namespace
+}  // namespace psc::analysis

@@ -1,0 +1,117 @@
+// End-to-end chat session tests: WS upgrade over the simulated network,
+// frame delivery, chat-full behaviour, wire capture for the energy model.
+#include <gtest/gtest.h>
+
+#include "client/chat_session.h"
+
+namespace psc {
+namespace {
+
+struct ChatHarness {
+  explicit ChatHarness(int full_threshold = 250)
+      : device(sim, client::DeviceConfig{}, 1),
+        room(sim, nullptr, make_config(full_threshold), 2) {}
+
+  static service::ChatConfig make_config(int full_threshold) {
+    service::ChatConfig cfg;
+    cfg.full_threshold = full_threshold;
+    cfg.rate_per_sqrt_viewer = 1.0;  // brisk chat for short tests
+    return cfg;
+  }
+
+  sim::Simulation sim;
+  client::Device device;
+  service::ChatRoom room;
+};
+
+TEST(ChatSession, UpgradeHandshakeCompletes) {
+  ChatHarness h;
+  client::ChatSession chat(h.sim, h.device, h.room, 3);
+  EXPECT_FALSE(chat.connected());
+  chat.connect();
+  h.sim.run_until(h.sim.now() + seconds(1));
+  EXPECT_TRUE(chat.connected());
+  EXPECT_TRUE(chat.can_send());
+  // The 101 response was captured on the wire.
+  EXPECT_GT(chat.wire_capture().total_bytes(), 100u);
+}
+
+TEST(ChatSession, ReceivesRoomMessagesAsFrames) {
+  ChatHarness h;
+  client::ChatSession chat(h.sim, h.device, h.room, 4);
+  chat.connect();
+  h.sim.run_until(h.sim.now() + seconds(1));
+  ASSERT_TRUE(chat.connected());
+  h.room.start(seconds(60));
+  h.sim.run_until(h.sim.now() + seconds(60));
+  EXPECT_GT(chat.received().size(), 10u);
+  EXPECT_EQ(chat.frames_decoded(), chat.received().size());
+  for (const service::ChatMessage& m : chat.received()) {
+    EXPECT_FALSE(m.from.empty());
+    EXPECT_FALSE(m.text.empty());
+    EXPECT_GT(m.wire_bytes, 20u);
+  }
+}
+
+TEST(ChatSession, ChatFullBlocksSendingButNotReceiving) {
+  ChatHarness h(/*full_threshold=*/1);
+  client::ChatSession first(h.sim, h.device, h.room, 5);
+  client::ChatSession second(h.sim, h.device, h.room, 6);
+  first.connect();
+  h.sim.run_until(h.sim.now() + seconds(1));
+  second.connect();
+  h.sim.run_until(h.sim.now() + seconds(1));
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(second.connected());
+  EXPECT_TRUE(first.can_send());
+  EXPECT_FALSE(second.can_send());  // room full after the first joiner
+  h.room.start(seconds(30));
+  h.sim.run_until(h.sim.now() + seconds(30));
+  EXPECT_GT(second.received().size(), 3u);  // still receives
+}
+
+TEST(ChatSession, SendMessageGoesUpstreamWhenAllowed) {
+  ChatHarness h;
+  client::ChatSession chat(h.sim, h.device, h.room, 7);
+  chat.connect();
+  h.sim.run_until(h.sim.now() + seconds(1));
+  const std::uint64_t before = chat.wire_capture().total_bytes();
+  chat.send_message("gorgeous sunset");
+  h.sim.run_until(h.sim.now() + seconds(1));
+  EXPECT_GT(chat.wire_capture().total_bytes(), before);
+}
+
+TEST(ChatSession, DisconnectStopsDelivery) {
+  ChatHarness h;
+  client::ChatSession chat(h.sim, h.device, h.room, 8);
+  chat.connect();
+  h.sim.run_until(h.sim.now() + seconds(1));
+  h.room.start(seconds(120));
+  h.sim.run_until(h.sim.now() + seconds(20));
+  const std::size_t before = chat.received().size();
+  EXPECT_GT(before, 0u);
+  chat.disconnect();
+  h.sim.run_until(h.sim.now() + seconds(60));
+  EXPECT_EQ(chat.received().size(), before);
+}
+
+TEST(ChatSession, WireBytesMatchRealFrameSizes) {
+  // Each received message's wire_bytes is a real WS frame length:
+  // header (2) + payload, no mask for server frames.
+  ChatHarness h;
+  client::ChatSession chat(h.sim, h.device, h.room, 9);
+  chat.connect();
+  h.sim.run_until(h.sim.now() + seconds(1));
+  h.room.start(seconds(30));
+  h.sim.run_until(h.sim.now() + seconds(30));
+  ASSERT_FALSE(chat.received().empty());
+  for (const service::ChatMessage& m : chat.received()) {
+    const std::size_t envelope =
+        std::string(R"({"from":"","kind":"chat","text":""})").size() +
+        m.from.size() + m.text.size();
+    EXPECT_EQ(m.wire_bytes, envelope + 2);
+  }
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,200 @@
+// Crawler tests: deep quadtree crawl coverage, rate-limit pacing,
+// targeted crawl tracking against ground truth.
+#include <gtest/gtest.h>
+
+#include "crawler/crawler.h"
+
+namespace psc::crawler {
+namespace {
+
+struct CrawlWorld {
+  explicit CrawlWorld(double concurrent = 300, std::uint64_t seed = 5)
+      : world(sim, config(concurrent), seed),
+        servers(seed + 1),
+        api(world, servers, api_config()) {
+    world.start();
+    sim.run_until(time_at(10));
+  }
+
+  static service::WorldConfig config(double concurrent) {
+    service::WorldConfig cfg;
+    cfg.target_concurrent = concurrent;
+    cfg.hotspot_count = 50;
+    return cfg;
+  }
+  static service::ApiConfig api_config() {
+    service::ApiConfig cfg;
+    cfg.rate_limit.capacity = 12;
+    cfg.rate_limit.refill_per_sec = 1.5;
+    return cfg;
+  }
+
+  sim::Simulation sim;
+  service::World world;
+  service::MediaServerPool servers;
+  service::ApiServer api;
+};
+
+TEST(DeepCrawl, FindsMostOfTheDiscoverableWorld) {
+  CrawlWorld w(1500);
+  DeepCrawler crawler(w.sim, w.api, DeepCrawlConfig{});
+  std::optional<DeepCrawlResult> result;
+  crawler.run([&](DeepCrawlResult r) { result = std::move(r); });
+  w.sim.run_until(time_at(3600));
+  ASSERT_TRUE(result.has_value());
+  // The world churns during the crawl; we should still find a large
+  // fraction of the ~1500 concurrently live broadcasts.
+  EXPECT_GT(result->ids.size(), 900u);
+  EXPECT_GT(result->areas.size(), 10u);
+  EXPECT_GE(result->requests, result->areas.size());
+  // All discovered ids are attributed to some crawled area.
+  std::size_t total = 0;
+  for (const AreaCount& a : result->areas) total += a.new_broadcasts;
+  EXPECT_EQ(total, result->ids.size());
+}
+
+TEST(DeepCrawl, RankedCumulativeIsMonotoneAndConcentrated) {
+  CrawlWorld w(1500, 6);
+  DeepCrawler crawler(w.sim, w.api, DeepCrawlConfig{});
+  std::optional<DeepCrawlResult> result;
+  crawler.run([&](DeepCrawlResult r) { result = std::move(r); });
+  w.sim.run_until(time_at(3600));
+  ASSERT_TRUE(result.has_value());
+  const auto cum = result->cumulative_ranked();
+  ASSERT_FALSE(cum.empty());
+  for (std::size_t i = 1; i < cum.size(); ++i) {
+    EXPECT_GE(cum[i], cum[i - 1]);
+  }
+  // Paper: the top 50% of areas contain over 80% of the broadcasts.
+  const std::size_t half = cum.size() / 2;
+  if (half > 0 && cum.back() > 0) {
+    EXPECT_GT(static_cast<double>(cum[half]) / cum.back(), 0.8);
+  }
+}
+
+TEST(DeepCrawl, PacingKeepsThrottlingLow) {
+  CrawlWorld w(200, 7);
+  DeepCrawlConfig cfg;
+  cfg.pacing = millis(900);  // paced: under the 1.5/s refill
+  DeepCrawler crawler(w.sim, w.api, cfg);
+  std::optional<DeepCrawlResult> result;
+  crawler.run([&](DeepCrawlResult r) { result = std::move(r); });
+  w.sim.run_until(time_at(3600));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(result->throttled, result->requests / 10);
+}
+
+TEST(DeepCrawl, AggressivePacingGets429s) {
+  CrawlWorld w(1500, 8);
+  DeepCrawlConfig cfg;
+  cfg.pacing = millis(50);  // hammering
+  DeepCrawler crawler(w.sim, w.api, cfg);
+  std::optional<DeepCrawlResult> result;
+  crawler.run([&](DeepCrawlResult r) { result = std::move(r); });
+  w.sim.run_until(time_at(3600));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->throttled, 0u);
+  // Backoff still lets the crawl finish.
+  EXPECT_GT(result->ids.size(), 100u);
+}
+
+TEST(DeepCrawl, TakesAboutTenSimMinutes) {
+  CrawlWorld w(2500, 9);
+  DeepCrawler crawler(w.sim, w.api, DeepCrawlConfig{});
+  std::optional<DeepCrawlResult> result;
+  crawler.run([&](DeepCrawlResult r) { result = std::move(r); });
+  w.sim.run_until(time_at(7200));
+  ASSERT_TRUE(result.has_value());
+  // Paper: "a bit over 10 minutes". Ours depends on area count; should
+  // land within the same order of magnitude.
+  EXPECT_GT(to_s(result->took), 120.0);
+  EXPECT_LT(to_s(result->took), 1800.0);
+}
+
+TEST(TargetedCrawl, TracksDurationsAgainstGroundTruth) {
+  CrawlWorld w(250, 10);
+  // Inject a known broadcast that ends mid-crawl.
+  service::BroadcastInfo planted;
+  planted.id = "PLANTEDbcast1";
+  planted.location = {48.86, 2.35};
+  planted.start_time = w.sim.now();
+  planted.planned_duration = seconds(600);
+  planted.peak_viewers = 5000;  // highly ranked: always in responses
+  w.world.add_broadcast(planted);
+
+  std::vector<geo::GeoRect> areas;
+  for (const geo::GeoRect& q : geo::GeoRect::world().quadrants()) {
+    for (const geo::GeoRect& qq : q.quadrants()) areas.push_back(qq);
+  }
+  TargetedCrawler crawler(w.sim, w.api, areas, TargetedCrawlConfig{});
+  std::optional<UsageDataset> ds;
+  crawler.run(hours(1), [&](UsageDataset d) { ds = std::move(d); });
+  w.sim.run_until(time_at(4000));
+  ASSERT_TRUE(ds.has_value());
+  ASSERT_TRUE(ds->tracks.count("PLANTEDbcast1"));
+  const BroadcastTrack& t = ds->tracks.at("PLANTEDbcast1");
+  // Last sighting within one sweep of the actual end.
+  const double measured = to_s(t.last_seen) - t.start_time_s;
+  EXPECT_NEAR(measured, 600.0, 60.0);
+  EXPECT_GT(t.viewer_samples, 10u);
+  EXPECT_GT(t.avg_viewers(), 1000.0);
+}
+
+TEST(TargetedCrawl, EndedDurationsExcludeStillLive) {
+  CrawlWorld w(250, 11);
+  std::vector<geo::GeoRect> areas;
+  for (const geo::GeoRect& q : geo::GeoRect::world().quadrants()) {
+    areas.push_back(q);
+  }
+  TargetedCrawler crawler(w.sim, w.api, areas, TargetedCrawlConfig{});
+  std::optional<UsageDataset> ds;
+  crawler.run(hours(2), [&](UsageDataset d) { ds = std::move(d); });
+  w.sim.run_until(time_at(8000));
+  ASSERT_TRUE(ds.has_value());
+  const auto durations = ds->ended_durations();
+  EXPECT_GT(durations.size(), 50u);
+  EXPECT_LT(durations.size(), ds->tracks.size());
+  for (double d : durations) EXPECT_GT(d, 0.0);
+}
+
+TEST(TargetedCrawl, FourAccountsSweepFast) {
+  CrawlWorld w(250, 12);
+  std::vector<geo::GeoRect> areas;
+  // 64 areas as in the paper.
+  for (const geo::GeoRect& q : geo::GeoRect::world().quadrants()) {
+    for (const geo::GeoRect& qq : q.quadrants()) {
+      for (const geo::GeoRect& qqq : qq.quadrants()) areas.push_back(qqq);
+    }
+  }
+  ASSERT_EQ(areas.size(), 64u);
+  TargetedCrawlConfig cfg;
+  cfg.accounts = 4;
+  TargetedCrawler crawler(w.sim, w.api, areas, cfg);
+  std::optional<UsageDataset> ds;
+  crawler.run(minutes(10), [&](UsageDataset d) { ds = std::move(d); });
+  w.sim.run_until(time_at(700));
+  ASSERT_TRUE(ds.has_value());
+  // Paper: a targeted crawl completes in about 50 s.
+  EXPECT_GT(to_s(crawler.last_sweep_duration()), 5.0);
+  EXPECT_LT(to_s(crawler.last_sweep_duration()), 120.0);
+  // The 4 distinct accounts avoid rate limiting: many sightings.
+  EXPECT_GT(ds->tracks.size(), 100u);
+}
+
+TEST(TargetedCrawl, ViewerSamplesAccumulate) {
+  CrawlWorld w(150, 13);
+  std::vector<geo::GeoRect> areas = {geo::GeoRect::world()};
+  TargetedCrawler crawler(w.sim, w.api, areas, TargetedCrawlConfig{});
+  std::optional<UsageDataset> ds;
+  crawler.run(minutes(20), [&](UsageDataset d) { ds = std::move(d); });
+  w.sim.run_until(time_at(1500));
+  ASSERT_TRUE(ds.has_value());
+  std::size_t with_viewers = 0;
+  for (const auto& [id, t] : ds->tracks) {
+    if (t.viewer_samples > 0) ++with_viewers;
+  }
+  EXPECT_GT(with_viewers, ds->tracks.size() / 2);
+}
+
+}  // namespace
+}  // namespace psc::crawler

@@ -1,0 +1,82 @@
+// CSV export tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/csv.h"
+#include "util/strings.h"
+
+namespace psc::core {
+namespace {
+
+SessionRecord sample_record() {
+  SessionRecord r;
+  r.stats.broadcast_id = "abc1234567890";
+  r.stats.protocol = client::Protocol::Rtmp;
+  r.stats.device_model = "Galaxy S4";
+  r.stats.server_ip = "54.73.9.120";
+  r.stats.server_region = "eu-central-1";
+  r.stats.distance_km = 1842.5;
+  r.stats.avg_viewers = 12.0;
+  r.stats.ever_played = true;
+  r.stats.join_time_s = 0.8;
+  r.stats.played_s = 58.2;
+  r.stats.stalled_s = 1.0;
+  r.stats.stall_count = 1;
+  r.stats.stall_ratio = 1.0 / 59.2;
+  r.stats.playback_latency_s = 3.1;
+  r.stats.reported_fps = 29.5;
+  r.stats.bytes_received = 2500000;
+  r.analysis.width = 320;
+  r.analysis.height = 568;
+  for (int i = 0; i < 60; ++i) {
+    analysis::FrameRecord f;
+    f.pts = seconds(i / 30.0);
+    f.bytes = 1200;
+    f.qp = 26;
+    f.type = i % 2 == 0 ? media::FrameType::P : media::FrameType::B;
+    r.analysis.frames.push_back(f);
+  }
+  return r;
+}
+
+TEST(Csv, HeaderAndRowShape) {
+  const std::string csv = sessions_to_csv({sample_record()});
+  const auto lines = split(csv, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  const auto header = split(lines[0], ',');
+  const auto row = split(lines[1], ',');
+  EXPECT_EQ(header.size(), row.size());
+  EXPECT_EQ(header[0], "broadcast_id");
+  EXPECT_EQ(row[0], "abc1234567890");
+  EXPECT_EQ(row[1], "rtmp");
+}
+
+TEST(Csv, ValuesSurvive) {
+  const std::string csv = sessions_to_csv({sample_record()});
+  EXPECT_NE(csv.find("Galaxy S4"), std::string::npos);
+  EXPECT_NE(csv.find("eu-central-1"), std::string::npos);
+  EXPECT_NE(csv.find("320,568"), std::string::npos);
+  EXPECT_NE(csv.find("IBP"), std::string::npos);
+}
+
+TEST(Csv, EmptyInputHeaderOnly) {
+  const std::string csv = sessions_to_csv({});
+  const auto lines = split(csv, '\n');
+  EXPECT_EQ(lines.size(), 2u);  // header + trailing empty
+  EXPECT_TRUE(lines[1].empty());
+}
+
+TEST(Csv, FileWrite) {
+  const std::string path = "/tmp/psc_test_sessions.csv";
+  ASSERT_TRUE(write_sessions_csv({sample_record()}, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_FALSE(
+      write_sessions_csv({}, "/nonexistent-dir/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace psc::core

@@ -1,0 +1,163 @@
+// Edge-case batch: large chunk-stream ids, oversized PES, player
+// buffered_at, shaped-queue recovery accounting, energy tail merging,
+// degenerate geometry.
+#include <gtest/gtest.h>
+
+#include "client/player.h"
+#include "energy/power_model.h"
+#include "geo/geo.h"
+#include "media/types.h"
+#include "mpegts/mpegts.h"
+#include "net/link.h"
+#include "rtmp/chunk.h"
+
+namespace psc {
+namespace {
+
+class CsidRanges : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CsidRanges, BasicHeaderFormsRoundtrip) {
+  // csid 2-63: 1-byte form; 64-319: 2-byte; 320+: 3-byte.
+  rtmp::ChunkWriter writer;
+  rtmp::ChunkReader reader;
+  ByteWriter out;
+  rtmp::Message msg;
+  msg.type = rtmp::MessageType::Video;
+  msg.timestamp_ms = 12;
+  msg.stream_id = 1;
+  msg.payload.assign(200, 0x7E);
+  writer.write(out, GetParam(), msg);
+  ASSERT_TRUE(reader.push(out.bytes()).ok());
+  auto msgs = reader.take_messages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].payload, msg.payload);
+  EXPECT_EQ(msgs[0].timestamp_ms, 12u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Forms, CsidRanges,
+                         ::testing::Values(2u, 63u, 64u, 319u, 320u,
+                                           1000u));
+
+TEST(TsEdge, OversizedVideoPesUsesUnboundedLength) {
+  // A >64 KB video access unit forces PES_packet_length = 0.
+  mpegts::TsMuxer mux;
+  mpegts::TsDemuxer demux;
+  ASSERT_TRUE(demux.push(mux.psi()).ok());
+  media::MediaSample s;
+  s.kind = media::SampleKind::Video;
+  s.dts = seconds(1);
+  s.pts = seconds(1.033);
+  s.keyframe = true;
+  s.data.assign(150000, 0x3C);
+  ASSERT_TRUE(demux.push(mux.mux_sample(s)).ok());
+  demux.flush();
+  auto samples = demux.take_samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].data.size(), 150000u);
+  EXPECT_EQ(samples[0].data, s.data);
+}
+
+TEST(PlayerEdge, BufferedAtTracksPlayheadMotion) {
+  client::Player p(client::PlayerConfig{millis(500), millis(500)},
+                   time_at(0), 0.0);
+  p.on_media(time_at(0), seconds(0), seconds(5));
+  // Playing since t=0 (buffered 5 s >= 0.5 s).
+  EXPECT_NEAR(to_s(p.buffered_at(time_at(0))), 5.0, 1e-9);
+  EXPECT_NEAR(to_s(p.buffered_at(time_at(2))), 3.0, 1e-9);
+  EXPECT_NEAR(to_s(p.buffered_at(time_at(10))), 0.0, 1e-9);  // drained
+}
+
+TEST(LinkEdge, RecoveryCooldownBoundsEvents) {
+  sim::Simulation sim;
+  net::Link link(sim, 1e6, millis(10));
+  link.enable_shaped_queue(10000, Rng(1));
+  // Hammer 100 x 5 KB sends instantly: the backlog blows the 10 KB queue
+  // immediately, but recoveries are cooldown-limited (one per ~2 s).
+  for (int i = 0; i < 100; ++i) {
+    link.send(Bytes(5000, 0), [](TimePoint, Bytes) {});
+  }
+  sim.run_all();
+  EXPECT_GE(link.loss_recovery_events(), 1u);
+  EXPECT_LE(link.loss_recovery_events(), 3u);
+}
+
+TEST(LinkEdge, ShapingDisabledNoRecoveries) {
+  sim::Simulation sim;
+  net::Link link(sim, 1e6, millis(10));
+  link.enable_shaped_queue(10000, Rng(1));
+  link.disable_shaped_queue();
+  for (int i = 0; i < 50; ++i) {
+    link.send(Bytes(5000, 0), [](TimePoint, Bytes) {});
+  }
+  sim.run_all();
+  EXPECT_EQ(link.loss_recovery_events(), 0u);
+}
+
+TEST(EnergyEdge, BackToBackTransfersMergeTails) {
+  // A continuous 1 s transfer at line rate then silence: radio busy
+  // window equals the serialization time, single tail after.
+  energy::PowerIntegrator p(energy::Radio::Wifi, time_at(0));
+  p.set_screen(time_at(0), false);
+  // 25 Mbps phy, send 3.125 MB => busy exactly 1 s.
+  p.on_network_bytes(time_at(0), 3125000);
+  const double avg = p.finish(time_at(10));
+  const energy::RadioParams rp = energy::wifi_params();
+  const double expected =
+      345 + (1.0 * rp.active_mw + 0.25 * rp.tail_mw + 8.75 * rp.idle_mw) /
+                10.0;
+  EXPECT_NEAR(avg, expected, 1.0);
+}
+
+TEST(GeoEdge, DegenerateRectHasNoInterior) {
+  const geo::GeoRect r{10, 10, 20, 20};  // zero area
+  EXPECT_FALSE(r.contains({10, 20}));
+  EXPECT_DOUBLE_EQ(r.area_deg2(), 0.0);
+  // Quadrants of a degenerate rect are degenerate, not invalid.
+  for (const geo::GeoRect& q : r.quadrants()) {
+    EXPECT_DOUBLE_EQ(q.area_deg2(), 0.0);
+  }
+}
+
+TEST(GeoEdge, AntipodalDistanceIsHalfCircumference) {
+  const double d = geo::distance_km({0, 0}, {0, 180});
+  EXPECT_NEAR(d, 3.14159265 * 6371.0, 5.0);
+}
+
+TEST(RtmpEdge, ZeroLengthPayloadMessage) {
+  rtmp::ChunkWriter writer;
+  rtmp::ChunkReader reader;
+  ByteWriter out;
+  rtmp::Message msg;
+  msg.type = rtmp::MessageType::Acknowledgement;
+  msg.payload.clear();
+  msg.payload.resize(4);  // minimal ack payload
+  writer.write(out, rtmp::kCsidProtocol, msg);
+  // Also a genuinely empty payload.
+  rtmp::Message empty;
+  empty.type = rtmp::MessageType::UserControl;
+  writer.write(out, rtmp::kCsidProtocol, empty);
+  ASSERT_TRUE(reader.push(out.bytes()).ok());
+  auto msgs = reader.take_messages();
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[1].payload.size(), 0u);
+}
+
+TEST(SimEdge, EventStormStaysOrdered) {
+  sim::Simulation sim;
+  Rng rng(5);
+  std::vector<double> fire_times;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = rng.uniform(0, 100);
+    sim.schedule_at(time_at(t), [&fire_times, &sim] {
+      fire_times.push_back(to_s(sim.now()));
+    });
+  }
+  sim.run_all();
+  ASSERT_EQ(fire_times.size(), 20000u);
+  for (std::size_t i = 1; i < fire_times.size(); ++i) {
+    ASSERT_LE(fire_times[i - 1], fire_times[i]);
+  }
+}
+
+}  // namespace
+}  // namespace psc

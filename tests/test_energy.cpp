@@ -1,0 +1,147 @@
+// Power model tests against the Fig. 8 anchor values and the radio
+// state-machine integration math.
+#include <gtest/gtest.h>
+
+#include "energy/power_model.h"
+
+namespace psc::energy {
+namespace {
+
+TEST(Power, IdleIsAbout1000mWBothRadios) {
+  for (Radio radio : {Radio::Wifi, Radio::Lte}) {
+    PowerIntegrator p(radio, time_at(0));
+    p.set_screen(time_at(0), true);
+    const double avg = p.finish(time_at(60));
+    // Paper: reference idle ~1000 mW with screen at full brightness.
+    EXPECT_NEAR(avg, 1000, 60) << (radio == Radio::Wifi ? "wifi" : "lte");
+  }
+}
+
+TEST(Power, ScreenOffDropsBaseline) {
+  PowerIntegrator p(Radio::Wifi, time_at(0));
+  p.set_screen(time_at(0), false);
+  EXPECT_LT(p.finish(time_at(60)), 450);
+}
+
+double browse_power(Radio radio) {
+  // App foreground, video list refresh every 5 s (~300 KB each).
+  PowerIntegrator p(radio, time_at(0));
+  p.set_app_foreground(time_at(0), true);
+  for (double t = 0; t < 300; t += 5) {
+    p.on_network_bytes(time_at(t), 300000);
+  }
+  return p.finish(time_at(300));
+}
+
+TEST(Power, AppForegroundMatchesPaperWifi) {
+  // Paper: 1670 mW on WiFi.
+  EXPECT_NEAR(browse_power(Radio::Wifi), 1670, 200);
+}
+
+TEST(Power, AppForegroundMatchesPaperLte) {
+  // Paper: 2160 mW on LTE — the RRC tail keeps the radio hot between the
+  // 5-second refreshes.
+  EXPECT_NEAR(browse_power(Radio::Lte), 2160, 300);
+}
+
+double watch_power(Radio radio, bool chat, bool broadcast = false) {
+  PowerIntegrator p(radio, time_at(0));
+  p.set_app_foreground(time_at(0), true);
+  if (broadcast) {
+    p.set_broadcasting(time_at(0), true);
+  } else {
+    p.set_decoding(time_at(0), true);
+  }
+  if (chat) p.set_chat(time_at(0), true);
+  // ~350 kbps of media in 1.5 KB messages every ~33 ms.
+  for (double t = 0; t < 60; t += 0.0333) {
+    p.on_network_bytes(time_at(t), 1500);
+  }
+  return p.finish(time_at(60));
+}
+
+TEST(Power, ChatJumpMatchesPaper) {
+  // Paper: chat raises consumption to 4170 mW (WiFi) / 4540 mW (LTE).
+  EXPECT_NEAR(watch_power(Radio::Wifi, true), 4170, 350);
+  EXPECT_NEAR(watch_power(Radio::Lte, true), 4540, 500);
+}
+
+TEST(Power, OrderingAcrossScenarios) {
+  // idle < browse < watch < broadcast < watch+chat, per Fig. 8.
+  const double idle = [] {
+    PowerIntegrator p(Radio::Wifi, time_at(0));
+    return p.finish(time_at(60));
+  }();
+  const double browse = browse_power(Radio::Wifi);
+  const double watch = watch_power(Radio::Wifi, false);
+  const double chat = watch_power(Radio::Wifi, true);
+  const double bcast = watch_power(Radio::Wifi, false, true);
+  EXPECT_LT(idle, browse);
+  EXPECT_LT(browse, watch);
+  EXPECT_LT(watch, bcast);
+  EXPECT_LT(bcast, chat);  // "even slightly more than when broadcasting"
+}
+
+TEST(Power, LteAlwaysCostsMoreThanWifi) {
+  EXPECT_GT(browse_power(Radio::Lte), browse_power(Radio::Wifi));
+  EXPECT_GT(watch_power(Radio::Lte, false), watch_power(Radio::Wifi, false));
+  EXPECT_GT(watch_power(Radio::Lte, true), watch_power(Radio::Wifi, true));
+}
+
+TEST(Power, ChatDrainsBatteryInAboutTwoHours) {
+  // Paper: the chat case drains a full charge in just over 2 h.
+  const double hours = battery_hours(watch_power(Radio::Lte, true));
+  EXPECT_GT(hours, 1.7);
+  EXPECT_LT(hours, 2.7);
+}
+
+TEST(Power, RadioTailIntegrationExact) {
+  // One 1250-byte burst at t=0 on WiFi (25 Mbps, 0.25 s tail):
+  // active 0.0004 s @780, tail 0.25 s @180, idle rest @25.
+  PowerIntegrator p(Radio::Wifi, time_at(0));
+  p.set_screen(time_at(0), false);
+  p.on_network_bytes(time_at(0), 1250);
+  const double avg = p.finish(time_at(10));
+  const RadioParams rp = wifi_params();
+  const double active_s = 1250 * 8.0 / rp.phy_rate;
+  const double expected_radio =
+      (active_s * rp.active_mw + 0.25 * rp.tail_mw +
+       (10 - active_s - 0.25) * rp.idle_mw) /
+      10.0;
+  EXPECT_NEAR(avg, 345 + expected_radio, 1.0);
+}
+
+TEST(Power, OverlappingBurstsShareTail) {
+  // Two bursts 50 ms apart must not double-count the tail window.
+  PowerIntegrator p1(Radio::Wifi, time_at(0));
+  p1.set_screen(time_at(0), false);
+  p1.on_network_bytes(time_at(0), 1250);
+  p1.on_network_bytes(time_at(0.05), 1250);
+  const double close_together = p1.finish(time_at(10));
+
+  PowerIntegrator p2(Radio::Wifi, time_at(0));
+  p2.set_screen(time_at(0), false);
+  p2.on_network_bytes(time_at(0), 1250);
+  p2.on_network_bytes(time_at(5.0), 1250);
+  const double far_apart = p2.finish(time_at(10));
+  EXPECT_LT(close_together, far_apart);  // merged tail burns less
+}
+
+TEST(Power, EnergyAccumulatesMonotonically) {
+  PowerIntegrator p(Radio::Lte, time_at(0));
+  p.set_screen(time_at(0), true);
+  p.set_decoding(time_at(0), true);
+  p.on_network_bytes(time_at(1), 100000);
+  (void)p.finish(time_at(2));
+  const double e1 = p.energy_mj();
+  EXPECT_GT(e1, 0);
+}
+
+TEST(Power, BatteryHoursMath) {
+  // 2600 mAh * 3.8 V = 9880 mWh; at 988 mW -> 10 h.
+  EXPECT_NEAR(battery_hours(988), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(battery_hours(0), 0.0);
+}
+
+}  // namespace
+}  // namespace psc::energy

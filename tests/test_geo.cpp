@@ -1,0 +1,92 @@
+// Geographic primitives tests.
+#include <gtest/gtest.h>
+
+#include "geo/geo.h"
+
+namespace psc::geo {
+namespace {
+
+TEST(Geo, QuadrantsPartitionParent) {
+  const GeoRect parent{10, 50, -20, 60};
+  const auto quads = parent.quadrants();
+  // Every point inside the parent lies in exactly one quadrant.
+  for (double lat = 10.5; lat < 50; lat += 7.3) {
+    for (double lon = -19.5; lon < 60; lon += 9.1) {
+      const GeoPoint p{lat, lon};
+      int count = 0;
+      for (const GeoRect& q : quads) {
+        if (q.contains(p)) ++count;
+      }
+      EXPECT_EQ(count, 1) << "point " << lat << "," << lon;
+    }
+  }
+}
+
+TEST(Geo, ContainsHalfOpenEdges) {
+  const GeoRect r{0, 10, 0, 10};
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_FALSE(r.contains({10, 5}));
+  EXPECT_FALSE(r.contains({5, 10}));
+}
+
+TEST(Geo, WorldContainsEverything) {
+  const GeoRect w = GeoRect::world();
+  EXPECT_TRUE(w.contains({60.19, 24.83}));
+  EXPECT_TRUE(w.contains({-89.9, -179.9}));
+  EXPECT_DOUBLE_EQ(w.area_deg2(), 180.0 * 360.0);
+}
+
+TEST(Geo, HaversineKnownDistances) {
+  // Helsinki -> Turin is roughly 2100-2300 km.
+  const GeoPoint helsinki{60.17, 24.94};
+  const GeoPoint turin{45.07, 7.69};
+  const double d = distance_km(helsinki, turin);
+  EXPECT_GT(d, 1900);
+  EXPECT_LT(d, 2400);
+  // Same point -> 0.
+  EXPECT_NEAR(distance_km(helsinki, helsinki), 0.0, 1e-9);
+  // One degree of latitude ~ 111 km.
+  EXPECT_NEAR(distance_km({0, 0}, {1, 0}), 111.2, 1.0);
+}
+
+TEST(Geo, DistanceIsSymmetric) {
+  const GeoPoint a{12.3, -45.6}, b{-33.9, 151.2};
+  EXPECT_DOUBLE_EQ(distance_km(a, b), distance_km(b, a));
+}
+
+TEST(Geo, UtcOffsets) {
+  EXPECT_EQ(utc_offset_hours(0), 0);
+  EXPECT_EQ(utc_offset_hours(24.9), 2);    // Finland-ish
+  EXPECT_EQ(utc_offset_hours(-122.4), -8); // San Francisco
+  EXPECT_EQ(utc_offset_hours(139.7), 9);   // Tokyo
+}
+
+TEST(Geo, LocalHourWrapsCorrectly) {
+  // Sim epoch = UTC midnight. At UTC 23:00, Tokyo (UTC+9) is 08:00.
+  EXPECT_NEAR(local_hour(time_at(23 * 3600.0), 139.7), 8.0, 1e-9);
+  // At UTC 02:00, San Francisco (UTC-8) is 18:00 the previous day.
+  EXPECT_NEAR(local_hour(time_at(2 * 3600.0), -122.4), 18.0, 1e-9);
+  // Hours stay in [0, 24).
+  for (double t = 0; t < 48 * 3600; t += 3571) {
+    const double h = local_hour(time_at(t), 100.0);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LT(h, 24.0);
+  }
+}
+
+TEST(Geo, RectToString) {
+  const GeoRect r{1, 2, 3, 4};
+  EXPECT_EQ(r.to_string(), "[1.00,2.00]x[3.00,4.00]");
+}
+
+TEST(Geo, RecursiveQuadtreeDepth) {
+  // Subdividing the world 5 times yields rects of 360/2^5 degrees of
+  // longitude.
+  GeoRect r = GeoRect::world();
+  for (int i = 0; i < 5; ++i) r = r.quadrants()[0];
+  EXPECT_NEAR(r.lon_max - r.lon_min, 360.0 / 32, 1e-9);
+  EXPECT_NEAR(r.lat_max - r.lat_min, 180.0 / 32, 1e-9);
+}
+
+}  // namespace
+}  // namespace psc::geo

@@ -1,0 +1,173 @@
+// HLS playlist and segmenter tests.
+#include <gtest/gtest.h>
+
+#include "hls/playlist.h"
+#include "hls/segmenter.h"
+#include "media/encoder.h"
+
+namespace psc::hls {
+namespace {
+
+TEST(Playlist, WriteParseRoundtrip) {
+  MediaPlaylist pl;
+  pl.target_duration = seconds(4);
+  pl.media_sequence = 17;
+  pl.segments = {{"seg_17.ts", seconds(3.6), 17},
+                 {"seg_18.ts", seconds(3.6), 18},
+                 {"seg_19.ts", seconds(2.4), 19}};
+  auto parsed = parse_m3u8(write_m3u8(pl));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().media_sequence, 17u);
+  ASSERT_EQ(parsed.value().segments.size(), 3u);
+  EXPECT_EQ(parsed.value().segments[0].uri, "seg_17.ts");
+  EXPECT_EQ(parsed.value().segments[2].sequence, 19u);
+  EXPECT_NEAR(to_s(parsed.value().segments[2].duration), 2.4, 1e-3);
+  EXPECT_FALSE(parsed.value().ended);
+}
+
+TEST(Playlist, EndlistMarksVod) {
+  MediaPlaylist pl;
+  pl.ended = true;
+  pl.segments = {{"a.ts", seconds(3.6), 0}};
+  auto parsed = parse_m3u8(write_m3u8(pl));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().ended);
+}
+
+TEST(Playlist, MissingHeaderRejected) {
+  EXPECT_FALSE(parse_m3u8("#EXT-X-VERSION:3\n").ok());
+}
+
+TEST(Playlist, UriWithoutExtinfRejected) {
+  EXPECT_FALSE(parse_m3u8("#EXTM3U\nseg.ts\n").ok());
+}
+
+TEST(Playlist, TargetDurationCeiled) {
+  MediaPlaylist pl;
+  pl.target_duration = seconds(3.6);
+  const std::string text = write_m3u8(pl);
+  EXPECT_NE(text.find("#EXT-X-TARGETDURATION:4"), std::string::npos);
+}
+
+TEST(LiveWindow, SlidesAndAdvancesSequence) {
+  LivePlaylistWindow window(3, seconds(3.6));
+  for (int i = 0; i < 5; ++i) {
+    window.add_segment("seg_" + std::to_string(i) + ".ts", seconds(3.6));
+  }
+  const MediaPlaylist pl = window.snapshot();
+  ASSERT_EQ(pl.segments.size(), 3u);
+  EXPECT_EQ(pl.media_sequence, 2u);  // 0 and 1 fell off
+  EXPECT_EQ(pl.segments[0].uri, "seg_2.ts");
+  EXPECT_EQ(pl.segments[2].sequence, 4u);
+}
+
+TEST(LiveWindow, EmptySnapshot) {
+  LivePlaylistWindow window(3, seconds(3.6));
+  EXPECT_TRUE(window.snapshot().segments.empty());
+}
+
+media::MediaSample vframe(double dts_s, bool key, std::size_t size = 800) {
+  media::MediaSample s;
+  s.kind = media::SampleKind::Video;
+  s.dts = seconds(dts_s);
+  s.pts = seconds(dts_s + 1.0 / 30);
+  s.keyframe = key;
+  s.data.assign(size, 0x5A);
+  return s;
+}
+
+TEST(Segmenter, CutsAtKeyframeAfterTarget) {
+  Segmenter seg(seconds(3.6));
+  std::vector<Segment> done;
+  // 30 fps, keyframe every 36 frames (1.2 s GOP).
+  for (int i = 0; i < 360; ++i) {
+    auto out = seg.push(vframe(i / 30.0, i % 36 == 0));
+    if (out) done.push_back(std::move(*out));
+  }
+  // 12 s of video -> segments at 3.6 s boundaries: ~3 completed.
+  ASSERT_GE(done.size(), 2u);
+  for (const Segment& s : done) {
+    EXPECT_NEAR(to_s(s.duration), 3.6, 0.05);
+    EXPECT_EQ(s.ts_data.size() % mpegts::kTsPacketSize, 0u);
+  }
+  EXPECT_EQ(done[0].sequence, 0u);
+  EXPECT_EQ(done[1].sequence, 1u);
+}
+
+TEST(Segmenter, PaperSegmentIs108FramesAt30Fps) {
+  // 3.6 s at 30 fps = 108 frames — the paper's modal segment.
+  Segmenter seg(seconds(3.6));
+  int frames_in_first = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto out = seg.push(vframe(i / 30.0, i % 36 == 0));
+    if (out) {
+      frames_in_first = i;  // frames pushed before the cut
+      break;
+    }
+  }
+  EXPECT_EQ(frames_in_first, 108);
+}
+
+TEST(Segmenter, DropsLeadingNonKeyframes) {
+  Segmenter seg(seconds(3.6));
+  EXPECT_FALSE(seg.push(vframe(0.0, false)).has_value());
+  EXPECT_FALSE(seg.push(vframe(0.033, false)).has_value());
+  // First keyframe opens the segment; flush returns it.
+  EXPECT_FALSE(seg.push(vframe(0.066, true)).has_value());
+  auto out = seg.flush();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_GT(out->ts_data.size(), 0u);
+  EXPECT_NEAR(to_s(out->start_dts), 0.066, 1e-9);
+}
+
+TEST(Segmenter, FlushEmptyReturnsNothing) {
+  Segmenter seg;
+  EXPECT_FALSE(seg.flush().has_value());
+}
+
+TEST(Segmenter, AudioRidesAlongInSegments) {
+  Segmenter seg(seconds(3.6));
+  media::MediaSample audio;
+  audio.kind = media::SampleKind::Audio;
+  audio.keyframe = true;
+  audio.data.assign(100, 0xAA);
+  std::vector<Segment> done;
+  for (int i = 0; i < 240; ++i) {
+    auto out = seg.push(vframe(i / 30.0, i % 36 == 0));
+    if (out) done.push_back(std::move(*out));
+    audio.dts = seconds(i / 30.0 + 0.01);
+    audio.pts = audio.dts;
+    auto out2 = seg.push(audio);
+    if (out2) done.push_back(std::move(*out2));
+  }
+  ASSERT_GE(done.size(), 1u);
+  // Demux a completed segment: must contain both PIDs.
+  mpegts::TsDemuxer demux;
+  ASSERT_TRUE(demux.push(done[0].ts_data).ok());
+  demux.flush();
+  int video = 0, audio_n = 0;
+  for (const auto& s : demux.take_samples()) {
+    (s.kind == media::SampleKind::Video ? video : audio_n)++;
+  }
+  EXPECT_GT(video, 100);
+  EXPECT_GT(audio_n, 100);
+}
+
+TEST(Segmenter, SegmentsIndependentlyDemuxable) {
+  // Each segment begins with PSI, so a demuxer that never saw earlier
+  // segments can decode it (mid-stream join).
+  Segmenter seg(seconds(3.6));
+  std::vector<Segment> done;
+  for (int i = 0; i < 360; ++i) {
+    auto out = seg.push(vframe(i / 30.0, i % 36 == 0));
+    if (out) done.push_back(std::move(*out));
+  }
+  ASSERT_GE(done.size(), 2u);
+  mpegts::TsDemuxer demux;  // fresh, fed only the LAST segment
+  ASSERT_TRUE(demux.push(done.back().ts_data).ok());
+  demux.flush();
+  EXPECT_GT(demux.take_samples().size(), 50u);
+}
+
+}  // namespace
+}  // namespace psc::hls

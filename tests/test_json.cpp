@@ -1,0 +1,144 @@
+// JSON value model, parser and serializer tests.
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+
+namespace psc::json {
+namespace {
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(parse("null").value().is_null());
+  EXPECT_EQ(parse("true").value().as_bool(), true);
+  EXPECT_EQ(parse("false").value().as_bool(true), false);
+  EXPECT_DOUBLE_EQ(parse("3.25").value().as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(parse("-17").value().as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(parse("1e3").value().as_number(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(Json, ParseNested) {
+  auto v = parse(R"({"a": [1, {"b": "c"}, null], "d": {"e": true}})");
+  ASSERT_TRUE(v.ok());
+  const Value& root = v.value();
+  EXPECT_DOUBLE_EQ(root["a"][0].as_number(), 1.0);
+  EXPECT_EQ(root["a"][1]["b"].as_string(), "c");
+  EXPECT_TRUE(root["a"][2].is_null());
+  EXPECT_TRUE(root["d"]["e"].as_bool());
+}
+
+TEST(Json, MissingKeysAreNull) {
+  auto v = parse(R"({"a": 1})").value();
+  EXPECT_TRUE(v["nope"].is_null());
+  EXPECT_TRUE(v["nope"]["deeper"].is_null());
+  EXPECT_TRUE(v[std::size_t{5}].is_null());
+  EXPECT_FALSE(v.has("nope"));
+  EXPECT_TRUE(v.has("a"));
+}
+
+TEST(Json, DumpRoundtrip) {
+  Object o;
+  o["n"] = Value(42);
+  o["s"] = Value("x\"y\\z");
+  o["arr"] = Value(Array{Value(1), Value(true), Value()});
+  const Value original{std::move(o)};
+  auto round = parse(original.dump());
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value(), original);
+}
+
+TEST(Json, EscapeControlCharacters) {
+  EXPECT_EQ(escape("a\nb"), "a\\nb");
+  EXPECT_EQ(escape("t\tq\"e"), "t\\tq\\\"e");
+  EXPECT_EQ(escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ParseEscapes) {
+  auto v = parse(R"("line\nbreak\t\"q\" A")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().as_string(), "line\nbreak\t\"q\" A");
+}
+
+TEST(Json, UnicodeEscapeUtf8) {
+  auto v = parse(R"("é€")");  // é €
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().as_string(), "\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(Json, IntegersSerializeWithoutDecimalPoint) {
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(-3).dump(), "-3");
+  EXPECT_EQ(Value(2.5).dump(), "2.5");
+}
+
+TEST(Json, TrailingGarbageIsError) {
+  auto v = parse("{} extra");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code, "json_trailing");
+}
+
+TEST(Json, MalformedInputsFail) {
+  EXPECT_FALSE(parse("").ok());
+  EXPECT_FALSE(parse("{").ok());
+  EXPECT_FALSE(parse("[1,").ok());
+  EXPECT_FALSE(parse("\"unterminated").ok());
+  EXPECT_FALSE(parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(parse("tru").ok());
+  EXPECT_FALSE(parse("[1 2]").ok());
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(parse("[]").value().as_array().size(), 0u);
+  EXPECT_EQ(parse("{}").value().as_object().size(), 0u);
+  EXPECT_EQ(Value(Array{}).dump(), "[]");
+  EXPECT_EQ(Value(Object{}).dump(), "{}");
+}
+
+TEST(Json, SetPromotesNullToObject) {
+  Value v;
+  v.set("k", Value(1));
+  EXPECT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v["k"].as_number(), 1.0);
+}
+
+TEST(Json, AsIntTruncates) {
+  EXPECT_EQ(parse("3.9").value().as_int(), 3);
+  EXPECT_EQ(parse("\"str\"").value().as_int(7), 7);
+}
+
+TEST(Json, PrettyDumpParsesBack) {
+  auto v = parse(R"({"a":[1,2],"b":{"c":null}})").value();
+  const std::string pretty = v.dump(true);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty).value(), v);
+}
+
+TEST(Json, DeterministicKeyOrder) {
+  Object o;
+  o["z"] = Value(1);
+  o["a"] = Value(2);
+  // std::map orders keys: serialization is stable across runs.
+  EXPECT_EQ(Value(std::move(o)).dump(), R"({"a":2,"z":1})");
+}
+
+TEST(Json, WhitespaceTolerance) {
+  auto v = parse(" \n\t{ \"a\" :\r [ 1 , 2 ] } \n");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v.value()["a"][1].as_number(), 2.0);
+}
+
+
+TEST(Json, DepthLimitRejectsHostileNesting) {
+  // 300 nested arrays: must fail cleanly, not blow the stack.
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  auto v = parse(deep);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code, "json_depth");
+  // 200 levels are fine.
+  std::string ok_doc(200, '[');
+  ok_doc += std::string(200, ']');
+  EXPECT_TRUE(parse(ok_doc).ok());
+}
+
+}  // namespace
+}  // namespace psc::json

@@ -1,0 +1,90 @@
+// Concurrent-viewer integration: several RTMP and HLS sessions watch the
+// same live pipeline simultaneously over a shared simulation, each on its
+// own device — the popular-broadcast situation that triggers the HLS
+// fallback in production.
+#include <gtest/gtest.h>
+
+#include "analysis/reconstruct.h"
+#include "analysis/stats.h"
+#include "client/viewer_session.h"
+#include "service/pipeline.h"
+#include "service/servers.h"
+
+namespace psc {
+namespace {
+
+TEST(MultiViewer, SixConcurrentSessionsOnOneBroadcast) {
+  sim::Simulation sim;
+  Rng rng(1);
+  service::PopulationConfig pop;
+  service::BroadcastInfo info =
+      service::draw_broadcast(pop, rng, {51.5, -0.1}, sim.now());
+  info.peak_viewers = 400;
+  info.planned_duration = hours(1);
+  info.uplink_bitrate = 4e6;
+  info.frame_loss_prob = 0;
+  service::PipelineConfig pcfg;
+  pcfg.hiccup_rate_per_min = 0;
+  service::LiveBroadcastPipeline pipe(sim, info, pcfg);
+  service::MediaServerPool pool(2);
+  const service::MediaServer& origin =
+      pool.rtmp_origin_for(info.location, info.id);
+
+  pipe.start(seconds(120));
+  sim.run_until(sim.now() + seconds(16));
+
+  std::vector<std::unique_ptr<client::Device>> devices;
+  std::vector<std::unique_ptr<client::ViewerSession>> sessions;
+  for (int i = 0; i < 3; ++i) {
+    devices.push_back(std::make_unique<client::Device>(
+        sim, client::DeviceConfig{}, 10 + static_cast<std::uint64_t>(i)));
+    sessions.push_back(std::make_unique<client::RtmpViewerSession>(
+        sim, pipe, *devices.back(), origin,
+        client::PlayerConfig{millis(1800), millis(1000)},
+        20 + static_cast<std::uint64_t>(i)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    devices.push_back(std::make_unique<client::Device>(
+        sim, client::DeviceConfig{}, 30 + static_cast<std::uint64_t>(i)));
+    sessions.push_back(std::make_unique<client::HlsViewerSession>(
+        sim, pipe, *devices.back(), pool.hls_edges()[0],
+        pool.hls_edges()[1], client::PlayerConfig{millis(500), millis(2000)},
+        40 + static_cast<std::uint64_t>(i)));
+  }
+  // Staggered joins, as real viewers arrive.
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    sim.schedule_after(seconds(static_cast<double>(i)),
+                       [&sessions, i] { sessions[i]->start(seconds(45)); });
+  }
+  sim.run_until(sim.now() + seconds(60));
+
+  std::vector<double> rtmp_lat, hls_lat;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const client::SessionStats st = sessions[i]->stats();
+    EXPECT_TRUE(st.ever_played) << "session " << i;
+    EXPECT_GT(st.played_s, 35.0) << "session " << i;
+    auto a = st.protocol == client::Protocol::Rtmp
+                 ? analysis::reconstruct_rtmp(sessions[i]->capture())
+                 : analysis::reconstruct_hls(sessions[i]->capture());
+    ASSERT_TRUE(a.ok()) << "session " << i;
+    std::vector<double> lats;
+    for (const auto& m : a.value().ntp_marks) {
+      lats.push_back(m.delivery_latency_s());
+    }
+    ASSERT_FALSE(lats.empty()) << "session " << i;
+    (st.protocol == client::Protocol::Rtmp ? rtmp_lat : hls_lat)
+        .push_back(analysis::median(lats));
+  }
+  // Every RTMP viewer beats every HLS viewer on delivery latency.
+  for (double r : rtmp_lat) {
+    for (double h : hls_lat) {
+      EXPECT_LT(r, h);
+    }
+  }
+  // All viewers of the same pipeline see the same broadcast timeline:
+  // their NTP epochs agree (same SEIs), so medians cluster per protocol.
+  EXPECT_LT(analysis::stddev(rtmp_lat), 0.5);
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,171 @@
+// Fluid network link, capture and HTTP model tests.
+#include <gtest/gtest.h>
+
+#include "http/http.h"
+#include "net/capture.h"
+#include "net/link.h"
+
+namespace psc {
+namespace {
+
+TEST(Link, TransmissionTimePlusLatency) {
+  sim::Simulation sim;
+  net::Link link(sim, 1e6, millis(50));  // 1 Mbps, 50 ms
+  TimePoint arrival{};
+  link.send(Bytes(12500, 0), [&](TimePoint t, Bytes) { arrival = t; });
+  sim.run_all();
+  // 12500 B = 100 kbit -> 0.1 s serialize + 0.05 s propagate.
+  EXPECT_NEAR(to_s(arrival), 0.15, 1e-9);
+}
+
+TEST(Link, FifoQueueingDelaysSecondTransfer) {
+  sim::Simulation sim;
+  net::Link link(sim, 1e6, Duration{0});
+  std::vector<double> arrivals;
+  link.send(Bytes(12500, 0), [&](TimePoint t, Bytes) {
+    arrivals.push_back(to_s(t));
+  });
+  link.send(Bytes(12500, 0), [&](TimePoint t, Bytes) {
+    arrivals.push_back(to_s(t));
+  });
+  sim.run_all();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], 0.1, 1e-9);
+  EXPECT_NEAR(arrivals[1], 0.2, 1e-9);  // queued behind the first
+}
+
+TEST(Link, DeliveryOrderPreserved) {
+  sim::Simulation sim;
+  net::Link link(sim, 10e6, millis(10));
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    link.send(Bytes(100, 0), [&order, i](TimePoint, Bytes) {
+      order.push_back(i);
+    });
+  }
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Link, RateChangeAffectsSubsequentSends) {
+  sim::Simulation sim;
+  net::Link link(sim, 1e6, Duration{0});
+  link.set_rate(2e6);
+  TimePoint arrival{};
+  link.send(Bytes(25000, 0), [&](TimePoint t, Bytes) { arrival = t; });
+  sim.run_all();
+  EXPECT_NEAR(to_s(arrival), 0.1, 1e-9);  // 200 kbit at 2 Mbps
+}
+
+TEST(Link, ChainedLinksBottleneckAtSlower) {
+  sim::Simulation sim;
+  net::Link fast(sim, 100e6, millis(5));
+  net::Link slow(sim, 1e6, millis(5));
+  TimePoint arrival{};
+  fast.send(Bytes(12500, 0), [&](TimePoint, Bytes data) {
+    slow.send(std::move(data), [&](TimePoint t2, Bytes) { arrival = t2; });
+  });
+  sim.run_all();
+  // fast: 1 ms + 5 ms; slow: 100 ms + 5 ms.
+  EXPECT_NEAR(to_s(arrival), 0.001 + 0.005 + 0.1 + 0.005, 1e-6);
+}
+
+TEST(Link, NoiseIsDeterministicPerSeed) {
+  auto run = [] {
+    sim::Simulation sim;
+    net::Link link(sim, 1e6, Duration{0});
+    link.set_noise(Rng(77), seconds(0.5), 0.5, 1.0);
+    std::vector<double> arrivals;
+    for (int i = 0; i < 10; ++i) {
+      sim.schedule_at(time_at(i * 1.0), [&link, &arrivals] {
+        link.send(Bytes(1250, 0), [&arrivals](TimePoint t, Bytes) {
+          arrivals.push_back(to_s(t));
+        });
+      });
+    }
+    sim.run_all();
+    return arrivals;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Link, CountsBytes) {
+  sim::Simulation sim;
+  net::Link link(sim, 1e6, Duration{0});
+  link.send(Bytes(500, 0), [](TimePoint, Bytes) {});
+  link.send(Bytes(700, 0), [](TimePoint, Bytes) {});
+  EXPECT_EQ(link.bytes_sent(), 1200u);
+}
+
+TEST(Capture, RecordsPacketsAndFindsByteTimes) {
+  net::Capture cap;
+  cap.record(time_at(1.0), Bytes(100, 1));
+  cap.record(time_at(2.0), Bytes(50, 2));
+  cap.record(time_at(3.0), Bytes(10, 3));
+  EXPECT_EQ(cap.total_bytes(), 160u);
+  EXPECT_EQ(cap.packets().size(), 3u);
+  EXPECT_DOUBLE_EQ(to_s(cap.time_of_byte(0)), 1.0);
+  EXPECT_DOUBLE_EQ(to_s(cap.time_of_byte(99)), 1.0);
+  EXPECT_DOUBLE_EQ(to_s(cap.time_of_byte(100)), 2.0);
+  EXPECT_DOUBLE_EQ(to_s(cap.time_of_byte(149)), 2.0);
+  EXPECT_DOUBLE_EQ(to_s(cap.time_of_byte(155)), 3.0);
+}
+
+TEST(Capture, PayloadIsConcatenation) {
+  net::Capture cap;
+  cap.record(time_at(0), Bytes{1, 2});
+  cap.record(time_at(1), Bytes{3});
+  EXPECT_EQ(cap.payload(), (Bytes{1, 2, 3}));
+  cap.clear();
+  EXPECT_TRUE(cap.empty());
+  EXPECT_EQ(cap.total_bytes(), 0u);
+}
+
+TEST(Http, RequestRoundtrip) {
+  http::Request req;
+  req.method = "POST";
+  req.path = "/api/v2/mapGeoBroadcastFeed";
+  req.headers["Host"] = "api.periscope.tv";
+  req.body = R"({"cookie":"abc"})";
+  auto parsed = http::Request::parse(req.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().method, "POST");
+  EXPECT_EQ(parsed.value().path, "/api/v2/mapGeoBroadcastFeed");
+  EXPECT_EQ(parsed.value().headers.at("Host"), "api.periscope.tv");
+  EXPECT_EQ(parsed.value().body, req.body);
+}
+
+TEST(Http, ResponseRoundtripWithBinaryBody) {
+  http::Response resp = http::Response::ok(Bytes{0x00, 0xFF, 0x47, 0x0D},
+                                           "video/mp2t");
+  auto parsed = http::Response::parse(resp.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().status, 200);
+  EXPECT_EQ(parsed.value().body, (Bytes{0x00, 0xFF, 0x47, 0x0D}));
+  EXPECT_EQ(parsed.value().headers.at("Content-Type"), "video/mp2t");
+}
+
+TEST(Http, TooManyRequests) {
+  const http::Response r = http::Response::too_many_requests();
+  EXPECT_EQ(r.status, 429);
+  auto parsed = http::Response::parse(r.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().status, 429);
+  EXPECT_EQ(parsed.value().reason, "Too Many Requests");
+}
+
+TEST(Http, MalformedInputsRejected) {
+  EXPECT_FALSE(http::Request::parse("GET /\r\n").ok());  // no terminator
+  EXPECT_FALSE(http::Request::parse("\r\n\r\n").ok());
+  const Bytes garbage = to_bytes("not http\r\n\r\n");
+  EXPECT_FALSE(http::Response::parse(garbage).ok());
+}
+
+TEST(Http, JsonHelper) {
+  const http::Response r = http::Response::json("{\"a\":1}");
+  EXPECT_EQ(r.headers.at("Content-Type"), "application/json");
+  EXPECT_EQ(to_string(r.body), "{\"a\":1}");
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,194 @@
+// MediaOrigin (RTMP media server) tests: publish/play routing, fan-out,
+// join bursts, connection lifecycle.
+#include <gtest/gtest.h>
+
+#include "media/encoder.h"
+#include "service/origin_server.h"
+
+namespace psc::service {
+namespace {
+
+/// Byte shuttle between one client-side session and one origin connection.
+template <typename ClientT>
+void shuttle(ClientT& client, MediaOrigin& origin, int conn) {
+  for (int i = 0; i < 48; ++i) {
+    bool any = false;
+    if (client.has_output()) {
+      ASSERT_TRUE(origin.on_input(conn, client.take_output()).ok());
+      any = true;
+    }
+    if (origin.has_output(conn)) {
+      ASSERT_TRUE(client.on_input(origin.take_output(conn)).ok());
+      any = true;
+    }
+    if (!any) break;
+  }
+}
+
+struct Viewer {
+  explicit Viewer(const std::string& stream, std::uint64_t seed)
+      : session("live", stream, seed, make_callbacks()) {}
+
+  rtmp::ClientSession::Callbacks make_callbacks() {
+    rtmp::ClientSession::Callbacks cbs;
+    cbs.on_sample = [this](media::MediaSample s) {
+      samples.push_back(std::move(s));
+    };
+    cbs.on_avc_config = [this](const media::AvcDecoderConfig& c) {
+      config = c;
+    };
+    return cbs;
+  }
+
+  rtmp::ClientSession session;
+  std::vector<media::MediaSample> samples;
+  std::optional<media::AvcDecoderConfig> config;
+};
+
+TEST(MediaOrigin, PublishThenTwoViewersFanOut) {
+  MediaOrigin origin(1);
+  const int pub_conn = origin.open_connection();
+  rtmp::PublisherSession pub("live", "bcastXYZ", 2);
+  shuttle(pub, origin, pub_conn);
+  ASSERT_TRUE(pub.publishing());
+  EXPECT_EQ(origin.live_streams(),
+            std::vector<std::string>{"bcastXYZ"});
+
+  media::VideoEncoder enc(media::VideoConfig{}, media::ContentModelConfig{},
+                          0.0, Rng(3));
+  pub.send_avc_config(enc.sps(), enc.pps());
+  // Stream most of one GOP before any viewer joins (fills the backlog;
+  // staying short of frame 36 avoids the next IDR resetting it).
+  int pre_join = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto s = enc.next_frame();
+    if (!s) continue;
+    pub.send_sample(*s);
+    ++pre_join;
+  }
+  shuttle(pub, origin, pub_conn);
+
+  Viewer v1("bcastXYZ", 4);
+  const int v1_conn = origin.open_connection();
+  shuttle(v1.session, origin, v1_conn);
+  ASSERT_TRUE(v1.session.playing());
+  EXPECT_EQ(origin.viewer_count("bcastXYZ"), 1u);
+  // Join burst: config + backlog from latest keyframe.
+  ASSERT_TRUE(v1.config.has_value());
+  EXPECT_GT(v1.samples.size(), 20u);
+  // First video sample of the burst is decodable (keyframe).
+  for (const auto& s : v1.samples) {
+    if (s.kind == media::SampleKind::Video) {
+      EXPECT_TRUE(s.keyframe);
+      break;
+    }
+  }
+
+  Viewer v2("bcastXYZ", 5);
+  const int v2_conn = origin.open_connection();
+  shuttle(v2.session, origin, v2_conn);
+  ASSERT_TRUE(v2.session.playing());
+  EXPECT_EQ(origin.viewer_count("bcastXYZ"), 2u);
+
+  // Live fan-out: new samples reach both viewers.
+  const std::size_t v1_before = v1.samples.size();
+  const std::size_t v2_before = v2.samples.size();
+  int live_sent = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto s = enc.next_frame();
+    if (!s) continue;
+    pub.send_sample(*s);
+    ++live_sent;
+  }
+  shuttle(pub, origin, pub_conn);
+  shuttle(v1.session, origin, v1_conn);
+  shuttle(v2.session, origin, v2_conn);
+  EXPECT_EQ(v1.samples.size() - v1_before,
+            static_cast<std::size_t>(live_sent));
+  EXPECT_EQ(v2.samples.size() - v2_before,
+            static_cast<std::size_t>(live_sent));
+}
+
+TEST(MediaOrigin, ViewerOfUnknownStreamGetsNothing) {
+  MediaOrigin origin(7);
+  Viewer v("nonexistent99", 8);
+  const int conn = origin.open_connection();
+  shuttle(v.session, origin, conn);
+  // Play succeeds protocol-wise (server optimistically accepts), but no
+  // media flows and no stream is registered as live.
+  EXPECT_TRUE(v.samples.empty());
+  EXPECT_TRUE(origin.live_streams().empty());
+}
+
+TEST(MediaOrigin, PublisherDisconnectEndsStream) {
+  MediaOrigin origin(9);
+  const int pub_conn = origin.open_connection();
+  rtmp::PublisherSession pub("live", "shortlived123", 10);
+  shuttle(pub, origin, pub_conn);
+  ASSERT_EQ(origin.live_streams().size(), 1u);
+  origin.close_connection(pub_conn);
+  EXPECT_TRUE(origin.live_streams().empty());
+}
+
+TEST(MediaOrigin, ViewerDisconnectStopsFanOutToIt) {
+  MediaOrigin origin(11);
+  const int pub_conn = origin.open_connection();
+  rtmp::PublisherSession pub("live", "k", 12);
+  shuttle(pub, origin, pub_conn);
+  media::VideoEncoder enc(media::VideoConfig{}, media::ContentModelConfig{},
+                          0.0, Rng(13));
+  pub.send_avc_config(enc.sps(), enc.pps());
+
+  Viewer v("k", 14);
+  const int v_conn = origin.open_connection();
+  shuttle(v.session, origin, v_conn);
+  EXPECT_EQ(origin.viewer_count("k"), 1u);
+  origin.close_connection(v_conn);
+  EXPECT_EQ(origin.viewer_count("k"), 0u);
+  // Publishing more media must not crash or route to the gone viewer.
+  for (int i = 0; i < 10; ++i) {
+    auto s = enc.next_frame();
+    if (s) pub.send_sample(*s);
+  }
+  shuttle(pub, origin, pub_conn);
+  EXPECT_TRUE(origin.live_streams().size() == 1u);
+}
+
+TEST(MediaOrigin, UnknownConnectionRejected) {
+  MediaOrigin origin(15);
+  EXPECT_FALSE(origin.on_input(42, Bytes{0x03}).ok());
+  EXPECT_TRUE(origin.take_output(42).empty());
+  EXPECT_FALSE(origin.has_output(42));
+}
+
+TEST(MediaOrigin, TwoIndependentStreams) {
+  MediaOrigin origin(16);
+  const int p1 = origin.open_connection();
+  const int p2 = origin.open_connection();
+  rtmp::PublisherSession pub1("live", "streamA", 17);
+  rtmp::PublisherSession pub2("live", "streamB", 18);
+  shuttle(pub1, origin, p1);
+  shuttle(pub2, origin, p2);
+  EXPECT_EQ(origin.live_streams().size(), 2u);
+
+  media::VideoEncoder enc(media::VideoConfig{}, media::ContentModelConfig{},
+                          0.0, Rng(19));
+  pub1.send_avc_config(enc.sps(), enc.pps());
+  Viewer v("streamA", 20);
+  const int vc = origin.open_connection();
+  shuttle(v.session, origin, vc);
+
+  // Media published to streamB must NOT reach streamA's viewer.
+  const std::size_t before = v.samples.size();
+  pub2.send_avc_config(enc.sps(), enc.pps());
+  for (int i = 0; i < 10; ++i) {
+    auto s = enc.next_frame();
+    if (s) pub2.send_sample(*s);
+  }
+  shuttle(pub2, origin, p2);
+  shuttle(v.session, origin, vc);
+  EXPECT_EQ(v.samples.size(), before);
+}
+
+}  // namespace
+}  // namespace psc::service

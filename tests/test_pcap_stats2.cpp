@@ -1,0 +1,179 @@
+// pcap export/import and the Spearman/KS additions to the stats toolkit.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "analysis/reconstruct.h"
+#include "analysis/stats.h"
+#include "media/encoder.h"
+#include "net/pcap.h"
+#include "rtmp/session.h"
+#include "util/rng.h"
+
+namespace psc {
+namespace {
+
+net::Capture sample_capture() {
+  net::Capture cap;
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    Bytes data;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(10, 4000));
+    for (std::size_t k = 0; k < n; ++k) {
+      data.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+    cap.record(time_at(100.0 + i * 0.033), data);
+  }
+  return cap;
+}
+
+TEST(Pcap, RoundtripPreservesPayloadAndTimes) {
+  const net::Capture cap = sample_capture();
+  const Bytes file = net::write_pcap(cap);
+  auto back = net::read_pcap(file);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back.value().payload(), cap.payload());
+  // Packet count can differ (MTU segmentation) but times must bracket.
+  EXPECT_NEAR(to_s(back.value().first_time()), to_s(cap.first_time()),
+              1e-5);
+  EXPECT_NEAR(to_s(back.value().last_time()), to_s(cap.last_time()), 1e-5);
+}
+
+TEST(Pcap, MtuSegmentation) {
+  net::Capture cap;
+  cap.record(time_at(1.0), Bytes(4000, 0xAB));
+  const Bytes file = net::write_pcap(cap, net::PcapEndpoints{}, 1448);
+  auto back = net::read_pcap(file);
+  ASSERT_TRUE(back.ok());
+  // ceil(4000/1448) = 3 TCP segments.
+  EXPECT_EQ(back.value().packets().size(), 3u);
+  EXPECT_EQ(back.value().total_bytes(), 4000u);
+}
+
+TEST(Pcap, GlobalHeaderIsStandard) {
+  const Bytes file = net::write_pcap(sample_capture());
+  ASSERT_GE(file.size(), 24u);
+  EXPECT_EQ(file[0], 0xA1);
+  EXPECT_EQ(file[1], 0xB2);
+  EXPECT_EQ(file[2], 0xC3);
+  EXPECT_EQ(file[3], 0xD4);
+  // linktype RAW = 101 at offset 20..23 (big-endian).
+  EXPECT_EQ(file[23], 101);
+}
+
+TEST(Pcap, RejectsGarbage) {
+  EXPECT_FALSE(net::read_pcap(Bytes{1, 2, 3}).ok());
+  Bytes bad(64, 0);
+  EXPECT_FALSE(net::read_pcap(bad).ok());
+}
+
+TEST(Pcap, FileRoundtrip) {
+  const net::Capture cap = sample_capture();
+  const std::string path = "/tmp/psc_test_capture.pcap";
+  ASSERT_TRUE(net::write_pcap_file(cap, path).ok());
+  auto back = net::read_pcap_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().payload(), cap.payload());
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ExportedRtmpCaptureStillDissects) {
+  // The full methodology loop: capture -> pcap file -> read back ->
+  // wireshark-style reconstruction.
+  rtmp::ClientSession client("live", "bcast", 1, {});
+  rtmp::ServerSession server(2);
+  net::Capture cap;
+  double now = 50.0;
+  for (int i = 0; i < 8 && !server.playing(); ++i) {
+    if (client.has_output()) (void)server.on_input(client.take_output());
+    if (server.has_output()) {
+      Bytes b = server.take_output();
+      cap.record(time_at(now), b);
+      (void)client.on_input(b);
+    }
+  }
+  media::VideoEncoder enc(media::VideoConfig{}, media::ContentModelConfig{},
+                          50.0, Rng(5));
+  server.send_avc_config(enc.sps(), enc.pps());
+  for (int i = 0; i < 120; ++i) {
+    auto s = enc.next_frame();
+    if (!s) continue;
+    now = 50.0 + to_s(s->dts) + 0.15;
+    server.send_sample(*s);
+    cap.record(time_at(now), server.take_output());
+  }
+  const Bytes file = net::write_pcap(cap);
+  auto back = net::read_pcap(file);
+  ASSERT_TRUE(back.ok());
+  auto a = analysis::reconstruct_rtmp(back.value());
+  ASSERT_TRUE(a.ok()) << a.error().to_string();
+  EXPECT_GT(a.value().frames.size(), 100u);
+  EXPECT_EQ(a.value().width, 320);
+  EXPECT_FALSE(a.value().ntp_marks.empty());
+}
+
+TEST(Spearman, MonotonicRelationIsOne) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::exp(0.1 * i));  // nonlinear but monotone
+  }
+  EXPECT_NEAR(analysis::spearman(xs, ys), 1.0, 1e-12);
+  // Pearson is < 1 for the same data (nonlinearity).
+  EXPECT_LT(analysis::pearson(xs, ys), 0.95);
+}
+
+TEST(Spearman, TiesAveraged) {
+  const std::vector<double> xs = {1, 2, 2, 3};
+  const std::vector<double> ys = {10, 20, 20, 30};
+  EXPECT_NEAR(analysis::spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Spearman, IndependentNearZero) {
+  Rng rng(7);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 3000; ++i) {
+    xs.push_back(rng.uniform());
+    ys.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(analysis::spearman(xs, ys), 0.0, 0.06);
+}
+
+TEST(KsTest, SameDistributionHighP) {
+  Rng rng(8);
+  std::vector<double> a, b;
+  for (int i = 0; i < 400; ++i) {
+    a.push_back(rng.normal(0, 1));
+    b.push_back(rng.normal(0, 1));
+  }
+  const analysis::KsResult r = analysis::ks_test(a, b);
+  ASSERT_TRUE(r.valid);
+  EXPECT_LT(r.statistic, 0.12);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(KsTest, ShiftedDistributionLowP) {
+  Rng rng(9);
+  std::vector<double> a, b;
+  for (int i = 0; i < 400; ++i) {
+    a.push_back(rng.normal(0, 1));
+    b.push_back(rng.normal(0.6, 1));
+  }
+  const analysis::KsResult r = analysis::ks_test(a, b);
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.statistic, 0.2);
+  EXPECT_LT(r.p_value, 0.001);
+}
+
+TEST(KsTest, StatisticIsSupOfCdfGap) {
+  // Disjoint supports: D = 1.
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {10, 11, 12};
+  const analysis::KsResult r = analysis::ks_test(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  const std::vector<double> empty;
+  EXPECT_FALSE(analysis::ks_test(empty, a).valid);
+}
+
+}  // namespace
+}  // namespace psc

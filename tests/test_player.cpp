@@ -1,0 +1,132 @@
+// Player buffer model tests: join time, stalls, stall ratio, playback
+// latency, and the paper's accounting identity join+played+stalled = 60 s.
+#include <gtest/gtest.h>
+
+#include "client/player.h"
+
+namespace psc::client {
+namespace {
+
+PlayerConfig cfg(double start_s = 0.8, double resume_s = 0.8) {
+  return PlayerConfig{seconds(start_s), seconds(resume_s)};
+}
+
+TEST(Player, JoinsOnceBufferedEnough) {
+  Player p(cfg(1.0), time_at(100), /*epoch=*/0);
+  // Media arrives instantly covering 0.5 s: not enough to start.
+  p.on_media(time_at(100.1), seconds(10.0), seconds(10.5));
+  // More media at t=100.3 covering up to 11.2: buffered 1.2 s >= 1.0.
+  p.on_media(time_at(100.3), seconds(10.5), seconds(11.2));
+  p.finish(time_at(160));
+  EXPECT_TRUE(p.ever_played());
+  EXPECT_NEAR(to_s(p.join_time()), 0.3, 1e-9);
+}
+
+TEST(Player, NeverPlayedCountsFullSessionAsJoin) {
+  Player p(cfg(), time_at(0), 0);
+  p.finish(time_at(60));
+  EXPECT_FALSE(p.ever_played());
+  EXPECT_NEAR(to_s(p.join_time()), 60.0, 1e-9);
+  EXPECT_DOUBLE_EQ(to_s(p.played()), 0.0);
+}
+
+TEST(Player, SteadyStreamNoStalls) {
+  Player p(cfg(0.5), time_at(0), 0);
+  // 1 s of media up front, then continuous arrival ahead of playback.
+  for (int i = 0; i <= 600; ++i) {
+    const double t = i * 0.1;
+    p.on_media(time_at(t), seconds(t), seconds(t + 1.0));
+  }
+  p.finish(time_at(60));
+  EXPECT_EQ(p.stall_count(), 0);
+  EXPECT_DOUBLE_EQ(p.stall_ratio(), 0.0);
+  EXPECT_GT(to_s(p.played()), 59.0);
+}
+
+TEST(Player, GapCausesStallAndResume) {
+  Player p(cfg(0.5, 1.0), time_at(0), 0);
+  // 2 s of media at t=0; playback starts immediately, buffer drains at
+  // t=2; nothing arrives until t=5 (3 s stall), then plenty.
+  p.on_media(time_at(0), seconds(0), seconds(2));
+  p.on_media(time_at(5), seconds(2), seconds(10));
+  p.finish(time_at(10));
+  EXPECT_EQ(p.stall_count(), 1);
+  EXPECT_NEAR(to_s(p.stalled()), 3.0, 1e-9);
+  // Played: 0..2 then 5..10 -> 7 s.
+  EXPECT_NEAR(to_s(p.played()), 7.0, 1e-9);
+  EXPECT_NEAR(p.stall_ratio(), 3.0 / 10.0, 1e-9);
+}
+
+TEST(Player, ResumeThresholdDelaysRestart) {
+  Player p(cfg(0.5, 2.0), time_at(0), 0);
+  p.on_media(time_at(0), seconds(0), seconds(1));
+  // Buffer empty at t=1. Trickle arrivals of 0.5 s don't reach the 2 s
+  // resume threshold.
+  p.on_media(time_at(2), seconds(1), seconds(1.5));
+  EXPECT_EQ(p.stall_count(), 1);
+  p.on_media(time_at(3), seconds(1.5), seconds(2.0));
+  // Still stalled (1.0 s buffered < 2.0); now a big chunk arrives.
+  p.on_media(time_at(4), seconds(2.0), seconds(5.0));
+  p.finish(time_at(6));
+  // Stall from t=1 to t=4 (3 s), then playing 2 s.
+  EXPECT_NEAR(to_s(p.stalled()), 3.0, 1e-9);
+  EXPECT_EQ(p.stall_count(), 1);
+  EXPECT_NEAR(to_s(p.played()), 1.0 + 2.0, 1e-9);
+}
+
+TEST(Player, AccountingIdentityHolds) {
+  // join + played + stalled == session length (the paper derives join
+  // time by subtracting played+stalled from 60 s).
+  Player p(cfg(1.0, 1.0), time_at(0), 0);
+  p.on_media(time_at(2.0), seconds(0), seconds(1.5));   // join at 2.0
+  p.on_media(time_at(6.0), seconds(1.5), seconds(3.0)); // stall in between
+  p.finish(time_at(60));
+  const double total =
+      to_s(p.join_time()) + to_s(p.played()) + to_s(p.stalled());
+  EXPECT_NEAR(total, 60.0, 1e-6);
+}
+
+TEST(Player, PlaybackLatencyMeasuresWallMinusPts) {
+  // Broadcast epoch 1000. Media pts 0..10 arrives at wall 1003 (+3 s
+  // delivery). Playback starts immediately -> latency ~3 s.
+  Player p(cfg(0.5), time_at(1003), 1000.0);
+  p.on_media(time_at(1003), seconds(0), seconds(10));
+  p.finish(time_at(1008));
+  EXPECT_NEAR(p.mean_playback_latency_s(), 3.0, 0.01);
+}
+
+TEST(Player, LatencyGrowsWithStalls) {
+  Player p(cfg(0.5, 0.5), time_at(1000), 1000.0);
+  p.on_media(time_at(1000.5), seconds(0), seconds(1));
+  p.on_media(time_at(1005), seconds(1), seconds(20));  // 3.5 s stall
+  p.finish(time_at(1010));
+  // After the stall the playhead lags wall clock by ~4.5 s.
+  EXPECT_GT(p.mean_playback_latency_s(), 2.0);
+}
+
+TEST(Player, MediaAfterFinishIgnored) {
+  Player p(cfg(0.1), time_at(0), 0);
+  p.on_media(time_at(0.1), seconds(0), seconds(5));
+  p.finish(time_at(10));
+  const double played = to_s(p.played());
+  p.on_media(time_at(11), seconds(5), seconds(30));
+  EXPECT_DOUBLE_EQ(to_s(p.played()), played);
+}
+
+TEST(Player, StallRatioDefinition) {
+  Player p(cfg(0.1), time_at(0), 0);
+  p.on_media(time_at(0), seconds(0), seconds(3));
+  p.on_media(time_at(6), seconds(3), seconds(20));
+  p.finish(time_at(10));
+  // stalled 3, played 7 -> ratio 0.3 (stall / (stall + played)).
+  EXPECT_NEAR(p.stall_ratio(), 0.3, 1e-9);
+}
+
+TEST(Player, SessionLengthTracked) {
+  Player p(cfg(), time_at(5), 0);
+  p.finish(time_at(65));
+  EXPECT_NEAR(to_s(p.session_length()), 60.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace psc::client

@@ -1,0 +1,351 @@
+// RTMP chunk stream and session state machine tests.
+#include <gtest/gtest.h>
+
+#include "media/encoder.h"
+#include "rtmp/chunk.h"
+#include "rtmp/handshake.h"
+#include "rtmp/session.h"
+
+namespace psc::rtmp {
+namespace {
+
+Message make_msg(MessageType type, std::uint32_t ts, std::uint32_t sid,
+                 std::size_t size, std::uint8_t fill) {
+  Message m;
+  m.type = type;
+  m.timestamp_ms = ts;
+  m.stream_id = sid;
+  m.payload.assign(size, fill);
+  return m;
+}
+
+TEST(Chunk, SmallMessageRoundtrip) {
+  ChunkWriter writer;
+  ChunkReader reader;
+  ByteWriter out;
+  const Message in = make_msg(MessageType::CommandAmf0, 0, 0, 50, 0x11);
+  writer.write(out, kCsidCommand, in);
+  ASSERT_TRUE(reader.push(out.bytes()).ok());
+  auto msgs = reader.take_messages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].payload, in.payload);
+  EXPECT_EQ(msgs[0].type, in.type);
+  EXPECT_EQ(msgs[0].timestamp_ms, 0u);
+}
+
+TEST(Chunk, LargeMessageSplitsIntoChunks) {
+  ChunkWriter writer;  // default 128-byte chunks
+  ChunkReader reader;
+  ByteWriter out;
+  const Message in = make_msg(MessageType::Video, 1000, 1, 1000, 0x22);
+  writer.write(out, kCsidVideo, in);
+  // 1000 bytes / 128 = 8 chunks; headers add bytes.
+  EXPECT_GT(out.size(), 1000u + 8u);
+  ASSERT_TRUE(reader.push(out.bytes()).ok());
+  auto msgs = reader.take_messages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].payload.size(), 1000u);
+  EXPECT_EQ(msgs[0].timestamp_ms, 1000u);
+  EXPECT_EQ(msgs[0].stream_id, 1u);
+}
+
+TEST(Chunk, HeaderCompressionAcrossMessages) {
+  ChunkWriter writer;
+  ChunkReader reader;
+  ByteWriter out;
+  // Same-size same-type messages with constant delta: fmt 0, 1/2, 2...
+  for (int i = 0; i < 5; ++i) {
+    writer.write(out, kCsidAudio,
+                 make_msg(MessageType::Audio, 100 * i, 1, 64, 0x33));
+  }
+  ASSERT_TRUE(reader.push(out.bytes()).ok());
+  auto msgs = reader.take_messages();
+  ASSERT_EQ(msgs.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(msgs[static_cast<std::size_t>(i)].timestamp_ms,
+              static_cast<std::uint32_t>(100 * i));
+  }
+  // Compressed: average bytes per message well under full 12-byte header
+  // + payload.
+  EXPECT_LT(out.size(), 5 * (12 + 64));
+}
+
+TEST(Chunk, ByteAtATimeDelivery) {
+  ChunkWriter writer;
+  ChunkReader reader;
+  ByteWriter out;
+  writer.write(out, kCsidCommand,
+               make_msg(MessageType::CommandAmf0, 5, 0, 300, 0x44));
+  for (std::uint8_t b : out.bytes()) {
+    ASSERT_TRUE(reader.push(BytesView(&b, 1)).ok());
+  }
+  auto msgs = reader.take_messages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].payload.size(), 300u);
+}
+
+TEST(Chunk, InterleavedChunkStreams) {
+  ChunkWriter writer;
+  writer.set_chunk_size(128);
+  ChunkReader reader;
+  // Write two large messages whose chunks interleave manually: serialize
+  // separately then interleave at chunk boundaries is complex; instead
+  // verify two streams alternating whole messages.
+  ByteWriter out;
+  writer.write(out, kCsidAudio, make_msg(MessageType::Audio, 10, 1, 90, 1));
+  writer.write(out, kCsidVideo, make_msg(MessageType::Video, 12, 1, 90, 2));
+  writer.write(out, kCsidAudio, make_msg(MessageType::Audio, 20, 1, 90, 3));
+  ASSERT_TRUE(reader.push(out.bytes()).ok());
+  auto msgs = reader.take_messages();
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(msgs[0].type, MessageType::Audio);
+  EXPECT_EQ(msgs[1].type, MessageType::Video);
+  EXPECT_EQ(msgs[2].timestamp_ms, 20u);
+}
+
+TEST(Chunk, ExtendedTimestamp) {
+  ChunkWriter writer;
+  ChunkReader reader;
+  ByteWriter out;
+  const std::uint32_t big_ts = 0x01000000;  // > 0xFFFFFF
+  writer.write(out, kCsidVideo,
+               make_msg(MessageType::Video, big_ts, 1, 40, 0x55));
+  ASSERT_TRUE(reader.push(out.bytes()).ok());
+  auto msgs = reader.take_messages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].timestamp_ms, big_ts);
+}
+
+TEST(Chunk, ExtendedTimestampMultiChunk) {
+  ChunkWriter writer;
+  ChunkReader reader;
+  ByteWriter out;
+  writer.write(out, kCsidVideo,
+               make_msg(MessageType::Video, 0xFFFFFF + 5, 1, 500, 0x66));
+  ASSERT_TRUE(reader.push(out.bytes()).ok());
+  auto msgs = reader.take_messages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].payload.size(), 500u);
+  EXPECT_EQ(msgs[0].timestamp_ms, 0xFFFFFFu + 5);
+}
+
+TEST(Chunk, SetChunkSizeMidStreamApplies) {
+  ChunkWriter writer;
+  ChunkReader reader;
+  ByteWriter out;
+  // Announce a larger chunk size, then use it.
+  Message scs;
+  scs.type = MessageType::SetChunkSize;
+  ByteWriter p;
+  p.u32be(4096);
+  scs.payload = p.take();
+  writer.write(out, kCsidProtocol, scs);
+  writer.set_chunk_size(4096);
+  writer.write(out, kCsidVideo,
+               make_msg(MessageType::Video, 1, 1, 3000, 0x77));
+  ASSERT_TRUE(reader.push(out.bytes()).ok());
+  auto msgs = reader.take_messages();
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(reader.chunk_size(), 4096u);
+  EXPECT_EQ(msgs[1].payload.size(), 3000u);
+}
+
+TEST(Chunk, TimestampDeltaAccumulates) {
+  ChunkWriter writer;
+  ChunkReader reader;
+  ByteWriter out;
+  writer.write(out, kCsidAudio, make_msg(MessageType::Audio, 0, 1, 10, 0));
+  writer.write(out, kCsidAudio, make_msg(MessageType::Audio, 23, 1, 10, 0));
+  writer.write(out, kCsidAudio, make_msg(MessageType::Audio, 46, 1, 10, 0));
+  ASSERT_TRUE(reader.push(out.bytes()).ok());
+  auto msgs = reader.take_messages();
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(msgs[2].timestamp_ms, 46u);
+}
+
+
+TEST(Chunk, InterleavedMidMessageChunks) {
+  // Hand-craft the wire: a 300-byte video message on csid 6 is split
+  // into 128-byte chunks, with a complete audio message on csid 4
+  // interleaved between them — the interleaving real RTMP servers do.
+  ByteWriter wire;
+  Bytes video(300);
+  for (std::size_t i = 0; i < video.size(); ++i) {
+    video[i] = static_cast<std::uint8_t>(i);
+  }
+  const Bytes audio(40, 0xA5);
+
+  // fmt0 on csid 6: timestamp 100, length 300, type 9, stream 1.
+  wire.u8(0x06);
+  wire.u24be(100);
+  wire.u24be(300);
+  wire.u8(9);
+  wire.u32le(1);
+  wire.raw(BytesView(video).subspan(0, 128));
+  // Interleaved: fmt0 on csid 4, complete 40-byte audio message.
+  wire.u8(0x04);
+  wire.u24be(101);
+  wire.u24be(40);
+  wire.u8(8);
+  wire.u32le(1);
+  wire.raw(audio);
+  // fmt3 continuations of the video message on csid 6.
+  wire.u8(0xC6);
+  wire.raw(BytesView(video).subspan(128, 128));
+  wire.u8(0xC6);
+  wire.raw(BytesView(video).subspan(256, 44));
+
+  ChunkReader reader;
+  ASSERT_TRUE(reader.push(wire.bytes()).ok());
+  auto msgs = reader.take_messages();
+  ASSERT_EQ(msgs.size(), 2u);
+  // The audio message completes first (its final byte arrives earlier).
+  EXPECT_EQ(msgs[0].type, MessageType::Audio);
+  EXPECT_EQ(msgs[0].payload, audio);
+  EXPECT_EQ(msgs[1].type, MessageType::Video);
+  EXPECT_EQ(msgs[1].payload, video);
+  EXPECT_EQ(msgs[1].timestamp_ms, 100u);
+}
+
+TEST(Handshake, HelloRoundtrip) {
+  const Bytes hello = make_hello(1234, 42);
+  ASSERT_EQ(hello.size(), 1 + kHandshakeBlobSize);
+  auto parsed = parse_hello(hello);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().version, kRtmpVersion);
+  EXPECT_EQ(parsed.value().time_ms, 1234u);
+  EXPECT_TRUE(echo_matches(make_echo(parsed.value().blob),
+                           parsed.value().blob));
+}
+
+TEST(Handshake, WrongVersionRejected) {
+  Bytes hello = make_hello(0, 1);
+  hello[0] = 6;
+  EXPECT_FALSE(parse_hello(hello).ok());
+}
+
+TEST(Handshake, EchoMismatchDetected) {
+  const Bytes a = make_hello(0, 1);
+  const Bytes b = make_hello(0, 2);
+  EXPECT_FALSE(echo_matches(BytesView(a).subspan(1),
+                            BytesView(b).subspan(1)));
+}
+
+/// In-memory loopback: shuttle bytes between client and server sessions
+/// until both go quiet.
+void pump(ClientSession& client, ServerSession& server) {
+  for (int i = 0; i < 32; ++i) {
+    bool any = false;
+    if (client.has_output()) {
+      ASSERT_TRUE(server.on_input(client.take_output()).ok());
+      any = true;
+    }
+    if (server.has_output()) {
+      ASSERT_TRUE(client.on_input(server.take_output()).ok());
+      any = true;
+    }
+    if (!any) break;
+  }
+}
+
+TEST(Session, FullConnectPlayFlow) {
+  std::vector<std::string> statuses;
+  ClientSession::Callbacks cbs;
+  cbs.on_status = [&](const std::string& code) { statuses.push_back(code); };
+  ClientSession client("live", "abc1234567890", 7, std::move(cbs));
+  ServerSession server(9);
+  pump(client, server);
+  EXPECT_TRUE(client.playing());
+  EXPECT_TRUE(server.playing());
+  EXPECT_EQ(server.app(), "live");
+  EXPECT_EQ(server.stream_name(), "abc1234567890");
+  ASSERT_FALSE(statuses.empty());
+  EXPECT_EQ(statuses.back(), "NetStream.Play.Start");
+}
+
+TEST(Session, MediaDeliveryEndToEnd) {
+  std::vector<media::MediaSample> received;
+  media::AvcDecoderConfig config;
+  bool got_config = false;
+  ClientSession::Callbacks cbs;
+  cbs.on_sample = [&](media::MediaSample s) { received.push_back(std::move(s)); };
+  cbs.on_avc_config = [&](const media::AvcDecoderConfig& c) {
+    config = c;
+    got_config = true;
+  };
+  ClientSession client("live", "xyz", 1, std::move(cbs));
+  ServerSession server(2);
+  pump(client, server);
+  ASSERT_TRUE(server.playing());
+
+  media::VideoEncoder enc(media::VideoConfig{}, media::ContentModelConfig{},
+                          0.0, Rng(3));
+  server.send_avc_config(enc.sps(), enc.pps());
+  int sent = 0;
+  for (int i = 0; i < 60; ++i) {
+    auto s = enc.next_frame();
+    if (!s) continue;
+    // Server transmits Annex-B -> AVCC conversion internally.
+    server.send_sample(*s);
+    ++sent;
+  }
+  pump(client, server);
+  EXPECT_TRUE(got_config);
+  EXPECT_EQ(config.sps.width, 320);
+  ASSERT_EQ(static_cast<int>(received.size()), sent);
+  // Received samples carry AVCC NAL data parseable back to slices.
+  auto nals = media::split_avcc(received.back().data);
+  ASSERT_TRUE(nals.ok());
+  EXPECT_FALSE(nals.value().empty());
+}
+
+TEST(Session, AudioDelivery) {
+  std::vector<media::MediaSample> received;
+  ClientSession::Callbacks cbs;
+  cbs.on_sample = [&](media::MediaSample s) { received.push_back(std::move(s)); };
+  ClientSession client("live", "a", 1, std::move(cbs));
+  ServerSession server(2);
+  pump(client, server);
+  media::AacEncoder aac(media::AudioConfig{}, 5);
+  for (int i = 0; i < 10; ++i) server.send_sample(aac.next_frame());
+  pump(client, server);
+  ASSERT_EQ(received.size(), 10u);
+  EXPECT_EQ(received[0].kind, media::SampleKind::Audio);
+  auto info = media::parse_adts_header(received[0].data);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().sample_rate, 44100);
+}
+
+TEST(Session, GarbageHandshakeRejected) {
+  ServerSession server(1);
+  Bytes garbage(2000, 0xEE);
+  garbage[0] = 9;  // bad version
+  EXPECT_FALSE(server.on_input(garbage).ok());
+}
+
+TEST(Session, TimestampsCarryDts) {
+  std::vector<media::MediaSample> received;
+  ClientSession::Callbacks cbs;
+  cbs.on_sample = [&](media::MediaSample s) { received.push_back(std::move(s)); };
+  ClientSession client("live", "a", 1, std::move(cbs));
+  ServerSession server(2);
+  pump(client, server);
+  media::MediaSample s;
+  s.kind = media::SampleKind::Video;
+  s.dts = seconds(2.5);
+  s.pts = seconds(2.533);
+  s.keyframe = true;
+  media::Sps sps;
+  media::Pps pps;
+  s.data = media::annexb_wrap(
+      {media::make_slice_nal(media::SliceHeader{}, sps, pps, 100, 1)});
+  server.send_sample(s);
+  pump(client, server);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_NEAR(to_s(received[0].dts), 2.5, 1e-3);
+  EXPECT_NEAR(to_s(received[0].pts), 2.533, 2e-3);
+  EXPECT_TRUE(received[0].keyframe);
+}
+
+}  // namespace
+}  // namespace psc::rtmp

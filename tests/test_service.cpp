@@ -1,0 +1,643 @@
+// Service-side tests: population statistics, world map queries, API
+// server, rate limiting, server pools, chat.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "service/api.h"
+#include "service/chat.h"
+#include "service/rate_limiter.h"
+#include "service/servers.h"
+#include "service/world.h"
+
+namespace psc::service {
+namespace {
+
+TEST(Population, ZeroViewerFractionMatchesPaper) {
+  PopulationConfig cfg;
+  Rng rng(1);
+  int zero = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const BroadcastInfo b = draw_broadcast(cfg, rng, {}, TimePoint{});
+    if (b.peak_viewers <= 0) ++zero;
+  }
+  // Paper: "over 10% of broadcasts have no viewers at all".
+  EXPECT_NEAR(static_cast<double>(zero) / n, cfg.zero_viewer_fraction, 0.01);
+}
+
+TEST(Population, Over90PercentUnder20AvgViewers) {
+  PopulationConfig cfg;
+  Rng rng(2);
+  int under20 = 0, thousands = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const BroadcastInfo b = draw_broadcast(cfg, rng, {}, TimePoint{});
+    if (b.average_viewers() < 20) ++under20;
+    if (b.average_viewers() > 1000) ++thousands;
+  }
+  EXPECT_GT(static_cast<double>(under20) / n, 0.90);  // paper: >90%
+  EXPECT_GT(thousands, 0);  // "some attract thousands of viewers"
+}
+
+TEST(Population, ZeroViewerBroadcastsMuchShorter) {
+  PopulationConfig cfg;
+  Rng rng(3);
+  double dur0 = 0, durv = 0;
+  int n0 = 0, nv = 0;
+  for (int i = 0; i < 30000; ++i) {
+    const BroadcastInfo b = draw_broadcast(cfg, rng, {}, TimePoint{});
+    if (b.peak_viewers <= 0) {
+      dur0 += to_s(b.planned_duration);
+      ++n0;
+    } else {
+      durv += to_s(b.planned_duration);
+      ++nv;
+    }
+  }
+  const double avg0_min = dur0 / n0 / 60;
+  const double avgv_min = durv / nv / 60;
+  // Paper: avg 2 min vs 13 min.
+  EXPECT_LT(avg0_min, 5.0);
+  EXPECT_GT(avgv_min, 8.0);
+  EXPECT_GT(avgv_min / avg0_min, 3.0);
+}
+
+TEST(Population, DurationDistributionShape) {
+  PopulationConfig cfg;
+  Rng rng(4);
+  std::vector<double> durs;
+  for (int i = 0; i < 50000; ++i) {
+    durs.push_back(
+        to_s(draw_broadcast(cfg, rng, {}, TimePoint{}).planned_duration));
+  }
+  std::sort(durs.begin(), durs.end());
+  const double median = durs[durs.size() / 2];
+  // Paper: roughly half shorter than 4 minutes; most between 1-10 min;
+  // long tail reaching past a day at the 220K-broadcast scale of the
+  // full crawls (50K draws reliably show the multi-hour tail).
+  EXPECT_GT(median, 100);
+  EXPECT_LT(median, 330);
+  EXPECT_GT(durs.back(), 8 * 3600.0);
+  EXPECT_GT(durs[durs.size() - durs.size() / 1000], 2 * 3600.0);  // q99.9
+}
+
+TEST(Population, ReplayAvailabilityAsymmetric) {
+  PopulationConfig cfg;
+  Rng rng(5);
+  int zero_replay = 0, zero_total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const BroadcastInfo b = draw_broadcast(cfg, rng, {}, TimePoint{});
+    if (b.peak_viewers <= 0) {
+      ++zero_total;
+      if (b.available_for_replay) ++zero_replay;
+    }
+  }
+  // Paper: >80% of never-watched broadcasts unavailable for replay.
+  EXPECT_LT(static_cast<double>(zero_replay) / zero_total, 0.2);
+}
+
+TEST(Population, GopPatternMix) {
+  PopulationConfig cfg;
+  Rng rng(6);
+  int ibp = 0, ip = 0, ionly = 0, n = 20000;
+  for (int i = 0; i < n; ++i) {
+    switch (draw_broadcast(cfg, rng, {}, TimePoint{}).gop) {
+      case media::GopPattern::IBP: ++ibp; break;
+      case media::GopPattern::IP: ++ip; break;
+      case media::GopPattern::IOnly: ++ionly; break;
+    }
+  }
+  // Paper §5.2: ~80% IBP, ~20% I+P only, I-only in just a couple cases.
+  EXPECT_NEAR(static_cast<double>(ip) / n, 0.20, 0.02);
+  EXPECT_LT(static_cast<double>(ionly) / n, 0.02);
+  EXPECT_GT(static_cast<double>(ibp) / n, 0.75);
+}
+
+TEST(Diurnal, ShapeMatchesPaper) {
+  // Slump in the early hours, peak in the morning, rise toward midnight.
+  EXPECT_LT(diurnal_weight(4.5), 0.5);
+  EXPECT_GT(diurnal_weight(9.0), 1.0);
+  EXPECT_GT(diurnal_weight(22.0), diurnal_weight(12.0));
+  EXPECT_GT(diurnal_weight(22.0), 1.2);
+  // Continuous at the day boundary-ish.
+  EXPECT_NEAR(diurnal_weight(23.999), diurnal_weight(0.0), 0.2);
+}
+
+TEST(BroadcastInfo, ViewerProfileRampsAndDecays) {
+  BroadcastInfo b;
+  b.peak_viewers = 100;
+  b.start_time = time_at(0);
+  b.planned_duration = seconds(1000);
+  EXPECT_EQ(b.viewers_at(time_at(-1)), 0);
+  EXPECT_EQ(b.viewers_at(time_at(1000)), 0);  // ended
+  EXPECT_LT(b.viewers_at(time_at(10)), 20);   // ramping up
+  EXPECT_EQ(b.viewers_at(time_at(500)), 100); // plateau
+  EXPECT_LT(b.viewers_at(time_at(990)), 70);  // decaying
+  EXPECT_NEAR(b.average_viewers(), 88.75, 0.01);
+}
+
+TEST(BroadcastId, ThirteenCharsUnique) {
+  Rng rng(7);
+  std::set<BroadcastId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const BroadcastId id = make_broadcast_id(rng);
+    EXPECT_EQ(id.size(), 13u);
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+class WorldTest : public ::testing::Test {
+ protected:
+  WorldTest() : world_(sim_, config(), 11) {}
+
+  static WorldConfig config() {
+    WorldConfig cfg;
+    cfg.target_concurrent = 400;
+    cfg.hotspot_count = 60;
+    return cfg;
+  }
+
+  sim::Simulation sim_;
+  World world_;
+};
+
+TEST_F(WorldTest, PrepopulationHitsTarget) {
+  world_.start();
+  EXPECT_NEAR(static_cast<double>(world_.live_count()), 400, 120);
+}
+
+TEST_F(WorldTest, MapQueryCapMakesZoomRevealMore) {
+  world_.start();
+  sim_.run_until(time_at(60));
+  const auto world_hits = world_.query_rect(geo::GeoRect::world());
+  // At world zoom only a small visibility fraction (plus featured
+  // broadcasts) shows, and never more than the response cap.
+  EXPECT_LE(world_hits.size(), config().map_response_cap);
+  EXPECT_GT(world_hits.size(), 5u);
+  std::set<BroadcastId> deep_ids;
+  for (const geo::GeoRect& q : geo::GeoRect::world().quadrants()) {
+    for (const geo::GeoRect& qq : q.quadrants()) {
+      for (const BroadcastInfo* b : world_.query_rect(qq)) {
+        deep_ids.insert(b->id);
+      }
+    }
+  }
+  EXPECT_GT(deep_ids.size(), world_hits.size());
+}
+
+TEST_F(WorldTest, QueryReturnsOnlyContainedLiveBroadcasts) {
+  world_.start();
+  sim_.run_until(time_at(60));
+  const geo::GeoRect rect{0, 45, 0, 90};
+  for (const BroadcastInfo* b : world_.query_rect(rect)) {
+    EXPECT_TRUE(rect.contains(b->location));
+    EXPECT_TRUE(b->live_at(sim_.now()));
+  }
+}
+
+TEST_F(WorldTest, ArrivalsKeepWorldPopulated) {
+  world_.start(/*prepopulate=*/false);
+  EXPECT_EQ(world_.live_count(), 0u);
+  sim_.run_until(time_at(1200));
+  EXPECT_GT(world_.live_count(), 50u);
+  EXPECT_GT(world_.total_created(), 100u);
+}
+
+TEST_F(WorldTest, TeleportPrefersPopular) {
+  world_.start();
+  sim_.run_until(time_at(60));
+  Rng rng(1);
+  double sum = 0;
+  int n = 0;
+  for (int i = 0; i < 50; ++i) {
+    const BroadcastInfo* b = world_.teleport(rng, seconds(60));
+    if (b == nullptr) continue;
+    sum += b->average_viewers();
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  // Viewer-weighted choice: average well above the population mean (~6).
+  EXPECT_GT(sum / n, 15.0);
+}
+
+TEST_F(WorldTest, GcRemovesEndedBroadcasts) {
+  world_.start();
+  const std::size_t initial = world_.live_count();
+  sim_.run_until(time_at(3600));
+  // Plenty ended; map should not keep all of them.
+  EXPECT_LT(world_.total_created() - world_.live_count(), 100000u);
+  EXPECT_GT(initial, 0u);
+}
+
+TEST(RateLimiterTest, BurstThenThrottle) {
+  RateLimiter limiter(RateLimitConfig{3, 1.0});
+  const TimePoint t0 = time_at(100);
+  EXPECT_TRUE(limiter.allow("a", t0));
+  EXPECT_TRUE(limiter.allow("a", t0));
+  EXPECT_TRUE(limiter.allow("a", t0));
+  EXPECT_FALSE(limiter.allow("a", t0));  // bucket empty
+  EXPECT_TRUE(limiter.allow("a", t0 + seconds(1.1)));  // refilled
+}
+
+TEST(RateLimiterTest, AccountsIndependent) {
+  RateLimiter limiter(RateLimitConfig{1, 0.1});
+  const TimePoint t0 = time_at(0);
+  EXPECT_TRUE(limiter.allow("a", t0));
+  EXPECT_FALSE(limiter.allow("a", t0));
+  EXPECT_TRUE(limiter.allow("b", t0));  // separate bucket
+}
+
+TEST(Servers, PoolMatchesPaperCounts) {
+  MediaServerPool pool(1);
+  // Paper: 87 distinct Amazon RTMP servers, 2 HLS edge IPs.
+  EXPECT_EQ(pool.rtmp_origins().size(), 87u);
+  EXPECT_EQ(pool.hls_edges().size(), 2u);
+  std::set<std::string> ips;
+  for (const MediaServer& s : pool.rtmp_origins()) ips.insert(s.ip);
+  EXPECT_EQ(ips.size(), 87u);
+}
+
+TEST(Servers, OriginChosenByBroadcasterLocation) {
+  MediaServerPool pool(2);
+  const MediaServer& eu =
+      pool.rtmp_origin_for({60.2, 24.8}, "bcast1");  // Finland
+  EXPECT_TRUE(eu.region == "eu-central-1" || eu.region == "eu-west-1");
+  const MediaServer& au =
+      pool.rtmp_origin_for({-33.9, 151.2}, "bcast2");  // Sydney
+  EXPECT_EQ(au.region, "ap-southeast-2");
+  const MediaServer& us =
+      pool.rtmp_origin_for({37.7, -122.4}, "bcast3");  // SF
+  EXPECT_EQ(us.region, "us-west-1");
+}
+
+TEST(Servers, EveryContinentExceptAfrica) {
+  MediaServerPool pool(3);
+  std::set<std::string> regions;
+  for (const MediaServer& s : pool.rtmp_origins()) regions.insert(s.region);
+  EXPECT_GE(regions.size(), 6u);
+  for (const auto& r : regions) {
+    EXPECT_EQ(r.find("af-"), std::string::npos);
+  }
+}
+
+TEST(Chat, FullThresholdBlocksLateJoiners) {
+  sim::Simulation sim;
+  ChatConfig cfg;
+  cfg.full_threshold = 2;
+  ChatRoom room(sim, nullptr, cfg, 5);
+  const int a = room.join([](TimePoint, const ChatMessage&) {});
+  const int b = room.join([](TimePoint, const ChatMessage&) {});
+  const int c = room.join([](TimePoint, const ChatMessage&) {});
+  EXPECT_TRUE(room.can_send(a));
+  EXPECT_TRUE(room.can_send(b));
+  EXPECT_FALSE(room.can_send(c));  // chat full
+}
+
+TEST(Chat, MessagesFanOutToMembers) {
+  sim::Simulation sim;
+  ChatRoom room(sim, nullptr, ChatConfig{}, 6);
+  int received_a = 0, received_b = 0;
+  room.join([&](TimePoint, const ChatMessage&) { ++received_a; });
+  room.join([&](TimePoint, const ChatMessage&) { ++received_b; });
+  room.start(seconds(120));
+  sim.run_until(time_at(120));
+  EXPECT_GT(received_a, 3);
+  EXPECT_EQ(received_a, received_b);
+  EXPECT_EQ(room.messages_sent(), static_cast<std::uint64_t>(received_a));
+}
+
+TEST(Chat, LeaveStopsDelivery) {
+  sim::Simulation sim;
+  ChatRoom room(sim, nullptr, ChatConfig{}, 7);
+  int received = 0;
+  const int token = room.join([&](TimePoint, const ChatMessage&) { ++received; });
+  room.start(seconds(600));
+  sim.run_until(time_at(60));
+  const int before = received;
+  EXPECT_GT(before, 0);
+  room.leave(token);
+  sim.run_until(time_at(600));
+  EXPECT_EQ(received, before);
+}
+
+class ApiTest : public ::testing::Test {
+ protected:
+  ApiTest()
+      : world_(sim_, world_config(), 21),
+        servers_(22),
+        api_(world_, servers_, api_config()) {
+    world_.start();
+    sim_.run_until(time_at(30));
+  }
+
+  static WorldConfig world_config() {
+    WorldConfig cfg;
+    cfg.target_concurrent = 300;
+    return cfg;
+  }
+  static ApiConfig api_config() {
+    ApiConfig cfg;
+    cfg.rate_limit.capacity = 1000;  // most tests don't exercise limits
+    cfg.rate_limit.refill_per_sec = 1000;
+    return cfg;
+  }
+
+  json::Value map_feed(double lat0 = -90, double lat1 = 90,
+                       double lon0 = -180, double lon1 = 180) {
+    json::Object body;
+    body["cookie"] = "test";
+    body["p_lat_min"] = lat0;
+    body["p_lat_max"] = lat1;
+    body["p_lng_min"] = lon0;
+    body["p_lng_max"] = lon1;
+    body["include_replay"] = false;
+    return api_.call("mapGeoBroadcastFeed", json::Value(std::move(body)),
+                     sim_.now());
+  }
+
+  sim::Simulation sim_;
+  World world_;
+  MediaServerPool servers_;
+  ApiServer api_;
+};
+
+TEST_F(ApiTest, MapFeedReturnsBroadcastDescriptions) {
+  const json::Value resp = map_feed();
+  const json::Array& broadcasts = resp["broadcasts"].as_array();
+  ASSERT_FALSE(broadcasts.empty());
+  const json::Value& b = broadcasts[0];
+  EXPECT_EQ(b["id"].as_string().size(), 13u);
+  EXPECT_EQ(b["state"].as_string(), "RUNNING");
+  EXPECT_TRUE(b.has("ip_lat"));
+  EXPECT_TRUE(b.has("n_watching"));
+  EXPECT_TRUE(b.has("start"));
+}
+
+TEST_F(ApiTest, GetBroadcastsByIds) {
+  const json::Value feed = map_feed();
+  json::Array ids;
+  for (const json::Value& b : feed["broadcasts"].as_array()) {
+    ids.push_back(b["id"]);
+  }
+  json::Object body;
+  body["cookie"] = "test";
+  body["broadcast_ids"] = json::Value(std::move(ids));
+  const json::Value resp =
+      api_.call("getBroadcasts", json::Value(std::move(body)), sim_.now());
+  EXPECT_EQ(resp["broadcasts"].as_array().size(),
+            feed["broadcasts"].as_array().size());
+}
+
+TEST_F(ApiTest, GetBroadcastsUnknownIdsSkipped) {
+  json::Object body;
+  body["cookie"] = "test";
+  body["broadcast_ids"] =
+      json::Value(json::Array{json::Value("nonexistent123")});
+  const json::Value resp =
+      api_.call("getBroadcasts", json::Value(std::move(body)), sim_.now());
+  EXPECT_TRUE(resp["broadcasts"].as_array().empty());
+}
+
+TEST_F(ApiTest, AccessVideoProtocolByPopularity) {
+  // Find a low-viewer and (if present) a high-viewer broadcast.
+  const json::Value feed = map_feed();
+  for (const json::Value& b : feed["broadcasts"].as_array()) {
+    json::Object body;
+    body["cookie"] = "test";
+    body["broadcast_id"] = b["id"];
+    const json::Value resp =
+        api_.call("accessVideo", json::Value(std::move(body)), sim_.now());
+    const int watching = static_cast<int>(b["n_watching"].as_number());
+    if (watching >= 100) {
+      EXPECT_EQ(resp["protocol"].as_string(), "hls");
+      EXPECT_NE(resp["hls_url"].as_string().find(".m3u8"),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(resp["protocol"].as_string(), "rtmp");
+      EXPECT_NE(resp["rtmp_url"].as_string().find("rtmp://"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST_F(ApiTest, PlaybackMetaStored) {
+  json::Object body;
+  body["cookie"] = "viewer";
+  body["broadcast_id"] = "x";
+  body["stats"] = json::Value(json::Object{{"n_stalls", json::Value(2)}});
+  (void)api_.call("playbackMeta", json::Value(std::move(body)), sim_.now());
+  ASSERT_EQ(api_.playback_metas().size(), 1u);
+  EXPECT_EQ(api_.playback_metas()[0]["stats"]["n_stalls"].as_int(), 2);
+}
+
+TEST_F(ApiTest, UnknownRequest404) {
+  int status = 0;
+  (void)api_.call("bogusRequest", json::Value(json::Object{}), sim_.now(),
+                  &status);
+  EXPECT_EQ(status, 404);
+}
+
+TEST_F(ApiTest, HttpFramingWorks) {
+  http::Request req;
+  req.method = "POST";
+  req.path = "/api/v2/mapGeoBroadcastFeed";
+  req.body = R"({"cookie":"t","p_lat_min":-90,"p_lat_max":90,)"
+             R"("p_lng_min":-180,"p_lng_max":180})";
+  const http::Response resp = api_.handle(req, sim_.now());
+  EXPECT_EQ(resp.status, 200);
+  auto body = json::parse(to_string(resp.body));
+  ASSERT_TRUE(body.ok());
+  EXPECT_FALSE(body.value()["broadcasts"].as_array().empty());
+}
+
+TEST_F(ApiTest, WrongMethodOrPath404) {
+  http::Request req;
+  req.method = "GET";
+  req.path = "/api/v2/mapGeoBroadcastFeed";
+  EXPECT_EQ(api_.handle(req, sim_.now()).status, 404);
+  req.method = "POST";
+  req.path = "/other";
+  EXPECT_EQ(api_.handle(req, sim_.now()).status, 404);
+}
+
+TEST(ApiRateLimit, Returns429AndRecovers) {
+  sim::Simulation sim;
+  WorldConfig wcfg;
+  wcfg.target_concurrent = 50;
+  World world(sim, wcfg, 31);
+  world.start();
+  MediaServerPool servers(32);
+  ApiConfig cfg;
+  cfg.rate_limit.capacity = 2;
+  cfg.rate_limit.refill_per_sec = 0.5;
+  ApiServer api(world, servers, cfg);
+
+  json::Object body;
+  body["cookie"] = "hammer";
+  int status = 0;
+  (void)api.call("getBroadcasts", json::Value(body), sim.now(), &status);
+  EXPECT_EQ(status, 200);
+  (void)api.call("getBroadcasts", json::Value(body), sim.now(), &status);
+  EXPECT_EQ(status, 200);
+  (void)api.call("getBroadcasts", json::Value(body), sim.now(), &status);
+  EXPECT_EQ(status, 429);
+  EXPECT_EQ(api.requests_throttled(), 1u);
+  // A different account is not throttled (the paper's 4-emulator trick).
+  json::Object body2;
+  body2["cookie"] = "other";
+  (void)api.call("getBroadcasts", json::Value(body2), sim.now(), &status);
+  EXPECT_EQ(status, 200);
+  // After refill, the first account works again.
+  sim.run_until(sim.now() + seconds(3));
+  (void)api.call("getBroadcasts", json::Value(body), sim.now(), &status);
+  EXPECT_EQ(status, 200);
+}
+
+
+TEST_F(ApiTest, AccessReplayLifecycle) {
+  // Plant a short broadcast that ends soon and allows replay.
+  BroadcastInfo b;
+  b.id = "REPLAYbcast12";
+  b.location = {10, 10};
+  b.start_time = sim_.now();
+  b.planned_duration = seconds(30);
+  b.available_for_replay = true;
+  b.peak_viewers = 5;
+  world_.add_broadcast(b);
+
+  json::Object req;
+  req["cookie"] = "test";
+  req["broadcast_id"] = "REPLAYbcast12";
+  // Still live: replay refused.
+  json::Value resp =
+      api_.call("accessReplay", json::Value(req), sim_.now());
+  EXPECT_TRUE(resp.has("error"));
+  // After it ends: replay URL issued.
+  sim_.run_until(sim_.now() + seconds(40));
+  resp = api_.call("accessReplay", json::Value(req), sim_.now());
+  ASSERT_FALSE(resp.has("error")) << resp.dump();
+  EXPECT_NE(resp["replay_url"].as_string().find("vod.m3u8"),
+            std::string::npos);
+  EXPECT_EQ(resp["protocol"].as_string(), "hls");
+}
+
+TEST_F(ApiTest, AccessReplayRefusedWhenNotKept) {
+  BroadcastInfo b;
+  b.id = "NOREPLAYbcast";
+  b.location = {10, 10};
+  b.start_time = sim_.now() - seconds(100);
+  b.planned_duration = seconds(30);  // already ended
+  b.available_for_replay = false;
+  world_.add_broadcast(b);
+  json::Object req;
+  req["cookie"] = "test";
+  req["broadcast_id"] = "NOREPLAYbcast";
+  const json::Value resp =
+      api_.call("accessReplay", json::Value(req), sim_.now());
+  EXPECT_EQ(resp["error"].as_string(), "replay not available");
+}
+
+
+TEST(Diurnal, EveningBroadcastsFindMoreViewersThanEarlyMorning) {
+  // The world couples popularity to local start hour (Fig. 2(b)): compare
+  // the winsorized mean peak viewers of broadcasts spawned at different
+  // UTC hours at a fixed longitude-0 location distribution.
+  sim::Simulation sim;
+  WorldConfig cfg;
+  cfg.target_concurrent = 800;
+  cfg.hotspot_count = 40;
+  World world(sim, cfg, 99);
+  world.start(/*prepopulate=*/false);
+  auto winsorized_mean_at_local_hour = [&](double lo, double hi) {
+    double sum = 0;
+    int n = 0;
+    const TimePoint now = sim.now();
+    for (const geo::GeoRect& q : geo::GeoRect::world().quadrants()) {
+      for (const BroadcastInfo* b : world.query_rect(q)) {
+        const double h =
+            geo::local_hour(b->start_time, b->location.lon_deg);
+        if (h >= lo && h < hi && b->live_at(now)) {
+          sum += std::min(b->peak_viewers, 200.0);
+          ++n;
+        }
+      }
+    }
+    return n > 5 ? sum / n : -1.0;
+  };
+  // Run a full day so every local hour is populated.
+  sim.run_until(time_at(26 * 3600.0));
+  const double night = winsorized_mean_at_local_hour(3, 6);
+  const double evening = winsorized_mean_at_local_hour(20, 24);
+  if (night > 0 && evening > 0) {
+    EXPECT_GT(evening, night);
+  }
+}
+
+
+TEST_F(ApiTest, RankedFeedShowsTopBroadcastsAndFeatured) {
+  const json::Value resp = api_.call(
+      "rankedBroadcastFeed",
+      json::Value(json::Object{{"cookie", json::Value("test")}}),
+      sim_.now());
+  const json::Array& featured = resp["featured"].as_array();
+  const json::Array& ranked = resp["broadcasts"].as_array();
+  EXPECT_LE(featured.size(), 2u);
+  EXPECT_LE(ranked.size(), 80u);
+  EXPECT_FALSE(ranked.empty());
+  // Featured entries outrank the list (viewer-sorted).
+  if (!featured.empty() && !ranked.empty()) {
+    EXPECT_GE(featured[std::size_t{0}]["n_watching"].as_int(),
+              ranked[ranked.size() - 1]["n_watching"].as_int());
+  }
+  // Ranked list itself is sorted by viewers, descending.
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1]["n_watching"].as_int(),
+              ranked[i]["n_watching"].as_int());
+  }
+}
+
+
+TEST_F(ApiTest, IncludeReplaySurfacesEndedReplayableBroadcasts) {
+  service::BroadcastInfo ended;
+  ended.id = "ENDEDreplayab";
+  ended.location = {20, 20};
+  ended.start_time = sim_.now() - seconds(100);
+  ended.planned_duration = seconds(30);  // ended 70 s ago, pre-GC
+  ended.available_for_replay = true;
+  ended.peak_viewers = 5000;  // featured: visible at any zoom
+  world_.add_broadcast(ended);
+
+  auto feed = [&](bool include_replay) {
+    json::Object body;
+    body["cookie"] = "test";
+    body["p_lat_min"] = 15.0;
+    body["p_lat_max"] = 25.0;
+    body["p_lng_min"] = 15.0;
+    body["p_lng_max"] = 25.0;
+    body["include_replay"] = include_replay;
+    return api_.call("mapGeoBroadcastFeed", json::Value(std::move(body)),
+                     sim_.now());
+  };
+  bool seen_without = false, seen_with = false;
+  // Bind responses to locals: ranging over
+  // feed(...)["broadcasts"].as_array() would dangle (the temporary Value
+  // dies before the loop body in C++20).
+  const json::Value without = feed(false);
+  for (const json::Value& b : without["broadcasts"].as_array()) {
+    if (b["id"].as_string() == "ENDEDreplayab") seen_without = true;
+  }
+  const json::Value with_replays = feed(true);
+  for (const json::Value& b : with_replays["broadcasts"].as_array()) {
+    if (b["id"].as_string() == "ENDEDreplayab") {
+      seen_with = true;
+      EXPECT_EQ(b["state"].as_string(), "ENDED");
+    }
+  }
+  EXPECT_FALSE(seen_without);  // the crawler's include_replay=false
+  EXPECT_TRUE(seen_with);
+}
+
+}  // namespace
+}  // namespace psc::service

@@ -1,0 +1,106 @@
+// Discrete-event simulation kernel tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace psc::sim {
+namespace {
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(time_at(3.0), [&] { order.push_back(3); });
+  sim.schedule_at(time_at(1.0), [&] { order.push_back(1); });
+  sim.schedule_at(time_at(2.0), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(to_s(sim.now()), 3.0);
+}
+
+TEST(Simulation, TiesBreakByScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(time_at(1.0), [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, RunUntilStopsAndSetsClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(time_at(5.0), [&] { ++fired; });
+  sim.schedule_at(time_at(15.0), [&] { ++fired; });
+  sim.run_until(time_at(10.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(to_s(sim.now()), 10.0);
+  sim.run_until(time_at(20.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, ScheduleAfterFromHandler) {
+  Simulation sim;
+  std::vector<double> times;
+  std::function<void()> tick = [&] {
+    times.push_back(to_s(sim.now()));
+    if (times.size() < 3) sim.schedule_after(seconds(1), tick);
+  };
+  sim.schedule_after(seconds(1), tick);
+  sim.run_all();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[2], 3.0);
+}
+
+TEST(Simulation, PastEventsClampToNow) {
+  Simulation sim;
+  sim.schedule_at(time_at(5.0), [] {});
+  sim.run_all();
+  double fired_at = -1;
+  sim.schedule_at(time_at(1.0), [&] { fired_at = to_s(sim.now()); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);  // not back in time
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  int fired = 0;
+  EventHandle h = sim.schedule_at(time_at(1.0), [&] { ++fired; });
+  sim.schedule_at(time_at(2.0), [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));  // double cancel
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, CancelInvalidHandle) {
+  Simulation sim;
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Simulation, PendingReflectsLiveEvents) {
+  Simulation sim;
+  EXPECT_FALSE(sim.pending());
+  EventHandle h = sim.schedule_at(time_at(1.0), [] {});
+  EXPECT_TRUE(sim.pending());
+  sim.cancel(h);
+  EXPECT_FALSE(sim.pending());
+}
+
+TEST(Simulation, CountsExecutedEvents) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(time_at(i), [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulation, RunUntilWithNoEventsAdvancesClock) {
+  Simulation sim;
+  sim.run_until(time_at(42.0));
+  EXPECT_DOUBLE_EQ(to_s(sim.now()), 42.0);
+}
+
+}  // namespace
+}  // namespace psc::sim

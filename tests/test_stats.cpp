@@ -1,0 +1,188 @@
+// Statistics toolkit tests: moments, quantiles, boxplots, ECDF, Welch's
+// t-test, correlation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "util/rng.h"
+
+namespace psc::analysis {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7, 1e-12);  // sample variance
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7), 1e-12);
+}
+
+TEST(Stats, DegenerateInputs) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(empty, 0.5), 0.0);
+}
+
+TEST(Stats, QuantileLinearInterpolation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3), 2.0);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  const std::vector<double> xs = {9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(median(xs), 5.0);
+}
+
+TEST(Stats, BoxplotFiveNumbers) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const BoxplotSummary b = boxplot(xs);
+  EXPECT_EQ(b.n, 100u);
+  EXPECT_DOUBLE_EQ(b.min, 1);
+  EXPECT_DOUBLE_EQ(b.max, 100);
+  EXPECT_NEAR(b.q1, 25.75, 1e-9);
+  EXPECT_NEAR(b.median, 50.5, 1e-9);
+  EXPECT_NEAR(b.q3, 75.25, 1e-9);
+  EXPECT_TRUE(b.outliers.empty());
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 1);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 100);
+}
+
+TEST(Stats, BoxplotOutliersBeyondFences) {
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 100};
+  const BoxplotSummary b = boxplot(xs);
+  ASSERT_EQ(b.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers[0], 100);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 10);
+  EXPECT_DOUBLE_EQ(b.max, 100);
+}
+
+TEST(Stats, EcdfEvaluation) {
+  const std::vector<double> xs = {1, 2, 2, 3};
+  const Ecdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf(10.0), 1.0);
+}
+
+TEST(Stats, EcdfInverse) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  const Ecdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.25), 10);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.5), 20);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.75), 30);
+  EXPECT_DOUBLE_EQ(cdf.inverse(1.0), 40);
+}
+
+TEST(Stats, HistogramClampsOutliers) {
+  const std::vector<double> xs = {-5, 0.5, 1.5, 2.5, 99};
+  const auto bins = histogram(xs, 0, 3, 3);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0].count, 2u);  // -5 clamped in, 0.5
+  EXPECT_EQ(bins[1].count, 1u);
+  EXPECT_EQ(bins[2].count, 2u);  // 2.5, 99 clamped
+  EXPECT_DOUBLE_EQ(bins[1].lo, 1.0);
+  EXPECT_DOUBLE_EQ(bins[1].hi, 2.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonIndependentNearZero) {
+  Rng rng(99);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(rng.uniform());
+    ys.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.05);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  const std::vector<double> xs = {1, 1, 1};
+  const std::vector<double> ys = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(xs, {}), 0.0);
+}
+
+TEST(Stats, IncompleteBetaKnownValues) {
+  // I_x(1,1) = x.
+  EXPECT_NEAR(incomplete_beta(1, 1, 0.3), 0.3, 1e-9);
+  // I_x(2,2) = x^2(3-2x).
+  EXPECT_NEAR(incomplete_beta(2, 2, 0.5), 0.5, 1e-9);
+  EXPECT_NEAR(incomplete_beta(2, 2, 0.2), 0.04 * (3 - 0.4), 1e-9);
+  EXPECT_DOUBLE_EQ(incomplete_beta(3, 4, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(3, 4, 1.0), 1.0);
+}
+
+TEST(Stats, WelchSameDistributionHighP) {
+  Rng rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.normal(10, 2));
+    b.push_back(rng.normal(10, 2));
+  }
+  const WelchResult r = welch_t_test(a, b);
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(Stats, WelchDifferentMeansLowP) {
+  Rng rng(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.normal(10, 2));
+    b.push_back(rng.normal(11, 2));
+  }
+  const WelchResult r = welch_t_test(a, b);
+  ASSERT_TRUE(r.valid);
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_LT(r.t, 0);  // a < b
+}
+
+TEST(Stats, WelchKnownExample) {
+  // Classic unequal-variance example; verify t and df formulas.
+  const std::vector<double> a = {27.5, 21.0, 19.0, 23.6, 17.0, 17.9,
+                                 16.9, 20.1, 21.9, 22.6, 23.1, 19.6,
+                                 19.0, 21.7, 21.4};
+  const std::vector<double> b = {27.1, 22.0, 20.8, 23.4, 23.4, 23.5,
+                                 25.8, 22.0, 24.8, 20.2, 21.9, 22.1,
+                                 22.9, 30.5, 24.2};
+  const WelchResult r = welch_t_test(a, b);
+  ASSERT_TRUE(r.valid);
+  // Reference values computed independently (same as scipy's
+  // ttest_ind(equal_var=False)): t=-2.8413, df=27.883, p=0.00830.
+  EXPECT_NEAR(r.t, -2.8413, 0.001);
+  EXPECT_NEAR(r.df, 27.883, 0.01);
+  EXPECT_NEAR(r.p_value, 0.0083, 0.001);
+}
+
+TEST(Stats, WelchDegenerateInvalid) {
+  const std::vector<double> one = {1.0};
+  const std::vector<double> two = {1.0, 2.0};
+  const std::vector<double> flat = {1.0, 1.0};
+  EXPECT_FALSE(welch_t_test(one, two).valid);
+  EXPECT_FALSE(welch_t_test(flat, flat).valid);  // zero variance
+}
+
+TEST(Stats, BoxplotSummaryToString) {
+  const std::vector<double> xs = {1, 2, 3};
+  EXPECT_NE(boxplot(xs).to_string().find("n=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psc::analysis

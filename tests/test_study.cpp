@@ -1,0 +1,175 @@
+// Study-level integration tests: protocol selection under Teleport,
+// bandwidth sweeps, the S3-vs-S4 Welch comparison, playbackMeta quirks.
+#include <gtest/gtest.h>
+
+#include "analysis/stats.h"
+#include "core/study.h"
+
+namespace psc::core {
+namespace {
+
+StudyConfig medium_config(std::uint64_t seed = 99) {
+  StudyConfig cfg;
+  cfg.seed = seed;
+  cfg.world.target_concurrent = 250;
+  cfg.world.hotspot_count = 40;
+  return cfg;
+}
+
+TEST(Study, TeleportCampaignMixesProtocols) {
+  Study study(medium_config(1));
+  const CampaignResult result =
+      study.run_campaign(16, 0, Study::galaxy_s4(), /*analyze=*/false);
+  ASSERT_GE(result.sessions.size(), 12u);
+  const std::size_t rtmp = result.rtmp().size();
+  const std::size_t hls = result.hls().size();
+  EXPECT_GT(rtmp, 0u);
+  EXPECT_GT(hls, 0u);
+  EXPECT_EQ(rtmp + hls, result.sessions.size());
+}
+
+TEST(Study, HlsOnlyForPopularBroadcasts) {
+  Study study(medium_config(2));
+  const CampaignResult result =
+      study.run_campaign(14, 0, Study::galaxy_s4(), false);
+  for (const SessionRecord& r : result.sessions) {
+    if (r.stats.protocol == client::Protocol::Hls) {
+      // HLS threshold is ~100 concurrent; the lifetime average of those
+      // broadcasts must be substantial.
+      EXPECT_GT(r.stats.avg_viewers, 50.0);
+    }
+  }
+}
+
+TEST(Study, PlaybackMetaReportedPerSession) {
+  Study study(medium_config(3));
+  const CampaignResult result =
+      study.run_campaign(6, 0, Study::galaxy_s4(), false);
+  const auto& metas = study.api().playback_metas();
+  EXPECT_EQ(metas.size(), result.sessions.size());
+  for (std::size_t i = 0; i < metas.size(); ++i) {
+    // Every upload has the stall count; only RTMP sessions include the
+    // full stats (the paper's HLS sessions reported only stall counts).
+    EXPECT_TRUE(metas[i]["stats"].has("n_stalls"));
+  }
+  // Cross-check the RTMP/HLS asymmetry.
+  std::size_t with_latency = 0;
+  for (const auto& m : metas) {
+    if (m["stats"].has("playback_latency_s")) ++with_latency;
+  }
+  EXPECT_EQ(with_latency, result.rtmp().size());
+}
+
+TEST(Study, BandwidthLimitDegradesQoE) {
+  Study study(medium_config(4));
+  const CampaignResult unlimited =
+      study.run_campaign(8, 0, Study::galaxy_s4(), false);
+  const CampaignResult limited =
+      study.run_campaign(8, 1e6, Study::galaxy_s4(), false);
+  auto avg_join = [](const CampaignResult& r) {
+    double s = 0;
+    int n = 0;
+    for (const SessionRecord& rec : r.sessions) {
+      if (rec.stats.protocol == client::Protocol::Rtmp) {
+        s += rec.stats.join_time_s;
+        ++n;
+      }
+    }
+    return n > 0 ? s / n : 0.0;
+  };
+  // 1 Mbps joins slower than unlimited on average (paper Fig. 4a).
+  EXPECT_GT(avg_join(limited) + 0.01, avg_join(unlimited));
+}
+
+TEST(Study, TwoDeviceFrameRatesDifferButStallsDoNot) {
+  // The paper's Welch t-tests: frame rate differs significantly between
+  // S3 and S4; stalling and latency do not.
+  Study study(medium_config(5));
+  const CampaignResult s3 =
+      study.run_campaign(10, 0, Study::galaxy_s3(), false);
+  const CampaignResult s4 =
+      study.run_campaign(10, 0, Study::galaxy_s4(), false);
+  std::vector<double> fps3, fps4;
+  for (const auto& r : s3.sessions) {
+    if (r.stats.ever_played) fps3.push_back(r.stats.reported_fps);
+  }
+  for (const auto& r : s4.sessions) {
+    if (r.stats.ever_played) fps4.push_back(r.stats.reported_fps);
+  }
+  ASSERT_GE(fps3.size(), 5u);
+  ASSERT_GE(fps4.size(), 5u);
+  const auto fps_test = analysis::welch_t_test(fps3, fps4);
+  ASSERT_TRUE(fps_test.valid);
+  EXPECT_LT(fps_test.p_value, 0.05);
+  EXPECT_LT(analysis::mean(fps3), analysis::mean(fps4));
+}
+
+TEST(Study, SessionsWatchSixtySeconds) {
+  Study study(medium_config(6));
+  const CampaignResult result =
+      study.run_campaign(4, 0, Study::galaxy_s4(), false);
+  for (const SessionRecord& r : result.sessions) {
+    const double total =
+        r.stats.join_time_s + r.stats.played_s + r.stats.stalled_s;
+    // join + played + stalled ~= 60 s (the paper's accounting).
+    EXPECT_NEAR(total, 60.0, 2.5);
+  }
+}
+
+TEST(Study, DeterministicForSeed) {
+  Study a(medium_config(7));
+  Study b(medium_config(7));
+  const CampaignResult ra = a.run_campaign(3, 0, Study::galaxy_s4(), false);
+  const CampaignResult rb = b.run_campaign(3, 0, Study::galaxy_s4(), false);
+  ASSERT_EQ(ra.sessions.size(), rb.sessions.size());
+  for (std::size_t i = 0; i < ra.sessions.size(); ++i) {
+    EXPECT_EQ(ra.sessions[i].stats.broadcast_id,
+              rb.sessions[i].stats.broadcast_id);
+    EXPECT_DOUBLE_EQ(ra.sessions[i].stats.join_time_s,
+                     rb.sessions[i].stats.join_time_s);
+    EXPECT_EQ(ra.sessions[i].stats.bytes_received,
+              rb.sessions[i].stats.bytes_received);
+  }
+}
+
+TEST(Study, RtmpServersVaryHlsEdgesDoNot) {
+  Study study(medium_config(8));
+  const CampaignResult result =
+      study.run_campaign(14, 0, Study::galaxy_s4(), false);
+  std::set<std::string> rtmp_ips, hls_ips;
+  for (const SessionRecord& r : result.sessions) {
+    if (r.stats.protocol == client::Protocol::Rtmp) {
+      rtmp_ips.insert(r.stats.server_ip);
+    } else {
+      hls_ips.insert(r.stats.server_ip);
+    }
+  }
+  // RTMP origins are broadcaster-located (many); HLS edges are 2 IPs.
+  EXPECT_LE(hls_ips.size(), 2u);
+}
+
+
+TEST(Study, AdaptiveHlsCampaignRidesLadderWhenLimited) {
+  StudyConfig cfg = medium_config(9);
+  cfg.hls_adaptive = true;
+  Study study(cfg);
+  // 0.3 Mbps: the source rendition does not fit; adaptive HLS sessions
+  // should still play most of the minute.
+  const CampaignResult result =
+      study.run_campaign(18, 0.3e6, Study::galaxy_s4(), /*analyze=*/true);
+  int hls_sessions = 0;
+  for (const SessionRecord& r : result.sessions) {
+    if (r.stats.protocol != client::Protocol::Hls) continue;
+    ++hls_sessions;
+    EXPECT_TRUE(r.stats.ever_played);
+    EXPECT_GT(r.stats.played_s, 25.0);
+    // Ladder renditions are visible in the capture as raised QP.
+    if (!r.analysis.frames.empty()) {
+      EXPECT_GT(r.analysis.avg_qp(), 19.0);
+    }
+  }
+  EXPECT_GT(hls_sessions, 0);
+}
+
+}  // namespace
+}  // namespace psc::core

@@ -1,0 +1,288 @@
+// Unit tests for util: byte I/O, bit I/O + Exp-Golomb, CRC32, RNG,
+// strings, units.
+#include <gtest/gtest.h>
+
+#include "util/bitio.h"
+#include "util/bytes.h"
+#include "util/crc32.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace psc {
+namespace {
+
+TEST(Bytes, BigEndianRoundtrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16be(0x1234);
+  w.u24be(0x00ABCDEF & 0xFFFFFF);
+  w.u32be(0xDEADBEEF);
+  w.u64be(0x0123456789ABCDEFull);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8().value(), 0xAB);
+  EXPECT_EQ(r.u16be().value(), 0x1234);
+  EXPECT_EQ(r.u24be().value(), 0xABCDEFu);
+  EXPECT_EQ(r.u32be().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64be().value(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, LittleEndianU32) {
+  ByteWriter w;
+  w.u32le(0x11223344);
+  EXPECT_EQ(w.bytes()[0], 0x44);
+  EXPECT_EQ(w.bytes()[3], 0x11);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u32le().value(), 0x11223344u);
+}
+
+TEST(Bytes, DoubleRoundtrip) {
+  ByteWriter w;
+  w.f64be(3.14159265358979);
+  w.f64be(-0.0);
+  w.f64be(1e308);
+  ByteReader r(w.bytes());
+  EXPECT_DOUBLE_EQ(r.f64be().value(), 3.14159265358979);
+  EXPECT_DOUBLE_EQ(r.f64be().value(), -0.0);
+  EXPECT_DOUBLE_EQ(r.f64be().value(), 1e308);
+}
+
+TEST(Bytes, TruncationIsAnError) {
+  const Bytes short_buf = {0x01, 0x02};
+  ByteReader r(short_buf);
+  auto v = r.u32be();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code, "truncated");
+  // Position unchanged on failure is not guaranteed, but remaining bytes
+  // must still be readable as smaller units.
+  ByteReader r2(short_buf);
+  EXPECT_TRUE(r2.u16be().ok());
+}
+
+TEST(Bytes, SkipAndView) {
+  const Bytes buf = {1, 2, 3, 4, 5};
+  ByteReader r(buf);
+  ASSERT_TRUE(r.skip(2).ok());
+  auto v = r.view(2);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value()[0], 3);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_FALSE(r.skip(5).ok());
+}
+
+TEST(Bytes, StringConversion) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(BitIo, SingleBitsMsbFirst) {
+  BitWriter w;
+  w.bit(true);
+  w.bit(false);
+  w.bit(true);
+  w.bits(0, 5);
+  const Bytes out = w.take();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0b10100000);
+}
+
+TEST(BitIo, BitsRoundtrip) {
+  BitWriter w;
+  w.bits(0x2AB, 10);
+  w.bits(0x3, 2);
+  w.bits(0xFFFF, 16);
+  Bytes out = w.take();
+  BitReader r(out);
+  EXPECT_EQ(r.bits(10).value(), 0x2ABu);
+  EXPECT_EQ(r.bits(2).value(), 0x3u);
+  EXPECT_EQ(r.bits(16).value(), 0xFFFFu);
+}
+
+class ExpGolombTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ExpGolombTest, UnsignedRoundtrip) {
+  BitWriter w;
+  w.ue(GetParam());
+  w.rbsp_trailing_bits();
+  Bytes out = w.take();
+  BitReader r(out);
+  EXPECT_EQ(r.ue().value(), GetParam());
+}
+
+TEST_P(ExpGolombTest, SignedRoundtripBothSigns) {
+  const auto v = static_cast<std::int32_t>(GetParam() % 100000);
+  BitWriter w;
+  w.se(v);
+  w.se(-v);
+  w.rbsp_trailing_bits();
+  Bytes out = w.take();
+  BitReader r(out);
+  EXPECT_EQ(r.se().value(), v);
+  EXPECT_EQ(r.se().value(), -v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, ExpGolombTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 7u, 8u, 100u,
+                                           255u, 256u, 65535u, 1000000u));
+
+TEST(BitIo, KnownExpGolombCodes) {
+  // ue(0)=1, ue(1)=010, ue(2)=011, ue(3)=00100 (H.264 table 9-2).
+  BitWriter w;
+  w.ue(0);
+  w.ue(1);
+  w.ue(2);
+  w.ue(3);
+  // bits: 1 010 011 00100 -> 1010 0110 0100....
+  Bytes out = w.take();
+  EXPECT_EQ(out[0], 0b10100110);
+  EXPECT_EQ(out[1] & 0b11100000, 0b01000000);
+}
+
+TEST(BitIo, ReadPastEndFails) {
+  const Bytes one = {0xFF};
+  BitReader r(one);
+  EXPECT_TRUE(r.bits(8).ok());
+  EXPECT_FALSE(r.bit().ok());
+}
+
+TEST(BitIo, MalformedGolombPrefixFails) {
+  const Bytes zeros(16, 0x00);
+  BitReader r(zeros);
+  auto v = r.ue();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code, "malformed");
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32/MPEG-2 of "123456789" is 0x0376E6E7.
+  const Bytes data = to_bytes("123456789");
+  EXPECT_EQ(crc32_mpeg(data), 0x0376E6E7u);
+}
+
+TEST(Crc32, EmptyIsInit) {
+  EXPECT_EQ(crc32_mpeg(Bytes{}), 0xFFFFFFFFu);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(9);
+  Rng child1 = a.fork(1);
+  Rng a2(9);
+  Rng child2 = a2.fork(1);
+  EXPECT_DOUBLE_EQ(child1.uniform(), child2.uniform());
+  Rng other = a2.fork(2);
+  // Different salts give different streams (overwhelmingly likely).
+  EXPECT_NE(child2.uniform(), other.uniform());
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, ZipfInRangeAndSkewed) {
+  Rng r(11);
+  int ones = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.zipf(100, 1.2);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 100);
+    if (v == 1) ++ones;
+  }
+  // Rank 1 should dominate.
+  EXPECT_GT(ones, 200);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng r(17);
+  const double weights[] = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(r.weighted_index(weights), 1u);
+  }
+}
+
+TEST(Rng, ParetoTail) {
+  Rng r(23);
+  int over = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.pareto(1.0, 1.05);
+    ASSERT_GE(v, 1.0);
+    if (v > 20) ++over;
+  }
+  // P(X > 20) = 20^-1.05 ~ 4.3%.
+  EXPECT_NEAR(static_cast<double>(over) / n, 0.043, 0.02);
+}
+
+TEST(Strings, Strf) {
+  EXPECT_EQ(strf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strf("%.2f", 1.005), "1.00");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, FormatBitrate) {
+  EXPECT_EQ(format_bitrate(2.5e6), "2.50 Mbps");
+  EXPECT_EQ(format_bitrate(300e3), "300 kbps");
+  EXPECT_EQ(format_bitrate(42), "42 bps");
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(to_s(seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_ms(millis(12)), 12.0);
+  EXPECT_DOUBLE_EQ(to_s(minutes(2)), 120.0);
+  EXPECT_DOUBLE_EQ(to_s(hours(1)), 3600.0);
+  EXPECT_DOUBLE_EQ(kbps(300), 300e3);
+  EXPECT_DOUBLE_EQ(mbps(2), 2e6);
+}
+
+TEST(Units, TransmitTime) {
+  // 1250 bytes at 1 Mbps = 10 ms.
+  EXPECT_NEAR(to_ms(transmit_time(1250, 1e6)), 10.0, 1e-9);
+}
+
+TEST(ResultType, ValueAndError) {
+  Result<int> ok(5);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  Result<int> bad(make_error("x", "boom"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, "x");
+  EXPECT_EQ(bad.value_or(7), 7);
+  EXPECT_EQ(ok.value_or(7), 5);
+}
+
+TEST(ResultType, StatusDefaultsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  Status e{Error{"a", "b"}};
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.error().to_string(), "a: b");
+}
+
+}  // namespace
+}  // namespace psc

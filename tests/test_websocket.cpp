@@ -1,0 +1,153 @@
+// Base64, SHA-1 and WebSocket (RFC 6455) framing tests.
+#include <gtest/gtest.h>
+
+#include "http/websocket.h"
+#include "util/base64.h"
+#include "util/sha1.h"
+
+namespace psc {
+namespace {
+
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeRoundtrip) {
+  Bytes data;
+  for (int i = 0; i < 300; ++i) {
+    data.push_back(static_cast<std::uint8_t>(i * 7 + 3));
+  }
+  auto decoded = base64_decode(base64_encode(data));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), data);
+}
+
+TEST(Base64, RejectsMalformed) {
+  EXPECT_FALSE(base64_decode("abc").ok());       // not multiple of 4
+  EXPECT_FALSE(base64_decode("ab!=").ok());      // invalid character
+  EXPECT_FALSE(base64_decode("=abc").ok());      // misplaced padding
+  EXPECT_FALSE(base64_decode("ab=c").ok());      // data after padding
+}
+
+TEST(Sha1, KnownVectors) {
+  // FIPS 180-1 appendix vectors.
+  EXPECT_EQ(sha1_hex(to_bytes("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(sha1_hex(to_bytes("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(
+      sha1_hex(to_bytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, LongInput) {
+  // One million 'a' characters.
+  const Bytes a(1000000, 'a');
+  EXPECT_EQ(sha1_hex(a), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(WebSocket, Rfc6455AcceptKey) {
+  // RFC 6455 §1.3 example.
+  EXPECT_EQ(ws::accept_key("dGhlIHNhbXBsZSBub25jZQ=="),
+            "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=");
+}
+
+TEST(WebSocket, UpgradeHandshakeTexts) {
+  const std::string req =
+      ws::upgrade_request("chan.periscope.tv", "/chat", "AAAA");
+  EXPECT_NE(req.find("Upgrade: websocket"), std::string::npos);
+  EXPECT_NE(req.find("Sec-WebSocket-Key: AAAA"), std::string::npos);
+  const std::string resp = ws::upgrade_response("AAAA");
+  EXPECT_NE(resp.find("101 Switching Protocols"), std::string::npos);
+  EXPECT_NE(resp.find("Sec-WebSocket-Accept: " + ws::accept_key("AAAA")),
+            std::string::npos);
+}
+
+TEST(WebSocket, ServerFrameRoundtrip) {
+  const Bytes wire = ws::server_text_frame("hello from brazil");
+  ws::FrameDecoder dec;
+  ASSERT_TRUE(dec.push(wire).ok());
+  auto frames = dec.take_frames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].opcode, ws::Opcode::Text);
+  EXPECT_TRUE(frames[0].fin);
+  EXPECT_FALSE(frames[0].masked);
+  EXPECT_EQ(to_string(frames[0].payload), "hello from brazil");
+}
+
+TEST(WebSocket, MaskedClientFrameRoundtrip) {
+  const Bytes wire = ws::client_text_frame("lol", 0xDEADBEEF);
+  // Masked payload must not appear in clear on the wire.
+  const std::string raw = to_string(wire);
+  EXPECT_EQ(raw.find("lol"), std::string::npos);
+  ws::FrameDecoder dec;
+  ASSERT_TRUE(dec.push(wire).ok());
+  auto frames = dec.take_frames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].masked);
+  EXPECT_EQ(to_string(frames[0].payload), "lol");
+}
+
+class WsLengthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WsLengthTest, LengthEncodingsRoundtrip) {
+  ws::Frame f;
+  f.opcode = ws::Opcode::Binary;
+  f.payload.assign(GetParam(), 0x42);
+  const Bytes wire = ws::encode_frame(f, 0x01020304);
+  ws::FrameDecoder dec;
+  ASSERT_TRUE(dec.push(wire).ok());
+  auto frames = dec.take_frames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload.size(), GetParam());
+  EXPECT_EQ(frames[0].payload, f.payload);
+}
+
+// 125 / 126 / 0xFFFF boundaries of the 7 / 16 / 64-bit length encodings.
+INSTANTIATE_TEST_SUITE_P(Lengths, WsLengthTest,
+                         ::testing::Values(0u, 1u, 125u, 126u, 127u, 65535u,
+                                           65536u, 100000u));
+
+TEST(WebSocket, IncrementalDelivery) {
+  const Bytes a = ws::server_text_frame("first");
+  const Bytes b = ws::server_text_frame("second");
+  Bytes wire = a;
+  wire.insert(wire.end(), b.begin(), b.end());
+  ws::FrameDecoder dec;
+  for (std::uint8_t byte : wire) {
+    ASSERT_TRUE(dec.push(BytesView(&byte, 1)).ok());
+  }
+  auto frames = dec.take_frames();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(to_string(frames[0].payload), "first");
+  EXPECT_EQ(to_string(frames[1].payload), "second");
+}
+
+TEST(WebSocket, ControlFrames) {
+  ws::Frame ping;
+  ping.opcode = ws::Opcode::Ping;
+  ping.payload = to_bytes("hb");
+  ws::FrameDecoder dec;
+  ASSERT_TRUE(dec.push(ws::encode_frame(ping)).ok());
+  auto frames = dec.take_frames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].opcode, ws::Opcode::Ping);
+  EXPECT_EQ(to_string(frames[0].payload), "hb");
+}
+
+TEST(WebSocket, ReservedBitsRejected) {
+  Bytes wire = ws::server_text_frame("x");
+  wire[0] |= 0x40;  // RSV1
+  ws::FrameDecoder dec;
+  EXPECT_FALSE(dec.push(wire).ok());
+}
+
+}  // namespace
+}  // namespace psc
