@@ -16,6 +16,7 @@ int main() {
       "same QP (the paper's RTMP bitrate outliers); B frames add one "
       "frame of delay");
 
+  const bench::WallTimer timer;
   struct Case {
     const char* name;
     media::GopPattern gop;
@@ -81,5 +82,6 @@ int main() {
               "The pts-dts column shows the one-frame (33 ms) reordering "
               "delay that B frames introduce, the paper's speculated "
               "reason some old hardware encodes IP-only.\n");
+  bench::emit_bench("ablation_gop", timer.elapsed_s(), {{"frames", 10800}});
   return 0;
 }

@@ -1,22 +1,35 @@
 // Shared helpers for the figure-regeneration benches.
 //
 // Every bench prints (1) the paper's reported shape, (2) the simulated
-// series, and (3) the ASCII rendering of the figure. Scale knobs come
+// series, and (3) the ASCII rendering of the figure, and finishes with a
+// machine-readable `BENCH {...}` JSON line (see docs/PERFORMANCE.md) so
+// the perf trajectory can be tracked across commits. Scale knobs come
 // from the environment so CI can run small and a full reproduction can
 // run at paper scale:
 //   PSC_SESSIONS   viewing sessions in the unlimited-bandwidth campaign
 //                  (paper: 3382; default here: 240)
 //   PSC_BW_SESSIONS  sessions per bandwidth limit (paper: 18-91; 36)
-//   PSC_CRAWL_HOURS  targeted crawl length in sim hours (paper: 4-10; 2)
+//   PSC_CRAWL_HOURS  targeted crawl length in sim hours (paper: 4-10; 2;
+//                    fractional values allowed)
+//   PSC_THREADS      worker threads for sharded campaigns (default:
+//                    hardware concurrency). Results are byte-identical
+//                    for a given seed regardless of this knob.
+//   PSC_SHARD_SESSIONS  sessions per shard (default 12). Part of the
+//                    deterministic shard plan: changing it changes which
+//                    per-shard worlds are simulated.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/charts.h"
 #include "analysis/stats.h"
+#include "core/parallel.h"
 #include "core/study.h"
 
 namespace psc::bench {
@@ -26,9 +39,16 @@ inline int env_int(const char* name, int fallback) {
   return v != nullptr ? std::atoi(v) : fallback;
 }
 
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
 inline int sessions_unlimited() { return env_int("PSC_SESSIONS", 240); }
 inline int sessions_per_bw() { return env_int("PSC_BW_SESSIONS", 60); }
-inline double crawl_hours() { return env_int("PSC_CRAWL_HOURS", 2); }
+inline double crawl_hours() { return env_double("PSC_CRAWL_HOURS", 2); }
+inline int threads() { return core::ShardedRunner::default_threads(); }
+inline int shard_sessions() { return env_int("PSC_SHARD_SESSIONS", 12); }
 
 inline core::StudyConfig default_study_config(std::uint64_t seed = 2016) {
   core::StudyConfig cfg;
@@ -36,6 +56,48 @@ inline core::StudyConfig default_study_config(std::uint64_t seed = 2016) {
   cfg.world.target_concurrent = 800;
   cfg.world.hotspot_count = 120;
   return cfg;
+}
+
+/// A two-device (S3/S4) campaign for the sharded runner, configured from
+/// the usual env knobs.
+inline core::ShardedCampaign sharded_campaign(std::uint64_t seed, int n,
+                                              BitRate bandwidth_limit = 0,
+                                              bool analyze = false) {
+  core::ShardedCampaign c;
+  c.base = default_study_config(seed);
+  c.sessions = n;
+  c.bandwidth_limit = bandwidth_limit;
+  c.analyze = analyze;
+  c.shard_size = shard_sessions();
+  return c;
+}
+
+/// Wall-clock timer for the BENCH line.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Emit the machine-readable result line. One line per bench run, always
+/// prefixed "BENCH " followed by a single JSON object, e.g.:
+///   BENCH {"bench":"fig3_stalls","wall_s":4.21,"threads":8,"sessions":240}
+inline void emit_bench(
+    const char* bench, double wall_s,
+    std::initializer_list<std::pair<const char*, double>> extra = {}) {
+  std::printf("BENCH {\"bench\":\"%s\",\"wall_s\":%.3f,\"threads\":%d",
+              bench, wall_s, threads());
+  for (const auto& [key, value] : extra) {
+    std::printf(",\"%s\":%g", key, value);
+  }
+  std::printf("}\n");
 }
 
 inline void print_header(const char* id, const char* title,

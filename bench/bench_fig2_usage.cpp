@@ -15,6 +15,7 @@ int main() {
       "viewers and are much shorter (avg ~2 vs ~13 min). (b) viewers "
       "dip in the early hours, peak in the morning, rise toward midnight");
 
+  const bench::WallTimer timer;
   sim::Simulation sim;
   service::WorldConfig wcfg;
   wcfg.target_concurrent = 2600;
@@ -131,5 +132,8 @@ int main() {
   std::printf("%s", analysis::render_bars(bars, "avg viewers").c_str());
   std::printf("\npaper: slump in the early hours, morning peak, rising "
               "trend toward midnight (local time)\n");
+  bench::emit_bench("fig2_usage", timer.elapsed_s(),
+                    {{"crawl_hours", bench::crawl_hours()},
+                     {"tracks", static_cast<double>(ds->tracks.size())}});
   return 0;
 }

@@ -2,6 +2,10 @@
 //  (a) stall-ratio CDF for RTMP streams without bandwidth limiting;
 //  (b) stall-ratio boxplots vs. access-bandwidth limit;
 //  plus the RTMP-vs-HLS stall comparison from §5.1.
+//
+// All five campaigns (unlimited + the four tc limits) are independent, so
+// their shards feed one thread pool; PSC_THREADS controls the width and
+// never changes the numbers.
 #include "bench_common.h"
 
 using namespace psc;
@@ -13,11 +17,24 @@ int main() {
       "(one 3-5 s stall in 60 s). (b) little stalling above 2 Mbps; "
       "clear degradation at and below 2 Mbps. HLS stalls rarer than RTMP");
 
-  core::Study study(bench::default_study_config(31));
+  const bench::WallTimer timer;
+
+  // One campaign per bandwidth limit; index 0 is the unlimited campaign
+  // used for (a). Distinct campaign seeds keep the sweeps independent.
+  std::vector<core::ShardedCampaign> campaigns;
+  campaigns.push_back(
+      bench::sharded_campaign(31, bench::sessions_unlimited()));
+  for (double mbps : bench::bandwidth_limits_mbps()) {
+    if (mbps <= 0) continue;
+    campaigns.push_back(bench::sharded_campaign(
+        31 + static_cast<std::uint64_t>(campaigns.size()),
+        bench::sessions_per_bw(), mbps * 1e6));
+  }
+  core::ShardedRunner runner;
+  const std::vector<core::CampaignResult> results = runner.run_many(campaigns);
 
   // (a) unlimited-bandwidth campaign.
-  const core::CampaignResult unlimited = study.run_two_device_campaign(
-      bench::sessions_unlimited(), 0, /*analyze=*/false);
+  const core::CampaignResult& unlimited = results[0];
   const auto rtmp = unlimited.rtmp();
   const auto hls = unlimited.hls();
   std::vector<double> ratios = bench::collect(
@@ -47,13 +64,13 @@ int main() {
   std::printf("(b) stall ratio vs. bandwidth limit (n=%d each):\n",
               bench::sessions_per_bw());
   std::vector<analysis::Series> box_series;
+  std::size_t next_limited = 1;
   for (double mbps : bench::bandwidth_limits_mbps()) {
     if (mbps <= 0) {
       box_series.push_back({bench::bw_label(mbps), ratios});
       continue;
     }
-    const core::CampaignResult limited = study.run_two_device_campaign(
-        bench::sessions_per_bw(), mbps * 1e6, false);
+    const core::CampaignResult& limited = results[next_limited++];
     box_series.push_back(
         {bench::bw_label(mbps),
          bench::collect(limited.rtmp(), [](const core::SessionRecord& r) {
@@ -84,5 +101,10 @@ int main() {
               "paper: stalling rarer with HLS\n",
               analysis::mean(rtmp_counts), rtmp_counts.size(),
               analysis::mean(hls_counts), hls_counts.size());
+
+  std::size_t total_sessions = 0;
+  for (const auto& r : results) total_sessions += r.sessions.size();
+  bench::emit_bench("fig3_stalls", timer.elapsed_s(),
+                    {{"sessions", static_cast<double>(total_sessions)}});
   return 0;
 }

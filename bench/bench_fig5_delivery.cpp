@@ -11,9 +11,10 @@ int main() {
       "RTMP delivery <300 ms for 75% of broadcasts; HLS >5 s on average "
       "(segmentation + packaging + pull); no bandwidth limiting");
 
-  core::Study study(bench::default_study_config(51));
-  const core::CampaignResult result = study.run_two_device_campaign(
-      bench::sessions_unlimited(), 0, /*analyze=*/true);
+  const bench::WallTimer timer;
+  core::ShardedRunner runner;
+  const core::CampaignResult result = runner.run(bench::sharded_campaign(
+      51, bench::sessions_unlimited(), 0, /*analyze=*/true));
 
   std::vector<double> rtmp_lat, hls_lat;
   std::vector<double> rtmp_means, hls_means;
@@ -64,5 +65,8 @@ int main() {
               rtmp_lat.size(), hls_lat.size(),
               analysis::render_cdf(all_series, 0, 12, "delivery latency (s)")
                   .c_str());
+  bench::emit_bench("fig5_delivery", timer.elapsed_s(),
+                    {{"sessions",
+                      static_cast<double>(result.sessions.size())}});
   return 0;
 }

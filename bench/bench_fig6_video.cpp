@@ -15,9 +15,10 @@ int main() {
       "320x568 (or rotated); fps variable up to 30; AAC 44.1 kHz at ~32 "
       "or ~64 kbps");
 
-  core::Study study(bench::default_study_config(61));
-  const core::CampaignResult result = study.run_two_device_campaign(
-      bench::sessions_unlimited(), 0, /*analyze=*/true);
+  const bench::WallTimer timer;
+  core::ShardedRunner runner;
+  const core::CampaignResult result = runner.run(bench::sharded_campaign(
+      61, bench::sessions_unlimited(), 0, /*analyze=*/true));
 
   std::vector<double> rtmp_kbps, hls_kbps, seg_durations, audio_kbps;
   int res_portrait = 0, res_landscape = 0, res_other = 0;
@@ -85,5 +86,8 @@ int main() {
   std::printf("audio: median %.0f kbps (paper: AAC 44.1 kHz VBR at ~32 or "
               "~64 kbps)\n",
               analysis::median(audio_kbps));
+  bench::emit_bench("fig6_video", timer.elapsed_s(),
+                    {{"sessions",
+                      static_cast<double>(result.sessions.size())}});
   return 0;
 }

@@ -16,9 +16,10 @@ int main() {
       "stddev in both bitrate and QP; outliers vary in one axis but not "
       "the other");
 
-  core::Study study(bench::default_study_config(71));
-  const core::CampaignResult result = study.run_two_device_campaign(
-      bench::sessions_unlimited(), 0, /*analyze=*/true);
+  const bench::WallTimer timer;
+  core::ShardedRunner runner;
+  const core::CampaignResult result = runner.run(bench::sharded_campaign(
+      71, bench::sessions_unlimited(), 0, /*analyze=*/true));
 
   // (a) one point per RTMP video, one per HLS segment.
   std::vector<double> qps, kbps;
@@ -89,5 +90,8 @@ int main() {
                                                "stddev segment kbps",
                                                "stddev QP")
                           .c_str());
+  bench::emit_bench("fig7_qp", timer.elapsed_s(),
+                    {{"sessions",
+                      static_cast<double>(result.sessions.size())}});
   return 0;
 }

@@ -133,27 +133,41 @@ int main() {
       {"broadcasting", 0, 0},      // "slightly less than chat"
   };
 
-  std::vector<Scenario> measured;
-  measured.push_back({"idle (menu)", measure_idle(energy::Radio::Wifi),
-                      measure_idle(energy::Radio::Lte)});
-  measured.push_back({"app, no video", measure_browse(energy::Radio::Wifi),
-                      measure_browse(energy::Radio::Lte)});
-  measured.push_back({"watch live RTMP",
-                      measure_watch(energy::Radio::Wifi, false, false, false, 81),
-                      measure_watch(energy::Radio::Lte, false, false, false, 81)});
-  measured.push_back({"watch live HLS",
-                      measure_watch(energy::Radio::Wifi, true, false, false, 82),
-                      measure_watch(energy::Radio::Lte, true, false, false, 82)});
-  measured.push_back(
-      {"watch replay",
-       measure_watch(energy::Radio::Wifi, true, false, false, 85, true),
-       measure_watch(energy::Radio::Lte, true, false, false, 85, true)});
-  measured.push_back({"watch + chat",
-                      measure_watch(energy::Radio::Wifi, false, true, false, 83),
-                      measure_watch(energy::Radio::Lte, false, true, false, 83)});
-  measured.push_back({"broadcasting",
-                      measure_watch(energy::Radio::Wifi, false, false, true, 84),
-                      measure_watch(energy::Radio::Lte, false, false, true, 84)});
+  const bench::WallTimer timer;
+
+  // Every (scenario, radio) measurement owns its simulation, so the whole
+  // grid fans out over the PSC_THREADS pool.
+  std::vector<Scenario> measured = {
+      {"idle (menu)", 0, 0},     {"app, no video", 0, 0},
+      {"watch live RTMP", 0, 0}, {"watch live HLS", 0, 0},
+      {"watch replay", 0, 0},    {"watch + chat", 0, 0},
+      {"broadcasting", 0, 0},
+  };
+  std::vector<std::function<void()>> jobs;
+  for (const bool lte : {false, true}) {
+    const energy::Radio radio = lte ? energy::Radio::Lte : energy::Radio::Wifi;
+    auto cell = [&measured, lte](std::size_t i) -> double& {
+      return lte ? measured[i].lte_mw : measured[i].wifi_mw;
+    };
+    jobs.push_back([cell, radio] { cell(0) = measure_idle(radio); });
+    jobs.push_back([cell, radio] { cell(1) = measure_browse(radio); });
+    jobs.push_back([cell, radio] {
+      cell(2) = measure_watch(radio, false, false, false, 81);
+    });
+    jobs.push_back([cell, radio] {
+      cell(3) = measure_watch(radio, true, false, false, 82);
+    });
+    jobs.push_back([cell, radio] {
+      cell(4) = measure_watch(radio, true, false, false, 85, true);
+    });
+    jobs.push_back([cell, radio] {
+      cell(5) = measure_watch(radio, false, true, false, 83);
+    });
+    jobs.push_back([cell, radio] {
+      cell(6) = measure_watch(radio, false, false, true, 84);
+    });
+  }
+  core::parallel_invoke(std::move(jobs));
 
   std::printf("\n%-18s %10s %10s   %10s %10s\n", "scenario", "WiFi mW",
               "LTE mW", "paper WiFi", "paper LTE");
@@ -184,5 +198,7 @@ int main() {
   std::printf("replay vs live difference: %.0f mW (paper: 'equal "
               "amount of power')\n",
               std::abs(measured[4].wifi_mw - measured[3].wifi_mw));
+  bench::emit_bench("fig8_power", timer.elapsed_s(),
+                    {{"scenarios", static_cast<double>(measured.size())}});
   return 0;
 }

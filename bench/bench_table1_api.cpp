@@ -25,6 +25,7 @@ int main() {
       "mapGeoBroadcastFeed(rect)->broadcast list; getBroadcasts(ids)->"
       "descriptions incl. viewers; playbackMeta(stats)->nothing");
 
+  const bench::WallTimer timer;
   core::Study study(bench::default_study_config());
   study.world().start();
   study.sim().run_until(study.sim().now() + seconds(30));
@@ -109,5 +110,7 @@ int main() {
               "(paper: 'too frequent requests will be answered with "
               "HTTP 429')\n",
               served, throttled);
+  bench::emit_bench("table1_api", timer.elapsed_s(),
+                    {{"requests", 40 + 5}});
   return 0;
 }

@@ -1,0 +1,138 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace psc::core {
+
+std::uint64_t shard_seed(std::uint64_t base_seed, std::uint64_t shard_index) {
+  // Two SplitMix64 steps over (base ^ golden-ratio-spread index): the
+  // first decorrelates neighbouring indices, the second neighbouring base
+  // seeds, so shard 0 of seed 1 and shard 1 of seed 0 don't collide.
+  SplitMix64Engine mix(base_seed ^
+                       (0x9E3779B97F4A7C15ull * (shard_index + 1)));
+  mix();
+  return mix();
+}
+
+int ShardedRunner::default_threads() {
+  if (const char* v = std::getenv("PSC_THREADS")) {
+    const int n = std::atoi(v);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ShardedRunner::ShardedRunner(int threads)
+    : threads_(threads > 0 ? threads : default_threads()) {}
+
+void parallel_invoke(std::vector<std::function<void()>> jobs, int threads) {
+  if (threads <= 0) threads = ShardedRunner::default_threads();
+  if (jobs.empty()) return;
+  if (threads == 1 || jobs.size() == 1) {
+    for (auto& job : jobs) job();
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      try {
+        jobs[i]();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t n_workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), jobs.size());
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers - 1);
+  for (std::size_t i = 1; i < n_workers; ++i) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+namespace {
+
+struct ShardJob {
+  std::size_t campaign;
+  std::size_t shard;  // index within the campaign
+  int sessions;
+};
+
+}  // namespace
+
+std::vector<CampaignResult> ShardedRunner::run_many(
+    const std::vector<ShardedCampaign>& campaigns) {
+  // Deterministic shard plan: depends only on (sessions, shard_size).
+  std::vector<ShardJob> plan;
+  std::vector<std::vector<CampaignResult>> shard_results(campaigns.size());
+  for (std::size_t ci = 0; ci < campaigns.size(); ++ci) {
+    const ShardedCampaign& c = campaigns[ci];
+    const int shard_size = c.shard_size > 0 ? c.shard_size : 12;
+    int remaining = c.sessions;
+    std::size_t si = 0;
+    while (remaining > 0) {
+      const int n = remaining < shard_size ? remaining : shard_size;
+      plan.push_back(ShardJob{ci, si++, n});
+      remaining -= n;
+    }
+    shard_results[ci].resize(si);
+  }
+
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(plan.size());
+  for (const ShardJob& job : plan) {
+    jobs.push_back([&campaigns, &shard_results, job] {
+      const ShardedCampaign& c = campaigns[job.campaign];
+      StudyConfig cfg = c.base;
+      cfg.seed = shard_seed(c.base.seed, job.shard);
+      Study study(cfg);
+      shard_results[job.campaign][job.shard] =
+          c.two_device
+              ? study.run_two_device_campaign(job.sessions,
+                                              c.bandwidth_limit, c.analyze)
+              : study.run_campaign(job.sessions, c.bandwidth_limit, c.device,
+                                   c.analyze);
+    });
+  }
+  parallel_invoke(std::move(jobs), threads_);
+
+  // Merge per campaign in shard order: output is independent of which
+  // thread ran which shard.
+  std::vector<CampaignResult> merged(campaigns.size());
+  for (std::size_t ci = 0; ci < campaigns.size(); ++ci) {
+    std::size_t total = 0;
+    for (const CampaignResult& r : shard_results[ci]) {
+      total += r.sessions.size();
+    }
+    merged[ci].sessions.reserve(total);
+    for (CampaignResult& r : shard_results[ci]) {
+      for (SessionRecord& rec : r.sessions) {
+        merged[ci].sessions.push_back(std::move(rec));
+      }
+    }
+  }
+  return merged;
+}
+
+CampaignResult ShardedRunner::run(const ShardedCampaign& campaign) {
+  std::vector<CampaignResult> results = run_many({campaign});
+  return std::move(results.front());
+}
+
+}  // namespace psc::core

@@ -1,0 +1,128 @@
+// Small-buffer callable wrapper for simulation events.
+//
+// The kernel fires hundreds of millions of events in a paper-scale run and
+// almost every callback is a lambda capturing `this` plus a few words of
+// state. std::function heap-allocates those on libstdc++ whenever the
+// capture exceeds two pointers; InlineCallback stores any callable up to
+// `Capacity` bytes in place, so the common case never touches the
+// allocator. Larger captures transparently fall back to the heap.
+//
+// Move-only (like std::move_only_function): events fire exactly once, so
+// there is no reason to pay for copyability.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace psc::sim {
+
+template <std::size_t Capacity>
+class InlineCallback {
+ public:
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT: implicit, mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (stores_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &OpsFor<Fn, true>::value;
+    } else {
+      *reinterpret_cast<void**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = &OpsFor<Fn, false>::value;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buf_, buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the stored callable lives in the inline buffer.
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+  /// Compile-time check: would callable type F be stored without a heap
+  /// allocation?
+  template <typename F>
+  static constexpr bool stores_inline() {
+    using Fn = std::decay_t<F>;
+    return sizeof(Fn) <= Capacity && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*);
+    void (*relocate)(void* src, void* dst);  // move into dst, destroy src
+    bool inline_storage;
+  };
+
+  template <typename Fn, bool Inline>
+  struct OpsFor;
+
+  template <typename Fn>
+  struct OpsFor<Fn, true> {
+    static void invoke(void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); }
+    static void destroy(void* p) {
+      std::launder(reinterpret_cast<Fn*>(p))->~Fn();
+    }
+    static void relocate(void* src, void* dst) {
+      Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static constexpr Ops value{&invoke, &destroy, &relocate, true};
+  };
+
+  template <typename Fn>
+  struct OpsFor<Fn, false> {
+    static Fn* get(void* p) { return static_cast<Fn*>(*reinterpret_cast<void**>(p)); }
+    static void invoke(void* p) { (*get(p))(); }
+    static void destroy(void* p) { delete get(p); }
+    static void relocate(void* src, void* dst) {
+      *reinterpret_cast<void**>(dst) = *reinterpret_cast<void**>(src);
+    }
+    static constexpr Ops value{&invoke, &destroy, &relocate, false};
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace psc::sim

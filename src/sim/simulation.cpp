@@ -1,33 +1,72 @@
 #include "sim/simulation.h"
 
-#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace psc::sim {
 
-EventHandle Simulation::schedule_at(TimePoint when, std::function<void()> fn) {
+EventHandle Simulation::schedule_at(TimePoint when, Callback fn) {
   assert(fn);
   if (when < now_) when = now_;
-  const std::uint64_t id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  heap_push(Node{when, next_seq_++, slot, s.gen});
   ++live_count_;
-  return EventHandle{id};
+  return EventHandle{slot, s.gen};
 }
 
 bool Simulation::cancel(EventHandle h) {
-  if (!h.valid()) return false;
-  // We cannot remove from the middle of a priority_queue; record the id
-  // and skip the event when it surfaces. The cancelled list stays small
-  // because entries are erased when their event pops.
-  if (is_cancelled(h.id_)) return false;
-  cancelled_.push_back(h.id_);
-  if (live_count_ > 0) --live_count_;
+  if (!h.valid() || h.slot_ >= slots_.size()) return false;
+  Slot& s = slots_[h.slot_];
+  // A generation mismatch means the event fired (or was cancelled) and
+  // the handle is stale: report failure without touching any state.
+  if (s.gen != h.gen_ || !s.fn) return false;
+  s.fn.reset();
+  ++s.gen;  // invalidate outstanding handles; lazy heap node skips on pop
+  --live_count_;
   return true;
 }
 
-bool Simulation::is_cancelled(std::uint64_t id) const {
-  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
-         cancelled_.end();
+void Simulation::heap_push(Node n) {
+  std::size_t i = heap_.size();
+  heap_.push_back(n);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!heap_[i].before(heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Simulation::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = i * kArity + 1;
+    if (first_child >= n) return;
+    std::size_t best = first_child;
+    const std::size_t last_child =
+        first_child + kArity < n ? first_child + kArity : n;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c].before(heap_[best])) best = c;
+    }
+    if (!heap_[best].before(heap_[i])) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void Simulation::heap_pop_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
 }
 
 void Simulation::run_until(TimePoint until) {
@@ -36,20 +75,24 @@ void Simulation::run_until(TimePoint until) {
 }
 
 void Simulation::run_events_until(TimePoint until) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
+  while (!heap_.empty()) {
+    const Node top = heap_.front();
     if (top.when > until) break;
-    Event ev{top.when, top.seq, top.id, std::move(const_cast<Event&>(top).fn)};
-    queue_.pop();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
+    heap_pop_top();
+    Slot& s = slots_[top.slot];
+    if (s.gen != top.gen) {
+      // Cancelled while queued; the slot was held back until its node
+      // surfaced — reclaim it now.
+      free_slots_.push_back(top.slot);
       continue;
     }
+    Callback fn = std::move(s.fn);
+    ++s.gen;  // fire invalidates the handle before user code runs
+    free_slots_.push_back(top.slot);
     --live_count_;
-    now_ = ev.when;
+    now_ = top.when;
     ++executed_;
-    ev.fn();
+    fn();
   }
 }
 

@@ -1,9 +1,11 @@
 // Discrete-event simulation kernel tests.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/simulation.h"
+#include "util/rng.h"
 
 namespace psc::sim {
 namespace {
@@ -100,6 +102,131 @@ TEST(Simulation, RunUntilWithNoEventsAdvancesClock) {
   Simulation sim;
   sim.run_until(time_at(42.0));
   EXPECT_DOUBLE_EQ(to_s(sim.now()), 42.0);
+}
+
+// Regression: cancelling a handle whose event already fired used to corrupt
+// the kernel's bookkeeping (the id landed on the cancelled list and silently
+// swallowed a later event). It must be a rejected no-op.
+TEST(Simulation, CancelAfterFiredIsRejectedNoOp) {
+  Simulation sim;
+  int fired = 0;
+  EventHandle h = sim.schedule_at(time_at(1.0), [&] { ++fired; });
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.pending());
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));  // and again
+  // State must be untouched: a new event (possibly reusing the slot) still
+  // fires, and the stale handle still cannot cancel it.
+  sim.schedule_at(time_at(2.0), [&] { ++fired; });
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_TRUE(sim.pending());
+  sim.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+// A stale generation-counted handle must never hit an event that reused
+// its slot.
+TEST(Simulation, StaleHandleCannotCancelSlotReuse) {
+  Simulation sim;
+  std::vector<EventHandle> stale;
+  for (int round = 0; round < 5; ++round) {
+    int fired = 0;
+    EventHandle h = sim.schedule_after(seconds(1), [&] { ++fired; });
+    for (const EventHandle& old : stale) EXPECT_FALSE(sim.cancel(old));
+    sim.run_all();
+    EXPECT_EQ(fired, 1);
+    stale.push_back(h);
+  }
+}
+
+TEST(Simulation, CancelFromInsideHandler) {
+  Simulation sim;
+  int fired = 0;
+  EventHandle later = sim.schedule_at(time_at(2.0), [&] { ++fired; });
+  sim.schedule_at(time_at(1.0), [&] { EXPECT_TRUE(sim.cancel(later)); });
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+// 100K interleaved schedule/cancel/fire operations; checks exact execution
+// accounting and that pending() ends false.
+TEST(Simulation, CancelStress) {
+  Simulation sim;
+  SplitMix64Engine rng(12345);
+  std::size_t fired = 0, cancelled = 0;
+  std::vector<EventHandle> open;
+  for (int i = 0; i < 100000; ++i) {
+    const double when = to_s(sim.now()) + static_cast<double>(rng() % 97) / 7.0;
+    open.push_back(sim.schedule_at(time_at(when), [&] { ++fired; }));
+    const std::uint64_t op = rng() % 4;
+    if (op == 0 && !open.empty()) {
+      // Cancel a random outstanding handle; it may have fired already, in
+      // which case cancel must refuse and the event stays counted as fired.
+      const std::size_t k = rng() % open.size();
+      if (sim.cancel(open[k])) ++cancelled;
+      open.erase(open.begin() + static_cast<std::ptrdiff_t>(k));
+    } else if (op == 1) {
+      sim.run_until(sim.now() + seconds(2));
+    }
+  }
+  sim.run_all();
+  EXPECT_FALSE(sim.pending());
+  // Every schedule either fired or was the target of exactly one successful
+  // cancel — nothing lost, nothing double-counted.
+  EXPECT_EQ(fired + cancelled, 100000u);
+  EXPECT_EQ(sim.events_executed(), fired);
+  EXPECT_GT(cancelled, 0u);
+  EXPECT_GT(fired, 0u);
+}
+
+// The kernel's callback type must not heap-allocate for small captures.
+TEST(InlineCallback, SmallCapturesStayInline) {
+  struct Small {
+    void* a;
+    void* b;
+    double c;
+  };
+  struct Big {
+    char bytes[96];
+  };
+  static_assert(Simulation::Callback::stores_inline<decltype([] {})>());
+  static_assert(
+      Simulation::Callback::stores_inline<decltype([s = Small{}] {
+        (void)s;
+      })>());
+  static_assert(!Simulation::Callback::stores_inline<decltype([b = Big{}] {
+    (void)b;
+  })>());
+
+  int hits = 0;
+  Simulation::Callback small = [&hits, pad = 3.0] {
+    hits += static_cast<int>(pad);
+  };
+  EXPECT_TRUE(small.is_inline());
+  Simulation::Callback big = [&hits, b = Big{}] {
+    (void)b;
+    ++hits;
+  };
+  EXPECT_FALSE(big.is_inline());
+  // Move transfers the callable either way.
+  Simulation::Callback small2 = std::move(small);
+  Simulation::Callback big2 = std::move(big);
+  small2();
+  big2();
+  EXPECT_EQ(hits, 4);
+}
+
+TEST(InlineCallback, MoveOnlyCapturesWork) {
+  auto p = std::make_unique<int>(41);
+  Simulation::Callback cb = [q = std::move(p)]() mutable { ++*q; };
+  EXPECT_TRUE(cb);
+  Simulation::Callback cb2 = std::move(cb);
+  cb2();
+  cb2.reset();
+  EXPECT_FALSE(cb2);
 }
 
 }  // namespace
