@@ -17,6 +17,11 @@
 //   PSC_SHARD_SESSIONS  sessions per shard (default 12). Part of the
 //                    deterministic shard plan: changing it changes which
 //                    per-shard worlds are simulated.
+//   PSC_MODE         campaign mode for sharded campaigns: "independent"
+//                    (default; per-shard worlds) or "shared" (one
+//                    recorded world + epoch-reconciled server load, see
+//                    docs/PERFORMANCE.md). Either way results are
+//                    byte-identical across PSC_THREADS.
 #pragma once
 
 #include <chrono>
@@ -50,6 +55,16 @@ inline double crawl_hours() { return env_double("PSC_CRAWL_HOURS", 2); }
 inline int threads() { return core::ShardedRunner::default_threads(); }
 inline int shard_sessions() { return env_int("PSC_SHARD_SESSIONS", 12); }
 
+inline core::CampaignMode campaign_mode() {
+  const char* v = std::getenv("PSC_MODE");
+  return v != nullptr && std::string(v) == "shared"
+             ? core::CampaignMode::shared_world
+             : core::CampaignMode::independent_worlds;
+}
+inline const char* mode_name(core::CampaignMode m) {
+  return m == core::CampaignMode::shared_world ? "shared" : "independent";
+}
+
 inline core::StudyConfig default_study_config(std::uint64_t seed = 2016) {
   core::StudyConfig cfg;
   cfg.seed = seed;
@@ -65,6 +80,7 @@ inline core::ShardedCampaign sharded_campaign(std::uint64_t seed, int n,
                                               bool analyze = false) {
   core::ShardedCampaign c;
   c.base = default_study_config(seed);
+  c.base.mode = campaign_mode();
   c.sessions = n;
   c.bandwidth_limit = bandwidth_limit;
   c.analyze = analyze;
@@ -88,12 +104,18 @@ class WallTimer {
 
 /// Emit the machine-readable result line. One line per bench run, always
 /// prefixed "BENCH " followed by a single JSON object, e.g.:
-///   BENCH {"bench":"fig3_stalls","wall_s":4.21,"threads":8,"sessions":240}
+///   BENCH {"bench":"fig3_stalls","wall_s":4.21,"threads":8,
+///          "shard_size":12,"mode":"independent","sessions":240}
+/// The run configuration fields (threads, shard_size, mode) are always
+/// present so perf series can be segmented by configuration.
 inline void emit_bench(
     const char* bench, double wall_s,
     std::initializer_list<std::pair<const char*, double>> extra = {}) {
-  std::printf("BENCH {\"bench\":\"%s\",\"wall_s\":%.3f,\"threads\":%d",
-              bench, wall_s, threads());
+  std::printf(
+      "BENCH {\"bench\":\"%s\",\"wall_s\":%.3f,\"threads\":%d,"
+      "\"shard_size\":%d,\"mode\":\"%s\"",
+      bench, wall_s, threads(), shard_sessions(),
+      mode_name(campaign_mode()));
   for (const auto& [key, value] : extra) {
     std::printf(",\"%s\":%g", key, value);
   }

@@ -7,6 +7,7 @@
 #include "analysis/stats.h"
 #include "crawler/crawler.h"
 #include "service/api.h"
+#include "service/world.h"
 #include "util/strings.h"
 
 int main() {

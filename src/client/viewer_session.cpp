@@ -43,7 +43,8 @@ RtmpViewerSession::RtmpViewerSession(sim::Simulation& sim,
                                      Device& device,
                                      const service::MediaServer& origin,
                                      const PlayerConfig& player_cfg,
-                                     std::uint64_t seed)
+                                     std::uint64_t seed,
+                                     Duration extra_origin_latency)
     : sim_(sim),
       pipe_(pipe),
       device_(device),
@@ -51,7 +52,8 @@ RtmpViewerSession::RtmpViewerSession(sim::Simulation& sim,
       up_link_(sim, device.config().up_rate,
                path_latency(device.config().location, origin.location)),
       origin_link_(sim, kOriginEgressRate,
-                   path_latency(origin.location, device.config().location)),
+                   path_latency(origin.location, device.config().location) +
+                       extra_origin_latency),
       server_(seed ^ 0x5EED),
       max_decode_fps_(device.config().max_decode_fps *
                       Rng(seed).uniform(0.94, 1.0)) {
@@ -150,15 +152,18 @@ HlsViewerSession::HlsViewerSession(sim::Simulation& sim,
                                    const service::MediaServer& edge_b,
                                    const PlayerConfig& player_cfg,
                                    std::uint64_t seed, Mode mode,
-                                   bool adaptive)
+                                   bool adaptive, Duration extra_a_latency,
+                                   Duration extra_b_latency)
     : sim_(sim),
       pipe_(pipe),
       device_(device),
       edge_server_("fastly.periscope.tv"),
       edge_a_link_(sim, 400e6,
-                   path_latency(edge_a.location, device.config().location)),
+                   path_latency(edge_a.location, device.config().location) +
+                       extra_a_latency),
       edge_b_link_(sim, 400e6,
-                   path_latency(edge_b.location, device.config().location)),
+                   path_latency(edge_b.location, device.config().location) +
+                       extra_b_latency),
       up_link_(sim, device.config().up_rate,
                path_latency(device.config().location, edge_a.location)),
       player_cfg_(player_cfg),

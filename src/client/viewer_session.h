@@ -68,9 +68,12 @@ class ViewerSession {
 
 class RtmpViewerSession : public ViewerSession {
  public:
+  /// `extra_origin_latency` is added to the origin->device path latency —
+  /// the shared-world campaign passes the origin's load penalty here.
   RtmpViewerSession(sim::Simulation& sim, service::LiveBroadcastPipeline& pipe,
                     Device& device, const service::MediaServer& origin,
-                    const PlayerConfig& player_cfg, std::uint64_t seed);
+                    const PlayerConfig& player_cfg, std::uint64_t seed,
+                    Duration extra_origin_latency = Duration{0});
   ~RtmpViewerSession() override;
 
   void start(Duration watch_time) override;
@@ -120,11 +123,15 @@ class HlsViewerSession : public ViewerSession {
   /// replay"; replay power == live power in Fig. 8).
   enum class Mode { Live, Replay };
 
+  /// `extra_a_latency`/`extra_b_latency` are added to the respective
+  /// edge->device path latency (shared-world load penalties).
   HlsViewerSession(sim::Simulation& sim, service::LiveBroadcastPipeline& pipe,
                    Device& device, const service::MediaServer& edge_a,
                    const service::MediaServer& edge_b,
                    const PlayerConfig& player_cfg, std::uint64_t seed,
-                   Mode mode = Mode::Live, bool adaptive = false);
+                   Mode mode = Mode::Live, bool adaptive = false,
+                   Duration extra_a_latency = Duration{0},
+                   Duration extra_b_latency = Duration{0});
 
   void start(Duration watch_time) override;
   bool finished() const override { return finished_; }

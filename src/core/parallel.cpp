@@ -79,10 +79,17 @@ struct ShardJob {
 std::vector<CampaignResult> ShardedRunner::run_many(
     const std::vector<ShardedCampaign>& campaigns) {
   // Deterministic shard plan: depends only on (sessions, shard_size).
+  // Shared-world campaigns need a barrier per epoch, so they cannot feed
+  // the free-running pool; they run one at a time via run_shared().
   std::vector<ShardJob> plan;
   std::vector<std::vector<CampaignResult>> shard_results(campaigns.size());
+  std::vector<std::size_t> shared_campaigns;
   for (std::size_t ci = 0; ci < campaigns.size(); ++ci) {
     const ShardedCampaign& c = campaigns[ci];
+    if (c.base.mode == CampaignMode::shared_world) {
+      shared_campaigns.push_back(ci);
+      continue;
+    }
     const int shard_size = c.shard_size > 0 ? c.shard_size : 12;
     int remaining = c.sessions;
     std::size_t si = 0;
@@ -125,6 +132,95 @@ std::vector<CampaignResult> ShardedRunner::run_many(
       for (SessionRecord& rec : r.sessions) {
         merged[ci].sessions.push_back(std::move(rec));
       }
+    }
+  }
+  for (std::size_t ci : shared_campaigns) {
+    merged[ci] = run_shared(campaigns[ci]);
+  }
+  return merged;
+}
+
+CampaignResult ShardedRunner::run_shared(const ShardedCampaign& c) {
+  const int shard_size = c.shard_size > 0 ? c.shard_size : 12;
+  std::vector<int> shard_sessions;
+  for (int remaining = c.sessions; remaining > 0;) {
+    const int n = remaining < shard_size ? remaining : shard_size;
+    shard_sessions.push_back(n);
+    remaining -= n;
+  }
+  const std::size_t n_shards = shard_sessions.size();
+  CampaignResult merged;
+  if (n_shards == 0) return merged;
+
+  // Record the campaign world once. The horizon must outlast the slowest
+  // shard; a session cycle is preroll + watch + close/home pacing, plus
+  // slack for join time and no-broadcast retries.
+  Duration horizon = c.timeline_horizon;
+  if (to_s(horizon) <= 0) {
+    const double span_s =
+        to_s(c.base.preroll) + to_s(c.base.watch_time) + 10.0;
+    horizon = seconds(30 + span_s * (shard_size + 1) + 120);
+  }
+  const auto timeline = service::WorldTimeline::record(
+      c.base.world, c.base.seed ^ 0x0170BB57ull, horizon,
+      c.base.load.epoch_length);
+
+  service::EpochLoadBoard board(c.base.load.epoch_length);
+  SharedWorldContext shared;
+  shared.timeline = timeline;
+  shared.load_board = &board;
+  shared.campaign_seed = c.base.seed;
+
+  std::vector<std::unique_ptr<Study>> studies;
+  std::vector<CampaignResult> results(n_shards);
+  studies.reserve(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    StudyConfig cfg = c.base;
+    cfg.seed = shard_seed(c.base.seed, i);
+    studies.push_back(std::make_unique<Study>(cfg, shared));
+  }
+
+  // Epoch-stepped schedule. Every shard's sim clock is campaign-global
+  // time (all start at 0). Each round runs whole sessions while the
+  // shard's clock is before the epoch deadline; sessions may overrun the
+  // boundary, in which case their load lands in later buckets and is
+  // merged at later barriers. A session starting in epoch e therefore
+  // always reads a fully merged epoch e-1.
+  const Duration epoch_len = c.base.load.epoch_length;
+  for (std::size_t epoch = 0;; ++epoch) {
+    const TimePoint deadline = time_at(to_s(epoch_len) * (epoch + 1));
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(n_shards);
+    for (std::size_t i = 0; i < n_shards; ++i) {
+      jobs.push_back([&, i] {
+        studies[i]->begin_campaign(c.bandwidth_limit, c.two_device,
+                                   c.device);
+        studies[i]->run_sessions_until(deadline, shard_sessions[i],
+                                       c.analyze, &results[i]);
+      });
+    }
+    parallel_invoke(std::move(jobs), threads_);
+    // Barrier: fold this epoch's contributions in shard order (the board
+    // is never written while shards run, never read while it is written).
+    for (std::size_t i = 0; i < n_shards; ++i) {
+      board.merge_epoch(epoch, studies[i]->servers().load_ledger());
+    }
+    bool all_done = true;
+    for (std::size_t i = 0; i < n_shards; ++i) {
+      if (studies[i]->sessions_attempted() < shard_sessions[i]) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+  }
+
+  std::size_t total = 0;
+  for (const CampaignResult& r : results) total += r.sessions.size();
+  merged.sessions.reserve(total);
+  for (CampaignResult& r : results) {
+    for (SessionRecord& rec : r.sessions) {
+      merged.sessions.push_back(std::move(rec));
     }
   }
   return merged;

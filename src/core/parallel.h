@@ -40,6 +40,10 @@ struct ShardedCampaign {
   /// changes the result (different per-shard worlds), changing the thread
   /// count does not.
   int shard_size = 12;
+  /// shared_world only: how much world history to record up front.
+  /// Zero (default) derives a horizon generously covering the slowest
+  /// shard: 30 s warmup + (shard_size + 1) session spans + slack.
+  Duration timeline_horizon{0};
 };
 
 class ShardedRunner {
@@ -60,11 +64,21 @@ class ShardedRunner {
 
   /// Run several independent campaigns (e.g. one per bandwidth limit)
   /// concurrently: all shards of all campaigns feed one pool, results come
-  /// back per campaign, each merged in shard order.
+  /// back per campaign, each merged in shard order. Campaigns whose
+  /// base.mode is shared_world instead run the epoch-stepped schedule
+  /// below, one campaign at a time.
   std::vector<CampaignResult> run_many(
       const std::vector<ShardedCampaign>& campaigns);
 
  private:
+  /// Shared-world schedule: record the WorldTimeline once, then advance
+  /// all shards epoch by epoch — parallel_invoke runs every shard up to
+  /// the epoch deadline, then (at the barrier, in shard order) each
+  /// shard's load ledger merges into the campaign EpochLoadBoard, so the
+  /// next epoch's sessions see the previous epoch's total load. Merging
+  /// in shard order keeps the result byte-identical for any thread count.
+  CampaignResult run_shared(const ShardedCampaign& campaign);
+
   int threads_;
 };
 

@@ -48,9 +48,25 @@ client::DeviceConfig Study::galaxy_s4() {
 Study::Study(const StudyConfig& cfg)
     : cfg_(cfg),
       rng_(cfg.seed),
-      world_(sim_, cfg.world, cfg.seed ^ 0x0170BB57ull),
+      own_world_(std::make_unique<service::World>(sim_, cfg.world,
+                                                  cfg.seed ^ 0x0170BB57ull)),
+      world_view_(own_world_.get()),
       servers_(cfg.seed ^ 0x5EEDull),
-      api_(world_, servers_, cfg.api) {}
+      api_(*world_view_, servers_, cfg.api) {
+  servers_.load_ledger().set_epoch_length(cfg_.load.epoch_length);
+}
+
+Study::Study(const StudyConfig& cfg, const SharedWorldContext& shared)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      replay_world_(
+          std::make_unique<service::ReplayWorld>(sim_, shared.timeline)),
+      world_view_(replay_world_.get()),
+      load_board_(shared.load_board),
+      servers_(shared.campaign_seed ^ 0x5EEDull),
+      api_(*world_view_, servers_, cfg.api) {
+  servers_.load_ledger().set_epoch_length(cfg_.load.epoch_length);
+}
 
 void Study::report_playback_meta(const client::SessionStats& st) {
   json::Object stats;
@@ -71,7 +87,7 @@ void Study::report_playback_meta(const client::SessionStats& st) {
 std::optional<SessionRecord> Study::run_one_session(client::Device& device,
                                                     bool analyze) {
   const Duration need = cfg_.preroll + cfg_.watch_time + seconds(5);
-  const service::BroadcastInfo* b = world_.teleport(rng_, need);
+  const service::BroadcastInfo* b = world_view_->teleport(rng_, need);
   if (b == nullptr) return std::nullopt;
 
   // Spin up the live pipeline for this broadcast and let it run so the
@@ -103,22 +119,41 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
   // collapse them to a point).
   const double jitter = rng_.uniform(0.7, 1.8);
   std::unique_ptr<client::ViewerSession> session;
+  // Which servers this session loads and how much (HLS stripes two
+  // edges, half each); the shared-world load board turns the *previous*
+  // epoch's merged load on those servers into extra path latency now.
+  std::string load_ip_a;
+  std::string load_ip_b;
+  double load_weight = 1.0;
+  const auto penalty = [&](const std::string& ip) {
+    return load_board_ == nullptr
+               ? Duration{0}
+               : load_board_->penalty(ip, sim_.now(), cfg_.load);
+  };
   if (use_hls) {
     client::PlayerConfig pc = cfg_.hls_player;
     pc.start_threshold = seconds(to_s(pc.start_threshold) * jitter);
+    const service::MediaServer& edge_a = servers_.hls_edges()[0];
+    const service::MediaServer& edge_b = servers_.hls_edges()[1];
+    load_ip_a = edge_a.ip;
+    load_ip_b = edge_b.ip;
+    load_weight = 0.5;
     session = std::make_unique<client::HlsViewerSession>(
-        sim_, pipeline, device, servers_.hls_edges()[0],
-        servers_.hls_edges()[1], pc, rng_.engine()(),
-        client::HlsViewerSession::Mode::Live, cfg_.hls_adaptive);
+        sim_, pipeline, device, edge_a, edge_b, pc, rng_.engine()(),
+        client::HlsViewerSession::Mode::Live, cfg_.hls_adaptive,
+        penalty(edge_a.ip), penalty(edge_b.ip));
   } else {
     client::PlayerConfig pc = cfg_.rtmp_player;
     pc.start_threshold = seconds(to_s(pc.start_threshold) * jitter);
     pc.resume_threshold = seconds(to_s(pc.resume_threshold) * jitter);
     const service::MediaServer& origin =
         servers_.rtmp_origin_for(b->location, b->id);
+    load_ip_a = origin.ip;
     session = std::make_unique<client::RtmpViewerSession>(
-        sim_, pipeline, device, origin, pc, rng_.engine()());
+        sim_, pipeline, device, origin, pc, rng_.engine()(),
+        penalty(origin.ip));
   }
+  const TimePoint watch_begin = sim_.now();
   session->start(cfg_.watch_time);
   sim_.run_until(sim_.now() + cfg_.watch_time + seconds(2));
   pipeline.stop();
@@ -126,6 +161,16 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
   SessionRecord rec;
   rec.stats = session->stats();
   report_playback_meta(rec.stats);
+
+  // Book this session into the pool's per-epoch load account.
+  const TimePoint watch_end = sim_.now();
+  const double bytes = static_cast<double>(rec.stats.bytes_received);
+  auto& ledger = servers_.load_ledger();
+  ledger.add_session(load_ip_a, watch_begin, watch_end, load_weight, bytes);
+  if (!load_ip_b.empty()) {
+    ledger.add_session(load_ip_b, watch_begin, watch_end, load_weight,
+                       bytes);
+  }
   if (analyze) {
     auto analysis = use_hls
                         ? analysis::reconstruct_hls(session->capture())
@@ -157,7 +202,7 @@ CampaignResult Study::run_campaign(int n, BitRate bandwidth_limit,
                                    const client::DeviceConfig& device_cfg,
                                    bool analyze) {
   if (!world_started_) {
-    world_.start();
+    if (own_world_) own_world_->start();
     world_started_ = true;
     sim_.run_until(sim_.now() + seconds(30));
   }
@@ -175,6 +220,48 @@ CampaignResult Study::run_campaign(int n, BitRate bandwidth_limit,
     purge_retired();
   }
   return result;
+}
+
+void Study::begin_campaign(BitRate bandwidth_limit, bool two_device,
+                           const client::DeviceConfig& device_cfg) {
+  if (campaign_begun_) return;
+  campaign_begun_ = true;
+  if (!world_started_) {
+    if (own_world_) own_world_->start();
+    world_started_ = true;
+    sim_.run_until(sim_.now() + seconds(30));
+  }
+  if (two_device) {
+    devices_.push_back(std::make_unique<client::Device>(sim_, galaxy_s3(),
+                                                        rng_.engine()()));
+    devices_.push_back(std::make_unique<client::Device>(sim_, galaxy_s4(),
+                                                        rng_.engine()()));
+  } else {
+    devices_.push_back(std::make_unique<client::Device>(sim_, device_cfg,
+                                                        rng_.engine()()));
+  }
+  if (bandwidth_limit > 0) {
+    for (auto& d : devices_) d->set_bandwidth_limit(bandwidth_limit);
+  }
+}
+
+int Study::run_sessions_until(TimePoint deadline, int max_sessions,
+                              bool analyze, CampaignResult* out) {
+  int attempted = 0;
+  while (sim_.now() < deadline && epoch_attempted_ < max_sessions) {
+    // Alternate devices per session (S3, S4, S3, ... in two_device mode).
+    client::Device& device =
+        *devices_[static_cast<std::size_t>(epoch_attempted_) %
+                  devices_.size()];
+    ++epoch_attempted_;
+    ++attempted;
+    auto rec = run_one_session(device, analyze);
+    if (rec && out != nullptr) out->sessions.push_back(std::move(*rec));
+    // close -> home -> next Teleport, exactly as run_campaign paces it.
+    sim_.run_until(sim_.now() + seconds(3));
+    purge_retired();
+  }
+  return attempted;
 }
 
 CampaignResult Study::run_two_device_campaign(int n, BitRate bandwidth_limit,

@@ -20,12 +20,24 @@
 #include "client/viewer_session.h"
 #include "service/api.h"
 #include "service/chat.h"
+#include "service/load.h"
 #include "service/pipeline.h"
 #include "service/servers.h"
 #include "service/world.h"
+#include "service/world_timeline.h"
 #include "sim/simulation.h"
 
 namespace psc::core {
+
+/// How a sharded campaign treats the world and the servers.
+///  * independent_worlds — each shard simulates its own World and its own
+///    unloaded servers (PR-1 behaviour, the default). Fastest; sessions in
+///    different shards can never interact.
+///  * shared_world — every shard replays one recorded WorldTimeline and
+///    contends for one set of servers via epoch-reconciled load. Sessions
+///    in different shards observe the same broadcasts and each other's
+///    server load (one epoch late).
+enum class CampaignMode { independent_worlds, shared_world };
 
 struct StudyConfig {
   std::uint64_t seed = 42;
@@ -46,6 +58,23 @@ struct StudyConfig {
   /// origin backlog and the CDN edge have content (a real broadcast has
   /// been running for a while when a viewer joins).
   Duration preroll = seconds(16);
+  /// Campaign mode (see CampaignMode). Only consulted by the sharded
+  /// runner; a standalone Study always behaves like independent_worlds.
+  CampaignMode mode = CampaignMode::independent_worlds;
+  /// Epoch length + load->latency model for shared_world campaigns.
+  service::EpochLoadConfig load;
+};
+
+/// Everything a shard of a shared-world campaign shares with its
+/// siblings: the recorded world and the merged load of past epochs.
+struct SharedWorldContext {
+  std::shared_ptr<const service::WorldTimeline> timeline;
+  /// Campaign-global merged load; may be nullptr (load feedback off).
+  /// Only epochs the scheduler has already merged are ever read.
+  const service::EpochLoadBoard* load_board = nullptr;
+  /// The *campaign* seed (not the shard seed): server pools must be
+  /// identical in every shard so load accounts key to the same ips.
+  std::uint64_t campaign_seed = 0;
 };
 
 /// One completed viewing session: the app-reported stats plus the offline
@@ -70,6 +99,12 @@ class Study {
  public:
   explicit Study(const StudyConfig& cfg);
 
+  /// A shared-world shard: the world is a ReplayWorld over
+  /// `shared.timeline`, the server pool is seeded from the campaign seed
+  /// (identical in every shard), and sessions run against the load in
+  /// `shared.load_board` while contributing to this shard's ledger.
+  Study(const StudyConfig& cfg, const SharedWorldContext& shared);
+
   /// Run `n` sequential Teleport sessions on `device_cfg` with the given
   /// downlink cap (0 => unlimited). Captures are reconstructed when
   /// `analyze` is set. Alternating sessions across two device configs is
@@ -82,8 +117,27 @@ class Study {
   CampaignResult run_two_device_campaign(int n, BitRate bandwidth_limit,
                                          bool analyze = true);
 
+  /// --- Epoch-stepped driving (shared-world campaigns) ---
+  /// Start the world (independent mode), run the 30 s warmup and create
+  /// the campaign devices (S3+S4 alternating when `two_device`, else
+  /// `device_cfg`). Idempotent.
+  void begin_campaign(BitRate bandwidth_limit, bool two_device,
+                      const client::DeviceConfig& device_cfg);
+  /// Run whole sessions — teleport, watch, close — while the sim clock is
+  /// before `deadline` and fewer than `max_sessions` have been attempted
+  /// in total. A session that starts before the deadline may finish past
+  /// it (its load lands in later epochs and is merged at later barriers).
+  /// Completed records append to `out`. Returns sessions attempted now.
+  int run_sessions_until(TimePoint deadline, int max_sessions, bool analyze,
+                         CampaignResult* out);
+  /// Total sessions attempted via run_sessions_until so far.
+  int sessions_attempted() const { return epoch_attempted_; }
+
   sim::Simulation& sim() { return sim_; }
-  service::World& world() { return world_; }
+  /// The live world — only valid in independent mode (a shared-world
+  /// shard has a ReplayWorld instead; use world_view()).
+  service::World& world() { return *own_world_; }
+  service::WorldView& world_view() { return *world_view_; }
   service::ApiServer& api() { return api_; }
   service::MediaServerPool& servers() { return servers_; }
   const StudyConfig& config() const { return cfg_; }
@@ -107,13 +161,20 @@ class Study {
   StudyConfig cfg_;
   sim::Simulation sim_;
   Rng rng_;
-  service::World world_;
+  /// Exactly one of own_world_/replay_world_ is set; world_view_ points
+  /// at whichever it is.
+  std::unique_ptr<service::World> own_world_;
+  std::unique_ptr<service::ReplayWorld> replay_world_;
+  service::WorldView* world_view_ = nullptr;
+  const service::EpochLoadBoard* load_board_ = nullptr;
   service::MediaServerPool servers_;
   service::ApiServer api_;
   /// Destroy retired objects whose event horizon has passed.
   void purge_retired();
 
   bool world_started_ = false;
+  bool campaign_begun_ = false;
+  int epoch_attempted_ = 0;
   std::size_t session_counter_ = 0;
   std::vector<std::pair<TimePoint,
                         std::unique_ptr<service::LiveBroadcastPipeline>>>

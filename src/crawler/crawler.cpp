@@ -223,4 +223,19 @@ void TargetedCrawler::issue_next(std::size_t widx) {
   sim_.schedule_after(cfg_.pacing, [this, widx] { issue_next(widx); });
 }
 
+double discovered_fraction(
+    const service::WorldView& world,
+    const std::set<service::BroadcastId>& discovered) {
+  std::size_t live_public = 0;
+  std::size_t found = 0;
+  world.for_each_live([&](const service::BroadcastInfo& b) {
+    if (b.is_private) return;
+    ++live_public;
+    if (discovered.count(b.id) != 0) ++found;
+  });
+  return live_public == 0 ? 1.0
+                          : static_cast<double>(found) /
+                                static_cast<double>(live_public);
+}
+
 }  // namespace psc::crawler

@@ -78,6 +78,13 @@ class DeepCrawler {
   std::function<void(DeepCrawlResult)> done_;
 };
 
+/// Fraction of the world's currently-live public broadcasts present in
+/// `discovered` — crawl coverage against ground truth the crawler itself
+/// can never see (it only has the API). Works on any WorldView, so the
+/// same check runs against a live World or a shared-world ReplayWorld.
+double discovered_fraction(const service::WorldView& world,
+                           const std::set<service::BroadcastId>& discovered);
+
 /// Running per-broadcast observation record.
 struct BroadcastTrack {
   double start_time_s = 0;  // from the broadcast description

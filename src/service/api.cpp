@@ -6,7 +6,7 @@
 
 namespace psc::service {
 
-ApiServer::ApiServer(World& world, MediaServerPool& servers,
+ApiServer::ApiServer(WorldView& world, MediaServerPool& servers,
                      const ApiConfig& cfg)
     : world_(world), servers_(servers), cfg_(cfg),
       limiter_(cfg.rate_limit) {}

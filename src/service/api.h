@@ -25,7 +25,7 @@
 #include "json/json.h"
 #include "service/rate_limiter.h"
 #include "service/servers.h"
-#include "service/world.h"
+#include "service/world_view.h"
 
 namespace psc::service {
 
@@ -37,7 +37,10 @@ struct ApiConfig {
 
 class ApiServer {
  public:
-  ApiServer(World& world, MediaServerPool& servers, const ApiConfig& cfg);
+  /// The API only reads the world, so any WorldView works: the live
+  /// World of an independent-worlds study, or a shared-world campaign's
+  /// ReplayWorld.
+  ApiServer(WorldView& world, MediaServerPool& servers, const ApiConfig& cfg);
 
   /// Handle a POST /api/v2/<name>. `now` is the (simulated) server time.
   http::Response handle(const http::Request& req, TimePoint now);
@@ -62,7 +65,7 @@ class ApiServer {
   json::Value handle_access_replay(const json::Value& body, TimePoint now);
   json::Value handle_ranked_feed(TimePoint now);
 
-  World& world_;
+  WorldView& world_;
   MediaServerPool& servers_;
   ApiConfig cfg_;
   RateLimiter limiter_;

@@ -8,18 +8,23 @@ namespace psc::service {
 
 http::Response CdnEdge::handle(const http::Request& req,
                                TimePoint now) const {
+  // Every served response lands in the edge's per-epoch load account.
+  const auto serve = [&](http::Response r) {
+    ledger_.add_request(host_, now, static_cast<double>(r.body.size()));
+    return r;
+  };
   if (req.method != "GET" || !starts_with(req.path, "/hls/")) {
-    return http::Response::not_found();
+    return serve(http::Response::not_found());
   }
   // /hls/<id>/<rest>
   const std::string after = req.path.substr(5);
   const std::size_t slash = after.find('/');
-  if (slash == std::string::npos) return http::Response::not_found();
+  if (slash == std::string::npos) return serve(http::Response::not_found());
   const std::string id = after.substr(0, slash);
   const std::string rest = after.substr(slash + 1);
 
   auto it = pipelines_.find(id);
-  if (it == pipelines_.end()) return http::Response::not_found();
+  if (it == pipelines_.end()) return serve(http::Response::not_found());
   const LiveBroadcastPipeline& pipe = *it->second;
 
   // Rendition prefix "r<k>/".
@@ -37,18 +42,18 @@ http::Response CdnEdge::handle(const http::Request& req,
   }
 
   if (leaf == "master.m3u8") {
-    return http::Response::ok(to_bytes(pipe.master_playlist()),
-                              "application/vnd.apple.mpegurl");
+    return serve(http::Response::ok(to_bytes(pipe.master_playlist()),
+                                    "application/vnd.apple.mpegurl"));
   }
   if (leaf == "playlist.m3u8") {
-    return http::Response::ok(
+    return serve(http::Response::ok(
         to_bytes(hls::write_m3u8(pipe.edge_playlist(now, rendition))),
-        "application/vnd.apple.mpegurl");
+        "application/vnd.apple.mpegurl"));
   }
   if (leaf == "vod.m3u8") {
-    return http::Response::ok(
+    return serve(http::Response::ok(
         to_bytes(hls::write_m3u8(pipe.vod_playlist(rendition))),
-        "application/vnd.apple.mpegurl");
+        "application/vnd.apple.mpegurl"));
   }
   if (starts_with(leaf, "seg_")) {
     // Resolve through the pipeline's URI scheme (handles renditions).
@@ -57,11 +62,11 @@ http::Response CdnEdge::handle(const http::Request& req,
     const LiveBroadcastPipeline::EdgeSegment* seg = pipe.find_segment(uri);
     if (seg == nullptr || seg->available_at > now) {
       // Not (yet) on this edge.
-      return http::Response::not_found();
+      return serve(http::Response::not_found());
     }
-    return http::Response::ok(seg->segment.ts_data, "video/mp2t");
+    return serve(http::Response::ok(seg->segment.ts_data, "video/mp2t"));
   }
-  return http::Response::not_found();
+  return serve(http::Response::not_found());
 }
 
 }  // namespace psc::service

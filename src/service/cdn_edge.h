@@ -10,6 +10,7 @@
 #include <string>
 
 #include "http/http.h"
+#include "service/load.h"
 #include "service/pipeline.h"
 
 namespace psc::service {
@@ -39,9 +40,16 @@ class CdnEdge {
 
   const std::string& host() const { return host_; }
 
+  /// Per-epoch account of the requests and media bytes this edge served,
+  /// keyed by the edge's own host. handle() is logically const (serving a
+  /// playlist does not change the edge), so the book is mutable.
+  void set_load_epoch_length(Duration len) { ledger_.set_epoch_length(len); }
+  const EpochLoadLedger& load_ledger() const { return ledger_; }
+
  private:
   std::string host_;
   std::map<std::string, const LiveBroadcastPipeline*> pipelines_;
+  mutable EpochLoadLedger ledger_;
 };
 
 }  // namespace psc::service

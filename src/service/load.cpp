@@ -1,0 +1,119 @@
+#include "service/load.h"
+
+#include <algorithm>
+
+namespace psc::service {
+
+namespace {
+
+std::size_t epoch_index(TimePoint t, Duration len) {
+  const double s = to_s(t);
+  return s <= 0 ? 0 : static_cast<std::size_t>(s / to_s(len));
+}
+
+}  // namespace
+
+EpochLoadLedger::EpochLoadLedger(Duration epoch_length)
+    : epoch_length_(epoch_length.count() > 0 ? epoch_length : seconds(300)) {}
+
+void EpochLoadLedger::set_epoch_length(Duration len) {
+  if (len.count() > 0) epoch_length_ = len;
+  epochs_.clear();
+}
+
+std::size_t EpochLoadLedger::epoch_of(TimePoint t) const {
+  return epoch_index(t, epoch_length_);
+}
+
+LoadAccount& EpochLoadLedger::at(const std::string& server_ip,
+                                 std::size_t e) {
+  if (e >= epochs_.size()) epochs_.resize(e + 1);
+  return epochs_[e][server_ip];
+}
+
+void EpochLoadLedger::add_session(const std::string& server_ip,
+                                  TimePoint begin, TimePoint end,
+                                  double weight, double bytes) {
+  if (end <= begin || weight <= 0) return;
+  const double total_s = to_s(end - begin);
+  const std::size_t first = epoch_of(begin);
+  const std::size_t last = epoch_of(end);
+  for (std::size_t e = first; e <= last; ++e) {
+    const TimePoint e_begin = time_at(to_s(epoch_length_) * e);
+    const TimePoint e_end = e_begin + epoch_length_;
+    const double overlap_s =
+        to_s(std::min(end, e_end) - std::max(begin, e_begin));
+    if (overlap_s <= 0) continue;
+    LoadAccount& acc = at(server_ip, e);
+    acc.session_seconds += weight * overlap_s;
+    acc.sessions += weight;
+    acc.bytes += weight * bytes * (overlap_s / total_s);
+  }
+}
+
+void EpochLoadLedger::add_request(const std::string& server_ip, TimePoint at_,
+                                  double bytes) {
+  LoadAccount& acc = at(server_ip, epoch_of(at_));
+  acc.requests += 1;
+  acc.bytes += bytes;
+}
+
+const LoadAccount* EpochLoadLedger::account(const std::string& server_ip,
+                                            std::size_t epoch) const {
+  const auto* e = this->epoch(epoch);
+  if (e == nullptr) return nullptr;
+  auto it = e->find(server_ip);
+  return it == e->end() ? nullptr : &it->second;
+}
+
+const std::map<std::string, LoadAccount>* EpochLoadLedger::epoch(
+    std::size_t e) const {
+  return e < epochs_.size() ? &epochs_[e] : nullptr;
+}
+
+std::size_t EpochLoadBoard::epoch_of(TimePoint t) const {
+  return epoch_index(t, epoch_length_);
+}
+
+void EpochLoadBoard::merge_epoch(std::size_t e,
+                                 const EpochLoadLedger& ledger) {
+  if (e >= merged_.size()) merged_.resize(e + 1);
+  const auto* bucket = ledger.epoch(e);
+  if (bucket == nullptr) return;
+  for (const auto& [ip, acc] : *bucket) {
+    LoadAccount& dst = merged_[e][ip];
+    dst.session_seconds += acc.session_seconds;
+    dst.sessions += acc.sessions;
+    dst.bytes += acc.bytes;
+    dst.requests += acc.requests;
+  }
+}
+
+const LoadAccount* EpochLoadBoard::account(const std::string& server_ip,
+                                           std::size_t e) const {
+  if (e >= merged_.size()) return nullptr;
+  auto it = merged_[e].find(server_ip);
+  return it == merged_[e].end() ? nullptr : &it->second;
+}
+
+double EpochLoadBoard::avg_concurrent(const std::string& server_ip,
+                                      std::size_t e) const {
+  const LoadAccount* acc = account(server_ip, e);
+  return acc == nullptr ? 0 : acc->session_seconds / to_s(epoch_length_);
+}
+
+double EpochLoadBoard::previous_epoch_concurrent(const std::string& server_ip,
+                                                 TimePoint t) const {
+  const std::size_t e = epoch_of(t);
+  if (e == 0) return 0;
+  return avg_concurrent(server_ip, e - 1);
+}
+
+Duration EpochLoadBoard::penalty(const std::string& server_ip, TimePoint t,
+                                 const EpochLoadConfig& cfg) const {
+  const double load = previous_epoch_concurrent(server_ip, t);
+  const Duration extra{to_s(cfg.latency_per_session) * load};
+  return std::min(extra, cfg.max_extra_latency);
+}
+
+}  // namespace psc::service

@@ -1,0 +1,114 @@
+// Per-epoch server load accounts.
+//
+// The paper's delivery infrastructure is small and shared: 87 RTMP origins
+// and exactly two HLS edges serve every viewer. A campaign therefore
+// couples sessions through server load. In a shared-world campaign the
+// coupling is reconciled in epochs: every shard accumulates its sessions'
+// contributions into a local EpochLoadLedger; at each epoch boundary the
+// scheduler merges all ledgers — in shard order, so the result is
+// deterministic for any thread count — into the campaign-global
+// EpochLoadBoard; and sessions starting in epoch e read the merged load of
+// epoch e-1 (one epoch of lag buys lock-free parallel reads).
+//
+// Epoch length is a model parameter like shard_size: changing it changes
+// results; changing the thread count does not.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace psc::service {
+
+struct EpochLoadConfig {
+  /// Campaign time is cut into epochs of this length.
+  Duration epoch_length = seconds(300);
+  /// Load -> latency model: extra one-way serving latency per average
+  /// concurrent session the same server carried in the previous epoch,
+  /// capped. Zero disables the feedback (load is then recorded but free).
+  Duration latency_per_session = millis(3);
+  Duration max_extra_latency = millis(400);
+};
+
+/// Aggregated load on one server during one epoch.
+struct LoadAccount {
+  double session_seconds = 0;  // viewing time overlapping the epoch
+  double sessions = 0;         // sessions touching the epoch (weighted)
+  double bytes = 0;            // media bytes delivered
+  double requests = 0;         // requests served
+};
+
+/// Mutable, single-writer load account book (one per shard / per server
+/// component), bucketed by epoch index.
+class EpochLoadLedger {
+ public:
+  explicit EpochLoadLedger(Duration epoch_length = seconds(300));
+
+  /// Resets the ledger (epoch boundaries move, old buckets are invalid).
+  void set_epoch_length(Duration len);
+  Duration epoch_length() const { return epoch_length_; }
+  std::size_t epoch_of(TimePoint t) const;
+
+  /// Contribute a session on `server_ip` spanning [begin, end): every
+  /// overlapped epoch receives the overlap in session-seconds and a
+  /// proportional share of `bytes`; `weight` scales both (an HLS session
+  /// striping two edges contributes 0.5 to each).
+  void add_session(const std::string& server_ip, TimePoint begin,
+                   TimePoint end, double weight, double bytes);
+
+  /// Contribute one served request at an instant.
+  void add_request(const std::string& server_ip, TimePoint at, double bytes);
+
+  /// nullptr when the server had no load in that epoch.
+  const LoadAccount* account(const std::string& server_ip,
+                             std::size_t epoch) const;
+  /// nullptr when the epoch is beyond the last contribution.
+  const std::map<std::string, LoadAccount>* epoch(std::size_t e) const;
+  std::size_t epoch_count() const { return epochs_.size(); }
+  void clear() { epochs_.clear(); }
+
+ private:
+  LoadAccount& at(const std::string& server_ip, std::size_t e);
+
+  Duration epoch_length_;
+  std::vector<std::map<std::string, LoadAccount>> epochs_;
+};
+
+/// Campaign-global merged load. Written only by the epoch scheduler at
+/// barriers (merge_epoch in shard order); read lock-free by every shard,
+/// which only ever asks about already-merged (immutable) epochs.
+class EpochLoadBoard {
+ public:
+  explicit EpochLoadBoard(Duration epoch_length = seconds(300))
+      : epoch_length_(epoch_length) {}
+
+  Duration epoch_length() const { return epoch_length_; }
+  std::size_t epoch_of(TimePoint t) const;
+
+  /// Fold `ledger`'s bucket for epoch `e` into the board. Call once per
+  /// shard per epoch, in shard order, with no concurrent readers.
+  void merge_epoch(std::size_t e, const EpochLoadLedger& ledger);
+
+  std::size_t epochs_merged() const { return merged_.size(); }
+
+  const LoadAccount* account(const std::string& server_ip,
+                             std::size_t e) const;
+  /// Average concurrent sessions on `server_ip` during epoch `e`.
+  double avg_concurrent(const std::string& server_ip, std::size_t e) const;
+  /// The load a session starting at `t` runs against: the previous
+  /// epoch's merged average concurrency (0 in epoch 0 or when that epoch
+  /// has not been merged).
+  double previous_epoch_concurrent(const std::string& server_ip,
+                                   TimePoint t) const;
+  /// Load -> extra one-way serving latency for a session starting at `t`.
+  Duration penalty(const std::string& server_ip, TimePoint t,
+                   const EpochLoadConfig& cfg) const;
+
+ private:
+  Duration epoch_length_;
+  std::vector<std::map<std::string, LoadAccount>> merged_;
+};
+
+}  // namespace psc::service

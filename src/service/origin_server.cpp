@@ -98,6 +98,9 @@ Status MediaOrigin::on_input(int conn, BytesView data) {
     return Error{"origin", "unknown connection"};
   }
   const bool was_playing = it->second.session->playing();
+  ledger_.add_request(
+      it->second.stream.empty() ? "rtmp" : it->second.stream, now_,
+      static_cast<double>(data.size()));
   if (auto s = it->second.session->on_input(data); !s) return s;
   // A play command may have completed during this input.
   if (!was_playing && it->second.session->playing() &&
@@ -109,8 +112,14 @@ Status MediaOrigin::on_input(int conn, BytesView data) {
 
 Bytes MediaOrigin::take_output(int conn) {
   auto it = connections_.find(conn);
-  return it == connections_.end() ? Bytes{}
-                                  : it->second.session->take_output();
+  if (it == connections_.end()) return Bytes{};
+  Bytes out = it->second.session->take_output();
+  if (!out.empty()) {
+    ledger_.add_request(
+        it->second.stream.empty() ? "rtmp" : it->second.stream, now_,
+        static_cast<double>(out.size()));
+  }
+  return out;
 }
 
 bool MediaOrigin::has_output(int conn) const {

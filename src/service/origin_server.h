@@ -16,6 +16,7 @@
 
 #include "media/types.h"
 #include "rtmp/session.h"
+#include "service/load.h"
 
 namespace psc::service {
 
@@ -39,6 +40,16 @@ class MediaOrigin {
   /// Viewers attached to a stream.
   std::size_t viewer_count(const std::string& stream) const;
 
+  /// Server-local clock for load accounting. The origin itself is
+  /// transport-driven and clockless; whoever pumps bytes through it
+  /// advances this before on_input()/take_output() so the per-epoch
+  /// account books the traffic into the right bucket.
+  void advance_to(TimePoint now) { now_ = now; }
+  void set_load_epoch_length(Duration len) { ledger_.set_epoch_length(len); }
+  /// Per-epoch ingest/egress account, keyed by stream name (or "rtmp"
+  /// while a connection has not yet bound to a stream).
+  const EpochLoadLedger& load_ledger() const { return ledger_; }
+
  private:
   struct Stream {
     std::optional<media::AvcDecoderConfig> config;
@@ -59,6 +70,8 @@ class MediaOrigin {
 
   std::uint64_t seed_;
   int next_conn_ = 1;
+  TimePoint now_{};
+  EpochLoadLedger ledger_;
   std::map<int, Connection> connections_;
   std::map<std::string, Stream> streams_;
 };

@@ -4,7 +4,26 @@
 
 namespace psc::service {
 
+Duration RateLimiter::full_after() const {
+  if (cfg_.refill_per_sec <= 0) return Duration{1e30};
+  return Duration{cfg_.capacity / cfg_.refill_per_sec};
+}
+
+void RateLimiter::sweep(TimePoint now) {
+  const Duration idle_limit = full_after();
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    if (now - it->second.last >= idle_limit) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  last_sweep_ = now;
+}
+
 bool RateLimiter::allow(const std::string& account, TimePoint now) {
+  // Amortised eviction: at most one full sweep per refill period.
+  if (now - last_sweep_ >= full_after()) sweep(now);
   Bucket& b = buckets_[account];
   if (!b.init) {
     b.tokens = cfg_.capacity;

@@ -26,6 +26,13 @@ class RateLimiter {
   /// True if the request is admitted; false => respond 429.
   bool allow(const std::string& account, TimePoint now);
 
+  /// Accounts with a tracked bucket. A bucket idle long enough to have
+  /// refilled to capacity is indistinguishable from a fresh one, so it is
+  /// evicted (amortised, during allow()) instead of living forever — a
+  /// long crawl cycles through many accounts and the map would otherwise
+  /// only ever grow.
+  std::size_t tracked_accounts() const { return buckets_.size(); }
+
  private:
   struct Bucket {
     double tokens = 0;
@@ -33,8 +40,13 @@ class RateLimiter {
     bool init = false;
   };
 
+  /// Seconds of idleness after which a bucket is full again.
+  Duration full_after() const;
+  void sweep(TimePoint now);
+
   RateLimitConfig cfg_;
   std::map<std::string, Bucket> buckets_;
+  TimePoint last_sweep_{};
 };
 
 }  // namespace psc::service

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "geo/geo.h"
+#include "service/load.h"
 #include "util/rng.h"
 
 namespace psc::service {
@@ -38,9 +39,17 @@ class MediaServerPool {
   const std::vector<MediaServer>& rtmp_origins() const { return origins_; }
   const std::array<MediaServer, 2>& hls_edges() const { return edges_; }
 
+  /// Per-epoch load account book for this pool, keyed by server ip.
+  /// Sessions contribute as they complete; a shared-world campaign's
+  /// scheduler merges every shard's book into the campaign-global
+  /// EpochLoadBoard at each epoch boundary.
+  EpochLoadLedger& load_ledger() { return ledger_; }
+  const EpochLoadLedger& load_ledger() const { return ledger_; }
+
  private:
   std::vector<MediaServer> origins_;
   std::array<MediaServer, 2> edges_;
+  EpochLoadLedger ledger_;
 };
 
 }  // namespace psc::service

@@ -96,6 +96,7 @@ const BroadcastInfo* World::add_broadcast(BroadcastInfo info) {
   auto owned = std::make_unique<BroadcastInfo>(std::move(info));
   const BroadcastInfo* ptr = owned.get();
   broadcasts_[ptr->id] = std::move(owned);
+  if (on_added_) on_added_(*ptr, sim_.now());
   return ptr;
 }
 
@@ -111,6 +112,7 @@ void World::gc() {
   const TimePoint cutoff = sim_.now() - cfg_.gc_grace;
   for (auto it = broadcasts_.begin(); it != broadcasts_.end();) {
     if (it->second->end_time() < cutoff) {
+      if (on_removed_) on_removed_(it->first, sim_.now());
       it = broadcasts_.erase(it);
     } else {
       ++it;
@@ -145,48 +147,18 @@ void World::start(bool prepopulate) {
   sim_.schedule_after(seconds(60), [this] { gc(); });
 }
 
-namespace {
-
-/// Deterministic per-broadcast value in [0,1) used for zoom visibility.
-double visibility_hash(const BroadcastId& id) {
-  const std::size_t h = std::hash<std::string>{}(id);
-  return static_cast<double>(h % 1000003) / 1000003.0;
-}
-
-}  // namespace
-
 std::vector<const BroadcastInfo*> World::query_rect(
     const geo::GeoRect& rect, bool include_ended_replays) const {
   const TimePoint now = sim_.now();
-  const double p_visible =
-      std::pow(cfg_.vis_full_area_deg2 /
-                   std::max(rect.area_deg2(), cfg_.vis_full_area_deg2),
-               cfg_.vis_gamma);
+  const double p_visible = map_query::visible_fraction(rect, cfg_);
   std::vector<const BroadcastInfo*> hits;
   for (const auto& [id, b] : broadcasts_) {
-    if (!rect.contains(b->location)) continue;
-    if (!b->live_at(now)) {
-      // Ended broadcasts surface only on request, only while kept for
-      // replay, and only until the registry garbage-collects them.
-      if (!include_ended_replays || !b->available_for_replay ||
-          b->start_time > now) {
-        continue;
-      }
+    if (map_query::admit(*b, rect, include_ended_replays, now, cfg_,
+                         p_visible)) {
+      hits.push_back(b.get());
     }
-    if (b->is_private) continue;  // never on the map
-    const bool featured = b->viewers_at(now) >= cfg_.vis_always_viewers;
-    if (!featured && visibility_hash(id) >= p_visible) continue;
-    hits.push_back(b.get());
   }
-  std::sort(hits.begin(), hits.end(),
-            [now](const BroadcastInfo* a, const BroadcastInfo* b) {
-              const int va = a->viewers_at(now), vb = b->viewers_at(now);
-              if (va != vb) return va > vb;
-              return a->id < b->id;
-            });
-  if (hits.size() > cfg_.map_response_cap) {
-    hits.resize(cfg_.map_response_cap);
-  }
+  map_query::rank_and_truncate(hits, now, cfg_.map_response_cap);
   return hits;
 }
 
@@ -200,16 +172,24 @@ const BroadcastInfo* World::teleport(Rng& rng,
   const TimePoint now = sim_.now();
   std::vector<const BroadcastInfo*> candidates;
   std::vector<double> weights;
+  // Map iteration is id-ordered, so the weighted pick is a deterministic
+  // function of (registry contents, rng state) — ReplayWorld sorts its
+  // candidates the same way.
   for (const auto& [id, b] : broadcasts_) {
-    if (!b->live_at(now) || b->is_private) continue;
-    if (b->end_time() - now < min_remaining) continue;
+    if (!map_query::teleport_candidate(*b, now, min_remaining)) continue;
     candidates.push_back(b.get());
-    // +0.25 keeps unwatched broadcasts reachable, as Teleport sometimes
-    // lands on them.
-    weights.push_back(b->viewers_at(now) + 0.25);
+    weights.push_back(map_query::teleport_weight(*b, now));
   }
   if (candidates.empty()) return nullptr;
   return candidates[rng.weighted_index(weights)];
+}
+
+void World::for_each_live(
+    const std::function<void(const BroadcastInfo&)>& fn) const {
+  const TimePoint now = sim_.now();
+  for (const auto& [id, b] : broadcasts_) {
+    if (b->live_at(now)) fn(*b);
+  }
 }
 
 std::size_t World::live_count() const {

@@ -6,47 +6,27 @@
 // public broadcasts with disclosed location. The paper estimates ~40K
 // concurrent broadcasts total but its crawler could only ever see the
 // 1-4K map-visible ones; those are exactly what this world contains.
+//
+// World is the live, event-driven WorldView implementation. An observer
+// can watch every broadcast enter and leave the registry — that is how
+// WorldTimeline records a campaign-global world once so every shard can
+// replay it (see world_timeline.h).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "geo/geo.h"
 #include "service/broadcast.h"
+#include "service/world_view.h"
 #include "sim/simulation.h"
 #include "util/rng.h"
 
 namespace psc::service {
 
-struct WorldConfig {
-  PopulationConfig population;
-  /// Mean number of concurrently live (discoverable) broadcasts.
-  double target_concurrent = 2600;
-  /// Number of geographic hotspots ("cities") and the Zipf skew of their
-  /// popularity.
-  int hotspot_count = 220;
-  double hotspot_zipf_s = 1.15;
-  /// Fraction of broadcasts placed uniformly at random instead of in a
-  /// hotspot.
-  double background_fraction = 0.12;
-  /// Map API: max broadcasts returned per mapGeoBroadcastFeed call.
-  std::size_t map_response_cap = 60;
-  /// Zoom-dependent visibility: at a query area of `vis_full_area_deg2`
-  /// or smaller every broadcast shows; for larger areas only a fraction
-  /// ~ (full/area)^gamma does (deterministic per broadcast, monotone in
-  /// zoom). This reproduces the paper's "the map usually shows only a
-  /// fraction of the broadcasts available in a large region and more
-  /// broadcasts become visible as the user zooms in". Broadcasts with
-  /// >= vis_always_viewers current viewers are always shown (featured).
-  double vis_full_area_deg2 = 400.0;
-  double vis_gamma = 0.5;
-  int vis_always_viewers = 100;
-  /// Ended broadcasts are garbage collected this long after ending.
-  Duration gc_grace = seconds(120);
-};
-
-class World {
+class World : public WorldView {
  public:
   World(sim::Simulation& sim, const WorldConfig& cfg, std::uint64_t seed);
 
@@ -54,30 +34,37 @@ class World {
   /// measurements can start immediately).
   void start(bool prepopulate = true);
 
-  /// Map query: live broadcasts inside `rect`, ranked by current viewers,
-  /// truncated at the response cap. With `include_ended_replays`,
-  /// recently-ended broadcasts kept for replay also appear (the app's
-  /// include_replay attribute; the paper's crawler forces it off to
-  /// discover live broadcasts only).
   std::vector<const BroadcastInfo*> query_rect(
-      const geo::GeoRect& rect, bool include_ended_replays = false) const;
+      const geo::GeoRect& rect,
+      bool include_ended_replays = false) const override;
 
-  const BroadcastInfo* find(const BroadcastId& id) const;
+  const BroadcastInfo* find(const BroadcastId& id) const override;
 
-  /// The "Teleport" button: a random live broadcast, weighted by current
-  /// viewer count (joining as a random viewer does), optionally requiring
-  /// a minimum remaining lifetime so a watch session can complete.
-  const BroadcastInfo* teleport(Rng& rng, Duration min_remaining) const;
+  const BroadcastInfo* teleport(Rng& rng,
+                                Duration min_remaining) const override;
 
-  std::size_t live_count() const;
+  void for_each_live(
+      const std::function<void(const BroadcastInfo&)>& fn) const override;
+
+  std::size_t live_count() const override;
   std::size_t total_created() const { return total_created_; }
 
   sim::Simulation& sim() { return sim_; }
-  const WorldConfig& config() const { return cfg_; }
+  const WorldConfig& config() const override { return cfg_; }
 
   /// Direct access for experiment setup (e.g. injecting a broadcast with
   /// chosen parameters). Returns the stored descriptor.
   const BroadcastInfo* add_broadcast(BroadcastInfo info);
+
+  /// Observe the registry: `on_added` fires for every broadcast entering
+  /// (including prepopulation and injection), `on_removed` when the GC
+  /// drops it. Either may be null. Set before start().
+  using AddedFn = std::function<void(const BroadcastInfo&, TimePoint)>;
+  using RemovedFn = std::function<void(const BroadcastId&, TimePoint)>;
+  void set_observer(AddedFn on_added, RemovedFn on_removed) {
+    on_added_ = std::move(on_added);
+    on_removed_ = std::move(on_removed);
+  }
 
  private:
   struct Hotspot {
@@ -98,6 +85,8 @@ class World {
   double arrival_rate_hz_ = 1.0;
   std::map<BroadcastId, std::unique_ptr<BroadcastInfo>> broadcasts_;
   std::size_t total_created_ = 0;
+  AddedFn on_added_;
+  RemovedFn on_removed_;
 };
 
 }  // namespace psc::service

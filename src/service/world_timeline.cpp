@@ -1,0 +1,102 @@
+#include "service/world_timeline.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace psc::service {
+
+std::shared_ptr<const WorldTimeline> WorldTimeline::record(
+    const WorldConfig& cfg, std::uint64_t seed, Duration horizon,
+    Duration epoch_length) {
+  // Plain `new`: the ctor is private (make_shared can't reach it) and the
+  // result is handed out const-only.
+  std::shared_ptr<WorldTimeline> tl(
+      new WorldTimeline(cfg, horizon, epoch_length));
+
+  sim::Simulation sim;
+  World world(sim, cfg, seed);
+  world.set_observer(
+      [&tl](const BroadcastInfo& b, TimePoint at) {
+        const std::size_t idx = tl->log_.append(b, at);
+        tl->by_id_.emplace(b.id, idx);
+      },
+      [&tl](const BroadcastId& id, TimePoint at) {
+        auto it = tl->by_id_.find(id);
+        if (it != tl->by_id_.end()) tl->log_.close(it->second, at);
+      });
+  world.start(/*prepopulate=*/true);
+  sim.run_until(time_at(to_s(horizon)));
+  tl->log_.seal(horizon);
+  return tl;
+}
+
+const BroadcastInfo* WorldTimeline::find_at(const BroadcastId& id,
+                                            TimePoint t) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return nullptr;
+  if (!log_.present_at(it->second, t)) return nullptr;
+  return &log_.entry(it->second).value;
+}
+
+std::vector<const BroadcastInfo*> ReplayWorld::query_rect(
+    const geo::GeoRect& rect, bool include_ended_replays) const {
+  const TimePoint now = sim_.now();
+  const WorldConfig& cfg = timeline_->world_config();
+  const double p_visible = map_query::visible_fraction(rect, cfg);
+  std::vector<const BroadcastInfo*> hits;
+  timeline_->for_each_present(now, [&](const BroadcastInfo& b) {
+    if (map_query::admit(b, rect, include_ended_replays, now, cfg,
+                         p_visible)) {
+      hits.push_back(&b);
+    }
+  });
+  map_query::rank_and_truncate(hits, now, cfg.map_response_cap);
+  return hits;
+}
+
+const BroadcastInfo* ReplayWorld::find(const BroadcastId& id) const {
+  return timeline_->find_at(id, sim_.now());
+}
+
+const BroadcastInfo* ReplayWorld::teleport(Rng& rng,
+                                           Duration min_remaining) const {
+  const TimePoint now = sim_.now();
+  std::vector<const BroadcastInfo*> candidates;
+  timeline_->for_each_present(now, [&](const BroadcastInfo& b) {
+    if (map_query::teleport_candidate(b, now, min_remaining)) {
+      candidates.push_back(&b);
+    }
+  });
+  if (candidates.empty()) return nullptr;
+  // Id order, to match World's map iteration: the same rng state lands on
+  // the same broadcast in the live and the replayed world.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const BroadcastInfo* a, const BroadcastInfo* b) {
+              return a->id < b->id;
+            });
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (const BroadcastInfo* b : candidates) {
+    weights.push_back(map_query::teleport_weight(*b, now));
+  }
+  return candidates[rng.weighted_index(weights)];
+}
+
+void ReplayWorld::for_each_live(
+    const std::function<void(const BroadcastInfo&)>& fn) const {
+  const TimePoint now = sim_.now();
+  timeline_->for_each_present(now, [&](const BroadcastInfo& b) {
+    if (b.live_at(now)) fn(b);
+  });
+}
+
+std::size_t ReplayWorld::live_count() const {
+  const TimePoint now = sim_.now();
+  std::size_t n = 0;
+  timeline_->for_each_present(now, [&](const BroadcastInfo& b) {
+    if (b.live_at(now)) ++n;
+  });
+  return n;
+}
+
+}  // namespace psc::service

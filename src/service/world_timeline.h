@@ -1,0 +1,101 @@
+// Campaign-global world, recorded once and replayed everywhere.
+//
+// A shared-world campaign must let sessions in different shards watch the
+// same broadcast and contend for the same servers, while each shard keeps
+// its own Simulation. The trick: the broadcast arrival / popularity / end
+// process is *closed* — nothing a viewer does feeds back into it — so it
+// can be simulated once up front on a private Simulation and frozen as an
+// event log with per-epoch snapshots (sim::IntervalTimeline). A
+// ReplayWorld is then a thin per-shard WorldView over that immutable
+// timeline: query_rect(), find() and teleport() answer identically from
+// any shard at any simulated time, because a broadcast's viewer curve is
+// already a deterministic function of time (BroadcastInfo::viewers_at).
+//
+// GC semantics are preserved exactly: the recording World's observer
+// reports the actual gc() erase times, so the "ended broadcast visible
+// just before GC, gone just after" boundary replays bit-for-bit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "service/world.h"
+#include "sim/timeline.h"
+
+namespace psc::service {
+
+class WorldTimeline {
+ public:
+  using Log = sim::IntervalTimeline<BroadcastInfo>;
+
+  /// Simulate the world of (`cfg`, `seed`) from t=0 to `horizon` — the
+  /// exact process a live World runs, prepopulation included — and freeze
+  /// it. `epoch_length` sets the snapshot granularity (the same epoch the
+  /// load reconciliation uses).
+  static std::shared_ptr<const WorldTimeline> record(const WorldConfig& cfg,
+                                                     std::uint64_t seed,
+                                                     Duration horizon,
+                                                     Duration epoch_length);
+
+  /// Broadcast present (added, not yet GC'd) at `t`, by id.
+  const BroadcastInfo* find_at(const BroadcastId& id, TimePoint t) const;
+
+  /// Visit every broadcast present at `t`, in recording (arrival) order.
+  template <class Fn>
+  void for_each_present(TimePoint t, Fn&& fn) const {
+    log_.for_each_present(
+        t, [&fn](const Log::Entry& e) { fn(e.value); });
+  }
+
+  const Log& log() const { return log_; }
+  const WorldConfig& world_config() const { return cfg_; }
+  Duration horizon() const { return horizon_; }
+  std::size_t total_recorded() const { return log_.size(); }
+
+ private:
+  WorldTimeline(const WorldConfig& cfg, Duration horizon,
+                Duration epoch_length)
+      : cfg_(cfg), horizon_(horizon), log_(epoch_length) {}
+
+  WorldConfig cfg_;
+  Duration horizon_;
+  Log log_;
+  std::unordered_map<std::string, std::size_t> by_id_;
+};
+
+/// Per-shard WorldView over a shared recorded timeline. Holds the shard's
+/// Simulation for the clock and a shared_ptr to the (immutable,
+/// thread-safe) timeline; construction is cheap.
+class ReplayWorld : public WorldView {
+ public:
+  ReplayWorld(sim::Simulation& sim,
+              std::shared_ptr<const WorldTimeline> timeline)
+      : sim_(sim), timeline_(std::move(timeline)) {}
+
+  std::vector<const BroadcastInfo*> query_rect(
+      const geo::GeoRect& rect,
+      bool include_ended_replays = false) const override;
+
+  const BroadcastInfo* find(const BroadcastId& id) const override;
+
+  const BroadcastInfo* teleport(Rng& rng,
+                                Duration min_remaining) const override;
+
+  void for_each_live(
+      const std::function<void(const BroadcastInfo&)>& fn) const override;
+
+  std::size_t live_count() const override;
+
+  const WorldConfig& config() const override {
+    return timeline_->world_config();
+  }
+
+  const WorldTimeline& timeline() const { return *timeline_; }
+
+ private:
+  sim::Simulation& sim_;
+  std::shared_ptr<const WorldTimeline> timeline_;
+};
+
+}  // namespace psc::service

@@ -1,0 +1,109 @@
+// Read-only view of the simulated Periscope world.
+//
+// Everything that consumes the world — the API server, the crawler, the
+// campaign driver — only ever reads it: map queries, id lookups, Teleport.
+// WorldView is that read side, with two implementations:
+//   * World        — the live, event-driven world (arrivals, GC);
+//   * ReplayWorld  — an immutable recorded timeline (world_timeline.h),
+//                    shared by every shard of a shared-world campaign.
+// The map semantics (zoom visibility, ranking, response cap, replay
+// surfacing) live in map_query so both implementations answer queries
+// identically by construction.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "geo/geo.h"
+#include "service/broadcast.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace psc::service {
+
+struct WorldConfig {
+  PopulationConfig population;
+  /// Mean number of concurrently live (discoverable) broadcasts.
+  double target_concurrent = 2600;
+  /// Number of geographic hotspots ("cities") and the Zipf skew of their
+  /// popularity.
+  int hotspot_count = 220;
+  double hotspot_zipf_s = 1.15;
+  /// Fraction of broadcasts placed uniformly at random instead of in a
+  /// hotspot.
+  double background_fraction = 0.12;
+  /// Map API: max broadcasts returned per mapGeoBroadcastFeed call.
+  std::size_t map_response_cap = 60;
+  /// Zoom-dependent visibility: at a query area of `vis_full_area_deg2`
+  /// or smaller every broadcast shows; for larger areas only a fraction
+  /// ~ (full/area)^gamma does (deterministic per broadcast, monotone in
+  /// zoom). This reproduces the paper's "the map usually shows only a
+  /// fraction of the broadcasts available in a large region and more
+  /// broadcasts become visible as the user zooms in". Broadcasts with
+  /// >= vis_always_viewers current viewers are always shown (featured).
+  double vis_full_area_deg2 = 400.0;
+  double vis_gamma = 0.5;
+  int vis_always_viewers = 100;
+  /// Ended broadcasts are garbage collected this long after ending.
+  Duration gc_grace = seconds(120);
+};
+
+class WorldView {
+ public:
+  virtual ~WorldView() = default;
+
+  /// Map query: live broadcasts inside `rect`, ranked by current viewers,
+  /// truncated at the response cap. With `include_ended_replays`,
+  /// recently-ended broadcasts kept for replay also appear (the app's
+  /// include_replay attribute; the paper's crawler forces it off to
+  /// discover live broadcasts only).
+  virtual std::vector<const BroadcastInfo*> query_rect(
+      const geo::GeoRect& rect, bool include_ended_replays = false) const = 0;
+
+  virtual const BroadcastInfo* find(const BroadcastId& id) const = 0;
+
+  /// The "Teleport" button: a random live broadcast, weighted by current
+  /// viewer count (joining as a random viewer does), optionally requiring
+  /// a minimum remaining lifetime so a watch session can complete.
+  virtual const BroadcastInfo* teleport(Rng& rng,
+                                        Duration min_remaining) const = 0;
+
+  /// Visit every currently live broadcast (private ones included — this is
+  /// the service's ground truth, not the map's censored view).
+  virtual void for_each_live(
+      const std::function<void(const BroadcastInfo&)>& fn) const = 0;
+
+  virtual std::size_t live_count() const = 0;
+
+  virtual const WorldConfig& config() const = 0;
+};
+
+/// The map-response semantics shared by every WorldView implementation.
+namespace map_query {
+
+/// Deterministic per-broadcast value in [0,1) used for zoom visibility.
+double visibility_hash(const BroadcastId& id);
+
+/// Fraction of broadcasts a query of `rect`'s area reveals.
+double visible_fraction(const geo::GeoRect& rect, const WorldConfig& cfg);
+
+/// Does broadcast `b` appear in a map response for `rect` at `now`?
+bool admit(const BroadcastInfo& b, const geo::GeoRect& rect,
+           bool include_ended_replays, TimePoint now, const WorldConfig& cfg,
+           double p_visible);
+
+/// Rank by (current viewers desc, id asc) and truncate at the cap.
+void rank_and_truncate(std::vector<const BroadcastInfo*>& hits,
+                       TimePoint now, std::size_t cap);
+
+/// Is `b` a Teleport candidate at `now`?
+bool teleport_candidate(const BroadcastInfo& b, TimePoint now,
+                        Duration min_remaining);
+
+/// Teleport weight (+0.25 keeps unwatched broadcasts reachable, as
+/// Teleport sometimes lands on them).
+double teleport_weight(const BroadcastInfo& b, TimePoint now);
+
+}  // namespace map_query
+
+}  // namespace psc::service

@@ -1,0 +1,130 @@
+// Replayable interval timeline: record once, query from anywhere.
+//
+// An IntervalTimeline is an append-only event log of entries that are
+// "present" over a half-open interval [begin, end). It is built in one
+// pass by a recording simulation (appends in non-decreasing begin order,
+// ends closed as the source removes entries), then sealed, after which it
+// is immutable and safe to query concurrently from any thread.
+//
+// seal() cuts the recorded span into fixed-length epochs and snapshots the
+// set of entries present at every epoch boundary. A query at time t then
+// costs O(|present at the preceding boundary| + |appended since|) instead
+// of O(|log|) — the structure that lets a campaign-global world answer
+// map queries identically from any shard at any simulated time (see
+// service::WorldTimeline).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/units.h"
+
+namespace psc::sim {
+
+template <class Payload>
+class IntervalTimeline {
+ public:
+  struct Entry {
+    Payload value;
+    TimePoint begin{};
+    /// Exclusive end of presence; TimePoint::max() while open (the source
+    /// never removed the entry within the recorded horizon).
+    TimePoint end{TimePoint::max()};
+  };
+
+  explicit IntervalTimeline(Duration epoch_length)
+      : epoch_length_(epoch_length.count() > 0 ? epoch_length
+                                               : Duration{1.0}) {}
+
+  /// --- build phase -------------------------------------------------------
+
+  /// Append an entry that becomes present at `begin` (calls must come in
+  /// non-decreasing `begin` order — event time in the recording run).
+  /// Returns the entry's index, stable for the life of the timeline.
+  std::size_t append(Payload value, TimePoint begin) {
+    assert(!sealed_);
+    assert(entries_.empty() || entries_.back().begin <= begin);
+    entries_.push_back(Entry{std::move(value), begin, TimePoint::max()});
+    return entries_.size() - 1;
+  }
+
+  /// Close entry `index`'s presence interval at `end`.
+  void close(std::size_t index, TimePoint end) {
+    assert(!sealed_);
+    entries_[index].end = end;
+  }
+
+  /// Freeze the log and build the per-epoch snapshots covering
+  /// [0, horizon]. After sealing, all const methods are thread-safe.
+  void seal(Duration horizon) {
+    assert(!sealed_);
+    sealed_ = true;
+    const std::size_t boundaries =
+        static_cast<std::size_t>(to_s(horizon) / to_s(epoch_length_)) + 1;
+    alive_at_boundary_.resize(boundaries);
+    first_after_boundary_.resize(boundaries);
+    std::size_t cursor = 0;  // first entry with begin > boundary
+    for (std::size_t k = 0; k < boundaries; ++k) {
+      const TimePoint b = time_at(to_s(epoch_length_) * k);
+      while (cursor < entries_.size() && entries_[cursor].begin <= b) {
+        ++cursor;
+      }
+      first_after_boundary_[k] = cursor;
+      auto& alive = alive_at_boundary_[k];
+      for (std::size_t i = 0; i < cursor; ++i) {
+        if (entries_[i].end > b) alive.push_back(i);
+      }
+    }
+  }
+
+  /// --- query phase (sealed, immutable, thread-safe) ----------------------
+
+  /// Visit every entry present at `t` (begin <= t < end), in append order.
+  template <class Fn>
+  void for_each_present(TimePoint t, Fn&& fn) const {
+    assert(sealed_);
+    if (t.time_since_epoch().count() < 0 || alive_at_boundary_.empty()) {
+      return;
+    }
+    std::size_t k =
+        static_cast<std::size_t>(to_s(t) / to_s(epoch_length_));
+    if (k >= alive_at_boundary_.size()) k = alive_at_boundary_.size() - 1;
+    for (std::size_t i : alive_at_boundary_[k]) {
+      if (entries_[i].end > t) fn(entries_[i]);
+    }
+    for (std::size_t i = first_after_boundary_[k];
+         i < entries_.size() && entries_[i].begin <= t; ++i) {
+      if (entries_[i].end > t) fn(entries_[i]);
+    }
+  }
+
+  /// Is entry `i` present at `t`?
+  bool present_at(std::size_t i, TimePoint t) const {
+    const Entry& e = entries_[i];
+    return e.begin <= t && t < e.end;
+  }
+
+  const Entry& entry(std::size_t i) const { return entries_[i]; }
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool sealed() const { return sealed_; }
+  Duration epoch_length() const { return epoch_length_; }
+  std::size_t epoch_of(TimePoint t) const {
+    const double s = to_s(t);
+    return s <= 0 ? 0 : static_cast<std::size_t>(s / to_s(epoch_length_));
+  }
+
+ private:
+  Duration epoch_length_;
+  bool sealed_ = false;
+  std::vector<Entry> entries_;
+  /// Per epoch boundary k (time k * epoch_length): indices of entries
+  /// present at the boundary, ascending, and the first entry appended
+  /// strictly after it.
+  std::vector<std::vector<std::size_t>> alive_at_boundary_;
+  std::vector<std::size_t> first_after_boundary_;
+};
+
+}  // namespace psc::sim

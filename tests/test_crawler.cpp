@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "crawler/crawler.h"
+#include "service/world.h"
 
 namespace psc::crawler {
 namespace {

@@ -61,15 +61,97 @@ TEST(ShardSeed, DistinctAndStable) {
   EXPECT_NE(shard_seed(31, 0), 31u);        // shard 0 is not the base seed
 }
 
+ShardedCampaign shared_campaign(std::uint64_t seed, int sessions) {
+  ShardedCampaign c = small_campaign(seed, sessions);
+  c.base.mode = CampaignMode::shared_world;
+  c.shard_size = 12;
+  return c;
+}
+
 // The headline guarantee: the merged campaign result is byte-identical
 // whether shards run inline (threads=1, the sequential reference path) or
-// on 2 or 8 workers.
+// on 2 or 8 workers — in both campaign modes. The shared-world check runs
+// at full paper-bench scale (480 sessions, 40 shards) because that is
+// where epoch barriers, overrunning sessions and cross-shard load merges
+// actually interleave.
 TEST(ShardedRunner, DeterministicAcrossThreadCounts) {
   const ShardedCampaign campaign = small_campaign(77, 12);
   const std::string seq = fingerprint(ShardedRunner(1).run(campaign));
   EXPECT_FALSE(seq.empty());
   EXPECT_EQ(fingerprint(ShardedRunner(2).run(campaign)), seq);
   EXPECT_EQ(fingerprint(ShardedRunner(8).run(campaign)), seq);
+
+  const ShardedCampaign shared = shared_campaign(77, 480);
+  const std::string shared_seq = fingerprint(ShardedRunner(1).run(shared));
+  EXPECT_FALSE(shared_seq.empty());
+  EXPECT_EQ(fingerprint(ShardedRunner(2).run(shared)), shared_seq);
+  EXPECT_EQ(fingerprint(ShardedRunner(8).run(shared)), shared_seq);
+}
+
+// Cross-shard coupling, the thing independent_worlds cannot produce:
+// with shard 0's seed and plan held fixed, adding shards 1..3 must change
+// shard 0's results (their server load reaches it via the epoch board)
+// in shared mode and must not in independent mode. And because every
+// shard replays one world, the same hot broadcast is watched from
+// different shards of one campaign.
+TEST(SharedWorld, CrossShardLoadCouplingAndSharedBroadcasts) {
+  constexpr std::uint64_t kSeed = 901;
+  // Short epochs + an exaggerated load->latency model make the coupling
+  // unmistakable (both are model parameters, not tuning hacks).
+  auto configure = [](ShardedCampaign c) {
+    c.base.load.epoch_length = seconds(120);
+    c.base.load.latency_per_session = millis(40);
+    c.base.load.max_extra_latency = millis(400);
+    return c;
+  };
+  const ShardedCampaign one = configure(shared_campaign(kSeed, 12));
+  const ShardedCampaign four = configure(shared_campaign(kSeed, 48));
+
+  ShardedRunner runner(2);
+  const CampaignResult r_one = runner.run(one);
+  const CampaignResult r_four = runner.run(four);
+  ASSERT_FALSE(r_one.sessions.empty());
+  ASSERT_GT(r_four.sessions.size(), r_one.sessions.size());
+
+  // Shard 0 of both campaigns: same shard seed, same timeline, but the
+  // 48-session campaign's other shards load the same servers.
+  CampaignResult four_prefix;
+  for (std::size_t i = 0; i < r_one.sessions.size(); ++i) {
+    four_prefix.sessions.push_back(r_four.sessions[i]);
+  }
+  EXPECT_NE(fingerprint(four_prefix), fingerprint(r_one));
+
+  // The same broadcast is observed from different shards: ids from the
+  // front of the merged result (shard 0) recur near the back (shard 3).
+  std::set<std::string> front_ids, back_ids;
+  const std::size_t quarter = r_four.sessions.size() / 4;
+  for (std::size_t i = 0; i < quarter; ++i) {
+    front_ids.insert(r_four.sessions[i].stats.broadcast_id);
+  }
+  for (std::size_t i = r_four.sessions.size() - quarter;
+       i < r_four.sessions.size(); ++i) {
+    back_ids.insert(r_four.sessions[i].stats.broadcast_id);
+  }
+  bool shared_broadcast = false;
+  for (const std::string& id : front_ids) {
+    if (back_ids.count(id) != 0) shared_broadcast = true;
+  }
+  EXPECT_TRUE(shared_broadcast);
+
+  // Control: independent mode has the prefix property — shard 0 is
+  // byte-identical no matter how many shards run beside it.
+  ShardedCampaign ind_one = one;
+  ShardedCampaign ind_four = four;
+  ind_one.base.mode = CampaignMode::independent_worlds;
+  ind_four.base.mode = CampaignMode::independent_worlds;
+  const CampaignResult i_one = runner.run(ind_one);
+  const CampaignResult i_four = runner.run(ind_four);
+  ASSERT_GE(i_four.sessions.size(), i_one.sessions.size());
+  CampaignResult i_prefix;
+  for (std::size_t i = 0; i < i_one.sessions.size(); ++i) {
+    i_prefix.sessions.push_back(i_four.sessions[i]);
+  }
+  EXPECT_EQ(fingerprint(i_prefix), fingerprint(i_one));
 }
 
 TEST(ShardedRunner, RunManyMatchesIndividualRuns) {

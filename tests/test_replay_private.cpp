@@ -4,6 +4,7 @@
 #include "analysis/reconstruct.h"
 #include "client/viewer_session.h"
 #include "service/api.h"
+#include "service/world.h"
 #include "service/pipeline.h"
 #include "service/servers.h"
 

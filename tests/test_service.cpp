@@ -639,5 +639,101 @@ TEST_F(ApiTest, IncludeReplaySurfacesEndedReplayableBroadcasts) {
   EXPECT_TRUE(seen_with);
 }
 
+
+TEST(WorldGc, EndedReplayVisibleUntilGcGraceThenGone) {
+  // GC ticks every 60 s from start and erases broadcasts whose end time
+  // is older than gc_grace. A replayable broadcast ending at t=100 with
+  // grace 120 s is erased by the first tick with now - 120 > 100, i.e.
+  // t=240: query_rect(include_ended_replays=true) and find() must still
+  // answer at t=239 and no longer at t=241.
+  sim::Simulation sim;
+  WorldConfig cfg;
+  cfg.target_concurrent = 1;  // keep the world essentially empty
+  cfg.gc_grace = seconds(120);
+  World world(sim, cfg, 7);
+  world.start(/*prepopulate=*/false);
+
+  BroadcastInfo b;
+  b.id = "GCboundary123";
+  b.location = {42, 42};
+  b.start_time = time_at(40);
+  b.planned_duration = seconds(60);  // ends at t=100
+  b.available_for_replay = true;
+  b.peak_viewers = 9000;  // featured: visible at any zoom
+  world.add_broadcast(b);
+
+  const geo::GeoRect rect{41, 43, 41, 43};
+  auto on_map = [&] {
+    for (const BroadcastInfo* hit :
+         world.query_rect(rect, /*include_ended_replays=*/true)) {
+      if (hit->id == "GCboundary123") return true;
+    }
+    return false;
+  };
+
+  sim.run_until(time_at(239));
+  EXPECT_TRUE(on_map());
+  EXPECT_NE(world.find("GCboundary123"), nullptr);
+  // Without include_ended_replays the ended broadcast is already hidden.
+  bool seen_live_only = false;
+  for (const BroadcastInfo* hit : world.query_rect(rect)) {
+    if (hit->id == "GCboundary123") seen_live_only = true;
+  }
+  EXPECT_FALSE(seen_live_only);
+
+  sim.run_until(time_at(241));
+  EXPECT_FALSE(on_map());
+  EXPECT_EQ(world.find("GCboundary123"), nullptr);
+}
+
+
+TEST(RateLimiterEviction, IdleBucketsAreDroppedOnceFullAgain) {
+  RateLimitConfig cfg;
+  cfg.capacity = 4;
+  cfg.refill_per_sec = 2;  // full again after 2 s idle
+  RateLimiter limiter(cfg);
+
+  // A long crawl cycles through many one-shot accounts; idle buckets must
+  // not accumulate forever.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(limiter.allow("account-" + std::to_string(i),
+                              time_at(i * 10.0)));
+  }
+  // Each account was last touched >= 10 s before the next; every bucket
+  // but the most recent ones is full again and evicted by the sweep.
+  EXPECT_LE(limiter.tracked_accounts(), 2u);
+
+  // Eviction must not change admission behaviour: a fresh bucket and an
+  // evicted-then-recreated one both hold a full burst.
+  const TimePoint t = time_at(10000.0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(limiter.allow("account-0", t)) << i;
+  }
+  EXPECT_FALSE(limiter.allow("account-0", t));
+}
+
+TEST(RateLimiterEviction, ActiveBucketSurvivesTheSweep) {
+  RateLimitConfig cfg;
+  cfg.capacity = 4;
+  cfg.refill_per_sec = 2;
+  RateLimiter limiter(cfg);
+
+  // Drain "hot" at t=0, touch it again at t=1.5 (2 tokens left), then
+  // trigger the sweep at t=2.2 via another account. hot was idle only
+  // 0.7 s — not long enough to be full — so it must keep its partially
+  // drained state: 3 more requests (refilled to 3.4 tokens), not the 4 a
+  // (wrongly) recreated fresh bucket would admit.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(limiter.allow("hot", time_at(0.0)));
+  }
+  EXPECT_FALSE(limiter.allow("hot", time_at(0.0)));
+  EXPECT_TRUE(limiter.allow("hot", time_at(1.5)));
+  EXPECT_TRUE(limiter.allow("other", time_at(2.2)));  // sweep fires here
+  EXPECT_TRUE(limiter.allow("hot", time_at(2.2)));
+  EXPECT_TRUE(limiter.allow("hot", time_at(2.2)));
+  EXPECT_TRUE(limiter.allow("hot", time_at(2.2)));
+  EXPECT_FALSE(limiter.allow("hot", time_at(2.2)));
+}
+
 }  // namespace
 }  // namespace psc::service
