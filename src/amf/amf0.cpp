@@ -83,13 +83,20 @@ Bytes encode_all(const std::vector<Value>& values) {
 
 namespace {
 
+// Containers recurse; bound the depth so a hostile blob of nested object
+// markers ("03 0001 'k' 03 ...") cannot exhaust the stack. RTMP command
+// payloads are at most a few levels deep in practice.
+constexpr int kMaxDepth = 64;
+
+Result<Value> decode_at_depth(ByteReader& r, int depth);
+
 Result<std::string> decode_string_body(ByteReader& r) {
   auto len = r.u16be();
   if (!len) return len.error();
   return r.string(len.value());
 }
 
-Result<Object> decode_object_body(ByteReader& r) {
+Result<Object> decode_object_body(ByteReader& r, int depth) {
   Object obj;
   for (;;) {
     auto key = decode_string_body(r);
@@ -102,15 +109,16 @@ Result<Object> decode_object_body(ByteReader& r) {
       }
       return obj;
     }
-    auto v = decode(r);
+    auto v = decode_at_depth(r, depth);
     if (!v) return v.error();
     obj[key.value()] = std::move(v).value();
   }
 }
 
-}  // namespace
-
-Result<Value> decode(ByteReader& r) {
+Result<Value> decode_at_depth(ByteReader& r, int depth) {
+  if (depth > kMaxDepth) {
+    return make_error("amf0_depth", "nesting deeper than 64 levels");
+  }
   auto marker = r.u8();
   if (!marker) return marker.error();
   switch (static_cast<Type>(marker.value())) {
@@ -130,14 +138,14 @@ Result<Value> decode(ByteReader& r) {
       return Value(std::move(s).value());
     }
     case Type::Object: {
-      auto obj = decode_object_body(r);
+      auto obj = decode_object_body(r, depth + 1);
       if (!obj) return obj.error();
       return Value(std::move(obj).value());
     }
     case Type::EcmaArray: {
       auto count = r.u32be();
       if (!count) return count.error();
-      auto obj = decode_object_body(r);
+      auto obj = decode_object_body(r, depth + 1);
       if (!obj) return obj.error();
       return Value::ecma_array(std::move(obj).value());
     }
@@ -149,6 +157,10 @@ Result<Value> decode(ByteReader& r) {
                             std::to_string(marker.value()));
   }
 }
+
+}  // namespace
+
+Result<Value> decode(ByteReader& r) { return decode_at_depth(r, 0); }
 
 Result<std::vector<Value>> decode_all(BytesView data) {
   ByteReader r(data);

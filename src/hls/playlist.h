@@ -16,7 +16,14 @@ struct SegmentRef {
   std::string uri;
   Duration duration{0};
   std::uint64_t sequence = 0;
+  /// #EXT-X-DISCONTINUITY precedes this segment (encoder restart / splice).
+  bool discontinuity = false;
 };
+
+/// Upper bound accepted for EXTINF / TARGETDURATION values. Real segments
+/// are seconds long; rejecting anything past a day keeps hostile values
+/// (1e300, inf, nan) out of downstream float->int casts.
+constexpr double kMaxSegmentDurationS = 86400.0;
 
 struct MediaPlaylist {
   int version = 3;

@@ -102,6 +102,12 @@ Status FrameDecoder::push(BytesView data) {
       }
       header = 10;
     }
+    // Bound the declared length before it enters any size arithmetic:
+    // an attacker-controlled 64-bit length otherwise wraps `header + len`
+    // (10 + 2^64-16 == 2) and walks the payload copy off the buffer.
+    if (len > kMaxFramePayload) {
+      return Error{"ws", "frame payload exceeds 16 MiB limit"};
+    }
     std::uint32_t key = 0;
     if (masked) {
       if (buffer_.size() < header + 4) return {};
@@ -135,6 +141,46 @@ Status FrameDecoder::push(BytesView data) {
 std::vector<Frame> FrameDecoder::take_frames() {
   std::vector<Frame> out = std::move(frames_);
   frames_.clear();
+  return out;
+}
+
+Status MessageAssembler::push_frame(const Frame& frame) {
+  const bool control = static_cast<int>(frame.opcode) >= 0x8;
+  if (control) {
+    if (!frame.fin) {
+      return Error{"ws", "fragmented control frame"};
+    }
+    messages_.push_back(frame);
+    return {};
+  }
+  if (frame.opcode == Opcode::Continuation) {
+    if (!in_progress_) {
+      return Error{"ws", "continuation frame without a message in progress"};
+    }
+    in_progress_->payload.insert(in_progress_->payload.end(),
+                                 frame.payload.begin(), frame.payload.end());
+    if (frame.fin) {
+      in_progress_->fin = true;
+      messages_.push_back(std::move(*in_progress_));
+      in_progress_.reset();
+    }
+    return {};
+  }
+  // Text/Binary: either a whole message or the first fragment.
+  if (in_progress_) {
+    return Error{"ws", "new data frame while a fragmented message is open"};
+  }
+  if (frame.fin) {
+    messages_.push_back(frame);
+  } else {
+    in_progress_ = frame;
+  }
+  return {};
+}
+
+std::vector<Frame> MessageAssembler::take_messages() {
+  std::vector<Frame> out = std::move(messages_);
+  messages_.clear();
   return out;
 }
 

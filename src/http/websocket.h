@@ -50,6 +50,13 @@ Bytes encode_frame(const Frame& frame,
 Bytes client_text_frame(std::string_view text, std::uint32_t masking_key);
 Bytes server_text_frame(std::string_view text);
 
+/// Upper bound on a single frame's payload. RFC 6455 allows 2^63-1 byte
+/// frames, but accepting the full range lets one declared length both
+/// overflow `header + len` size arithmetic and pin unbounded memory while
+/// the decoder waits for bytes that never come. Chat messages are tiny;
+/// anything past this is treated as malformed.
+constexpr std::uint64_t kMaxFramePayload = 16u * 1024 * 1024;
+
 /// Incremental decoder: feed bytes, take complete frames.
 class FrameDecoder {
  public:
@@ -59,6 +66,25 @@ class FrameDecoder {
  private:
   Bytes buffer_;
   std::vector<Frame> frames_;
+};
+
+/// Reassembles fragmented messages (RFC 6455 §5.4): a non-control frame
+/// with fin=0 starts a message, Continuation frames extend it, and the
+/// fin=1 continuation completes it. Control frames (Ping/Pong/Close) may
+/// interleave and are passed through as standalone messages; they must not
+/// be fragmented.
+class MessageAssembler {
+ public:
+  /// Feed one decoded frame. Complete messages (payloads concatenated,
+  /// opcode of the first fragment) accumulate for take_messages().
+  Status push_frame(const Frame& frame);
+  std::vector<Frame> take_messages();
+
+  bool mid_message() const { return in_progress_.has_value(); }
+
+ private:
+  std::optional<Frame> in_progress_;
+  std::vector<Frame> messages_;
 };
 
 }  // namespace psc::ws

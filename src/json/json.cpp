@@ -260,6 +260,11 @@ class Parser {
     if (end != s.c_str() + s.size()) {
       return make_error("json_number", "malformed number: " + s);
     }
+    // "1e999" overflows to infinity, which dump() cannot render as valid
+    // JSON; reject it here so parse -> dump -> parse always closes.
+    if (!std::isfinite(v)) {
+      return make_error("json_number", "number outside double range: " + s);
+    }
     return Value(v);
   }
 

@@ -189,6 +189,12 @@ Result<Sps> parse_sps_rbsp(BytesView rbsp) {
   sps.level_idc = static_cast<int>(tmp);
   if (!rd(r.ue(), sps.sps_id)) return make_error("truncated", "sps id");
   if (!rd(r.ue(), tmp)) return make_error("truncated", "log2_max_frame_num");
+  // Spec range is 0..12 (7.4.2.1.1). Unchecked, a 32-bit ue() value here
+  // overflows the `int + 4` below and later feeds BitReader::bits() with
+  // an absurd width when slice headers read frame_num.
+  if (tmp > 12) {
+    return make_error("malformed", "log2_max_frame_num_minus4 out of range");
+  }
   sps.log2_max_frame_num = static_cast<int>(tmp) + 4;
   std::uint32_t poc_type = 0;
   if (!rd(r.ue(), poc_type)) return make_error("truncated", "poc type");
@@ -201,6 +207,13 @@ Result<Sps> parse_sps_rbsp(BytesView rbsp) {
   std::uint32_t width_mbs_m1 = 0, height_mbs_m1 = 0;
   if (!rd(r.ue(), width_mbs_m1)) return make_error("truncated", "width");
   if (!rd(r.ue(), height_mbs_m1)) return make_error("truncated", "height");
+  // Bound the picture grid before any size arithmetic: an unchecked
+  // 32-bit macroblock count wraps `(mbs + 1) * 16` and yields garbage or
+  // negative dimensions. 4096 MBs per axis (65536 px) is far beyond any
+  // real level's limit.
+  if (width_mbs_m1 >= 4096 || height_mbs_m1 >= 4096) {
+    return make_error("malformed", "SPS macroblock dimensions out of range");
+  }
   auto frame_mbs_only = r.bit();
   if (!frame_mbs_only) return frame_mbs_only.error();
   if (!frame_mbs_only.value()) {
@@ -217,10 +230,19 @@ Result<Sps> parse_sps_rbsp(BytesView rbsp) {
       return make_error("truncated", "crop");
     }
   }
-  sps.width = static_cast<int>((width_mbs_m1 + 1) * kMbSize -
-                               kCropUnitY * (crop_l + crop_r));
-  sps.height = static_cast<int>((height_mbs_m1 + 1) * kMbSize -
-                                kCropUnitY * (crop_t + crop_b));
+  // Compute in 64 bits and demand a positive result: crop values are
+  // attacker-controlled and can otherwise underflow past the frame size.
+  const std::int64_t width =
+      std::int64_t{width_mbs_m1 + 1} * kMbSize -
+      std::int64_t{kCropUnitY} * (std::int64_t{crop_l} + crop_r);
+  const std::int64_t height =
+      std::int64_t{height_mbs_m1 + 1} * kMbSize -
+      std::int64_t{kCropUnitY} * (std::int64_t{crop_t} + crop_b);
+  if (width <= 0 || height <= 0) {
+    return make_error("malformed", "SPS crop larger than coded frame");
+  }
+  sps.width = static_cast<int>(width);
+  sps.height = static_cast<int>(height);
   return sps;
 }
 
@@ -276,6 +298,12 @@ Result<Pps> parse_pps_rbsp(BytesView rbsp) {
   if (!wb) return wb.error();
   auto qp = r.se();
   if (!qp) return qp.error();
+  // pic_init_qp_minus26 is spec-bounded to [-26, 25] (7.4.2.2); the
+  // unchecked se() range otherwise overflows `26 + qp` (signed overflow,
+  // UB) and produces QPs no decoder model can hold.
+  if (qp.value() < -26 || qp.value() > 25) {
+    return make_error("malformed", "pic_init_qp_minus26 out of range");
+  }
   pps.pic_init_qp = 26 + qp.value();
   return pps;
 }
@@ -409,7 +437,13 @@ Result<SliceHeader> parse_slice_header(const NalUnit& nal, const Sps& sps,
   }
   auto qpd = r.se();
   if (!qpd) return qpd.error();
-  hdr.qp = pps.pic_init_qp + qpd.value();
+  // slice_qp_delta must land the final QP in [0, 51] (7.4.3); summing the
+  // raw 32-bit delta into an int first is signed-overflow UB.
+  const std::int64_t qp = std::int64_t{pps.pic_init_qp} + qpd.value();
+  if (qp < 0 || qp > 51) {
+    return make_error("malformed", "slice QP outside [0, 51]");
+  }
+  hdr.qp = static_cast<int>(qp);
   return hdr;
 }
 

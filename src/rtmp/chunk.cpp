@@ -135,23 +135,31 @@ Result<bool> ChunkReader::parse_one() {
                       "non-fmt3 header in the middle of a message");
   }
 
+  // Decode the header into locals only: a chunk whose payload has not
+  // fully arrived returns false below and is RE-PARSED from the same
+  // cursor on the next push(), so nothing may touch `st` until the whole
+  // chunk is known to be available. (Mutating early double-applied
+  // timestamp deltas whenever a chunk straddled a push boundary.)
   std::uint32_t ts_field = 0;
+  std::uint32_t length = st.length;
+  MessageType type = st.type;
+  std::uint32_t stream_id = st.stream_id;
   if (fmt <= 2) {
     ts_field = (static_cast<std::uint32_t>(avail[pos]) << 16) |
                (static_cast<std::uint32_t>(avail[pos + 1]) << 8) |
                avail[pos + 2];
   }
   if (fmt <= 1) {
-    st.length = (static_cast<std::uint32_t>(avail[pos + 3]) << 16) |
-                (static_cast<std::uint32_t>(avail[pos + 4]) << 8) |
-                avail[pos + 5];
-    st.type = static_cast<MessageType>(avail[pos + 6]);
+    length = (static_cast<std::uint32_t>(avail[pos + 3]) << 16) |
+             (static_cast<std::uint32_t>(avail[pos + 4]) << 8) |
+             avail[pos + 5];
+    type = static_cast<MessageType>(avail[pos + 6]);
   }
   if (fmt == 0) {
-    st.stream_id = static_cast<std::uint32_t>(avail[pos + 7]) |
-                   (static_cast<std::uint32_t>(avail[pos + 8]) << 8) |
-                   (static_cast<std::uint32_t>(avail[pos + 9]) << 16) |
-                   (static_cast<std::uint32_t>(avail[pos + 10]) << 24);
+    stream_id = static_cast<std::uint32_t>(avail[pos + 7]) |
+                (static_cast<std::uint32_t>(avail[pos + 8]) << 8) |
+                (static_cast<std::uint32_t>(avail[pos + 9]) << 16) |
+                (static_cast<std::uint32_t>(avail[pos + 10]) << 24);
   }
   pos += hdr_size;
 
@@ -159,7 +167,6 @@ Result<bool> ChunkReader::parse_one() {
   bool ext = false;
   if (fmt <= 2) {
     ext = ts_field == 0xFFFFFF;
-    st.ext_timestamp = ext;
   } else {
     ext = st.ext_timestamp && !continuation;
   }
@@ -178,6 +185,16 @@ Result<bool> ChunkReader::parse_one() {
     pos += 4;
   }
 
+  const std::size_t already = st.assembly.size();
+  const std::size_t want =
+      std::min<std::size_t>(chunk_size_, length - already);
+  if (avail.size() < pos + want) return false;
+
+  // The whole chunk is in the buffer — commit to the stream state.
+  st.length = length;
+  st.type = type;
+  st.stream_id = stream_id;
+  if (fmt <= 2) st.ext_timestamp = ext;
   if (!continuation) {
     if (fmt == 0) {
       st.timestamp = full_ts;
@@ -188,11 +205,6 @@ Result<bool> ChunkReader::parse_one() {
       st.timestamp += delta;
     }
   }
-
-  const std::size_t already = st.assembly.size();
-  const std::size_t want =
-      std::min<std::size_t>(chunk_size_, st.length - already);
-  if (avail.size() < pos + want) return false;
   st.assembly.insert(st.assembly.end(), avail.begin() + pos,
                      avail.begin() + pos + want);
   pos += want;
@@ -209,7 +221,14 @@ Result<bool> ChunkReader::parse_one() {
     // Inbound chunk-size changes apply to subsequent chunks.
     if (msg.type == MessageType::SetChunkSize && msg.payload.size() >= 4) {
       ByteReader r(msg.payload);
-      chunk_size_ = r.u32be().value() & 0x7FFFFFFF;
+      const std::uint32_t requested = r.u32be().value() & 0x7FFFFFFF;
+      // A zero chunk size would make every subsequent chunk carry zero
+      // payload bytes: messages could never complete and a peer could
+      // stream headers forever. The spec's valid range is [1, 0xFFFFFF].
+      if (requested == 0) {
+        return make_error("rtmp_chunk", "SetChunkSize of 0 is invalid");
+      }
+      chunk_size_ = std::min<std::uint32_t>(requested, kMaxChunkSize);
     }
     messages_.push_back(std::move(msg));
   }

@@ -3,6 +3,7 @@
 // chunk-size changes (Adobe RTMP specification, section 5.3).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -14,6 +15,10 @@
 #include "util/result.h"
 
 namespace psc::rtmp {
+
+/// Largest chunk size either side may negotiate (RTMP spec §5.4.1: valid
+/// sizes are 1 to 16777215).
+constexpr std::uint32_t kMaxChunkSize = 0xFFFFFF;
 
 /// Serialises messages into the chunk stream. Tracks per-chunk-stream
 /// header state so it can use compressed header formats (1/2/3) whenever
@@ -27,8 +32,12 @@ class ChunkWriter {
   void write(ByteWriter& out, std::uint32_t csid, const Message& msg);
 
   /// Change the outgoing chunk size (the caller must also send a
-  /// SetChunkSize control message).
-  void set_chunk_size(std::uint32_t size) { chunk_size_ = size; }
+  /// SetChunkSize control message). Clamped to the spec's valid range
+  /// [1, 0xFFFFFF] — a zero size would never make progress splitting a
+  /// non-empty payload.
+  void set_chunk_size(std::uint32_t size) {
+    chunk_size_ = std::clamp<std::uint32_t>(size, 1, kMaxChunkSize);
+  }
   std::uint32_t chunk_size() const { return chunk_size_; }
 
  private:

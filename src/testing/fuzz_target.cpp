@@ -1,0 +1,32 @@
+#include "testing/fuzz_target.h"
+
+namespace psc::testing {
+
+TargetRegistry& TargetRegistry::instance() {
+  static TargetRegistry registry;
+  return registry;
+}
+
+void TargetRegistry::add(FuzzTarget target) {
+  // Re-registration (e.g. register_builtin_targets() called twice) keeps
+  // the first definition so registration order stays stable.
+  if (find(target.name) != nullptr) return;
+  targets_.push_back(std::move(target));
+}
+
+const FuzzTarget* TargetRegistry::find(const std::string& name) const {
+  for (const FuzzTarget& t : targets_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+std::uint64_t fnv1a(BytesView data, std::uint64_t h) {
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace psc::testing

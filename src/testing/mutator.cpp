@@ -1,0 +1,166 @@
+#include "testing/mutator.h"
+
+#include <algorithm>
+
+namespace psc::testing {
+
+const char* strategy_name(MutationStrategy s) {
+  switch (s) {
+    case MutationStrategy::Truncate:
+      return "truncate";
+    case MutationStrategy::BitFlip:
+      return "bitflip";
+    case MutationStrategy::ByteSet:
+      return "byteset";
+    case MutationStrategy::RemoveRange:
+      return "remove_range";
+    case MutationStrategy::DuplicateRange:
+      return "duplicate_range";
+    case MutationStrategy::InsertRandom:
+      return "insert_random";
+    case MutationStrategy::Splice:
+      return "splice";
+    case MutationStrategy::ChunkReorder:
+      return "chunk_reorder";
+    case MutationStrategy::LengthFieldCorrupt:
+      return "length_field_corrupt";
+  }
+  return "?";
+}
+
+Bytes Mutator::mutate(BytesView input, std::span<const Bytes> corpus) {
+  last_ = static_cast<MutationStrategy>(below(kMutationStrategyCount));
+  Bytes out = apply(last_, input, corpus);
+  // Degenerate strategies on tiny inputs can be no-ops; fall back to a
+  // random small blob so the target still sees a fresh stimulus.
+  if (out.empty() && input.empty()) {
+    const std::size_t n = 1 + below(16);
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(static_cast<std::uint8_t>(next()));
+    }
+  }
+  return out;
+}
+
+Bytes Mutator::apply(MutationStrategy s, BytesView input,
+                     std::span<const Bytes> corpus) {
+  Bytes out(input.begin(), input.end());
+  switch (s) {
+    case MutationStrategy::Truncate: {
+      if (out.empty()) return out;
+      const std::size_t keep = below(out.size());
+      if (below(4) == 0) {  // occasionally drop the head instead
+        out.erase(out.begin(),
+                  out.begin() + static_cast<std::ptrdiff_t>(out.size() - keep));
+      } else {
+        out.resize(keep);
+      }
+      return out;
+    }
+    case MutationStrategy::BitFlip: {
+      if (out.empty()) return out;
+      const std::size_t flips = 1 + below(8);
+      for (std::size_t i = 0; i < flips; ++i) {
+        const std::size_t bit = below(out.size() * 8);
+        out[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      return out;
+    }
+    case MutationStrategy::ByteSet: {
+      if (out.empty()) return out;
+      const std::size_t n = 1 + below(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        out[below(out.size())] = static_cast<std::uint8_t>(next());
+      }
+      return out;
+    }
+    case MutationStrategy::RemoveRange: {
+      if (out.size() < 2) return out;
+      const std::size_t start = below(out.size());
+      const std::size_t len = 1 + below(out.size() - start);
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(start),
+                out.begin() + static_cast<std::ptrdiff_t>(start + len));
+      return out;
+    }
+    case MutationStrategy::DuplicateRange: {
+      if (out.empty()) return out;
+      const std::size_t start = below(out.size());
+      const std::size_t len =
+          1 + below(std::min<std::size_t>(out.size() - start, 64));
+      const Bytes slice(out.begin() + static_cast<std::ptrdiff_t>(start),
+                        out.begin() + static_cast<std::ptrdiff_t>(start + len));
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(start + len),
+                 slice.begin(), slice.end());
+      return out;
+    }
+    case MutationStrategy::InsertRandom: {
+      const std::size_t at = out.empty() ? 0 : below(out.size() + 1);
+      const std::size_t n = 1 + below(16);
+      Bytes blob(n);
+      for (auto& b : blob) b = static_cast<std::uint8_t>(next());
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(at), blob.begin(),
+                 blob.end());
+      return out;
+    }
+    case MutationStrategy::Splice: {
+      if (corpus.empty()) return apply(MutationStrategy::BitFlip, input, corpus);
+      const Bytes& other = corpus[below(corpus.size())];
+      if (other.empty() || out.empty()) {
+        return apply(MutationStrategy::InsertRandom, input, corpus);
+      }
+      const std::size_t head = below(out.size() + 1);
+      const std::size_t tail_at = below(other.size());
+      out.resize(head);
+      out.insert(out.end(),
+                 other.begin() + static_cast<std::ptrdiff_t>(tail_at),
+                 other.end());
+      return out;
+    }
+    case MutationStrategy::ChunkReorder: {
+      if (out.size() < 2) return out;
+      static constexpr std::size_t kChunkSizes[] = {1, 2, 4, 8, 16, 64, 188};
+      const std::size_t chunk = kChunkSizes[below(std::size(kChunkSizes))];
+      const std::size_t nchunks = (out.size() + chunk - 1) / chunk;
+      if (nchunks < 2) return apply(MutationStrategy::BitFlip, input, corpus);
+      // Fisher-Yates over chunk indices, then rebuild.
+      std::vector<std::size_t> order(nchunks);
+      for (std::size_t i = 0; i < nchunks; ++i) order[i] = i;
+      for (std::size_t i = nchunks - 1; i > 0; --i) {
+        std::swap(order[i], order[below(i + 1)]);
+      }
+      Bytes rebuilt;
+      rebuilt.reserve(out.size());
+      for (std::size_t idx : order) {
+        const std::size_t start = idx * chunk;
+        const std::size_t end = std::min(start + chunk, out.size());
+        rebuilt.insert(rebuilt.end(),
+                       out.begin() + static_cast<std::ptrdiff_t>(start),
+                       out.begin() + static_cast<std::ptrdiff_t>(end));
+      }
+      return rebuilt;
+    }
+    case MutationStrategy::LengthFieldCorrupt: {
+      if (out.empty()) return out;
+      const std::size_t width = 1 + below(4);  // 1..4 byte BE field
+      if (out.size() < width) return apply(MutationStrategy::ByteSet, input,
+                                           corpus);
+      const std::size_t at = below(out.size() - width + 1);
+      std::uint64_t old = 0;
+      for (std::size_t i = 0; i < width; ++i) old = (old << 8) | out[at + i];
+      const std::uint64_t max = (width == 8) ? ~0ull
+                                             : ((1ull << (8 * width)) - 1);
+      const std::uint64_t candidates[] = {0,       1,           max,
+                                          max - 1, old + 1,     old - 1,
+                                          old * 2, max / 2 + 1, next() & max};
+      std::uint64_t v = candidates[below(std::size(candidates))] & max;
+      for (std::size_t i = 0; i < width; ++i) {
+        out[at + i] = static_cast<std::uint8_t>(v >> (8 * (width - 1 - i)));
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace psc::testing

@@ -1,0 +1,63 @@
+// Structure-aware byte mutator for the wire-format torture lab.
+//
+// Seed-deterministic (SplitMix64, like core::shard_seed): the same
+// (seed, input, corpus) always yields the same mutant, so every failure a
+// fuzz campaign finds is reproducible from the campaign seed alone. The
+// strategies are biased toward the damage real captures exhibit —
+// truncation (mid-broadcast joins), bit corruption, spliced/reordered
+// chunks (lossy reassembly) and corrupted length fields (the classic
+// parser killer).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace psc::testing {
+
+enum class MutationStrategy : std::uint8_t {
+  Truncate,            // drop a suffix (or prefix) of the input
+  BitFlip,             // flip 1..8 individual bits
+  ByteSet,             // overwrite 1..4 bytes with random values
+  RemoveRange,         // delete a random slice
+  DuplicateRange,      // repeat a random slice in place
+  InsertRandom,        // splice random bytes into the middle
+  Splice,              // head of this input + tail of another corpus item
+  ChunkReorder,        // split into fixed-size chunks and permute them
+  LengthFieldCorrupt,  // rewrite a 1/2/3/4-byte BE field with a boundary value
+};
+
+constexpr int kMutationStrategyCount = 9;
+
+const char* strategy_name(MutationStrategy s);
+
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t seed) : rng_(seed) {}
+
+  /// Produce one mutant of `input`. `corpus` (may be empty) provides
+  /// splice partners. Never returns an identical copy except for inputs
+  /// too small to mutate under the chosen strategy.
+  Bytes mutate(BytesView input, std::span<const Bytes> corpus);
+
+  /// The strategy chosen by the most recent mutate() call.
+  MutationStrategy last_strategy() const { return last_; }
+
+  /// Raw engine draw, exposed so the runner can derive choices (corpus
+  /// pick, slice sizes) from the same deterministic stream.
+  std::uint64_t next() { return rng_(); }
+
+  /// Uniform draw in [0, n); n must be > 0.
+  std::size_t below(std::size_t n) { return rng_() % n; }
+
+ private:
+  Bytes apply(MutationStrategy s, BytesView input,
+              std::span<const Bytes> corpus);
+
+  SplitMix64Engine rng_;
+  MutationStrategy last_ = MutationStrategy::BitFlip;
+};
+
+}  // namespace psc::testing

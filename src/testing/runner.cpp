@@ -1,0 +1,371 @@
+#include "testing/runner.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "testing/mutator.h"
+#include "util/strings.h"
+
+namespace psc::testing {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- crash guard -------------------------------------------------------
+//
+// While execute() runs, these globals point at the input under test and a
+// prebuilt reproducer path + message. The handler only uses async-signal-
+// safe calls (open/write/_exit); everything needing allocation was
+// prepared before the parser ran.
+
+volatile sig_atomic_t g_armed = 0;
+const std::uint8_t* g_input_data = nullptr;
+std::size_t g_input_size = 0;
+char g_crash_path[512];
+char g_crash_msg[768];
+std::size_t g_crash_msg_len = 0;
+
+extern "C" void fuzz_crash_handler(int sig) {
+  if (g_armed) {
+    const int fd = ::open(g_crash_path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ssize_t ignored = ::write(fd, g_input_data, g_input_size);
+      (void)ignored;
+      ::close(fd);
+    }
+    ssize_t ignored = ::write(2, g_crash_msg, g_crash_msg_len);
+    (void)ignored;
+  }
+  // Re-raise with the default disposition so the exit status reflects the
+  // real signal (and sanitizer reports still print for SIGABRT).
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+  ::_exit(128 + sig);
+}
+
+constexpr int kGuardedSignals[] = {SIGSEGV, SIGABRT, SIGBUS,
+                                   SIGFPE,  SIGILL,  SIGALRM};
+
+class SignalGuard {
+ public:
+  SignalGuard() {
+    for (std::size_t i = 0; i < std::size(kGuardedSignals); ++i) {
+      prev_[i] = std::signal(kGuardedSignals[i], fuzz_crash_handler);
+    }
+  }
+  ~SignalGuard() {
+    for (std::size_t i = 0; i < std::size(kGuardedSignals); ++i) {
+      std::signal(kGuardedSignals[i], prev_[i]);
+    }
+    g_armed = 0;
+  }
+
+ private:
+  void (*prev_[std::size(kGuardedSignals)])(int);
+};
+
+void arm(const std::string& crash_path, const std::string& repro_cmd,
+         BytesView input) {
+  std::snprintf(g_crash_path, sizeof(g_crash_path), "%s", crash_path.c_str());
+  const std::string msg =
+      "\nfuzz: caught a fatal signal; input saved, reproduce with:\n  " +
+      repro_cmd + "\n";
+  std::snprintf(g_crash_msg, sizeof(g_crash_msg), "%s", msg.c_str());
+  g_crash_msg_len = std::strlen(g_crash_msg);
+  g_input_data = input.data();
+  g_input_size = input.size();
+  g_armed = 1;
+}
+
+void disarm() { g_armed = 0; }
+
+// ---- file helpers ------------------------------------------------------
+
+std::optional<Bytes> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return data;
+}
+
+bool write_file(const fs::path& path, BytesView data) {
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
+
+std::vector<Bytes> load_disk_corpus(const std::string& corpus_dir,
+                                    const std::string& target) {
+  std::vector<Bytes> out;
+  if (corpus_dir.empty()) return out;
+  const fs::path dir = fs::path(corpus_dir) / target;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return out;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  // Directory iteration order is filesystem-dependent; sort so the pool
+  // (and therefore the whole campaign) is deterministic.
+  std::sort(files.begin(), files.end());
+  for (const fs::path& f : files) {
+    if (auto data = read_file(f)) out.push_back(std::move(*data));
+  }
+  return out;
+}
+
+// ---- minimization ------------------------------------------------------
+
+/// Greedy structure-blind shrink: keep applying the first of
+/// (truncate-to-half, drop-quarter, drop-byte) that still reproduces the
+/// property failure. Bounded by attempts, deterministic, in-process (only
+/// used for findings that did NOT crash).
+Bytes minimize_finding(const FuzzTarget& target, Bytes input) {
+  int attempts = 600;
+  bool improved = true;
+  while (improved && attempts > 0) {
+    improved = false;
+    std::vector<Bytes> candidates;
+    if (input.size() > 1) {
+      candidates.emplace_back(input.begin(),
+                              input.begin() +
+                                  static_cast<std::ptrdiff_t>(input.size() / 2));
+      candidates.emplace_back(input.begin() +
+                                  static_cast<std::ptrdiff_t>(input.size() / 2),
+                              input.end());
+      const std::size_t quarter = std::max<std::size_t>(1, input.size() / 4);
+      for (std::size_t off = 0; off + quarter <= input.size();
+           off += quarter) {
+        Bytes c(input.begin(),
+                input.begin() + static_cast<std::ptrdiff_t>(off));
+        c.insert(c.end(),
+                 input.begin() + static_cast<std::ptrdiff_t>(off + quarter),
+                 input.end());
+        candidates.push_back(std::move(c));
+      }
+      candidates.emplace_back(input.begin(), input.end() - 1);
+    }
+    for (Bytes& c : candidates) {
+      if (attempts-- <= 0) break;
+      if (!target.execute(c)) {
+        input = std::move(c);
+        improved = true;
+        break;
+      }
+    }
+  }
+  return input;
+}
+
+// ---- per-target campaign ----------------------------------------------
+
+struct CampaignContext {
+  const FuzzOptions& opts;
+  std::ostream& out;
+};
+
+std::string repro_command(const std::string& target,
+                          const std::string& path) {
+  return "psc_fuzz --target=" + target + " --repro=" + path;
+}
+
+TargetReport fuzz_one_target(const FuzzTarget& target, CampaignContext ctx) {
+  TargetReport report;
+  report.name = target.name;
+
+  const std::uint64_t target_seed =
+      ctx.opts.seed ^ fnv1a(to_bytes(target.name));
+  Mutator mutator(target_seed);
+
+  std::vector<Bytes> pool = target.corpus ? target.corpus()
+                                          : std::vector<Bytes>{};
+  for (Bytes& b : load_disk_corpus(ctx.opts.corpus_dir, target.name)) {
+    pool.push_back(std::move(b));
+  }
+  if (pool.empty()) pool.push_back(Bytes{});
+
+  const std::string crash_path =
+      (fs::path(ctx.opts.crash_dir) / (target.name + "-crash.bin")).string();
+  const std::string crash_cmd = repro_command(target.name, crash_path);
+  std::error_code ec;
+  fs::create_directories(ctx.opts.crash_dir, ec);
+
+  std::uint64_t digest = fnv1a(to_bytes(target.name));
+  std::uint8_t rt_seed_bytes[8];
+
+  for (std::uint64_t iter = 0; iter < ctx.opts.iters; ++iter) {
+    // Round-trip differential property on a fresh generated stream.
+    if (target.roundtrip) {
+      const std::uint64_t rt_seed =
+          target_seed + iter * 0x9E3779B97F4A7C15ull;
+      for (int i = 0; i < 8; ++i) {
+        rt_seed_bytes[i] = static_cast<std::uint8_t>(rt_seed >> (8 * i));
+      }
+      arm(crash_path, crash_cmd, BytesView(rt_seed_bytes, 8));
+      if (ctx.opts.hang_timeout_s > 0) {
+        ::alarm(static_cast<unsigned>(ctx.opts.hang_timeout_s));
+      }
+      const Status rt = target.roundtrip(rt_seed);
+      ::alarm(0);
+      disarm();
+      if (!rt) {
+        ++report.findings;
+        ctx.out << strf("FUZZ-FINDING target=%s kind=roundtrip seed=%llu: ",
+                        target.name.c_str(),
+                        static_cast<unsigned long long>(rt_seed))
+                << rt.error().to_string() << "\n";
+      }
+      digest = fnv1a(BytesView(rt_seed_bytes, 8), digest);
+      digest = fnv1a(Bytes{rt ? std::uint8_t{1} : std::uint8_t{0}}, digest);
+    }
+
+    // One structure-aware mutation of a pool member.
+    const Bytes& base = pool[mutator.below(pool.size())];
+    Bytes mutant = mutator.mutate(base, pool);
+    if (mutant.size() > ctx.opts.max_input_bytes) {
+      mutant.resize(ctx.opts.max_input_bytes);
+    }
+
+    arm(crash_path, crash_cmd, mutant);
+    if (ctx.opts.hang_timeout_s > 0) {
+      ::alarm(static_cast<unsigned>(ctx.opts.hang_timeout_s));
+    }
+    const Status st = target.execute(mutant);
+    ::alarm(0);
+    disarm();
+
+    digest = fnv1a(mutant, digest);
+    digest = fnv1a(Bytes{st ? std::uint8_t{1} : std::uint8_t{0}}, digest);
+
+    if (!st) {
+      ++report.findings;
+      const Bytes minimized = minimize_finding(target, mutant);
+      const std::string path =
+          (fs::path(ctx.opts.crash_dir) /
+           strf("%s-%016llx.bin", target.name.c_str(),
+                static_cast<unsigned long long>(fnv1a(minimized))))
+              .string();
+      write_file(path, minimized);
+      ctx.out << strf("FUZZ-FINDING target=%s kind=property iter=%llu ",
+                      target.name.c_str(),
+                      static_cast<unsigned long long>(iter))
+              << st.error().to_string() << "\n  reproduce: "
+              << repro_command(target.name, path) << "\n";
+    } else if (iter % 37 == 0 && !mutant.empty() && pool.size() < 256) {
+      // Deterministic pool growth: occasionally keep an accepted mutant so
+      // later splices draw from inputs the parsers actually survived.
+      pool.push_back(std::move(mutant));
+    }
+
+    ++report.iterations;
+  }
+
+  report.digest = digest;
+  ctx.out << strf(
+      "FUZZ {\"target\":\"%s\",\"iters\":%llu,\"findings\":%llu,"
+      "\"digest\":\"%016llx\"}\n",
+      target.name.c_str(),
+      static_cast<unsigned long long>(report.iterations),
+      static_cast<unsigned long long>(report.findings),
+      static_cast<unsigned long long>(report.digest));
+  return report;
+}
+
+Result<TargetReport> repro_one(const FuzzTarget& target,
+                               const FuzzOptions& opts, std::ostream& out) {
+  auto data = read_file(opts.repro_file);
+  if (!data) {
+    return make_error("fuzz_io", "cannot read " + opts.repro_file);
+  }
+  TargetReport report;
+  report.name = target.name;
+  report.iterations = 1;
+  report.digest = fnv1a(*data);
+  const Status st = target.execute(*data);
+  if (!st) {
+    ++report.findings;
+    out << "repro: " << target.name << " FAILS: " << st.error().to_string()
+        << "\n";
+  } else {
+    out << "repro: " << target.name << " passes (" << data->size()
+        << " bytes)\n";
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<std::vector<TargetReport>> run_fuzz(const FuzzOptions& opts,
+                                           std::ostream& out) {
+  register_builtin_targets();
+  const TargetRegistry& registry = TargetRegistry::instance();
+
+  std::vector<const FuzzTarget*> selected;
+  if (opts.target == "all") {
+    for (const FuzzTarget& t : registry.targets()) selected.push_back(&t);
+  } else {
+    const FuzzTarget* t = registry.find(opts.target);
+    if (t == nullptr) {
+      std::string known;
+      for (const FuzzTarget& k : registry.targets()) {
+        known += known.empty() ? k.name : ", " + k.name;
+      }
+      return make_error("fuzz_target",
+                        "unknown target '" + opts.target + "' (known: " +
+                            known + ")");
+    }
+    selected.push_back(t);
+  }
+
+  std::vector<TargetReport> reports;
+
+  if (opts.write_corpus) {
+    for (const FuzzTarget* t : selected) {
+      const auto seeds = t->corpus ? t->corpus() : std::vector<Bytes>{};
+      std::size_t idx = 0;
+      for (const Bytes& seed : seeds) {
+        const fs::path path = fs::path(opts.corpus_dir) / t->name /
+                              strf("seed-%02zu.bin", idx++);
+        write_file(path, seed);
+      }
+      out << "corpus: wrote " << seeds.size() << " seeds for " << t->name
+          << "\n";
+      TargetReport report;
+      report.name = t->name;
+      reports.push_back(std::move(report));
+    }
+    return reports;
+  }
+
+  if (!opts.repro_file.empty()) {
+    if (selected.size() != 1) {
+      return make_error("fuzz_target",
+                        "--repro needs a single --target=<name>");
+    }
+    auto r = repro_one(*selected[0], opts, out);
+    if (!r) return r.error();
+    reports.push_back(std::move(r).value());
+    return reports;
+  }
+
+  SignalGuard guard;
+  for (const FuzzTarget* t : selected) {
+    reports.push_back(fuzz_one_target(*t, CampaignContext{opts, out}));
+  }
+  return reports;
+}
+
+}  // namespace psc::testing

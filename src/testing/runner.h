@@ -1,0 +1,64 @@
+// Deterministic fuzz campaign driver.
+//
+// Runs registered FuzzTargets for a fixed iteration budget with a fixed
+// seed: the same (target, iters, seed, corpus) always executes the same
+// mutant sequence and prints the same digest, so CI failures replay
+// locally bit-for-bit. Crashes and hangs are caught by signal handlers
+// that write the offending input to the crash directory before exiting;
+// property violations (execute() returning an error) are minimized
+// in-process and written the same way, each with a one-line repro command.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "testing/fuzz_target.h"
+#include "util/result.h"
+
+namespace psc::testing {
+
+struct FuzzOptions {
+  /// Target name, or "all" for every registered target.
+  std::string target = "all";
+  std::uint64_t iters = 1000;
+  std::uint64_t seed = 1;
+
+  /// Directory of checked-in seed inputs (<corpus_dir>/<target>/*.bin).
+  /// Empty: only the target's generated corpus() seeds the pool.
+  std::string corpus_dir;
+  /// Where crash/finding reproducers are written.
+  std::string crash_dir = "tests/corpus/crashes";
+
+  /// Abort an iteration that runs longer than this (0 disables; keep 0
+  /// when calling from inside a test binary so SIGALRM cannot fire into
+  /// unrelated code).
+  int hang_timeout_s = 5;
+
+  /// Mutants are clamped to this size so growth strategies cannot
+  /// snowball the pool.
+  std::size_t max_input_bytes = 1u << 20;
+
+  /// --write-corpus: dump each target's generated corpus() into
+  /// corpus_dir and exit without fuzzing.
+  bool write_corpus = false;
+  /// --repro=<file>: run one saved input through the target and exit.
+  std::string repro_file;
+};
+
+struct TargetReport {
+  std::string name;
+  std::uint64_t iterations = 0;
+  std::uint64_t findings = 0;
+  /// FNV-1a over every mutant and outcome — byte-determinism witness.
+  std::uint64_t digest = 0;
+};
+
+/// Run the campaign described by `opts`, printing one `FUZZ {...}` line
+/// per target to `out`. Returns per-target reports, or an error for an
+/// unknown target name / unreadable repro file.
+Result<std::vector<TargetReport>> run_fuzz(const FuzzOptions& opts,
+                                           std::ostream& out);
+
+}  // namespace psc::testing

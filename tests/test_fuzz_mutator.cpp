@@ -1,0 +1,164 @@
+// Tests for the torture-lab plumbing itself: the structure-aware mutator,
+// the fuzz-target registry, and the campaign runner's determinism
+// contract (same seed -> same mutants -> same digest).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "testing/fuzz_target.h"
+#include "testing/mutator.h"
+#include "testing/runner.h"
+
+namespace psc::testing {
+namespace {
+
+Bytes ramp(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(i);
+  return b;
+}
+
+TEST(Mutator, SameSeedSameMutantSequence) {
+  const Bytes input = ramp(64);
+  const std::vector<Bytes> corpus = {ramp(16), ramp(48)};
+  Mutator a(0xC0FFEEu), b(0xC0FFEEu);
+  for (int i = 0; i < 200; ++i) {
+    const Bytes ma = a.mutate(input, corpus);
+    const Bytes mb = b.mutate(input, corpus);
+    ASSERT_EQ(ma, mb) << "diverged at iteration " << i;
+    ASSERT_EQ(a.last_strategy(), b.last_strategy());
+  }
+}
+
+TEST(Mutator, DifferentSeedsDiverge) {
+  const Bytes input = ramp(64);
+  const std::vector<Bytes> corpus = {ramp(16)};
+  Mutator a(1), b(2);
+  bool diverged = false;
+  for (int i = 0; i < 50 && !diverged; ++i) {
+    diverged = a.mutate(input, corpus) != b.mutate(input, corpus);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Mutator, AllStrategiesReachable) {
+  const Bytes input = ramp(128);
+  const std::vector<Bytes> corpus = {ramp(64)};
+  Mutator m(7);
+  std::set<MutationStrategy> seen;
+  for (int i = 0; i < 500; ++i) {
+    m.mutate(input, corpus);
+    seen.insert(m.last_strategy());
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), kMutationStrategyCount);
+  for (MutationStrategy s : seen) {
+    EXPECT_NE(strategy_name(s), nullptr);
+    EXPECT_NE(std::string(strategy_name(s)), "");
+  }
+}
+
+TEST(Mutator, HandlesEmptyAndTinyInputs) {
+  Mutator m(3);
+  const std::vector<Bytes> corpus;
+  for (int i = 0; i < 200; ++i) {
+    (void)m.mutate(Bytes{}, corpus);        // must not crash or loop
+    (void)m.mutate(Bytes{0x42}, corpus);
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTargets, RegistrationOrderIsFixed) {
+  register_builtin_targets();
+  register_builtin_targets();  // idempotent: no duplicates
+  const std::vector<std::string> expected = {
+      "amf0",        "flv_video",      "flv_audio",     "rtmp_chunk",
+      "rtmp_handshake", "mpegts",      "hls_media",     "hls_master",
+      "h264_annexb", "h264_avcc",      "h264_paramsets", "aac_adts",
+      "http_request", "http_response", "websocket",     "json",
+      "base64",      "bitio"};
+  const auto& targets = TargetRegistry::instance().targets();
+  ASSERT_EQ(targets.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(targets[i].name, expected[i]) << "slot " << i;
+    EXPECT_FALSE(targets[i].description.empty());
+    ASSERT_TRUE(targets[i].corpus) << targets[i].name;
+    ASSERT_TRUE(targets[i].execute) << targets[i].name;
+    EXPECT_FALSE(targets[i].corpus().empty()) << targets[i].name;
+  }
+  EXPECT_NE(TargetRegistry::instance().find("mpegts"), nullptr);
+  EXPECT_EQ(TargetRegistry::instance().find("nonesuch"), nullptr);
+}
+
+TEST(FuzzTargets, CorpusSeedsExecuteCleanly) {
+  register_builtin_targets();
+  for (const auto& t : TargetRegistry::instance().targets()) {
+    for (const Bytes& seed : t.corpus()) {
+      auto st = t.execute(seed);
+      EXPECT_TRUE(st.ok()) << t.name << ": " << st.error().to_string();
+    }
+  }
+}
+
+TEST(Fnv1a, KnownValues) {
+  EXPECT_EQ(fnv1a(BytesView{}), 0xcbf29ce484222325ull);
+  const Bytes a = {'a'};
+  EXPECT_EQ(fnv1a(a), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(FuzzRunner, CampaignIsByteDeterministic) {
+  FuzzOptions opts;
+  opts.target = "all";
+  opts.iters = 25;
+  opts.seed = 42;
+  opts.hang_timeout_s = 0;  // no SIGALRM inside the test binary
+  opts.crash_dir = ::testing::TempDir();
+
+  std::ostringstream out1, out2;
+  auto r1 = run_fuzz(opts, out1);
+  auto r2 = run_fuzz(opts, out2);
+  ASSERT_TRUE(r1.ok()) << r1.error().to_string();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(out1.str(), out2.str());
+  ASSERT_EQ(r1.value().size(), 18u);
+  for (std::size_t i = 0; i < r1.value().size(); ++i) {
+    const TargetReport& a = r1.value()[i];
+    const TargetReport& b = r2.value()[i];
+    EXPECT_EQ(a.findings, 0u) << a.name;
+    EXPECT_EQ(a.iterations, 25u) << a.name;
+    EXPECT_EQ(a.digest, b.digest) << a.name;
+    EXPECT_NE(a.digest, 0u) << a.name;
+  }
+}
+
+TEST(FuzzRunner, SeedChangesDigest) {
+  FuzzOptions opts;
+  opts.target = "json";
+  opts.iters = 40;
+  opts.hang_timeout_s = 0;
+  opts.crash_dir = ::testing::TempDir();
+
+  std::ostringstream out;
+  opts.seed = 1;
+  auto r1 = run_fuzz(opts, out);
+  opts.seed = 2;
+  auto r2 = run_fuzz(opts, out);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1.value().size(), 1u);
+  EXPECT_NE(r1.value()[0].digest, r2.value()[0].digest);
+}
+
+TEST(FuzzRunner, UnknownTargetIsAnError) {
+  FuzzOptions opts;
+  opts.target = "nonesuch";
+  opts.hang_timeout_s = 0;
+  std::ostringstream out;
+  auto r = run_fuzz(opts, out);
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(r.error().message.empty());
+}
+
+}  // namespace
+}  // namespace psc::testing

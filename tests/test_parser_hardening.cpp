@@ -1,0 +1,369 @@
+// Regression tests for parser defects surfaced by the wire-format
+// torture lab (src/testing). Each test replays the reproducer shape the
+// fuzz campaign found (or a hand-minimized equivalent) and pins the
+// hardened behaviour: malformed input yields a clean Result error, never
+// a crash, hang, or silently-wrong value.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "amf/amf0.h"
+#include "flv/flv.h"
+#include "hls/playlist.h"
+#include "http/websocket.h"
+#include "json/json.h"
+#include "media/h264.h"
+#include "rtmp/chunk.h"
+#include "rtmp/handshake.h"
+#include "rtmp/message.h"
+#include "util/bitio.h"
+
+namespace psc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RTMP chunk stream
+// ---------------------------------------------------------------------------
+
+// The fuzz campaign's rtmp_chunk round-trip caught ChunkReader applying
+// an extended-timestamp delta once per *parse attempt* instead of once
+// per chunk: parse_one() mutated StreamState before checking that the
+// chunk's payload had fully arrived, so a chunk straddling a push()
+// boundary re-applied the delta on every retry. Feeding the stream one
+// byte at a time maximizes retries; with the bug, recovered timestamps
+// came out inflated by exact multiples of the delta.
+TEST(ParserHardening, ChunkSplitPushDoesNotReapplyTimestampDelta) {
+  rtmp::ChunkWriter writer;
+  ByteWriter out;
+
+  const std::uint32_t kDelta = 16777300;  // >= 0xFFFFFF: extended delta
+  rtmp::Message m;
+  m.type = rtmp::MessageType::Video;
+  m.stream_id = 1;
+  m.payload.assign(300, 0xAB);  // > chunk size: multi-chunk message
+
+  std::vector<std::uint32_t> expected_ts;
+  std::uint32_t ts = 100;
+  for (int i = 0; i < 3; ++i) {
+    m.timestamp_ms = ts;
+    writer.write(out, rtmp::kCsidVideo, m);
+    expected_ts.push_back(ts);
+    ts += kDelta;
+  }
+
+  rtmp::ChunkReader reader;
+  for (std::uint8_t b : out.bytes()) {
+    ASSERT_TRUE(reader.push(BytesView(&b, 1)).ok());
+  }
+  auto msgs = reader.take_messages();
+  ASSERT_EQ(msgs.size(), 3u);
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ(msgs[i].timestamp_ms, expected_ts[i]) << "message " << i;
+    EXPECT_EQ(msgs[i].payload, m.payload) << "message " << i;
+  }
+}
+
+TEST(ParserHardening, ChunkSetChunkSizeZeroRejected) {
+  // fmt0 on csid 2, SetChunkSize message whose payload requests 0.
+  ByteWriter out;
+  out.u8(0x02);           // fmt=0, csid=2
+  out.u24be(0);           // timestamp
+  out.u24be(4);           // length
+  out.u8(1);              // type = SetChunkSize
+  out.u32le(0);           // stream id
+  out.u32be(0);           // requested chunk size: 0
+  rtmp::ChunkReader reader;
+  auto st = reader.push(out.bytes());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "rtmp_chunk");
+}
+
+// ---------------------------------------------------------------------------
+// RTMP handshake (satellite: corrupted C1/S1)
+// ---------------------------------------------------------------------------
+
+TEST(ParserHardening, HandshakeCorruptedVersionByte) {
+  Bytes hello = rtmp::make_hello(1234, 7);
+  ASSERT_EQ(hello.size(), 1 + rtmp::kHandshakeBlobSize);
+  hello[0] = 0x06;  // RTMPE / garbage version
+  auto parsed = rtmp::parse_hello(hello);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "rtmp_version");
+}
+
+TEST(ParserHardening, HandshakeTruncatedHello) {
+  Bytes hello = rtmp::make_hello(1234, 7);
+  hello.resize(1000);
+  auto parsed = rtmp::parse_hello(hello);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "truncated");
+}
+
+TEST(ParserHardening, HandshakeCorruptedEchoDetected) {
+  Bytes hello = rtmp::make_hello(55, 99);
+  auto parsed = rtmp::parse_hello(hello);
+  ASSERT_TRUE(parsed.ok());
+  Bytes echo = rtmp::make_echo(parsed.value().blob);
+  EXPECT_TRUE(rtmp::echo_matches(echo, parsed.value().blob));
+  echo[echo.size() / 2] ^= 0x01;  // single-bit corruption mid-blob
+  EXPECT_FALSE(rtmp::echo_matches(echo, parsed.value().blob));
+  // Truncated echo must not read past the end either.
+  Bytes shortened(echo.begin(), echo.begin() + 100);
+  EXPECT_FALSE(rtmp::echo_matches(shortened, parsed.value().blob));
+}
+
+// ---------------------------------------------------------------------------
+// WebSocket framing (satellite: masked + fragmented reassembly)
+// ---------------------------------------------------------------------------
+
+TEST(ParserHardening, WebSocketHugeDeclaredLengthRejected) {
+  // Binary frame declaring a 2^64-1 byte payload. Accepting it would pin
+  // unbounded memory waiting for bytes that never come.
+  Bytes frame = {0x82, 0x7F, 0xFF, 0xFF, 0xFF, 0xFF,
+                 0xFF, 0xFF, 0xFF, 0xFF};
+  ws::FrameDecoder dec;
+  auto st = dec.push(frame);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "ws");
+}
+
+TEST(ParserHardening, WebSocketMaskedFragmentedReassembly) {
+  ws::Frame f1{/*fin=*/false, ws::Opcode::Text, /*masked=*/false,
+               to_bytes("Hello ")};
+  ws::Frame ping{/*fin=*/true, ws::Opcode::Ping, /*masked=*/false,
+                 to_bytes("hb")};
+  ws::Frame f2{/*fin=*/false, ws::Opcode::Continuation, /*masked=*/false,
+               to_bytes("torture ")};
+  ws::Frame f3{/*fin=*/true, ws::Opcode::Continuation, /*masked=*/false,
+               to_bytes("lab")};
+
+  Bytes wire;
+  for (const auto* f : {&f1, &ping, &f2, &f3}) {
+    Bytes enc = ws::encode_frame(*f, 0xDEADBEEF);  // client frames: masked
+    wire.insert(wire.end(), enc.begin(), enc.end());
+  }
+
+  // Push in deliberately awkward slices so frames straddle boundaries.
+  ws::FrameDecoder dec;
+  std::size_t off = 0;
+  const std::size_t slice[] = {1, 3, 7, 2, 11, 5};
+  std::size_t si = 0;
+  while (off < wire.size()) {
+    const std::size_t n =
+        std::min(slice[si++ % 6], wire.size() - off);
+    ASSERT_TRUE(dec.push(BytesView(wire).subspan(off, n)).ok());
+    off += n;
+  }
+
+  ws::MessageAssembler assembler;
+  for (const auto& f : dec.take_frames()) {
+    ASSERT_TRUE(f.masked);  // mask bit survived the wire
+    ASSERT_TRUE(assembler.push_frame(f).ok());
+  }
+  auto msgs = assembler.take_messages();
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].opcode, ws::Opcode::Ping);
+  EXPECT_EQ(msgs[0].payload, to_bytes("hb"));
+  EXPECT_EQ(msgs[1].opcode, ws::Opcode::Text);
+  EXPECT_EQ(msgs[1].payload, to_bytes("Hello torture lab"));
+  EXPECT_FALSE(assembler.mid_message());
+}
+
+// ---------------------------------------------------------------------------
+// AMF0
+// ---------------------------------------------------------------------------
+
+TEST(ParserHardening, Amf0NestingBombHitsDepthGuard) {
+  // 100 nested objects, each holding one property "a" whose value is the
+  // next object. Without the depth guard this recursed until stack
+  // exhaustion; with it, decode fails cleanly at 64 levels.
+  Bytes bomb;
+  for (int i = 0; i < 100; ++i) {
+    bomb.push_back(0x03);              // object marker
+    bomb.push_back(0x00);              // key length hi
+    bomb.push_back(0x01);              // key length lo
+    bomb.push_back('a');               // key
+  }
+  bomb.push_back(0x05);                // innermost value: null
+  auto out = amf::decode_all(bomb);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, "amf0_depth");
+}
+
+// ---------------------------------------------------------------------------
+// HLS playlists (satellite: negative paths)
+// ---------------------------------------------------------------------------
+
+TEST(ParserHardening, HlsSegmentUriWithoutExtinf) {
+  const std::string text =
+      "#EXTM3U\n#EXT-X-TARGETDURATION:4\nseg0.ts\n";
+  auto pl = hls::parse_m3u8(text);
+  ASSERT_FALSE(pl.ok());
+  EXPECT_EQ(pl.error().message, "segment URI without #EXTINF");
+}
+
+TEST(ParserHardening, HlsBogusDurationsRejected) {
+  for (const char* dur : {"abc", "inf", "nan", "1e300", "-3"}) {
+    const std::string text = std::string("#EXTM3U\n#EXTINF:") + dur +
+                             ",\nseg0.ts\n";
+    auto pl = hls::parse_m3u8(text);
+    ASSERT_FALSE(pl.ok()) << "duration '" << dur << "' was accepted";
+    EXPECT_EQ(pl.error().message, "bad #EXTINF duration") << dur;
+  }
+  auto pl = hls::parse_m3u8("#EXTM3U\n#EXT-X-TARGETDURATION:bogus\n");
+  ASSERT_FALSE(pl.ok());
+  EXPECT_EQ(pl.error().message, "bad #EXT-X-TARGETDURATION value");
+  pl = hls::parse_m3u8("#EXTM3U\n#EXT-X-MEDIA-SEQUENCE:-5\n");
+  ASSERT_FALSE(pl.ok());
+  EXPECT_EQ(pl.error().message, "bad #EXT-X-MEDIA-SEQUENCE value");
+}
+
+TEST(ParserHardening, HlsDiscontinuityMidList) {
+  const std::string text =
+      "#EXTM3U\n"
+      "#EXT-X-TARGETDURATION:4\n"
+      "#EXTINF:3.2,\nseg0.ts\n"
+      "#EXT-X-DISCONTINUITY\n"
+      "#EXTINF:3.0,\nseg1.ts\n"
+      "#EXTINF:2.8,\nseg2.ts\n";
+  auto pl = hls::parse_m3u8(text);
+  ASSERT_TRUE(pl.ok());
+  ASSERT_EQ(pl.value().segments.size(), 3u);
+  EXPECT_FALSE(pl.value().segments[0].discontinuity);
+  EXPECT_TRUE(pl.value().segments[1].discontinuity);
+  EXPECT_FALSE(pl.value().segments[2].discontinuity);
+  // The tag must survive a render->parse round trip.
+  auto again = hls::parse_m3u8(hls::write_m3u8(pl.value()));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().segments[1].discontinuity);
+}
+
+TEST(ParserHardening, HlsUnterminatedLastLine) {
+  // No trailing newline after the final URI: the segment must still
+  // be captured.
+  const std::string text = "#EXTM3U\n#EXTINF:3.0,\nseg0.ts";
+  auto pl = hls::parse_m3u8(text);
+  ASSERT_TRUE(pl.ok());
+  ASSERT_EQ(pl.value().segments.size(), 1u);
+  EXPECT_EQ(pl.value().segments[0].uri, "seg0.ts");
+}
+
+TEST(ParserHardening, HlsMasterBogusBandwidth) {
+  const std::string text =
+      "#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=lots\nlow.m3u8\n";
+  auto vars = hls::parse_master_m3u8(text);
+  ASSERT_FALSE(vars.ok());
+  EXPECT_EQ(vars.error().message, "bad BANDWIDTH value");
+}
+
+// ---------------------------------------------------------------------------
+// FLV tag headers (satellite: truncated headers)
+// ---------------------------------------------------------------------------
+
+TEST(ParserHardening, FlvTruncatedTagHeaders) {
+  const Bytes video =
+      flv::make_video_tag(true, flv::AvcPacketType::Nalu, 40,
+                          to_bytes("payload"));
+  // A video tag header is 5 bytes; every shorter prefix must fail with a
+  // clean error, not read past the end.
+  for (std::size_t n = 0; n < 5; ++n) {
+    auto tag = flv::parse_video_tag(BytesView(video).first(n));
+    ASSERT_FALSE(tag.ok()) << "prefix length " << n;
+    EXPECT_FALSE(tag.error().code.empty());
+    EXPECT_FALSE(tag.error().message.empty());
+  }
+  const Bytes audio =
+      flv::make_audio_tag(flv::AacPacketType::Raw, to_bytes("aac"));
+  for (std::size_t n = 0; n < 2; ++n) {
+    auto tag = flv::parse_audio_tag(BytesView(audio).first(n));
+    ASSERT_FALSE(tag.ok()) << "prefix length " << n;
+    EXPECT_FALSE(tag.error().code.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// H.264 parameter sets
+// ---------------------------------------------------------------------------
+
+TEST(ParserHardening, SpsOverflowingLog2MaxFrameNumRejected) {
+  BitWriter w;
+  w.bits(66, 8);   // profile_idc: Baseline
+  w.bits(0, 8);    // constraint flags
+  w.bits(30, 8);   // level_idc
+  w.ue(0);         // sps_id
+  w.ue(100);       // log2_max_frame_num_minus4: spec max is 12
+  w.rbsp_trailing_bits();
+  auto sps = media::parse_sps_rbsp(w.take());
+  ASSERT_FALSE(sps.ok());
+  EXPECT_EQ(sps.error().code, "malformed");
+}
+
+TEST(ParserHardening, SpsAbsurdMacroblockGridRejected) {
+  BitWriter w;
+  w.bits(66, 8);
+  w.bits(0, 8);
+  w.bits(30, 8);
+  w.ue(0);         // sps_id
+  w.ue(0);         // log2_max_frame_num_minus4
+  w.ue(2);         // pic_order_cnt_type
+  w.ue(1);         // max_num_ref_frames
+  w.bit(false);    // gaps_in_frame_num
+  w.ue(1u << 20);  // pic_width_in_mbs_minus1: wraps (mbs+1)*16 if unchecked
+  w.ue(1);
+  w.rbsp_trailing_bits();
+  auto sps = media::parse_sps_rbsp(w.take());
+  ASSERT_FALSE(sps.ok());
+  EXPECT_EQ(sps.error().code, "malformed");
+}
+
+TEST(ParserHardening, SpsCropLargerThanFrameRejected) {
+  BitWriter w;
+  w.bits(66, 8);
+  w.bits(0, 8);
+  w.bits(30, 8);
+  w.ue(0);         // sps_id
+  w.ue(0);         // log2_max_frame_num_minus4
+  w.ue(2);         // pic_order_cnt_type
+  w.ue(1);         // max_num_ref_frames
+  w.bit(false);    // gaps_in_frame_num
+  w.ue(1);         // width: 2 MBs = 32 px
+  w.ue(1);         // height: 2 MBs = 32 px
+  w.bit(true);     // frame_mbs_only
+  w.bit(false);    // direct_8x8
+  w.bit(true);     // cropping present
+  w.ue(5000);      // crop_left far past the frame: underflows if unchecked
+  w.ue(5000);
+  w.ue(0);
+  w.ue(0);
+  w.rbsp_trailing_bits();
+  auto sps = media::parse_sps_rbsp(w.take());
+  ASSERT_FALSE(sps.ok());
+  EXPECT_EQ(sps.error().code, "malformed");
+}
+
+TEST(ParserHardening, SpsHighProfileUnsupportedNotCrash) {
+  BitWriter w;
+  w.bits(100, 8);  // High profile: has extra fields this parser rejects
+  w.bits(0, 8);
+  w.bits(30, 8);
+  w.ue(0);
+  w.rbsp_trailing_bits();
+  auto sps = media::parse_sps_rbsp(w.take());
+  ASSERT_FALSE(sps.ok());
+  EXPECT_EQ(sps.error().code, "unsupported");
+}
+
+// ---------------------------------------------------------------------------
+// JSON numbers
+// ---------------------------------------------------------------------------
+
+TEST(ParserHardening, JsonOverflowingExponentRejected) {
+  auto v = json::parse("1e999");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code, "json_number");
+  // A representable extreme still parses.
+  EXPECT_TRUE(json::parse("[1e308, -1e308]").ok());
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,117 @@
+// psc_fuzz: deterministic fuzz + round-trip differential campaign runner.
+//
+//   psc_fuzz --target=all --iters=2000 --seed=1
+//   psc_fuzz --target=mpegts --repro=tests/corpus/crashes/mpegts-....bin
+//   psc_fuzz --target=all --write-corpus --corpus-dir=tests/corpus
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error. The per-target
+// digest line is byte-stable for a given (seed, iters, corpus), which CI
+// uses to prove the campaign itself is deterministic.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "testing/runner.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: psc_fuzz [options]\n"
+               "  --target=<name|all>   target to fuzz (default: all)\n"
+               "  --iters=<n>           iterations per target (default: "
+               "1000)\n"
+               "  --seed=<n>            campaign seed (default: 1)\n"
+               "  --corpus-dir=<dir>    checked-in seed corpus root\n"
+               "  --crash-dir=<dir>     reproducer output dir (default: "
+               "tests/corpus/crashes)\n"
+               "  --hang-timeout=<s>    per-iteration alarm, 0 = off "
+               "(default: 5)\n"
+               "  --write-corpus        dump generated seeds into "
+               "--corpus-dir and exit\n"
+               "  --repro=<file>        run one saved input through "
+               "--target and exit\n"
+               "  --list                list registered targets\n");
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  psc::testing::FuzzOptions opts;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      return arg.c_str() + std::strlen(prefix);
+    };
+    std::uint64_t n = 0;
+    if (arg.rfind("--target=", 0) == 0) {
+      opts.target = value("--target=");
+    } else if (arg.rfind("--iters=", 0) == 0) {
+      if (!parse_u64(value("--iters="), &n)) {
+        usage();
+        return 2;
+      }
+      opts.iters = n;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      if (!parse_u64(value("--seed="), &n)) {
+        usage();
+        return 2;
+      }
+      opts.seed = n;
+    } else if (arg.rfind("--corpus-dir=", 0) == 0) {
+      opts.corpus_dir = value("--corpus-dir=");
+    } else if (arg.rfind("--crash-dir=", 0) == 0) {
+      opts.crash_dir = value("--crash-dir=");
+    } else if (arg.rfind("--hang-timeout=", 0) == 0) {
+      if (!parse_u64(value("--hang-timeout="), &n)) {
+        usage();
+        return 2;
+      }
+      opts.hang_timeout_s = static_cast<int>(n);
+    } else if (arg == "--write-corpus") {
+      opts.write_corpus = true;
+    } else if (arg.rfind("--repro=", 0) == 0) {
+      opts.repro_file = value("--repro=");
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "psc_fuzz: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (list) {
+    psc::testing::register_builtin_targets();
+    for (const auto& t :
+         psc::testing::TargetRegistry::instance().targets()) {
+      std::printf("%-16s %s\n", t.name.c_str(), t.description.c_str());
+    }
+    return 0;
+  }
+
+  auto reports = psc::testing::run_fuzz(opts, std::cout);
+  if (!reports) {
+    std::fprintf(stderr, "psc_fuzz: %s\n",
+                 reports.error().to_string().c_str());
+    return 2;
+  }
+  std::uint64_t findings = 0;
+  for (const auto& r : reports.value()) findings += r.findings;
+  return findings == 0 ? 0 : 1;
+}
