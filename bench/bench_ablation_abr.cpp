@@ -76,7 +76,8 @@ Outcome run(BitRate bw, bool adaptive, int n_sessions) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("ablation_abr", argc, argv);
   bench::print_header(
       "Ablation", "Adaptive vs fixed-quality HLS under bandwidth limits",
       "§5.1 hypothesis: HLS's fewer stalls 'may be achieved through "
@@ -116,7 +117,7 @@ int main() {
       "(rendition > 0) and stalls far less than the fixed client at the "
       "cost of quality; on fat links both converge to the source "
       "rendition. This is the §5.1 trade-off, confirmed.\n");
-  bench::emit_bench("ablation_abr", timer.elapsed_s(),
+  reporter.finish(timer.elapsed_s(),
                     {{"sessions", static_cast<double>(8 * n)}});
   return 0;
 }

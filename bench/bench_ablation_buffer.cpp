@@ -11,7 +11,8 @@
 
 using namespace psc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("ablation_buffer", argc, argv);
   bench::print_header(
       "Ablation", "RTMP player buffer depth",
       "deeper buffer -> fewer stalls, more playback latency; the paper's "
@@ -32,6 +33,7 @@ int main() {
   }
   core::ShardedRunner runner;
   const std::vector<core::CampaignResult> results = runner.run_many(campaigns);
+  for (const auto& r : results) reporter.add(r);
 
   std::size_t total_sessions = 0;
   std::printf("\n%8s %10s %12s %12s %10s\n", "buffer", "stall%%>0",
@@ -58,7 +60,7 @@ int main() {
               "stall profile correspond to a ~2 s buffer; HLS's segment "
               "granularity forces an effectively 2-3x deeper buffer, "
               "explaining its rarer stalls and higher latency.\n");
-  bench::emit_bench("ablation_buffer", timer.elapsed_s(),
+  reporter.finish(timer.elapsed_s(),
                     {{"sessions", static_cast<double>(total_sessions)}});
   return 0;
 }

@@ -9,7 +9,8 @@
 
 using namespace psc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("ablation_gop", argc, argv);
   bench::print_header(
       "Ablation", "GOP pattern (IBP vs IP vs I-only)",
       "IBP most efficient; IP slightly larger; I-only far larger at the "
@@ -82,6 +83,6 @@ int main() {
               "The pts-dts column shows the one-frame (33 ms) reordering "
               "delay that B frames introduce, the paper's speculated "
               "reason some old hardware encodes IP-only.\n");
-  bench::emit_bench("ablation_gop", timer.elapsed_s(), {{"frames", 10800}});
+  reporter.finish(timer.elapsed_s(), {{"frames", 10800}});
   return 0;
 }

@@ -11,7 +11,8 @@
 
 using namespace psc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("ablation_segment", argc, argv);
   bench::print_header(
       "Ablation", "HLS segment duration",
       "delivery latency ~ segment duration + packaging + fetch; 3.6 s is "
@@ -92,7 +93,7 @@ int main() {
               "RTMP regime but raise container/request overhead and "
               "playlist churn; long segments push latency well past the "
               "paper's ~5 s.\n");
-  bench::emit_bench("ablation_segment", timer.elapsed_s(),
+  reporter.finish(timer.elapsed_s(),
                     {{"targets", 5}});
   return 0;
 }

@@ -107,7 +107,8 @@ QoE run_tcp(const std::vector<Msg>& trace, BitRate rate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("ablation_transport", argc, argv);
   bench::print_header(
       "Ablation", "Transport model: fluid + shaped queue vs TCP Reno",
       "the shaped-queue approximation should place the stall/join knee "
@@ -154,7 +155,7 @@ int main() {
       "comfortable at >=2 Mbps and degrades below; the fluid model's "
       "shaped-queue RTO approximation tracks TCP's loss-recovery stalls "
       "without per-packet simulation cost.\n");
-  bench::emit_bench("ablation_transport", timer.elapsed_s(),
+  reporter.finish(timer.elapsed_s(),
                     {{"streams", static_cast<double>(5 * streams * 2)}});
   return 0;
 }

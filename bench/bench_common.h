@@ -22,6 +22,12 @@
 //                    recorded world + epoch-reconciled server load, see
 //                    docs/PERFORMANCE.md). Either way results are
 //                    byte-identical across PSC_THREADS.
+//   PSC_METRICS      truthy: collect campaign metrics; a value other than
+//                    "1" doubles as the snapshot output path. See
+//                    docs/OBSERVABILITY.md and the Reporter class below.
+//   PSC_TRACE_OUT    write a Chrome trace_event JSON to this path.
+// Every bench also accepts --metrics-out=FILE / --trace-out=FILE flags,
+// which enable collection and set the output path in one step.
 #pragma once
 
 #include <chrono>
@@ -102,14 +108,16 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Emit the machine-readable result line. One line per bench run, always
-/// prefixed "BENCH " followed by a single JSON object, e.g.:
+/// THE one BENCH printf site. Every binary's machine-readable result line
+/// goes through here, so the field set (threads/shard_size/mode — once
+/// added piecemeal per binary) can never drift between benches again.
+/// One line per run, always prefixed "BENCH " + a single JSON object:
 ///   BENCH {"bench":"fig3_stalls","wall_s":4.21,"threads":8,
 ///          "shard_size":12,"mode":"independent","sessions":240}
-/// The run configuration fields (threads, shard_size, mode) are always
-/// present so perf series can be segmented by configuration.
-inline void emit_bench(
-    const char* bench, double wall_s,
+/// When the run collected metrics, the line also carries the series count
+/// so the perf trajectory records whether instrumentation was on.
+inline void emit_bench_line(
+    const char* bench, double wall_s, const obs::Registry& metrics,
     std::initializer_list<std::pair<const char*, double>> extra = {}) {
   std::printf(
       "BENCH {\"bench\":\"%s\",\"wall_s\":%.3f,\"threads\":%d,"
@@ -119,8 +127,104 @@ inline void emit_bench(
   for (const auto& [key, value] : extra) {
     std::printf(",\"%s\":%g", key, value);
   }
+  if (!metrics.empty()) {
+    std::printf(",\"metric_series\":%zu", metrics.series());
+  }
   std::printf("}\n");
 }
+
+/// Campaign observability for a bench binary.
+///
+/// Construct FIRST (before building any Study): the constructor reads
+/// --metrics-out=FILE / --trace-out=FILE flags and flips the runtime
+/// obs toggles, which Studies sample at construction. Environment
+/// equivalents: PSC_METRICS (truthy enables collection; any value other
+/// than "1" is used as the snapshot path) and PSC_TRACE_OUT (trace file
+/// path). Then add() each CampaignResult and finish() once: it emits the
+/// consolidated BENCH line and writes the JSON snapshot / Chrome trace.
+///
+/// The snapshot file has three keys: "config" (run knobs), "metrics"
+/// (the deterministic campaign registry — byte-identical across
+/// PSC_THREADS) and "process" (wall-clock shard/barrier timings, which
+/// are *not* deterministic; CI diffs ".metrics" only).
+class Reporter {
+ public:
+  explicit Reporter(const char* bench, int argc = 0, char** argv = nullptr)
+      : bench_(bench) {
+    if (const char* v = std::getenv("PSC_METRICS")) {
+      const std::string s = v;
+      if (!s.empty() && s != "0" && s != "1") metrics_path_ = s;
+    }
+    if (const char* v = std::getenv("PSC_TRACE_OUT")) trace_path_ = v;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--metrics-out=", 0) == 0) {
+        metrics_path_ = arg.substr(14);
+        obs::set_metrics_enabled(true);
+      } else if (arg.rfind("--trace-out=", 0) == 0) {
+        trace_path_ = arg.substr(12);
+        obs::set_trace_enabled(true);
+      }
+    }
+  }
+
+  /// True when any flag/env argument `arg` belongs to this Reporter
+  /// (benches with their own arg parsing skip these).
+  static bool owns_flag(const std::string& arg) {
+    return arg.rfind("--metrics-out=", 0) == 0 ||
+           arg.rfind("--trace-out=", 0) == 0;
+  }
+
+  /// Fold one campaign's deterministic metrics and per-shard trace lanes
+  /// into the bench-wide aggregate (call in campaign order).
+  void add(const core::CampaignResult& r) {
+    merged_.merge(r.metrics);
+    for (const auto& lane : r.shard_traces) lanes_.push_back(lane);
+  }
+
+  /// Metrics recorded by the bench itself (outside any campaign).
+  obs::Registry& local() { return merged_; }
+
+  /// Emit the BENCH line and write the requested output files.
+  void finish(double wall_s,
+              std::initializer_list<std::pair<const char*, double>> extra =
+                  {}) {
+    emit_bench_line(bench_.c_str(), wall_s, merged_, extra);
+    if (!metrics_path_.empty() && obs::metrics_enabled()) {
+      std::string out = "{\"config\":{\"bench\":\"" + bench_ + "\"";
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    ",\"threads\":%d,\"shard_size\":%d,\"mode\":\"%s\"},",
+                    threads(), shard_sessions(),
+                    mode_name(campaign_mode()));
+      out += buf;
+      out += "\"metrics\":" + merged_.to_json();
+      out += ",\"process\":" + obs::process_to_json();
+      out += "}\n";
+      write_file(metrics_path_, out);
+    }
+    if (!trace_path_.empty() && obs::trace_enabled()) {
+      write_file(trace_path_, obs::chrome_trace_json(lanes_));
+    }
+  }
+
+ private:
+  static void write_file(const std::string& path, const std::string& data) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+  }
+
+  std::string bench_;
+  std::string metrics_path_;
+  std::string trace_path_;
+  obs::Registry merged_;
+  std::vector<std::vector<obs::TraceEvent>> lanes_;
+};
 
 inline void print_header(const char* id, const char* title,
                          const char* paper_shape) {

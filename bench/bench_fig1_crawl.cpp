@@ -58,7 +58,8 @@ CrawlOutcome run_crawl(double start_hour) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("fig1_crawl", argc, argv);
   bench::print_header(
       "Figure 1", "Deep-crawl coverage vs. ranked areas",
       "crawls at different hours find 1K-4K broadcasts; curves concave; "
@@ -124,7 +125,7 @@ int main() {
     }
     std::printf("  (at 10%%..100%% of areas)\n");
   }
-  bench::emit_bench("fig1_crawl", timer.elapsed_s(),
+  reporter.finish(timer.elapsed_s(),
                     {{"crawls", 4},
                      {"requests", static_cast<double>(total_requests)}});
   return 0;

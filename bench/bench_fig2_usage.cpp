@@ -7,7 +7,8 @@
 
 using namespace psc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("fig2_usage", argc, argv);
   bench::print_header(
       "Figure 2", "Broadcast durations and viewers (targeted crawls)",
       "(a) most broadcasts 1-10 min, ~half <4 min, tail past a day; >90% "
@@ -132,7 +133,7 @@ int main() {
   std::printf("%s", analysis::render_bars(bars, "avg viewers").c_str());
   std::printf("\npaper: slump in the early hours, morning peak, rising "
               "trend toward midnight (local time)\n");
-  bench::emit_bench("fig2_usage", timer.elapsed_s(),
+  reporter.finish(timer.elapsed_s(),
                     {{"crawl_hours", bench::crawl_hours()},
                      {"tracks", static_cast<double>(ds->tracks.size())}});
   return 0;

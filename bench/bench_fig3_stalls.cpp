@@ -10,7 +10,8 @@
 
 using namespace psc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("fig3_stalls", argc, argv);
   bench::print_header(
       "Figure 3", "Stall ratio, RTMP, with and without bandwidth limits",
       "(a) most streams do not stall; a notable mode at ratio 0.05-0.09 "
@@ -103,8 +104,11 @@ int main() {
               analysis::mean(hls_counts), hls_counts.size());
 
   std::size_t total_sessions = 0;
-  for (const auto& r : results) total_sessions += r.sessions.size();
-  bench::emit_bench("fig3_stalls", timer.elapsed_s(),
-                    {{"sessions", static_cast<double>(total_sessions)}});
+  for (const auto& r : results) {
+    total_sessions += r.sessions.size();
+    reporter.add(r);
+  }
+  reporter.finish(timer.elapsed_s(),
+                  {{"sessions", static_cast<double>(total_sessions)}});
   return 0;
 }

@@ -5,7 +5,8 @@
 
 using namespace psc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("fig4_latency", argc, argv);
   bench::print_header(
       "Figure 4", "RTMP join time and playback latency vs. bandwidth",
       "both increase when bandwidth is limited; join time grows "
@@ -26,6 +27,7 @@ int main() {
   }
   core::ShardedRunner runner;
   const std::vector<core::CampaignResult> results = runner.run_many(campaigns);
+  for (const auto& r : results) reporter.add(r);
 
   std::vector<analysis::Series> join_series, latency_series;
   std::size_t total_sessions = 0;
@@ -74,7 +76,7 @@ int main() {
   }
   std::printf("\npaper: 2 Mbps is the knee — below it startup latency "
               "clearly increases\n");
-  bench::emit_bench("fig4_latency", timer.elapsed_s(),
+  reporter.finish(timer.elapsed_s(),
                     {{"sessions", static_cast<double>(total_sessions)}});
   return 0;
 }

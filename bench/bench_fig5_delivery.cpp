@@ -5,7 +5,8 @@
 
 using namespace psc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("fig5_delivery", argc, argv);
   bench::print_header(
       "Figure 5", "Video delivery latency: RTMP vs HLS",
       "RTMP delivery <300 ms for 75% of broadcasts; HLS >5 s on average "
@@ -15,6 +16,7 @@ int main() {
   core::ShardedRunner runner;
   const core::CampaignResult result = runner.run(bench::sharded_campaign(
       51, bench::sessions_unlimited(), 0, /*analyze=*/true));
+  reporter.add(result);
 
   std::vector<double> rtmp_lat, hls_lat;
   std::vector<double> rtmp_means, hls_means;
@@ -65,7 +67,7 @@ int main() {
               rtmp_lat.size(), hls_lat.size(),
               analysis::render_cdf(all_series, 0, 12, "delivery latency (s)")
                   .c_str());
-  bench::emit_bench("fig5_delivery", timer.elapsed_s(),
+  reporter.finish(timer.elapsed_s(),
                     {{"sessions",
                       static_cast<double>(result.sessions.size())}});
   return 0;

@@ -7,7 +7,8 @@
 
 using namespace psc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("fig6_video", argc, argv);
   bench::print_header(
       "Figure 6", "Captured video characteristics",
       "(a) bitrates typically 200-400 kbps, RTMP max higher (I-only "
@@ -19,6 +20,7 @@ int main() {
   core::ShardedRunner runner;
   const core::CampaignResult result = runner.run(bench::sharded_campaign(
       61, bench::sessions_unlimited(), 0, /*analyze=*/true));
+  reporter.add(result);
 
   std::vector<double> rtmp_kbps, hls_kbps, seg_durations, audio_kbps;
   int res_portrait = 0, res_landscape = 0, res_other = 0;
@@ -86,7 +88,7 @@ int main() {
   std::printf("audio: median %.0f kbps (paper: AAC 44.1 kHz VBR at ~32 or "
               "~64 kbps)\n",
               analysis::median(audio_kbps));
-  bench::emit_bench("fig6_video", timer.elapsed_s(),
+  reporter.finish(timer.elapsed_s(),
                     {{"sessions",
                       static_cast<double>(result.sessions.size())}});
   return 0;

@@ -8,7 +8,8 @@
 
 using namespace psc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("fig7_qp", argc, argv);
   bench::print_header(
       "Figure 7", "QP vs bitrate and their variability",
       "(a) same QP spans a wide bitrate range across streams (static "
@@ -20,6 +21,7 @@ int main() {
   core::ShardedRunner runner;
   const core::CampaignResult result = runner.run(bench::sharded_campaign(
       71, bench::sessions_unlimited(), 0, /*analyze=*/true));
+  reporter.add(result);
 
   // (a) one point per RTMP video, one per HLS segment.
   std::vector<double> qps, kbps;
@@ -90,7 +92,7 @@ int main() {
                                                "stddev segment kbps",
                                                "stddev QP")
                           .c_str());
-  bench::emit_bench("fig7_qp", timer.elapsed_s(),
+  reporter.finish(timer.elapsed_s(),
                     {{"sessions",
                       static_cast<double>(result.sessions.size())}});
   return 0;

@@ -116,7 +116,8 @@ double measure_browse(energy::Radio radio) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("fig8_power", argc, argv);
   bench::print_header(
       "Figure 8", "Average power consumption (Monsoon-style model)",
       "idle ~1000 mW; app-no-video 1670/2160 mW (WiFi/LTE); live == "
@@ -198,7 +199,7 @@ int main() {
   std::printf("replay vs live difference: %.0f mW (paper: 'equal "
               "amount of power')\n",
               std::abs(measured[4].wifi_mw - measured[3].wifi_mw));
-  bench::emit_bench("fig8_power", timer.elapsed_s(),
+  reporter.finish(timer.elapsed_s(),
                     {{"scenarios", static_cast<double>(measured.size())}});
   return 0;
 }

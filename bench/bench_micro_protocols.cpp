@@ -1,6 +1,11 @@
 // Protocol-layer microbenchmarks (google-benchmark): throughput of the
-// wire-format building blocks the simulation rests on.
+// wire-format building blocks the simulation rests on. The custom main
+// peels the shared bench flags (--metrics-out= / --trace-out=) off argv
+// before handing the rest to google-benchmark, and ends with the same
+// consolidated BENCH line as every other binary.
 #include <benchmark/benchmark.h>
+
+#include "bench_common.h"
 
 #include "amf/amf0.h"
 #include "analysis/reconstruct.h"
@@ -189,4 +194,21 @@ BENCHMARK(BM_EbspEscape);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  psc::bench::Reporter reporter("micro_protocols", argc, argv);
+  const psc::bench::WallTimer timer;
+  std::vector<char*> bm_args;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && psc::bench::Reporter::owns_flag(argv[i])) continue;
+    bm_args.push_back(argv[i]);
+  }
+  int bm_argc = static_cast<int>(bm_args.size());
+  benchmark::Initialize(&bm_argc, bm_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  reporter.finish(timer.elapsed_s());
+  return 0;
+}

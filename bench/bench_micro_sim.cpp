@@ -233,7 +233,9 @@ struct Workload {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("micro_sim", argc, argv);
+  const bench::WallTimer timer;
   bench::print_header(
       "Kernel", "Discrete-event kernel throughput (new vs seed kernel)",
       "generation-counted O(1) cancel + 4-ary move-pop heap + inline "
@@ -336,13 +338,18 @@ int main() {
   for (const Workload& w : results) {
     char name[64];
     std::snprintf(name, sizeof(name), "micro_sim_%s", w.name);
-    bench::emit_bench(name, w.new_secs,
+    bench::emit_bench_line(name, w.new_secs, reporter.local(),
                       {{"events", static_cast<double>(w.events)},
                        {"seed_wall_s", w.legacy_secs},
                        {"events_per_sec", w.new_events_s},
                        {"seed_events_per_sec", w.legacy_events_s},
                        {"allocs_per_event", w.new_allocs},
                        {"seed_allocs_per_event", w.legacy_allocs}});
+    reporter.local()
+        .counter(std::string("micro_events_total{workload=\"") + w.name +
+                 "\"}")
+        .add(static_cast<double>(w.events));
   }
+  reporter.finish(timer.elapsed_s(), {{"workloads", 3}});
   return 0;
 }

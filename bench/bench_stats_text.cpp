@@ -13,7 +13,8 @@
 
 using namespace psc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("stats_text", argc, argv);
   bench::print_header(
       "§5 text", "Statistical findings",
       "t-tests: stall/latency p=0.04-0.7 (not rejected), frame rate "
@@ -37,6 +38,8 @@ int main() {
       runner.run_many({s3_campaign, s4_campaign});
   const core::CampaignResult s3 = std::move(results[0]);
   const core::CampaignResult s4 = std::move(results[1]);
+  reporter.add(s3);
+  reporter.add(s4);
 
   auto metric = [](const core::CampaignResult& r, auto fn) {
     std::vector<double> out;
@@ -201,7 +204,7 @@ int main() {
               analysis::spearman(distance, latency));
   std::printf("  paper: QoE does not degrade with popularity or distance "
               "— 'stream delivery is provisioned in a balanced way'\n");
-  bench::emit_bench("stats_text", timer.elapsed_s(),
+  reporter.finish(timer.elapsed_s(),
                     {{"sessions",
                       static_cast<double>(all.sessions.size())}});
   return 0;

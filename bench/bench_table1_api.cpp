@@ -19,7 +19,8 @@ void show(const char* name, const json::Value& req, const json::Value& resp,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("table1_api", argc, argv);
   bench::print_header(
       "Table 1", "Relevant Periscope API commands",
       "mapGeoBroadcastFeed(rect)->broadcast list; getBroadcasts(ids)->"
@@ -110,7 +111,7 @@ int main() {
               "(paper: 'too frequent requests will be answered with "
               "HTTP 429')\n",
               served, throttled);
-  bench::emit_bench("table1_api", timer.elapsed_s(),
+  reporter.finish(timer.elapsed_s(),
                     {{"requests", 40 + 5}});
   return 0;
 }

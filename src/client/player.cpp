@@ -5,11 +5,29 @@
 namespace psc::client {
 
 Player::Player(const PlayerConfig& cfg, TimePoint session_start,
-               double broadcast_epoch_s)
+               double broadcast_epoch_s, obs::Obs* obs, const char* proto)
     : cfg_(cfg),
       session_start_(session_start),
       epoch_s_(broadcast_epoch_s),
-      last_(session_start) {}
+      obs_(obs),
+      last_(session_start) {
+  if (obs_ != nullptr) {
+    // Resolve the series once; record() is then pointer-cheap on the
+    // media-arrival hot path.
+    const std::string label = std::string("{proto=\"") + proto + "\"}";
+    stall_hist_ = &obs_->metrics.histogram("player_stall_s" + label);
+    buffer_hist_ = &obs_->metrics.histogram("player_buffer_s" + label);
+  }
+}
+
+void Player::end_stall(TimePoint at) {
+  if (!in_stall_span_) return;
+  in_stall_span_ = false;
+  if (stall_hist_ != nullptr) stall_hist_->record(to_s(at - stall_begin_));
+  if (obs_ != nullptr) {
+    obs_->trace.complete("player", "stall", stall_begin_, at);
+  }
+}
 
 void Player::advance(TimePoint t) {
   if (t <= last_) return;
@@ -33,6 +51,10 @@ void Player::advance(TimePoint t) {
       state_ = State::Stalled;
       ++stall_count_;
       stalled_ += dt - playable;
+      if (obs_ != nullptr) {
+        stall_begin_ = last_ + playable;
+        in_stall_span_ = true;
+      }
     }
   } else if (state_ == State::Stalled) {
     stalled_ += dt;
@@ -53,6 +75,7 @@ void Player::on_media(TimePoint arrival, Duration pts_begin,
   buffer_end_ = std::max(buffer_end_, pts_end);
 
   const Duration buffered = buffer_end_ - playhead_;
+  if (buffer_hist_ != nullptr) buffer_hist_->record(to_s(buffered));
   if (state_ == State::Joining && buffered >= cfg_.start_threshold) {
     state_ = State::Playing;
     started_ = true;
@@ -60,11 +83,13 @@ void Player::on_media(TimePoint arrival, Duration pts_begin,
   } else if (state_ == State::Stalled &&
              buffered >= cfg_.resume_threshold) {
     state_ = State::Playing;
+    end_stall(arrival);
   }
 }
 
 void Player::finish(TimePoint end) {
   advance(end);
+  end_stall(end);
   finish_at_ = end;
   if (!started_) {
     // Never played: the whole session is join time.

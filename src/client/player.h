@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/bundle.h"
 #include "util/units.h"
 
 namespace psc::client {
@@ -27,9 +28,12 @@ class Player {
  public:
   /// `session_start` is when the user hit Teleport; `broadcast_epoch_s`
   /// is the broadcaster wall clock at media pts 0 (used for playback
-  /// latency).
+  /// latency). When `obs` is set, the player records stall spans into the
+  /// trace and stall/buffer histograms labelled `proto` ("rtmp"/"hls")
+  /// into the registry.
   Player(const PlayerConfig& cfg, TimePoint session_start,
-         double broadcast_epoch_s);
+         double broadcast_epoch_s, obs::Obs* obs = nullptr,
+         const char* proto = "rtmp");
 
   /// Contiguous media now buffered up to `pts_end` (broadcast timeline),
   /// observed at `arrival`. The first call also anchors the playhead at
@@ -60,9 +64,18 @@ class Player {
   /// Advance the continuous-time machine to `t`.
   void advance(TimePoint t);
 
+  /// Close the stall span open at `at` (if any) and book its duration.
+  void end_stall(TimePoint at);
+
   PlayerConfig cfg_;
   TimePoint session_start_;
   double epoch_s_;
+
+  obs::Obs* obs_ = nullptr;
+  obs::Histogram* stall_hist_ = nullptr;   // stall durations, seconds
+  obs::Histogram* buffer_hist_ = nullptr;  // buffer level at media arrival
+  TimePoint stall_begin_{};
+  bool in_stall_span_ = false;
 
   State state_ = State::Joining;
   TimePoint last_{};

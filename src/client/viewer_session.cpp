@@ -44,10 +44,12 @@ RtmpViewerSession::RtmpViewerSession(sim::Simulation& sim,
                                      const service::MediaServer& origin,
                                      const PlayerConfig& player_cfg,
                                      std::uint64_t seed,
-                                     Duration extra_origin_latency)
+                                     Duration extra_origin_latency,
+                                     obs::Obs* obs)
     : sim_(sim),
       pipe_(pipe),
       device_(device),
+      obs_(obs),
       origin_(origin),
       up_link_(sim, device.config().up_rate,
                path_latency(device.config().location, origin.location)),
@@ -75,7 +77,8 @@ RtmpViewerSession::~RtmpViewerSession() {
 
 void RtmpViewerSession::start(Duration watch_time) {
   session_start_ = sim_.now();
-  player_.emplace(player_cfg_, session_start_, pipe_.epoch_s());
+  player_.emplace(player_cfg_, session_start_, pipe_.epoch_s(), obs_,
+                  "rtmp");
   sim_.schedule_after(watch_time, [this] { finish(); });
   pump();
 }
@@ -153,10 +156,11 @@ HlsViewerSession::HlsViewerSession(sim::Simulation& sim,
                                    const PlayerConfig& player_cfg,
                                    std::uint64_t seed, Mode mode,
                                    bool adaptive, Duration extra_a_latency,
-                                   Duration extra_b_latency)
+                                   Duration extra_b_latency, obs::Obs* obs)
     : sim_(sim),
       pipe_(pipe),
       device_(device),
+      obs_(obs),
       edge_server_("fastly.periscope.tv"),
       edge_a_link_(sim, 400e6,
                    path_latency(edge_a.location, device.config().location) +
@@ -174,13 +178,15 @@ HlsViewerSession::HlsViewerSession(sim::Simulation& sim,
       max_decode_fps_(device.config().max_decode_fps *
                       Rng(seed).uniform(0.94, 1.0)),
       rng_(seed) {
+  edge_server_.set_obs(obs_);
   edge_server_.attach(pipe.info().id, &pipe);
 }
 
 void HlsViewerSession::start(Duration watch_time) {
   session_start_ = sim_.now();
   stop_at_ = session_start_ + watch_time;
-  player_.emplace(player_cfg_, session_start_, pipe_.epoch_s());
+  player_.emplace(player_cfg_, session_start_, pipe_.epoch_s(), obs_,
+                  "hls");
   sim_.schedule_at(stop_at_, [this] { finish(); });
   if (adaptive_ && pipe_.rendition_count() > 1) {
     // Fetch the master playlist first; start at the lowest rendition and
@@ -323,7 +329,17 @@ void HlsViewerSession::maybe_fetch_next() {
     const std::uint64_t seq = next_seq_++;
     ++in_flight_;
     ++http_requests_;
-    if (adaptive_) current_rendition_ = pick_rendition();
+    if (adaptive_) {
+      const std::size_t previous = current_rendition_;
+      current_rendition_ = pick_rendition();
+      if (current_rendition_ != previous && obs_ != nullptr) {
+        obs_->metrics.counter("abr_switches_total").add(1);
+        obs_->trace.instant(
+            "player",
+            strf("abr r%zu->r%zu", previous, current_rendition_),
+            sim_.now());
+      }
+    }
     const std::size_t rendition = current_rendition_;
     const std::string uri =
         rendition == 0
@@ -367,6 +383,12 @@ void HlsViewerSession::maybe_fetch_next() {
                                                 0.3 * thr;
               }
               fetched_renditions_.push_back(rendition);
+              if (obs_ != nullptr) {
+                obs_->metrics.histogram("hls_segment_fetch_s")
+                    .record(dl_s);
+                obs_->trace.complete("service", "GET segment", fetch_start,
+                                     t2);
+              }
               // Isolate the GET response body — "saving the response of
               // HTTP GET request which contains an MPEG-TS file" (§2).
               on_segment(t2, *es, std::move(parsed.value().body));

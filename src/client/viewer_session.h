@@ -15,6 +15,7 @@
 #include "client/device.h"
 #include "client/player.h"
 #include "http/http.h"
+#include "obs/bundle.h"
 #include "net/capture.h"
 #include "rtmp/session.h"
 #include "service/cdn_edge.h"
@@ -73,7 +74,8 @@ class RtmpViewerSession : public ViewerSession {
   RtmpViewerSession(sim::Simulation& sim, service::LiveBroadcastPipeline& pipe,
                     Device& device, const service::MediaServer& origin,
                     const PlayerConfig& player_cfg, std::uint64_t seed,
-                    Duration extra_origin_latency = Duration{0});
+                    Duration extra_origin_latency = Duration{0},
+                    obs::Obs* obs = nullptr);
   ~RtmpViewerSession() override;
 
   void start(Duration watch_time) override;
@@ -99,6 +101,7 @@ class RtmpViewerSession : public ViewerSession {
   sim::Simulation& sim_;
   service::LiveBroadcastPipeline& pipe_;
   Device& device_;
+  obs::Obs* obs_ = nullptr;
   const service::MediaServer& origin_;
   net::Link up_link_;      // client -> origin
   net::Link origin_link_;  // origin -> device access link
@@ -131,7 +134,8 @@ class HlsViewerSession : public ViewerSession {
                    const PlayerConfig& player_cfg, std::uint64_t seed,
                    Mode mode = Mode::Live, bool adaptive = false,
                    Duration extra_a_latency = Duration{0},
-                   Duration extra_b_latency = Duration{0});
+                   Duration extra_b_latency = Duration{0},
+                   obs::Obs* obs = nullptr);
 
   void start(Duration watch_time) override;
   bool finished() const override { return finished_; }
@@ -181,6 +185,7 @@ class HlsViewerSession : public ViewerSession {
   sim::Simulation& sim_;
   service::LiveBroadcastPipeline& pipe_;
   Device& device_;
+  obs::Obs* obs_ = nullptr;
   service::CdnEdge edge_server_;  // HTTP frontend over the edge content
   net::Link edge_a_link_;  // edge A -> device
   net::Link edge_b_link_;  // edge B -> device

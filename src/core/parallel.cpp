@@ -1,6 +1,8 @@
 #include "core/parallel.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -74,6 +76,20 @@ struct ShardJob {
   int sessions;
 };
 
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Fold a finished shard's observability bundle into its CampaignResult:
+/// the registry moves over, the trace ring becomes this shard's lane.
+void harvest_obs(Study& study, CampaignResult& r) {
+  study.finalize_obs();
+  if (!obs::enabled()) return;
+  r.metrics.merge(study.obs().metrics);
+  r.shard_traces.push_back(study.obs().trace.take_events());
+}
+
 }  // namespace
 
 std::vector<CampaignResult> ShardedRunner::run_many(
@@ -105,16 +121,23 @@ std::vector<CampaignResult> ShardedRunner::run_many(
   jobs.reserve(plan.size());
   for (const ShardJob& job : plan) {
     jobs.push_back([&campaigns, &shard_results, job] {
+      const auto t0 = std::chrono::steady_clock::now();
       const ShardedCampaign& c = campaigns[job.campaign];
       StudyConfig cfg = c.base;
       cfg.seed = shard_seed(c.base.seed, job.shard);
       Study study(cfg);
-      shard_results[job.campaign][job.shard] =
+      CampaignResult r =
           c.two_device
               ? study.run_two_device_campaign(job.sessions,
                                               c.bandwidth_limit, c.analyze)
               : study.run_campaign(job.sessions, c.bandwidth_limit, c.device,
                                    c.analyze);
+      harvest_obs(study, r);
+      if (obs::enabled()) {
+        // Wall clock, hence nondeterministic: process registry only.
+        obs::process_hist_record("shard_wall_s", wall_seconds_since(t0));
+      }
+      shard_results[job.campaign][job.shard] = std::move(r);
     });
   }
   parallel_invoke(std::move(jobs), threads_);
@@ -131,6 +154,10 @@ std::vector<CampaignResult> ShardedRunner::run_many(
     for (CampaignResult& r : shard_results[ci]) {
       for (SessionRecord& rec : r.sessions) {
         merged[ci].sessions.push_back(std::move(rec));
+      }
+      merged[ci].metrics.merge(r.metrics);
+      for (auto& lane : r.shard_traces) {
+        merged[ci].shard_traces.push_back(std::move(lane));
       }
     }
   }
@@ -187,19 +214,34 @@ CampaignResult ShardedRunner::run_shared(const ShardedCampaign& c) {
   // merged at later barriers. A session starting in epoch e therefore
   // always reads a fully merged epoch e-1.
   const Duration epoch_len = c.base.load.epoch_length;
+  std::vector<double> shard_epoch_wall(n_shards, 0);
   for (std::size_t epoch = 0;; ++epoch) {
     const TimePoint deadline = time_at(to_s(epoch_len) * (epoch + 1));
     std::vector<std::function<void()>> jobs;
     jobs.reserve(n_shards);
     for (std::size_t i = 0; i < n_shards; ++i) {
       jobs.push_back([&, i] {
+        const auto t0 = std::chrono::steady_clock::now();
         studies[i]->begin_campaign(c.bandwidth_limit, c.two_device,
                                    c.device);
         studies[i]->run_sessions_until(deadline, shard_sessions[i],
                                        c.analyze, &results[i]);
+        shard_epoch_wall[i] = wall_seconds_since(t0);
       });
     }
     parallel_invoke(std::move(jobs), threads_);
+    if (obs::enabled()) {
+      // A shard waits at the barrier from its own finish until the
+      // slowest shard of the round finishes. Wall clock, hence process
+      // registry only.
+      const double slowest = *std::max_element(shard_epoch_wall.begin(),
+                                               shard_epoch_wall.end());
+      for (std::size_t i = 0; i < n_shards; ++i) {
+        obs::process_hist_record("epoch_barrier_wait_s",
+                                 slowest - shard_epoch_wall[i]);
+        obs::process_hist_record("shard_epoch_wall_s", shard_epoch_wall[i]);
+      }
+    }
     // Barrier: fold this epoch's contributions in shard order (the board
     // is never written while shards run, never read while it is written).
     for (std::size_t i = 0; i < n_shards; ++i) {
@@ -218,10 +260,11 @@ CampaignResult ShardedRunner::run_shared(const ShardedCampaign& c) {
   std::size_t total = 0;
   for (const CampaignResult& r : results) total += r.sessions.size();
   merged.sessions.reserve(total);
-  for (CampaignResult& r : results) {
-    for (SessionRecord& rec : r.sessions) {
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    for (SessionRecord& rec : results[i].sessions) {
       merged.sessions.push_back(std::move(rec));
     }
+    harvest_obs(*studies[i], merged);
   }
   return merged;
 }

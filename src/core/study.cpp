@@ -54,6 +54,8 @@ Study::Study(const StudyConfig& cfg)
       servers_(cfg.seed ^ 0x5EEDull),
       api_(*world_view_, servers_, cfg.api) {
   servers_.load_ledger().set_epoch_length(cfg_.load.epoch_length);
+  obs_.trace.set_enabled(obs::trace_enabled());
+  api_.set_obs(obs_ptr());
 }
 
 Study::Study(const StudyConfig& cfg, const SharedWorldContext& shared)
@@ -66,6 +68,8 @@ Study::Study(const StudyConfig& cfg, const SharedWorldContext& shared)
       servers_(shared.campaign_seed ^ 0x5EEDull),
       api_(*world_view_, servers_, cfg.api) {
   servers_.load_ledger().set_epoch_length(cfg_.load.epoch_length);
+  obs_.trace.set_enabled(obs::trace_enabled());
+  api_.set_obs(obs_ptr());
 }
 
 void Study::report_playback_meta(const client::SessionStats& st) {
@@ -89,6 +93,7 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
   const Duration need = cfg_.preroll + cfg_.watch_time + seconds(5);
   const service::BroadcastInfo* b = world_view_->teleport(rng_, need);
   if (b == nullptr) return std::nullopt;
+  const TimePoint session_begin = sim_.now();
 
   // Spin up the live pipeline for this broadcast and let it run so the
   // origin backlog / CDN edge have content before the viewer arrives.
@@ -102,12 +107,14 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
   auto pipeline_ptr = std::make_unique<service::LiveBroadcastPipeline>(
       sim_, *b, pipe_cfg);
   service::LiveBroadcastPipeline& pipeline = *pipeline_ptr;
+  pipeline.set_obs(obs_ptr());
   pipeline.start(need + seconds(5));
   sim_.run_until(sim_.now() + cfg_.preroll);
 
   // accessVideo: the service decides RTMP vs HLS from current popularity.
+  const std::size_t session_idx = session_counter_++;
   json::Object req;
-  req["cookie"] = strf("viewer-%zu", session_counter_++);
+  req["cookie"] = strf("viewer-%zu", session_idx);
   req["broadcast_id"] = b->id;
   const json::Value access =
       api_.call("accessVideo", json::Value(std::move(req)), sim_.now());
@@ -141,7 +148,7 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
     session = std::make_unique<client::HlsViewerSession>(
         sim_, pipeline, device, edge_a, edge_b, pc, rng_.engine()(),
         client::HlsViewerSession::Mode::Live, cfg_.hls_adaptive,
-        penalty(edge_a.ip), penalty(edge_b.ip));
+        penalty(edge_a.ip), penalty(edge_b.ip), obs_ptr());
   } else {
     client::PlayerConfig pc = cfg_.rtmp_player;
     pc.start_threshold = seconds(to_s(pc.start_threshold) * jitter);
@@ -151,7 +158,7 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
     load_ip_a = origin.ip;
     session = std::make_unique<client::RtmpViewerSession>(
         sim_, pipeline, device, origin, pc, rng_.engine()(),
-        penalty(origin.ip));
+        penalty(origin.ip), obs_ptr());
   }
   const TimePoint watch_begin = sim_.now();
   session->start(cfg_.watch_time);
@@ -177,6 +184,19 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
                         : analysis::reconstruct_rtmp(session->capture());
     if (analysis) rec.analysis = std::move(analysis).value();
   }
+  if (obs::Obs* o = obs_ptr()) {
+    const char* proto = use_hls ? "hls" : "rtmp";
+    o->metrics.counter(strf("sessions_total{proto=\"%s\"}", proto)).add(1);
+    o->metrics.histogram(strf("join_time_s{proto=\"%s\"}", proto))
+        .record(rec.stats.join_time_s);
+    o->metrics.histogram(strf("session_stalled_s{proto=\"%s\"}", proto))
+        .record(rec.stats.stalled_s);
+    // One kernel-lane span per session: teleport to watch end, on the
+    // shard's own trace lane.
+    o->trace.complete("kernel",
+                      strf("session %zu %s", session_idx, proto),
+                      session_begin, watch_end);
+  }
   // Retire rather than destroy: late events may still reference these
   // objects; retirement frees their bulk buffers and neuters callbacks.
   // Destruction happens in purge_retired() once each object's event
@@ -188,6 +208,41 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
   retired_pipelines_.emplace_back(pipeline.safe_destroy_at(),
                                   std::move(pipeline_ptr));
   return rec;
+}
+
+void Study::finalize_obs() {
+  obs::Obs* o = obs_ptr();
+  if (o == nullptr) return;
+  o->metrics.counter("sim_events_scheduled_total")
+      .add(static_cast<double>(sim_.events_scheduled()));
+  o->metrics.counter("sim_events_executed_total")
+      .add(static_cast<double>(sim_.events_executed()));
+  o->metrics.counter("sim_events_cancelled_total")
+      .add(static_cast<double>(sim_.events_cancelled()));
+  o->metrics.counter("sim_callback_heap_allocs_total")
+      .add(static_cast<double>(sim_.callback_heap_allocs()));
+  o->metrics.gauge("sim_heap_depth_max")
+      .set_max(static_cast<double>(sim_.max_heap_depth()));
+  o->metrics.gauge("sim_virtual_time_s").set_max(to_s(sim_.now()));
+  o->metrics.counter("trace_events_dropped_total")
+      .add(static_cast<double>(o->trace.dropped()));
+
+  // Load-ledger occupancy: what the pool's per-epoch account booked.
+  const service::EpochLoadLedger& ledger = servers_.load_ledger();
+  obs::Counter& sess_s = o->metrics.counter("load_session_seconds_total");
+  obs::Counter& bytes = o->metrics.counter("load_bytes_total");
+  obs::Counter& reqs = o->metrics.counter("load_requests_total");
+  obs::Histogram& occ = o->metrics.histogram("load_epoch_session_seconds");
+  for (std::size_t e = 0; e < ledger.epoch_count(); ++e) {
+    const auto* epoch = ledger.epoch(e);
+    if (epoch == nullptr) continue;
+    for (const auto& [ip, acct] : *epoch) {
+      sess_s.add(acct.session_seconds);
+      bytes.add(acct.bytes);
+      reqs.add(acct.requests);
+      occ.record(acct.session_seconds);
+    }
+  }
 }
 
 void Study::purge_retired() {

@@ -18,6 +18,7 @@
 #include "analysis/reconstruct.h"
 #include "client/device.h"
 #include "client/viewer_session.h"
+#include "obs/bundle.h"
 #include "service/api.h"
 #include "service/chat.h"
 #include "service/load.h"
@@ -87,6 +88,14 @@ struct SessionRecord {
 struct CampaignResult {
   std::vector<SessionRecord> sessions;
 
+  /// Deterministic metric snapshot of the campaign: per-shard registries
+  /// merged in shard order, so the same campaign produces a byte-identical
+  /// to_json() for any PSC_THREADS. Empty when observability was off.
+  obs::Registry metrics;
+  /// One sim-time trace lane per shard (index = shard = Chrome tid);
+  /// serialize with obs::chrome_trace_json(). Empty when tracing was off.
+  std::vector<std::vector<obs::TraceEvent>> shard_traces;
+
   std::vector<SessionRecord> rtmp() const;
   std::vector<SessionRecord> hls() const;
   /// Extract one metric across records.
@@ -133,6 +142,17 @@ class Study {
   /// Total sessions attempted via run_sessions_until so far.
   int sessions_attempted() const { return epoch_attempted_; }
 
+  /// This shard's metric/trace sink, or nullptr when observability is off
+  /// at runtime (PSC_METRICS / PSC_TRACE_OUT unset) — instrumented
+  /// components then skip their recording branches entirely.
+  obs::Obs* obs_ptr() { return obs::enabled() ? &obs_ : nullptr; }
+  obs::Obs& obs() { return obs_; }
+  /// Fold the kernel counters (events scheduled/executed/cancelled, peak
+  /// heap depth, callback heap allocs, virtual time) and the server
+  /// pool's load-ledger occupancy into the registry. Call once, after the
+  /// campaign; the sharded runner does this before harvesting the shard.
+  void finalize_obs();
+
   sim::Simulation& sim() { return sim_; }
   /// The live world — only valid in independent mode (a shared-world
   /// shard has a ReplayWorld instead; use world_view()).
@@ -161,6 +181,9 @@ class Study {
   StudyConfig cfg_;
   sim::Simulation sim_;
   Rng rng_;
+  /// Single-writer observability bundle, owned like the RNG and the sim:
+  /// one per shard, merged in shard order by the runner.
+  obs::Obs obs_;
   /// Exactly one of own_world_/replay_world_ is set; world_view_ points
   /// at whichever it is.
   std::unique_ptr<service::World> own_world_;

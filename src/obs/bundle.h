@@ -1,0 +1,16 @@
+// The per-shard observability bundle: one metric registry + one tracer,
+// single-writer, passed by pointer (nullptr = instrumentation off) from a
+// Study down into the components it builds.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace psc::obs {
+
+struct Obs {
+  Registry metrics;
+  Tracer trace;
+};
+
+}  // namespace psc::obs

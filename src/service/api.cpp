@@ -146,10 +146,20 @@ json::Value ApiServer::call(const std::string& api_request,
   const std::string account = body["cookie"].as_string();
   if (!limiter_.allow(account.empty() ? "anonymous" : account, now)) {
     ++throttled_;
+    if (obs_ != nullptr) {
+      obs_->metrics.counter("api_throttled_total").add(1);
+      obs_->trace.instant("service", "429 " + api_request, now);
+    }
     if (status_out != nullptr) *status_out = 429;
     return json::Value(json::Object{{"error", json::Value("rate limited")}});
   }
   ++served_;
+  if (obs_ != nullptr) {
+    obs_->metrics
+        .counter("api_requests_total{api=\"" + api_request + "\"}")
+        .add(1);
+    obs_->trace.instant("service", "api " + api_request, now);
+  }
   if (status_out != nullptr) *status_out = 200;
   if (api_request == "mapGeoBroadcastFeed") {
     return handle_map_feed(body, now);
@@ -192,7 +202,12 @@ http::Response ApiServer::handle(const http::Request& req, TimePoint now) {
   const json::Value out = call(api_request, body.value(), now, &status);
   if (status == 429) return http::Response::too_many_requests();
   if (status == 404) return http::Response::not_found();
-  return http::Response::json(out.dump());
+  http::Response resp = http::Response::json(out.dump());
+  if (obs_ != nullptr) {
+    obs_->metrics.histogram("api_response_bytes")
+        .record(static_cast<double>(resp.body.size()));
+  }
+  return resp;
 }
 
 }  // namespace psc::service

@@ -23,6 +23,7 @@
 
 #include "http/http.h"
 #include "json/json.h"
+#include "obs/bundle.h"
 #include "service/rate_limiter.h"
 #include "service/servers.h"
 #include "service/world_view.h"
@@ -57,6 +58,11 @@ class ApiServer {
   std::size_t requests_served() const { return served_; }
   std::size_t requests_throttled() const { return throttled_; }
 
+  /// Attach a metric/trace sink (nullptr = off): per-endpoint request
+  /// counters, 429 counter, response-size histogram, and one trace
+  /// instant per request on the shard lane.
+  void set_obs(obs::Obs* obs) { obs_ = obs; }
+
  private:
   json::Value describe(const BroadcastInfo& b, TimePoint now) const;
   json::Value handle_map_feed(const json::Value& body, TimePoint now);
@@ -68,6 +74,7 @@ class ApiServer {
   WorldView& world_;
   MediaServerPool& servers_;
   ApiConfig cfg_;
+  obs::Obs* obs_ = nullptr;
   RateLimiter limiter_;
   std::vector<json::Value> playback_metas_;
   std::size_t served_ = 0;

@@ -6,11 +6,26 @@
 
 namespace psc::service {
 
+void CdnEdge::set_obs(obs::Obs* obs) {
+  if (obs == nullptr) {
+    requests_ = hits_ = misses_ = nullptr;
+    return;
+  }
+  requests_ = &obs->metrics.counter("cdn_requests_total");
+  hits_ = &obs->metrics.counter("cdn_hits_total");
+  misses_ = &obs->metrics.counter("cdn_misses_total");
+}
+
 http::Response CdnEdge::handle(const http::Request& req,
                                TimePoint now) const {
-  // Every served response lands in the edge's per-epoch load account.
+  // Every served response lands in the edge's per-epoch load account —
+  // and in the metric sink when one is attached.
   const auto serve = [&](http::Response r) {
     ledger_.add_request(host_, now, static_cast<double>(r.body.size()));
+    if (requests_ != nullptr) {
+      requests_->add(1);
+      (r.status == 200 ? hits_ : misses_)->add(1);
+    }
     return r;
   };
   if (req.method != "GET" || !starts_with(req.path, "/hls/")) {

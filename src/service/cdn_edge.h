@@ -10,6 +10,7 @@
 #include <string>
 
 #include "http/http.h"
+#include "obs/bundle.h"
 #include "service/load.h"
 #include "service/pipeline.h"
 
@@ -46,10 +47,19 @@ class CdnEdge {
   void set_load_epoch_length(Duration len) { ledger_.set_epoch_length(len); }
   const EpochLoadLedger& load_ledger() const { return ledger_; }
 
+  /// Attach a metric sink (may be nullptr = off). Served requests are
+  /// counted as hits; segment requests answered 404 because the segment
+  /// has not reached the edge yet are the "freshness misses" that bound
+  /// HLS delivery latency (Fig. 5), and are counted separately.
+  void set_obs(obs::Obs* obs);
+
  private:
   std::string host_;
   std::map<std::string, const LiveBroadcastPipeline*> pipelines_;
   mutable EpochLoadLedger ledger_;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
 };
 
 }  // namespace psc::service

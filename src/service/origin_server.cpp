@@ -2,8 +2,19 @@
 
 namespace psc::service {
 
+void MediaOrigin::set_obs(obs::Obs* obs) {
+  if (obs == nullptr) {
+    conns_ = bytes_in_ = bytes_out_ = nullptr;
+    return;
+  }
+  conns_ = &obs->metrics.counter("origin_connections_total");
+  bytes_in_ = &obs->metrics.counter("origin_rtmp_bytes_in_total");
+  bytes_out_ = &obs->metrics.counter("origin_rtmp_bytes_out_total");
+}
+
 int MediaOrigin::open_connection() {
   const int conn = next_conn_++;
+  if (conns_ != nullptr) conns_->add(1);
   Connection c;
   c.session = std::make_unique<rtmp::ServerSession>(
       seed_ ^ (0x9E37u * static_cast<std::uint64_t>(conn)));
@@ -101,6 +112,9 @@ Status MediaOrigin::on_input(int conn, BytesView data) {
   ledger_.add_request(
       it->second.stream.empty() ? "rtmp" : it->second.stream, now_,
       static_cast<double>(data.size()));
+  if (bytes_in_ != nullptr) {
+    bytes_in_->add(static_cast<double>(data.size()));
+  }
   if (auto s = it->second.session->on_input(data); !s) return s;
   // A play command may have completed during this input.
   if (!was_playing && it->second.session->playing() &&
@@ -118,6 +132,9 @@ Bytes MediaOrigin::take_output(int conn) {
     ledger_.add_request(
         it->second.stream.empty() ? "rtmp" : it->second.stream, now_,
         static_cast<double>(out.size()));
+    if (bytes_out_ != nullptr) {
+      bytes_out_->add(static_cast<double>(out.size()));
+    }
   }
   return out;
 }

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "media/types.h"
+#include "obs/bundle.h"
 #include "rtmp/session.h"
 #include "service/load.h"
 
@@ -50,6 +51,10 @@ class MediaOrigin {
   /// while a connection has not yet bound to a stream).
   const EpochLoadLedger& load_ledger() const { return ledger_; }
 
+  /// Attach a metric sink (nullptr = off): connection counter plus RTMP
+  /// ingest/egress byte counters.
+  void set_obs(obs::Obs* obs);
+
  private:
   struct Stream {
     std::optional<media::AvcDecoderConfig> config;
@@ -74,6 +79,9 @@ class MediaOrigin {
   EpochLoadLedger ledger_;
   std::map<int, Connection> connections_;
   std::map<std::string, Stream> streams_;
+  obs::Counter* conns_ = nullptr;
+  obs::Counter* bytes_in_ = nullptr;
+  obs::Counter* bytes_out_ = nullptr;
 };
 
 }  // namespace psc::service

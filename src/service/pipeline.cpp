@@ -66,6 +66,17 @@ LiveBroadcastPipeline::LiveBroadcastPipeline(sim::Simulation& sim,
   }
 }
 
+void LiveBroadcastPipeline::set_obs(obs::Obs* obs) {
+  obs_ = obs;
+  if (obs == nullptr) {
+    segments_shipped_ = nullptr;
+    segment_delivery_ = nullptr;
+    return;
+  }
+  segments_shipped_ = &obs->metrics.counter("pipeline_segments_total");
+  segment_delivery_ = &obs->metrics.histogram("pipeline_segment_delivery_s");
+}
+
 std::string LiveBroadcastPipeline::segment_uri(
     std::size_t rendition, std::uint64_t sequence) const {
   if (rendition == 0) {
@@ -168,14 +179,21 @@ void LiveBroadcastPipeline::on_sample_at_origin(TimePoint now,
     }
     if (!completed) continue;
     hls::Segment seg = std::move(*completed);
+    const TimePoint cut = now;
     sim_.schedule_after(
-        cfg_.packaging_delay, [this, r, seg = std::move(seg)]() mutable {
+        cfg_.packaging_delay, [this, r, cut, seg = std::move(seg)]() mutable {
           Bytes wire = seg.ts_data;
           cdn_link_.send(std::move(wire),
-                         [this, r, seg = std::move(seg)](
+                         [this, r, cut, seg = std::move(seg)](
                              TimePoint t, Bytes /*d*/) mutable {
                            renditions_[r].edge.push_back(
                                EdgeSegment{std::move(seg), t});
+                           if (segments_shipped_ != nullptr) {
+                             segments_shipped_->add(1);
+                             segment_delivery_->record(to_s(t - cut));
+                             obs_->trace.complete(
+                                 "service", strf("ship r%zu", r), cut, t);
+                           }
                          });
         });
   }

@@ -29,6 +29,7 @@
 #include "media/encoder.h"
 #include "media/transcode.h"
 #include "net/link.h"
+#include "obs/bundle.h"
 #include "service/broadcast.h"
 #include "sim/simulation.h"
 
@@ -131,6 +132,11 @@ class LiveBroadcastPipeline {
 
   std::uint64_t samples_produced() const { return samples_produced_; }
 
+  /// Attach a metric/trace sink (nullptr = off): per-segment counter and
+  /// a cut-to-edge delivery-latency histogram — the packaging + CDN
+  /// transfer path that dominates HLS end-to-end delay (Fig. 5).
+  void set_obs(obs::Obs* obs);
+
   /// Earliest simulation time at which no scheduled event can still
   /// reference this object (hiccup chains are bounded by stop_at, link
   /// deliveries by their busy horizons) — destroying it after this point
@@ -174,6 +180,9 @@ class LiveBroadcastPipeline {
   int backlog_keyframes_ = 0;
   std::vector<RenditionState> renditions_;
   std::uint64_t samples_produced_ = 0;
+  obs::Obs* obs_ = nullptr;
+  obs::Counter* segments_shipped_ = nullptr;
+  obs::Histogram* segment_delivery_ = nullptr;
 };
 
 /// Builds the encoder configs implied by a BroadcastInfo.

@@ -18,8 +18,11 @@ EventHandle Simulation::schedule_at(TimePoint when, Callback fn) {
   }
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
+  if (!s.fn.is_inline()) ++callback_spills_;
   heap_push(Node{when, next_seq_++, slot, s.gen});
   ++live_count_;
+  ++scheduled_;
+  if (heap_.size() > max_heap_) max_heap_ = heap_.size();
   return EventHandle{slot, s.gen};
 }
 
@@ -32,6 +35,7 @@ bool Simulation::cancel(EventHandle h) {
   s.fn.reset();
   ++s.gen;  // invalidate outstanding handles; lazy heap node skips on pop
   --live_count_;
+  ++cancelled_;
   return true;
 }
 

@@ -73,7 +73,18 @@ class Simulation {
   /// True if any events are pending.
   bool pending() const { return live_count_ > 0; }
 
+  /// --- Kernel counters (always on; a handful of arithmetic ops per
+  /// event, far below measurement noise). A Study folds these into its
+  /// metric registry at shard finalization — the kernel itself never
+  /// depends on obs/.
   std::size_t events_executed() const { return executed_; }
+  std::size_t events_scheduled() const { return scheduled_; }
+  std::size_t events_cancelled() const { return cancelled_; }
+  /// Peak number of heap nodes ever pending at once.
+  std::size_t max_heap_depth() const { return max_heap_; }
+  /// Callbacks whose capture spilled past the InlineCallback buffer and
+  /// heap-allocated (should stay ~0; see bench_micro_sim).
+  std::size_t callback_heap_allocs() const { return callback_spills_; }
 
  private:
   /// Heap node: trivially copyable so sift moves are memcpy-cheap. `gen`
@@ -112,6 +123,10 @@ class Simulation {
   std::uint64_t next_seq_ = 1;
   std::size_t executed_ = 0;
   std::size_t live_count_ = 0;
+  std::size_t scheduled_ = 0;
+  std::size_t cancelled_ = 0;
+  std::size_t max_heap_ = 0;
+  std::size_t callback_spills_ = 0;
 };
 
 }  // namespace psc::sim

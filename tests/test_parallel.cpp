@@ -68,6 +68,27 @@ ShardedCampaign shared_campaign(std::uint64_t seed, int sessions) {
   return c;
 }
 
+#if PSC_OBS
+/// Force metrics + tracing on for one test, restoring the env-derived
+/// defaults afterwards so the other tests run uninstrumented.
+class ScopedObsEnabled {
+ public:
+  ScopedObsEnabled()
+      : metrics_(obs::metrics_enabled()), trace_(obs::trace_enabled()) {
+    obs::set_metrics_enabled(true);
+    obs::set_trace_enabled(true);
+  }
+  ~ScopedObsEnabled() {
+    obs::set_metrics_enabled(metrics_);
+    obs::set_trace_enabled(trace_);
+  }
+
+ private:
+  bool metrics_;
+  bool trace_;
+};
+#endif
+
 // The headline guarantee: the merged campaign result is byte-identical
 // whether shards run inline (threads=1, the sequential reference path) or
 // on 2 or 8 workers — in both campaign modes. The shared-world check runs
@@ -75,17 +96,47 @@ ShardedCampaign shared_campaign(std::uint64_t seed, int sessions) {
 // where epoch barriers, overrunning sessions and cross-shard load merges
 // actually interleave.
 TEST(ShardedRunner, DeterministicAcrossThreadCounts) {
+#if PSC_OBS
+  // The determinism contract extends to observability: metric snapshots
+  // and Chrome traces must be byte-identical across thread counts too.
+  ScopedObsEnabled obs_on;
+#endif
   const ShardedCampaign campaign = small_campaign(77, 12);
-  const std::string seq = fingerprint(ShardedRunner(1).run(campaign));
+  const CampaignResult r1 = ShardedRunner(1).run(campaign);
+  const CampaignResult r2 = ShardedRunner(2).run(campaign);
+  const CampaignResult r8 = ShardedRunner(8).run(campaign);
+  const std::string seq = fingerprint(r1);
   EXPECT_FALSE(seq.empty());
-  EXPECT_EQ(fingerprint(ShardedRunner(2).run(campaign)), seq);
-  EXPECT_EQ(fingerprint(ShardedRunner(8).run(campaign)), seq);
+  EXPECT_EQ(fingerprint(r2), seq);
+  EXPECT_EQ(fingerprint(r8), seq);
+#if PSC_OBS
+  EXPECT_FALSE(r1.metrics.empty());
+  EXPECT_EQ(r2.metrics.to_json(), r1.metrics.to_json());
+  EXPECT_EQ(r8.metrics.to_json(), r1.metrics.to_json());
+  const std::string trace = obs::chrome_trace_json(r1.shard_traces);
+  EXPECT_NE(trace.find("\"cat\":\"kernel\""), std::string::npos);
+  EXPECT_EQ(obs::chrome_trace_json(r2.shard_traces), trace);
+  EXPECT_EQ(obs::chrome_trace_json(r8.shard_traces), trace);
+#endif
 
+  // Full paper-bench scale (480 sessions, 40 shards): epoch barriers,
+  // overrunning sessions and cross-shard load merges all interleave.
   const ShardedCampaign shared = shared_campaign(77, 480);
-  const std::string shared_seq = fingerprint(ShardedRunner(1).run(shared));
+  const CampaignResult s1 = ShardedRunner(1).run(shared);
+  const CampaignResult s2 = ShardedRunner(2).run(shared);
+  const CampaignResult s8 = ShardedRunner(8).run(shared);
+  const std::string shared_seq = fingerprint(s1);
   EXPECT_FALSE(shared_seq.empty());
-  EXPECT_EQ(fingerprint(ShardedRunner(2).run(shared)), shared_seq);
-  EXPECT_EQ(fingerprint(ShardedRunner(8).run(shared)), shared_seq);
+  EXPECT_EQ(fingerprint(s2), shared_seq);
+  EXPECT_EQ(fingerprint(s8), shared_seq);
+#if PSC_OBS
+  EXPECT_FALSE(s1.metrics.empty());
+  EXPECT_EQ(s2.metrics.to_json(), s1.metrics.to_json());
+  EXPECT_EQ(s8.metrics.to_json(), s1.metrics.to_json());
+  const std::string shared_trace = obs::chrome_trace_json(s1.shard_traces);
+  EXPECT_EQ(obs::chrome_trace_json(s2.shard_traces), shared_trace);
+  EXPECT_EQ(obs::chrome_trace_json(s8.shard_traces), shared_trace);
+#endif
 }
 
 // Cross-shard coupling, the thing independent_worlds cannot produce:

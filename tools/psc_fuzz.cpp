@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "obs/metrics.h"
 #include "testing/runner.h"
 
 namespace {
@@ -33,7 +34,9 @@ void usage() {
                "--corpus-dir and exit\n"
                "  --repro=<file>        run one saved input through "
                "--target and exit\n"
-               "  --list                list registered targets\n");
+               "  --list                list registered targets\n"
+               "  --metrics-out=<file>  write a JSON metrics snapshot "
+               "(iterations/findings per target) at exit\n");
 }
 
 bool parse_u64(const char* s, std::uint64_t* out) {
@@ -49,6 +52,7 @@ bool parse_u64(const char* s, std::uint64_t* out) {
 int main(int argc, char** argv) {
   psc::testing::FuzzOptions opts;
   bool list = false;
+  std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -84,6 +88,9 @@ int main(int argc, char** argv) {
       opts.write_corpus = true;
     } else if (arg.rfind("--repro=", 0) == 0) {
       opts.repro_file = value("--repro=");
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = value("--metrics-out=");
+      psc::obs::set_metrics_enabled(true);
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -113,5 +120,26 @@ int main(int argc, char** argv) {
   }
   std::uint64_t findings = 0;
   for (const auto& r : reports.value()) findings += r.findings;
+  if (!metrics_out.empty() && psc::obs::metrics_enabled()) {
+    psc::obs::Registry reg;
+    for (const auto& r : reports.value()) {
+      reg.counter("fuzz_iterations_total{target=\"" + r.name + "\"}")
+          .add(static_cast<double>(r.iterations));
+      reg.counter("fuzz_findings_total{target=\"" + r.name + "\"}")
+          .add(static_cast<double>(r.findings));
+    }
+    if (std::FILE* f = std::fopen(metrics_out.c_str(), "w")) {
+      const std::string json =
+          "{\"config\":{\"bench\":\"psc_fuzz\"},\"metrics\":" +
+          reg.to_json() + ",\"process\":" + psc::obs::process_to_json() +
+          "}\n";
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "psc_fuzz: cannot write %s\n",
+                   metrics_out.c_str());
+      return 2;
+    }
+  }
   return findings == 0 ? 0 : 1;
 }
