@@ -26,6 +26,10 @@
 //                    "1" doubles as the snapshot output path. See
 //                    docs/OBSERVABILITY.md and the Reporter class below.
 //   PSC_TRACE_OUT    write a Chrome trace_event JSON to this path.
+//   PSC_FAULT_SEED   non-zero: enable fault injection with a plan
+//                    generated from this seed (docs/ROBUSTNESS.md).
+//   PSC_FAULT_PLAN   path to a fault-plan text file; enables fault
+//                    injection and overrides the generated plan.
 // Every bench also accepts --metrics-out=FILE / --trace-out=FILE flags,
 // which enable collection and set the output path in one step.
 #pragma once
@@ -71,11 +75,74 @@ inline const char* mode_name(core::CampaignMode m) {
   return m == core::CampaignMode::shared_world ? "shared" : "independent";
 }
 
+/// --- Fault injection knobs (docs/ROBUSTNESS.md) ---
+
+inline std::uint64_t fault_seed() {
+  const char* v = std::getenv("PSC_FAULT_SEED");
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : 0;
+}
+
+inline std::string fault_plan_path() {
+  const char* v = std::getenv("PSC_FAULT_PLAN");
+  return v != nullptr ? std::string(v) : std::string();
+}
+
+inline bool fault_env_enabled() {
+  return fault_seed() != 0 || !fault_plan_path().empty();
+}
+
+/// The fault fields every BENCH line carries (empty/0 = faults off).
+/// Defaults come from the env; benches that sweep several plans (e.g.
+/// bench_fault_qoe) overwrite them per BENCH line via set_fault_fields.
+struct FaultBenchFields {
+  std::string plan;  // plan label or file path; "" when faults are off
+  std::uint64_t seed = 0;
+};
+
+inline FaultBenchFields& fault_bench_fields() {
+  static FaultBenchFields fields = [] {
+    FaultBenchFields f;
+    if (fault_env_enabled()) {
+      f.seed = fault_seed();
+      f.plan = fault_plan_path().empty() ? "generated" : fault_plan_path();
+    }
+    return f;
+  }();
+  return fields;
+}
+
+inline void set_fault_fields(const std::string& plan, std::uint64_t seed) {
+  fault_bench_fields() = FaultBenchFields{plan, seed};
+}
+
+/// Turn the PSC_FAULT_SEED / PSC_FAULT_PLAN env knobs into StudyConfig
+/// fault settings. No-op when neither is set.
+inline void apply_fault_env(core::StudyConfig& cfg) {
+  if (!fault_env_enabled()) return;
+  cfg.fault.enabled = true;
+  cfg.fault.seed = fault_seed() != 0 ? fault_seed() : 1;
+  const std::string path = fault_plan_path();
+  if (!path.empty()) {
+    if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+      char buf[4096];
+      std::size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        cfg.fault.plan_text.append(buf, n);
+      }
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "psc: cannot read PSC_FAULT_PLAN %s\n",
+                   path.c_str());
+    }
+  }
+}
+
 inline core::StudyConfig default_study_config(std::uint64_t seed = 2016) {
   core::StudyConfig cfg;
   cfg.seed = seed;
   cfg.world.target_concurrent = 800;
   cfg.world.hotspot_count = 120;
+  apply_fault_env(cfg);
   return cfg;
 }
 
@@ -113,7 +180,10 @@ class WallTimer {
 /// added piecemeal per binary) can never drift between benches again.
 /// One line per run, always prefixed "BENCH " + a single JSON object:
 ///   BENCH {"bench":"fig3_stalls","wall_s":4.21,"threads":8,
-///          "shard_size":12,"mode":"independent","sessions":240}
+///          "shard_size":12,"mode":"independent","fault_plan":"",
+///          "fault_seed":0,"sessions":240}
+/// The fault fields are always present — "" / 0 when injection is off —
+/// so the perf trajectory can tell faulted runs from clean ones.
 /// When the run collected metrics, the line also carries the series count
 /// so the perf trajectory records whether instrumentation was on.
 inline void emit_bench_line(
@@ -121,9 +191,11 @@ inline void emit_bench_line(
     std::initializer_list<std::pair<const char*, double>> extra = {}) {
   std::printf(
       "BENCH {\"bench\":\"%s\",\"wall_s\":%.3f,\"threads\":%d,"
-      "\"shard_size\":%d,\"mode\":\"%s\"",
+      "\"shard_size\":%d,\"mode\":\"%s\",\"fault_plan\":\"%s\","
+      "\"fault_seed\":%llu",
       bench, wall_s, threads(), shard_sessions(),
-      mode_name(campaign_mode()));
+      mode_name(campaign_mode()), fault_bench_fields().plan.c_str(),
+      static_cast<unsigned long long>(fault_bench_fields().seed));
   for (const auto& [key, value] : extra) {
     std::printf(",\"%s\":%g", key, value);
   }

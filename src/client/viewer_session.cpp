@@ -56,9 +56,26 @@ RtmpViewerSession::RtmpViewerSession(sim::Simulation& sim,
       origin_link_(sim, kOriginEgressRate,
                    path_latency(origin.location, device.config().location) +
                        extra_origin_latency),
-      server_(seed ^ 0x5EED),
+      seed_(seed),
       max_decode_fps_(device.config().max_decode_fps *
                       Rng(seed).uniform(0.94, 1.0)) {
+  player_cfg_ = player_cfg;
+  make_connection();
+}
+
+RtmpViewerSession::~RtmpViewerSession() {
+  if (subscription_ != 0) pipe_.unsubscribe(subscription_);
+}
+
+void RtmpViewerSession::make_connection() {
+  // The first connection (conn_gen_ == 0) uses exactly the historical
+  // seeds, so a fault-free run is bit-identical to the pre-resilience
+  // client; reconnects mix the generation in so each handshake's jitter
+  // stream is fresh but fully determined by (seed, generation).
+  const std::uint64_t mix =
+      conn_gen_ == 0 ? 0 : 0x9E3779B97F4A7C15ull * conn_gen_;
+  server_ =
+      std::make_unique<rtmp::ServerSession>((seed_ ^ 0x5EED) ^ mix);
   rtmp::ClientSession::Callbacks cbs;
   cbs.on_sample = [this](media::MediaSample s) {
     if (finished_ || !player_) return;
@@ -67,56 +84,129 @@ RtmpViewerSession::RtmpViewerSession(sim::Simulation& sim,
     player_->on_media(sim_.now(), s.pts, s.pts + seconds(1.0 / kVideoFps));
   };
   client_ = std::make_unique<rtmp::ClientSession>(
-      "live", pipe.info().id, seed, std::move(cbs));
-  player_cfg_ = player_cfg;
-}
-
-RtmpViewerSession::~RtmpViewerSession() {
-  if (subscription_ != 0) pipe_.unsubscribe(subscription_);
+      "live", pipe_.info().id, seed_ ^ mix, std::move(cbs));
 }
 
 void RtmpViewerSession::start(Duration watch_time) {
   session_start_ = sim_.now();
+  stop_at_ = session_start_ + watch_time;
   player_.emplace(player_cfg_, session_start_, pipe_.epoch_s(), obs_,
                   "rtmp");
   sim_.schedule_after(watch_time, [this] { finish(); });
+  if (faults_ != nullptr && faults_->injector != nullptr) {
+    const fault::Injector& inj = *faults_->injector;
+    inj.arm_access_link(up_link_, session_start_, stop_at_);
+    inj.arm_access_link(device_.downlink(), session_start_, stop_at_);
+    // An origin restart resets the TCP connection at the episode start;
+    // the client notices and runs its reconnect ladder.
+    for (const fault::Episode& e : inj.plan().episodes()) {
+      if (e.kind != fault::Kind::OriginRestart) continue;
+      if (e.end() <= session_start_ || e.start >= stop_at_) continue;
+      sim_.schedule_at(std::max(session_start_, e.start),
+                       [this] { drop_connection(); });
+    }
+    reconnect_backoff_.emplace(faults_->policy.rtmp_reconnect,
+                               Rng(seed_ ^ 0xFA017u));
+  }
   pump();
 }
 
 void RtmpViewerSession::pump() {
   if (finished_) return;
   if (client_->has_output()) {
-    up_link_.send(client_->take_output(), [this](TimePoint, Bytes data) {
-      if (finished_) return;
-      (void)server_.on_input(data);
+    up_link_.send(client_->take_output(),
+                  [this, gen = conn_gen_](TimePoint, Bytes data) {
+      if (finished_ || gen != conn_gen_) return;
+      (void)server_->on_input(data);
       // Play accepted: burst the decodable backlog and go live.
-      if (server_.playing() && !media_started_) {
+      if (server_->playing() && !media_started_) {
         media_started_ = true;
-        server_.send_avc_config(pipe_.sps(), pipe_.pps());
+        server_->send_avc_config(pipe_.sps(), pipe_.pps());
         for (const media::MediaSample& s : pipe_.backlog()) {
-          server_.send_sample(s);
+          server_->send_sample(s);
         }
         subscription_ = pipe_.subscribe(
-            [this](TimePoint, const media::MediaSample& s) {
-              if (finished_) return;
-              server_.send_sample(s);
+            [this, gen](TimePoint, const media::MediaSample& s) {
+              if (finished_ || gen != conn_gen_) return;
+              server_->send_sample(s);
               pump();
             });
       }
       pump();
     });
   }
-  if (server_.has_output()) {
-    origin_link_.send(server_.take_output(), [this](TimePoint, Bytes data) {
+  if (server_->has_output()) {
+    origin_link_.send(server_->take_output(),
+                      [this, gen = conn_gen_](TimePoint, Bytes data) {
       device_.downlink().send(std::move(data),
-                              [this](TimePoint t, Bytes d) {
+                              [this, gen](TimePoint t, Bytes d) {
                                 capture_.record(t, d);
-                                if (finished_) return;
+                                if (finished_ || gen != conn_gen_) return;
                                 (void)client_->on_input(d);
                                 pump();
                               });
     });
   }
+}
+
+void RtmpViewerSession::drop_connection() {
+  if (finished_) return;
+  ++disconnects_;
+  // Invalidate every in-flight delivery of the old connection; the bytes
+  // still cross the (simulated) wire but land in a closed socket.
+  ++conn_gen_;
+  media_started_ = false;
+  if (subscription_ != 0) {
+    pipe_.unsubscribe(subscription_);
+    subscription_ = 0;
+  }
+  if (obs_ != nullptr) {
+    obs_->metrics.counter("rtmp_disconnects_total").add(1);
+    obs_->trace.instant("fault", "rtmp disconnect", sim_.now());
+  }
+  schedule_reconnect();
+}
+
+void RtmpViewerSession::schedule_reconnect() {
+  if (finished_) return;
+  if (!reconnect_backoff_ || reconnect_backoff_->exhausted()) {
+    give_up();
+    return;
+  }
+  ++retry_attempts_;
+  const Duration delay = reconnect_backoff_->next();
+  sim_.schedule_after(delay, [this, gen = conn_gen_] {
+    // A newer drop supersedes this attempt (its own ladder is running).
+    if (finished_ || gen != conn_gen_) return;
+    attempt_reconnect();
+  });
+}
+
+void RtmpViewerSession::attempt_reconnect() {
+  const fault::Injector& inj = *faults_->injector;
+  if (inj.origin_restarting(sim_.now())) {
+    // Still down: connection refused, keep climbing the ladder.
+    schedule_reconnect();
+    return;
+  }
+  ++reconnects_;
+  reconnect_backoff_->reset();
+  if (obs_ != nullptr) {
+    obs_->metrics.counter("rtmp_reconnects_total").add(1);
+    obs_->trace.instant("fault", "rtmp reconnect", sim_.now());
+  }
+  make_connection();
+  pump();
+}
+
+void RtmpViewerSession::give_up() {
+  if (finished_) return;
+  gave_up_ = true;
+  if (obs_ != nullptr) {
+    obs_->metrics.counter("sessions_gave_up_total").add(1);
+    obs_->trace.instant("fault", "rtmp give up", sim_.now());
+  }
+  finish();
 }
 
 void RtmpViewerSession::finish() {
@@ -140,6 +230,9 @@ SessionStats RtmpViewerSession::stats() const {
       geo::distance_km(device_.config().location, pipe_.info().location);
   st.avg_viewers = pipe_.info().average_viewers();
   st.bytes_received = capture_.total_bytes();
+  st.outcome = gave_up_ ? Outcome::GaveUp : Outcome::Completed;
+  st.reconnects = reconnects_;
+  st.retries = retry_attempts_;
   if (player_) {
     fill_player_stats(st, *player_, video_frames_, max_decode_fps_);
   }
@@ -188,6 +281,15 @@ void HlsViewerSession::start(Duration watch_time) {
   player_.emplace(player_cfg_, session_start_, pipe_.epoch_s(), obs_,
                   "hls");
   sim_.schedule_at(stop_at_, [this] { finish(); });
+  if (faults_ != nullptr && faults_->injector != nullptr) {
+    const fault::Injector& inj = *faults_->injector;
+    inj.arm_access_link(up_link_, session_start_, stop_at_);
+    inj.arm_access_link(device_.downlink(), session_start_, stop_at_);
+    // Whole-CDN outages 503 every request (playlists included); per-edge
+    // outages are checked per segment fetch so the client can fail over
+    // to the other edge.
+    edge_server_.set_fault_hook(inj.edge_hook());
+  }
   if (adaptive_ && pipe_.rendition_count() > 1) {
     // Fetch the master playlist first; start at the lowest rendition and
     // let the throughput estimator ramp up.
@@ -328,7 +430,6 @@ void HlsViewerSession::maybe_fetch_next() {
   while (in_flight_ < 2 && next_seq_ <= last_known_seq_) {
     const std::uint64_t seq = next_seq_++;
     ++in_flight_;
-    ++http_requests_;
     if (adaptive_) {
       const std::size_t previous = current_rendition_;
       current_rendition_ = pick_rendition();
@@ -340,62 +441,152 @@ void HlsViewerSession::maybe_fetch_next() {
             sim_.now());
       }
     }
-    const std::size_t rendition = current_rendition_;
-    const std::string uri =
-        rendition == 0
-            ? strf("seg_%llu.ts", static_cast<unsigned long long>(seq))
-            : strf("r%zu/seg_%llu.ts", rendition,
-                   static_cast<unsigned long long>(seq));
-    net::Link& edge_link = (seq % 2 == 0) ? edge_a_link_ : edge_b_link_;
-    const TimePoint fetch_start = sim_.now();
-    http::Request seg_req;
-    seg_req.path = hls_base() + uri;
-    up_link_.send(to_bytes(seg_req.serialize()),
-                  [this, seg_req, uri, rendition, fetch_start,
-                   &edge_link](TimePoint t_edge, Bytes) {
-      if (finished_) {
-        return;
-      }
-      const http::Response resp = edge_server_.handle(seg_req, t_edge);
-      if (resp.status != 200) {
-        // 404: not on the edge (yet); the client backs off and re-polls.
-        --in_flight_;
-        return;
-      }
-      const auto* es = pipe_.find_segment(uri);
-      edge_link.send(resp.serialize(), [this, es, rendition,
-                                        fetch_start](TimePoint,
-                                                     Bytes data) {
-        device_.downlink().send(
-            std::move(data),
-            [this, es, rendition, fetch_start](TimePoint t2, Bytes d) {
-              --in_flight_;
-              if (finished_ || es == nullptr) return;
-              auto parsed = http::Response::parse(d);
-              if (!parsed || parsed.value().status != 200) return;
-              const double dl_s = to_s(t2 - fetch_start);
-              if (dl_s > 1e-6) {
-                const double thr =
-                    static_cast<double>(d.size()) * 8.0 / dl_s;
-                throughput_est_bps_ = throughput_est_bps_ <= 0
-                                          ? thr
-                                          : 0.7 * throughput_est_bps_ +
-                                                0.3 * thr;
-              }
-              fetched_renditions_.push_back(rendition);
-              if (obs_ != nullptr) {
-                obs_->metrics.histogram("hls_segment_fetch_s")
-                    .record(dl_s);
-                obs_->trace.complete("service", "GET segment", fetch_start,
-                                     t2);
-              }
-              // Isolate the GET response body — "saving the response of
-              // HTTP GET request which contains an MPEG-TS file" (§2).
-              on_segment(t2, *es, std::move(parsed.value().body));
-            });
-      });
-    });
+    issue_fetch(seq, current_rendition_, /*attempt=*/0,
+                /*edge_idx=*/static_cast<int>(seq % 2));
   }
+}
+
+void HlsViewerSession::issue_fetch(std::uint64_t seq, std::size_t rendition,
+                                   int attempt, int edge_idx) {
+  ++http_requests_;
+  const std::string uri =
+      rendition == 0
+          ? strf("seg_%llu.ts", static_cast<unsigned long long>(seq))
+          : strf("r%zu/seg_%llu.ts", rendition,
+                 static_cast<unsigned long long>(seq));
+  net::Link& edge_link = edge_idx == 0 ? edge_a_link_ : edge_b_link_;
+  const TimePoint fetch_start = sim_.now();
+  const std::uint64_t fid = ++fetch_counter_;
+  live_fetches_.insert(fid);
+  if (faults_ != nullptr) {
+    // Abandon the attempt if nothing came back within the fetch timeout
+    // (e.g. the radio blacked out mid-download) and run the retry ladder.
+    fetch_timeouts_[fid] = sim_.schedule_after(
+        faults_->policy.hls_fetch_timeout,
+        [this, fid, seq, rendition, attempt, edge_idx] {
+          if (live_fetches_.erase(fid) == 0) return;  // already settled
+          fetch_timeouts_.erase(fid);
+          if (obs_ != nullptr) {
+            obs_->metrics.counter("hls_fetch_timeouts_total").add(1);
+            obs_->trace.instant(
+                "fault",
+                strf("hls timeout seg %llu",
+                     static_cast<unsigned long long>(seq)),
+                sim_.now());
+          }
+          handle_fetch_failure(seq, rendition, attempt, edge_idx);
+        });
+  }
+  http::Request seg_req;
+  seg_req.path = hls_base() + uri;
+  up_link_.send(to_bytes(seg_req.serialize()),
+                [this, seg_req, uri, rendition, fetch_start, fid, seq,
+                 attempt, edge_idx, &edge_link](TimePoint t_edge, Bytes) {
+    if (live_fetches_.count(fid) == 0) return;  // timed out underway
+    if (finished_) {
+      settle_fetch(fid);
+      return;
+    }
+    http::Response resp = edge_server_.handle(seg_req, t_edge);
+    if (resp.status == 200 && faults_ != nullptr &&
+        faults_->injector->edge_down(edge_idx, t_edge)) {
+      // This PoP (only) is down; the edge frontend object serves both
+      // logical edges, so the single-edge outage is applied here.
+      resp = http::Response();
+      resp.status = 503;
+      resp.reason = http::reason_for(503);
+    }
+    if (resp.status != 200) {
+      // 404: not on the edge (yet); the client backs off and re-polls.
+      // 5xx under faults: retry with backoff on the other edge.
+      settle_fetch(fid);
+      handle_fetch_failure(seq, rendition, attempt, edge_idx);
+      return;
+    }
+    const auto* es = pipe_.find_segment(uri);
+    edge_link.send(resp.serialize(), [this, es, rendition, fetch_start,
+                                      fid](TimePoint, Bytes data) {
+      device_.downlink().send(
+          std::move(data),
+          [this, es, rendition, fetch_start, fid](TimePoint t2, Bytes d) {
+            if (live_fetches_.count(fid) == 0) return;  // timed out
+            settle_fetch(fid);
+            --in_flight_;
+            consecutive_failures_ = 0;
+            if (finished_ || es == nullptr) return;
+            auto parsed = http::Response::parse(d);
+            if (!parsed || parsed.value().status != 200) return;
+            const double dl_s = to_s(t2 - fetch_start);
+            if (dl_s > 1e-6) {
+              const double thr =
+                  static_cast<double>(d.size()) * 8.0 / dl_s;
+              throughput_est_bps_ = throughput_est_bps_ <= 0
+                                        ? thr
+                                        : 0.7 * throughput_est_bps_ +
+                                              0.3 * thr;
+            }
+            fetched_renditions_.push_back(rendition);
+            if (obs_ != nullptr) {
+              obs_->metrics.histogram("hls_segment_fetch_s")
+                  .record(dl_s);
+              obs_->trace.complete("service", "GET segment", fetch_start,
+                                   t2);
+            }
+            // Isolate the GET response body — "saving the response of
+            // HTTP GET request which contains an MPEG-TS file" (§2).
+            on_segment(t2, *es, std::move(parsed.value().body));
+          });
+    });
+  });
+}
+
+void HlsViewerSession::settle_fetch(std::uint64_t fid) {
+  live_fetches_.erase(fid);
+  auto it = fetch_timeouts_.find(fid);
+  if (it != fetch_timeouts_.end()) {
+    sim_.cancel(it->second);
+    fetch_timeouts_.erase(it);
+  }
+}
+
+void HlsViewerSession::handle_fetch_failure(std::uint64_t seq,
+                                            std::size_t rendition,
+                                            int attempt, int edge_idx) {
+  if (faults_ == nullptr || finished_) {
+    // Legacy behaviour: drop the fetch silently; the slot frees and the
+    // next playlist poll moves the client past the hole.
+    --in_flight_;
+    return;
+  }
+  const fault::BackoffConfig& pol = faults_->policy.hls_retry;
+  if (pol.max_attempts > 0 && attempt + 1 >= pol.max_attempts) {
+    // Retry budget exhausted: abandon this segment. Enough abandoned
+    // segments in a row and the player gives up entirely.
+    --in_flight_;
+    ++consecutive_failures_;
+    if (obs_ != nullptr) {
+      obs_->metrics.counter("hls_segments_abandoned_total").add(1);
+    }
+    if (consecutive_failures_ >= faults_->policy.hls_give_up_after) {
+      give_up();
+    }
+    return;
+  }
+  ++hls_retries_;
+  const Duration delay = fault::backoff_delay(pol, attempt, rng_);
+  if (obs_ != nullptr) {
+    obs_->metrics.counter("hls_retries_total").add(1);
+  }
+  // The in-flight slot stays held: the retry inherits it. Fail over to
+  // the other edge — the paper's clients already talk to two PoPs.
+  sim_.schedule_after(delay,
+                      [this, seq, rendition, attempt, edge_idx] {
+    if (finished_) {
+      --in_flight_;
+      return;
+    }
+    issue_fetch(seq, rendition, attempt + 1, 1 - edge_idx);
+  });
 }
 
 void HlsViewerSession::on_segment(
@@ -407,6 +598,16 @@ void HlsViewerSession::on_segment(
   player_->on_media(t, seg.segment.start_dts,
                     seg.segment.start_dts + seg.segment.duration);
   maybe_fetch_next();
+}
+
+void HlsViewerSession::give_up() {
+  if (finished_) return;
+  gave_up_ = true;
+  if (obs_ != nullptr) {
+    obs_->metrics.counter("sessions_gave_up_total").add(1);
+    obs_->trace.instant("fault", "hls give up", sim_.now());
+  }
+  finish();
 }
 
 void HlsViewerSession::finish() {
@@ -429,6 +630,8 @@ SessionStats HlsViewerSession::stats() const {
       geo::distance_km(device_.config().location, pipe_.info().location);
   st.avg_viewers = pipe_.info().average_viewers();
   st.bytes_received = capture_.total_bytes() + playlist_bytes_;
+  st.outcome = gave_up_ ? Outcome::GaveUp : Outcome::Completed;
+  st.retries = hls_retries_;
   if (player_) {
     fill_player_stats(st, *player_, video_frames_, max_decode_fps_);
   }

@@ -6,14 +6,25 @@
 // RtmpViewerSession glues rtmp::ClientSession <-> simulated network <->
 // rtmp::ServerSession fed by the broadcast pipeline. HlsViewerSession
 // polls the edge playlist and fetches MPEG-TS segments over HTTP.
+//
+// With a fault bundle attached (set_faults, see fault/injector.h) both
+// sessions gain real resilience: the RTMP client reconnects after origin
+// restarts with capped exponential backoff + deterministic jitter, the
+// HLS client refetches timed-out or 5xx'd segments with failover to the
+// other edge, and both give up — ending the session in a defined state —
+// once their retry budgets are exhausted. Without the bundle the legacy
+// (fail-silent) behaviour is preserved bit for bit.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "client/device.h"
 #include "client/player.h"
+#include "fault/injector.h"
 #include "http/http.h"
 #include "obs/bundle.h"
 #include "net/capture.h"
@@ -25,6 +36,12 @@
 namespace psc::client {
 
 enum class Protocol { Rtmp, Hls };
+
+/// How a session ended: Completed = it played (or silently failed) to the
+/// end of its watch time; GaveUp = its resilience policy exhausted the
+/// retry budget and aborted. Every session terminates as one or the
+/// other — retry ladders are bounded by construction.
+enum class Outcome { Completed, GaveUp };
 
 /// End-of-session statistics — what playbackMeta uploads plus what the
 /// offline capture analysis needs.
@@ -47,12 +64,22 @@ struct SessionStats {
   double playback_latency_s = 0;
   double reported_fps = 0;
   std::uint64_t bytes_received = 0;
+
+  /// Resilience outcome (always Completed when faults are off).
+  Outcome outcome = Outcome::Completed;
+  /// RTMP: successful reconnects after a dropped connection.
+  int reconnects = 0;
+  /// Retry attempts made (RTMP reconnect attempts / HLS refetches).
+  int retries = 0;
 };
 
 /// Common interface so the study code can drive both protocols alike.
 class ViewerSession {
  public:
   virtual ~ViewerSession() = default;
+  /// Attach the fault bundle (injector + resilience policy). Must be
+  /// called before start(); nullptr (the default) = faults off.
+  virtual void set_faults(const fault::SessionFaults* faults) = 0;
   /// Begin the session at the current sim time; ends after `watch_time`.
   virtual void start(Duration watch_time) = 0;
   virtual bool finished() const = 0;
@@ -62,8 +89,8 @@ class ViewerSession {
   /// any simulation events still referencing it; they become no-ops.
   virtual void retire() = 0;
   /// Earliest simulation time at which no scheduled event can still
-  /// reference this object (poll chains and link deliveries are
-  /// bounded) — destroying it after this point is safe.
+  /// reference this object (poll chains, link deliveries and retry
+  /// ladders are all bounded) — destroying it after this point is safe.
   virtual TimePoint safe_destroy_at() const = 0;
 };
 
@@ -78,6 +105,9 @@ class RtmpViewerSession : public ViewerSession {
                     obs::Obs* obs = nullptr);
   ~RtmpViewerSession() override;
 
+  void set_faults(const fault::SessionFaults* faults) override {
+    faults_ = faults;
+  }
   void start(Duration watch_time) override;
   bool finished() const override { return finished_; }
   SessionStats stats() const override;
@@ -85,17 +115,27 @@ class RtmpViewerSession : public ViewerSession {
   void retire() override {
     finish();
     capture_.clear();
-    server_.discard_buffers();
+    if (server_) server_->discard_buffers();
     if (client_) client_->discard_buffers();
   }
   TimePoint safe_destroy_at() const override {
     TimePoint t = std::max(up_link_.busy_until(), origin_link_.busy_until());
     t = std::max(t, device_.downlink().busy_until());
+    // Reconnect attempts are scheduled no later than stop_at_ and fire at
+    // most one capped backoff delay (< 15 s) after it.
+    t = std::max(t, stop_at_);
     return t + seconds(15);
   }
 
+  int reconnects() const { return reconnects_; }
+
  private:
+  void make_connection();
   void pump();
+  void drop_connection();
+  void schedule_reconnect();
+  void attempt_reconnect();
+  void give_up();
   void finish();
 
   sim::Simulation& sim_;
@@ -103,17 +143,29 @@ class RtmpViewerSession : public ViewerSession {
   Device& device_;
   obs::Obs* obs_ = nullptr;
   const service::MediaServer& origin_;
+  const fault::SessionFaults* faults_ = nullptr;
   net::Link up_link_;      // client -> origin
   net::Link origin_link_;  // origin -> device access link
   net::Capture capture_;
-  rtmp::ServerSession server_;
+  std::unique_ptr<rtmp::ServerSession> server_;
   std::unique_ptr<rtmp::ClientSession> client_;
   PlayerConfig player_cfg_;
   std::optional<Player> player_;
+  std::optional<fault::Backoff> reconnect_backoff_;
   TimePoint session_start_{};
+  TimePoint stop_at_{};
+  std::uint64_t seed_ = 0;
+  /// Connection generation: bumped on every drop; in-flight deliveries
+  /// from an older connection check it and become no-ops, so stale bytes
+  /// can never corrupt a fresh handshake.
+  std::uint64_t conn_gen_ = 0;
   int subscription_ = 0;
   bool media_started_ = false;
   bool finished_ = false;
+  bool gave_up_ = false;
+  int disconnects_ = 0;
+  int reconnects_ = 0;
+  int retry_attempts_ = 0;
   std::uint64_t video_frames_ = 0;
   double max_decode_fps_;
 };
@@ -137,6 +189,9 @@ class HlsViewerSession : public ViewerSession {
                    Duration extra_b_latency = Duration{0},
                    obs::Obs* obs = nullptr);
 
+  void set_faults(const fault::SessionFaults* faults) override {
+    faults_ = faults;
+  }
   void start(Duration watch_time) override;
   bool finished() const override { return finished_; }
   SessionStats stats() const override;
@@ -147,7 +202,9 @@ class HlsViewerSession : public ViewerSession {
   }
   TimePoint safe_destroy_at() const override {
     // The playlist poll chain stops within one poll interval of finish;
-    // in-flight fetches are bounded by the link busy horizons.
+    // in-flight fetches are bounded by the link busy horizons, and retry
+    // / timeout events by one fetch timeout + one capped backoff delay
+    // (< 15 s) past the fetch that armed them.
     TimePoint t = std::max(edge_a_link_.busy_until(),
                            edge_b_link_.busy_until());
     t = std::max(t, up_link_.busy_until());
@@ -172,8 +229,20 @@ class HlsViewerSession : public ViewerSession {
  private:
   void poll_playlist();
   void maybe_fetch_next();
+  /// Issue one segment GET: attempt 0 targets `edge_idx` = seq % 2,
+  /// retries flip to the other edge.
+  void issue_fetch(std::uint64_t seq, std::size_t rendition, int attempt,
+                   int edge_idx);
+  /// Forget fetch `fid` and cancel its timeout (response arrived or the
+  /// fetch failed definitively).
+  void settle_fetch(std::uint64_t fid);
+  /// A fetch came back non-200 or timed out: retry with backoff on the
+  /// other edge (faults on) or drop it silently (legacy behaviour).
+  void handle_fetch_failure(std::uint64_t seq, std::size_t rendition,
+                            int attempt, int edge_idx);
   void on_segment(TimePoint t, const service::LiveBroadcastPipeline::
                                    EdgeSegment& seg, Bytes body);
+  void give_up();
   void finish();
   /// ABR decision: rendition to fetch next, from the throughput estimate
   /// and the master playlist's advertised bandwidths.
@@ -186,6 +255,7 @@ class HlsViewerSession : public ViewerSession {
   service::LiveBroadcastPipeline& pipe_;
   Device& device_;
   obs::Obs* obs_ = nullptr;
+  const fault::SessionFaults* faults_ = nullptr;
   service::CdnEdge edge_server_;  // HTTP frontend over the edge content
   net::Link edge_a_link_;  // edge A -> device
   net::Link edge_b_link_;  // edge B -> device
@@ -213,6 +283,15 @@ class HlsViewerSession : public ViewerSession {
   bool refetch_scheduled_ = false;
   int in_flight_ = 0;
   bool finished_ = false;
+  bool gave_up_ = false;
+  /// Fetches awaiting a response, by fetch id; a fetch id missing from
+  /// the set means the fetch was settled (delivered, failed or timed
+  /// out) and any late event for it is a no-op.
+  std::set<std::uint64_t> live_fetches_;
+  std::map<std::uint64_t, sim::EventHandle> fetch_timeouts_;
+  std::uint64_t fetch_counter_ = 0;
+  int consecutive_failures_ = 0;
+  int hls_retries_ = 0;
   std::uint64_t video_frames_ = 0;
   double max_decode_fps_;
   Rng rng_;

@@ -1,6 +1,7 @@
 #include "core/study.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "util/strings.h"
 
@@ -56,6 +57,7 @@ Study::Study(const StudyConfig& cfg)
   servers_.load_ledger().set_epoch_length(cfg_.load.epoch_length);
   obs_.trace.set_enabled(obs::trace_enabled());
   api_.set_obs(obs_ptr());
+  init_faults();
 }
 
 Study::Study(const StudyConfig& cfg, const SharedWorldContext& shared)
@@ -70,6 +72,70 @@ Study::Study(const StudyConfig& cfg, const SharedWorldContext& shared)
   servers_.load_ledger().set_epoch_length(cfg_.load.epoch_length);
   obs_.trace.set_enabled(obs::trace_enabled());
   api_.set_obs(obs_ptr());
+  init_faults();
+}
+
+void Study::init_faults() {
+  if (!cfg_.fault.enabled) return;
+  if (!cfg_.fault.plan_text.empty()) {
+    auto parsed = fault::Plan::parse(cfg_.fault.plan_text);
+    if (parsed) {
+      fault_plan_ =
+          std::make_unique<fault::Plan>(std::move(parsed).value());
+    } else {
+      std::fprintf(stderr,
+                   "psc: fault plan rejected (%s); generating from seed "
+                   "%llu instead\n",
+                   parsed.error().message.c_str(),
+                   static_cast<unsigned long long>(cfg_.fault.seed));
+    }
+  }
+  if (!fault_plan_) {
+    fault_plan_ = std::make_unique<fault::Plan>(
+        fault::Plan::generate(cfg_.fault.seed, cfg_.fault.gen));
+  }
+  injector_ = std::make_unique<fault::Injector>(sim_, *fault_plan_);
+  session_faults_ =
+      fault::SessionFaults{injector_.get(), cfg_.fault.policy};
+  api_.set_fault_hook(injector_->api_hook());
+  if (obs::Obs* o = obs_ptr()) {
+    for (const fault::Episode& e : fault_plan_->episodes()) {
+      o->metrics
+          .counter(strf("fault_episodes_total{kind=\"%s\"}",
+                        fault::kind_name(e.kind)))
+          .add(1);
+    }
+  }
+}
+
+std::optional<json::Value> Study::access_video_with_retry(
+    const std::string& broadcast_id, std::size_t session_idx) {
+  fault::Backoff backoff(session_faults_->policy.api_retry,
+                         Rng(rng_.engine()()));
+  for (;;) {
+    json::Object req;
+    req["cookie"] = strf("viewer-%zu", session_idx);
+    req["broadcast_id"] = broadcast_id;
+    int status = 200;
+    json::Value access = api_.call("accessVideo",
+                                   json::Value(std::move(req)), sim_.now(),
+                                   &status);
+    // Injected API latency burst: the app simply sees a slow response.
+    const Duration extra = api_.last_injected_latency();
+    if (extra > Duration{0}) sim_.run_until(sim_.now() + extra);
+    if (status < 500) return access;
+    if (backoff.exhausted()) {
+      if (obs::Obs* o = obs_ptr()) {
+        o->metrics.counter("api_gave_up_total").add(1);
+      }
+      return std::nullopt;
+    }
+    const Duration delay = backoff.next();
+    if (obs::Obs* o = obs_ptr()) {
+      o->metrics.counter("api_retries_total").add(1);
+    }
+    sim_.run_until(sim_.now() + delay);
+  }
 }
 
 void Study::report_playback_meta(const client::SessionStats& st) {
@@ -113,11 +179,27 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
 
   // accessVideo: the service decides RTMP vs HLS from current popularity.
   const std::size_t session_idx = session_counter_++;
-  json::Object req;
-  req["cookie"] = strf("viewer-%zu", session_idx);
-  req["broadcast_id"] = b->id;
-  const json::Value access =
-      api_.call("accessVideo", json::Value(std::move(req)), sim_.now());
+  json::Value access;
+  if (session_faults_) {
+    auto a = access_video_with_retry(b->id, session_idx);
+    if (!a) {
+      // The API never recovered within the retry budget: the app drops
+      // back to the channel list without ever opening a player. The
+      // pipeline still gets an orderly retirement.
+      pipeline.stop();
+      pipeline.retire();
+      retired_pipelines_.emplace_back(pipeline.safe_destroy_at(),
+                                      std::move(pipeline_ptr));
+      return std::nullopt;
+    }
+    access = std::move(*a);
+  } else {
+    json::Object req;
+    req["cookie"] = strf("viewer-%zu", session_idx);
+    req["broadcast_id"] = b->id;
+    access =
+        api_.call("accessVideo", json::Value(std::move(req)), sim_.now());
+  }
   const bool use_hls = access["protocol"].as_string() == "hls";
 
   // Per-session buffer jitter: the app's effective startup buffer varies
@@ -160,6 +242,7 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
         sim_, pipeline, device, origin, pc, rng_.engine()(),
         penalty(origin.ip), obs_ptr());
   }
+  if (session_faults_) session->set_faults(&*session_faults_);
   const TimePoint watch_begin = sim_.now();
   session->start(cfg_.watch_time);
   sim_.run_until(sim_.now() + cfg_.watch_time + seconds(2));
@@ -196,6 +279,11 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
     o->trace.complete("kernel",
                       strf("session %zu %s", session_idx, proto),
                       session_begin, watch_end);
+    if (session_faults_) {
+      o->metrics.counter("session_reconnects_total")
+          .add(rec.stats.reconnects);
+      o->metrics.counter("session_retries_total").add(rec.stats.retries);
+    }
   }
   // Retire rather than destroy: late events may still reference these
   // objects; retirement frees their bulk buffers and neuters callbacks.

@@ -18,6 +18,7 @@
 #include "analysis/reconstruct.h"
 #include "client/device.h"
 #include "client/viewer_session.h"
+#include "fault/injector.h"
 #include "obs/bundle.h"
 #include "service/api.h"
 #include "service/chat.h"
@@ -64,6 +65,10 @@ struct StudyConfig {
   CampaignMode mode = CampaignMode::independent_worlds;
   /// Epoch length + load->latency model for shared_world campaigns.
   service::EpochLoadConfig load;
+  /// Fault injection + client resilience (docs/ROBUSTNESS.md). Off by
+  /// default; when enabled, the plan seed is used verbatim (never mixed
+  /// with the shard seed) so every shard replays the same fault timeline.
+  fault::FaultConfig fault;
 };
 
 /// Everything a shard of a shared-world campaign shares with its
@@ -153,6 +158,10 @@ class Study {
   /// campaign; the sharded runner does this before harvesting the shard.
   void finalize_obs();
 
+  /// The campaign's fault timeline, or nullptr when faults are off.
+  const fault::Plan* fault_plan() const { return fault_plan_.get(); }
+  const fault::Injector* injector() const { return injector_.get(); }
+
   sim::Simulation& sim() { return sim_; }
   /// The live world — only valid in independent mode (a shared-world
   /// shard has a ReplayWorld instead; use world_view()).
@@ -170,6 +179,15 @@ class Study {
   /// was available.
   std::optional<SessionRecord> run_one_session(
       client::Device& device, bool analyze);
+
+  /// Build the fault plan + injector from cfg_.fault and hook the API
+  /// server. Called from both constructors; no-op when faults are off.
+  void init_faults();
+  /// accessVideo with the client's API retry ladder (5xx under injected
+  /// faults -> capped exponential backoff). Returns the response, or
+  /// nullopt when the retry budget is exhausted.
+  std::optional<json::Value> access_video_with_retry(
+      const std::string& broadcast_id, std::size_t session_idx);
 
   /// Retired pipelines/sessions/devices: kept alive (with bulk buffers
   /// freed) because late simulation events may still reference them.
@@ -192,6 +210,11 @@ class Study {
   const service::EpochLoadBoard* load_board_ = nullptr;
   service::MediaServerPool servers_;
   service::ApiServer api_;
+  /// Fault subsystem (set iff cfg_.fault.enabled): one immutable plan +
+  /// one injector per shard, both derived from campaign-level config only.
+  std::unique_ptr<fault::Plan> fault_plan_;
+  std::unique_ptr<fault::Injector> injector_;
+  std::optional<fault::SessionFaults> session_faults_;
   /// Destroy retired objects whose event horizon has passed.
   void purge_retired();
 

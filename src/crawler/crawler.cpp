@@ -43,7 +43,7 @@ std::vector<std::size_t> DeepCrawlResult::cumulative_ranked() const {
 
 DeepCrawler::DeepCrawler(sim::Simulation& sim, service::ApiServer& api,
                          const DeepCrawlConfig& cfg)
-    : sim_(sim), api_(api), cfg_(cfg) {}
+    : sim_(sim), api_(api), cfg_(cfg), backoff_(cfg.backoff, Rng(0)) {}
 
 void DeepCrawler::run(std::function<void(DeepCrawlResult)> done) {
   done_ = std::move(done);
@@ -73,9 +73,10 @@ void DeepCrawler::issue_next() {
   if (status == 429) {
     ++result_.throttled;
     queue_.insert(queue_.begin(), rect);  // retry after backoff
-    sim_.schedule_after(cfg_.backoff_on_429, [this] { issue_next(); });
+    sim_.schedule_after(backoff_.next(), [this] { issue_next(); });
     return;
   }
+  backoff_.reset();
 
   const json::Array& broadcasts = resp["broadcasts"].as_array();
   std::size_t fresh = 0;
@@ -118,6 +119,7 @@ TargetedCrawler::TargetedCrawler(sim::Simulation& sim,
   workers_.resize(static_cast<std::size_t>(cfg.accounts));
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     workers_[w].account = strf("crawler-acct-%zu", w);
+    workers_[w].backoff.emplace(cfg.backoff, Rng(0));
   }
   // Deal areas round-robin across the workers.
   for (std::size_t i = 0; i < areas.size(); ++i) {
@@ -196,8 +198,13 @@ void TargetedCrawler::issue_next(std::size_t widx) {
         record_sighting(d, sim_.now());
       }
     }
-    sim_.schedule_after(status == 429 ? cfg_.backoff_on_429 : cfg_.pacing,
-                        [this, widx] { issue_next(widx); });
+    Duration delay = cfg_.pacing;
+    if (status == 429) {
+      delay = w.backoff->next();
+    } else {
+      w.backoff->reset();
+    }
+    sim_.schedule_after(delay, [this, widx] { issue_next(widx); });
     return;
   }
 
@@ -207,10 +214,11 @@ void TargetedCrawler::issue_next(std::size_t widx) {
       "mapGeoBroadcastFeed", map_feed_body(w.account, rect), sim_.now(),
       &status);
   if (status == 429) {
-    sim_.schedule_after(cfg_.backoff_on_429,
+    sim_.schedule_after(w.backoff->next(),
                         [this, widx] { issue_next(widx); });
     return;
   }
+  w.backoff->reset();
   for (const json::Value& d : resp["broadcasts"].as_array()) {
     record_sighting(d, sim_.now());
     w.pending_ids.push_back(d["id"].as_string());

@@ -16,10 +16,12 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "fault/backoff.h"
 #include "geo/geo.h"
 #include "service/api.h"
 #include "sim/simulation.h"
@@ -48,7 +50,11 @@ struct DeepCrawlResult {
 struct DeepCrawlConfig {
   std::string account = "deep-crawler";
   Duration pacing = millis(850);
-  Duration backoff_on_429 = seconds(2);
+  /// 429 handling: capped exponential backoff (shared fault::Backoff).
+  /// First retry after 2 s — exactly the old fixed backoff_on_429 — then
+  /// doubling up to 16 s while the limiter keeps answering 429. Jitter is
+  /// zero so the crawl stays draw-for-draw deterministic.
+  fault::BackoffConfig backoff{seconds(2), 2.0, seconds(16), 0.0, 0};
   int max_depth = 7;
   /// Subdivide an area when its response is truncated at the server cap…
   std::size_t subdivide_at = 60;
@@ -72,6 +78,7 @@ class DeepCrawler {
   sim::Simulation& sim_;
   service::ApiServer& api_;
   DeepCrawlConfig cfg_;
+  fault::Backoff backoff_;
   std::vector<geo::GeoRect> queue_;
   DeepCrawlResult result_;
   TimePoint started_{};
@@ -114,7 +121,8 @@ struct UsageDataset {
 struct TargetedCrawlConfig {
   int accounts = 4;            // parallel crawlers, distinct logins
   Duration pacing = millis(800);
-  Duration backoff_on_429 = seconds(2);
+  /// Per-account 429 backoff; same ladder as DeepCrawlConfig::backoff.
+  fault::BackoffConfig backoff{seconds(2), 2.0, seconds(16), 0.0, 0};
   std::size_t get_broadcasts_batch = 100;
 };
 
@@ -138,6 +146,8 @@ class TargetedCrawler {
     std::size_t next_area = 0;
     std::vector<service::BroadcastId> pending_ids;
     TimePoint sweep_started{};
+    /// Each account climbs (and resets) its own 429 ladder.
+    std::optional<fault::Backoff> backoff;
   };
 
   void issue_next(std::size_t worker);

@@ -1,0 +1,18 @@
+#include "fault/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psc::fault {
+
+Duration backoff_delay(const BackoffConfig& cfg, int attempt, Rng& rng) {
+  double d = to_s(cfg.initial) *
+             std::pow(cfg.multiplier, std::max(0, attempt));
+  d = std::min(d, to_s(cfg.max));
+  if (cfg.jitter > 0) {
+    d *= 1.0 + cfg.jitter * rng.uniform(-1.0, 1.0);
+  }
+  return seconds(std::max(0.0, d));
+}
+
+}  // namespace psc::fault

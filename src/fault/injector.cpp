@@ -1,0 +1,60 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+namespace psc::fault {
+
+bool Injector::all_edges_down(TimePoint t) const {
+  for (const Episode& e : plan_->episodes()) {
+    if (e.start > t) break;
+    if (e.kind == Kind::EdgeOutage && e.target == -1 && e.end() > t) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ApiFault Injector::api_at(TimePoint t) const {
+  ApiFault f;
+  if (plan_->active(Kind::ApiErrorBurst, t) != nullptr) f.status = 503;
+  if (const Episode* e = plan_->active(Kind::ApiLatencyBurst, t)) {
+    f.extra_latency = seconds(e->severity);
+  }
+  return f;
+}
+
+void Injector::arm_access_link(net::Link& link, TimePoint from,
+                               TimePoint until) const {
+  for (const Episode& e : plan_->episodes()) {
+    if (e.start >= until) break;
+    if (e.end() <= from) continue;
+    const bool freeze =
+        e.kind == Kind::LinkBlackout || e.kind == Kind::HandoverGap;
+    const bool collapse = e.kind == Kind::RateCollapse;
+    if (!freeze && !collapse) continue;
+    // Events are clamped into [from, until]: the session owning the link
+    // is guaranteed alive through `until`; episode *ends* are values, so
+    // they may lie beyond it.
+    const TimePoint at = std::max(from, e.start);
+    if (freeze) {
+      const TimePoint hold = e.end();
+      if (at <= sim_->now()) {
+        link.freeze_until(hold);
+      } else {
+        sim_->schedule_at(at, [&link, hold] { link.freeze_until(hold); });
+      }
+    } else {
+      const double factor = std::clamp(e.severity, 0.001, 1.0);
+      if (at <= sim_->now()) {
+        link.set_fault_factor(factor);
+      } else {
+        sim_->schedule_at(at,
+                          [&link, factor] { link.set_fault_factor(factor); });
+      }
+      const TimePoint clear = std::min(e.end(), until);
+      sim_->schedule_at(clear, [&link] { link.set_fault_factor(1.0); });
+    }
+  }
+}
+
+}  // namespace psc::fault

@@ -1,0 +1,87 @@
+// Arms a fault::Plan against the simulated network and service.
+//
+// The Injector is the bridge between the pure-data Plan and the moving
+// parts: it schedules radio episodes (blackouts, rate collapses,
+// handover gaps) onto access links via Link::freeze_until /
+// set_fault_factor, and answers point-in-time queries — is the origin
+// restarting, is this edge down, what does the API inject right now —
+// that the service hooks and client retry loops consult. All of it is
+// driven by the one shared simulation clock, so a campaign's outcome is
+// byte-identical for any thread count. See docs/ROBUSTNESS.md.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "fault/backoff.h"
+#include "fault/plan.h"
+#include "net/link.h"
+#include "sim/simulation.h"
+
+namespace psc::fault {
+
+class Injector {
+ public:
+  Injector(sim::Simulation& sim, const Plan& plan)
+      : sim_(&sim), plan_(&plan) {}
+
+  /// Schedule the radio episodes intersecting [from, until) onto an
+  /// access link: blackouts and handover gaps freeze the link for the
+  /// episode, rate collapses multiply its rate by the severity. Every
+  /// scheduled event fires at or before `until`, so a session-owned link
+  /// may be destroyed once its owner's event horizon passes `until`
+  /// (freeze ends beyond `until` are applied as values, not events).
+  void arm_access_link(net::Link& link, TimePoint from,
+                       TimePoint until) const;
+
+  bool origin_restarting(TimePoint t) const {
+    return plan_->active(Kind::OriginRestart, t) != nullptr;
+  }
+  /// True when `edge_index`'s edge (or all edges) is out at `t`.
+  bool edge_down(int edge_index, TimePoint t) const {
+    return plan_->active(Kind::EdgeOutage, t, edge_index) != nullptr;
+  }
+  /// True only for an all-edges (target == -1) outage.
+  bool all_edges_down(TimePoint t) const;
+  ApiFault api_at(TimePoint t) const;
+
+  /// Hook factories for the service-side injection points.
+  std::function<ApiFault(TimePoint)> api_hook() const {
+    return [this](TimePoint t) { return api_at(t); };
+  }
+  std::function<bool(TimePoint)> edge_hook() const {
+    return [this](TimePoint t) { return all_edges_down(t); };
+  }
+  std::function<bool(TimePoint)> origin_hook() const {
+    return [this](TimePoint t) { return origin_restarting(t); };
+  }
+
+  const Plan& plan() const { return *plan_; }
+  sim::Simulation& sim() const { return *sim_; }
+
+ private:
+  sim::Simulation* sim_;
+  const Plan* plan_;
+};
+
+/// What a Study hands each viewer session: the armed injector plus the
+/// client-side policy knobs. Sessions treat a null pointer / absent
+/// bundle as "faults off" and keep their legacy behaviour exactly.
+struct SessionFaults {
+  const Injector* injector = nullptr;
+  ResilienceConfig policy;
+};
+
+/// Study-level fault switchboard (lives here so core/ needs only this
+/// header). When `plan_text` is non-empty it is parsed; otherwise a plan
+/// is generated from `seed` + `gen`. The seed is used verbatim — not
+/// shard-mixed — so every shard of a campaign replays the same timeline.
+struct FaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+  std::string plan_text;
+  GenConfig gen;
+  ResilienceConfig policy;
+};
+
+}  // namespace psc::fault

@@ -1,0 +1,253 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace psc::fault {
+
+namespace {
+
+constexpr const char* kHeader = "# psc-fault-plan v1";
+
+struct KindTraits {
+  const char* name;
+  /// Mean episode count over a 1800 s horizon at intensity 1.
+  double episodes_per_1800s;
+  double dur_lo, dur_hi;          // seconds
+  double severity_lo, severity_hi;  // 0 => severity fixed at 0
+  bool has_edge_target;
+};
+
+constexpr KindTraits kTraits[kKindCount] = {
+    {"link_blackout", 3, 2, 8, 0, 0, false},
+    {"rate_collapse", 5, 5, 30, 0.03, 0.2, false},
+    {"handover_gap", 8, 0.5, 4, 0, 0, false},
+    {"edge_outage", 2, 10, 60, 0, 0, true},
+    {"origin_restart", 2, 5, 20, 0, 0, false},
+    {"api_error_burst", 3, 5, 30, 0, 0, false},
+    {"api_latency_burst", 3, 5, 30, 0.5, 3, false},
+};
+
+/// Snap a generated value onto a decimal grid (1/scale). Grid values have
+/// few enough significant digits that the %.9g text form recovers the
+/// exact double on parse — without this, two episodes whose starts differ
+/// only past the 9th digit collapse onto one printed value and the
+/// canonical sort order would not survive a text round-trip.
+double snap(double v, double scale) { return std::round(v * scale) / scale; }
+
+Error plan_error(std::size_t line, std::string message) {
+  return make_error("fault_plan",
+                    strf("line %zu: %s", line, message.c_str()));
+}
+
+bool parse_number(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  const std::string buf(s);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* kind_name(Kind k) {
+  return kTraits[static_cast<int>(k)].name;
+}
+
+bool kind_from_name(std::string_view name, Kind* out) {
+  for (int i = 0; i < kKindCount; ++i) {
+    if (name == kTraits[i].name) {
+      *out = static_cast<Kind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+Plan::Plan(std::vector<Episode> episodes) : episodes_(std::move(episodes)) {
+  std::sort(episodes_.begin(), episodes_.end(),
+            [](const Episode& a, const Episode& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.target != b.target) return a.target < b.target;
+              if (a.duration != b.duration) return a.duration < b.duration;
+              return a.severity < b.severity;
+            });
+  // Canonical form: overlapping episodes of the same (kind, target) merge
+  // into whichever starts first (the later one is dropped).
+  std::map<std::pair<int, int>, TimePoint> last_end;
+  std::vector<Episode> kept;
+  kept.reserve(episodes_.size());
+  for (const Episode& e : episodes_) {
+    const auto key = std::make_pair(static_cast<int>(e.kind), e.target);
+    auto it = last_end.find(key);
+    if (it != last_end.end() && e.start < it->second) continue;
+    last_end[key] = e.end();
+    kept.push_back(e);
+  }
+  episodes_ = std::move(kept);
+}
+
+Plan Plan::generate(std::uint64_t seed, const GenConfig& cfg) {
+  Rng root(seed);
+  std::vector<Episode> eps;
+  const double horizon_s = std::max(0.0, to_s(cfg.horizon));
+  for (int i = 0; i < kKindCount; ++i) {
+    // Per-kind forked stream: enabling or disabling one kind never
+    // perturbs the episodes of another.
+    Rng rng = root.fork(static_cast<std::uint64_t>(i) + 1);
+    if ((cfg.kinds & kind_bit(static_cast<Kind>(i))) == 0) continue;
+    const KindTraits& t = kTraits[i];
+    const long count = std::lround(t.episodes_per_1800s * cfg.intensity *
+                                   horizon_s / 1800.0);
+    for (long n = 0; n < count; ++n) {
+      Episode e;
+      e.kind = static_cast<Kind>(i);
+      e.start = time_at(snap(rng.uniform(0, horizon_s), 1000));
+      e.duration = seconds(snap(rng.uniform(t.dur_lo, t.dur_hi), 1000));
+      e.severity = t.severity_hi > 0
+                       ? snap(rng.uniform(t.severity_lo, t.severity_hi),
+                              10000)
+                       : 0;
+      e.target = t.has_edge_target
+                     ? static_cast<int>(rng.uniform_int(-1, 1))
+                     : -1;
+      eps.push_back(e);
+    }
+  }
+  return Plan(std::move(eps));
+}
+
+Result<Plan> Plan::parse(std::string_view text) {
+  // Hard cap so a pathological (fuzzed) input cannot balloon memory.
+  constexpr std::size_t kMaxEpisodes = 100000;
+  std::vector<Episode> eps;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!saw_header) {
+      if (line != kHeader) {
+        return plan_error(line_no, strf("expected header '%s'", kHeader));
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+
+    // episode <kind> key=value...
+    std::vector<std::string_view> tokens;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && line[i] == ' ') ++i;
+      std::size_t j = i;
+      while (j < line.size() && line[j] != ' ') ++j;
+      if (j > i) tokens.push_back(line.substr(i, j - i));
+      i = j;
+    }
+    if (tokens.empty()) continue;
+    if (tokens[0] != "episode") {
+      return plan_error(line_no, strf("unknown directive '%.*s'",
+                                      static_cast<int>(tokens[0].size()),
+                                      tokens[0].data()));
+    }
+    if (tokens.size() < 2) {
+      return plan_error(line_no, "episode needs a kind");
+    }
+    Episode e;
+    if (!kind_from_name(tokens[1], &e.kind)) {
+      return plan_error(line_no, strf("unknown episode kind '%.*s'",
+                                      static_cast<int>(tokens[1].size()),
+                                      tokens[1].data()));
+    }
+    bool have_start = false, have_dur = false;
+    for (std::size_t k = 2; k < tokens.size(); ++k) {
+      const std::string_view tok = tokens[k];
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string_view::npos) {
+        return plan_error(line_no, "expected key=value");
+      }
+      const std::string_view key = tok.substr(0, eq);
+      double v = 0;
+      if (!parse_number(tok.substr(eq + 1), &v)) {
+        return plan_error(line_no, strf("bad number for '%.*s'",
+                                        static_cast<int>(key.size()),
+                                        key.data()));
+      }
+      if (key == "start") {
+        if (v < 0) return plan_error(line_no, "start must be >= 0");
+        e.start = time_at(v);
+        have_start = true;
+      } else if (key == "dur") {
+        if (v < 0) return plan_error(line_no, "dur must be >= 0");
+        e.duration = seconds(v);
+        have_dur = true;
+      } else if (key == "severity") {
+        if (v < 0) return plan_error(line_no, "severity must be >= 0");
+        e.severity = v;
+      } else if (key == "target") {
+        if (v != std::floor(v) || v < -1 || v > 1e6) {
+          return plan_error(line_no, "target must be an integer >= -1");
+        }
+        e.target = static_cast<int>(v);
+      } else {
+        return plan_error(line_no, strf("unknown key '%.*s'",
+                                        static_cast<int>(key.size()),
+                                        key.data()));
+      }
+    }
+    if (!have_start || !have_dur) {
+      return plan_error(line_no, "episode needs start= and dur=");
+    }
+    if (eps.size() >= kMaxEpisodes) {
+      return plan_error(line_no, "too many episodes");
+    }
+    eps.push_back(e);
+  }
+  if (!saw_header) return make_error("fault_plan", "empty plan text");
+  return Plan(std::move(eps));
+}
+
+std::string Plan::to_text() const {
+  std::string out = kHeader;
+  out += '\n';
+  for (const Episode& e : episodes_) {
+    out += strf("episode %s start=%.9g dur=%.9g severity=%.9g target=%d\n",
+                kind_name(e.kind), to_s(e.start), to_s(e.duration),
+                e.severity, e.target);
+  }
+  return out;
+}
+
+const Episode* Plan::active(Kind kind, TimePoint t, int target) const {
+  for (const Episode& e : episodes_) {
+    if (e.start > t) break;  // sorted by start
+    if (e.kind != kind || e.end() <= t) continue;
+    if (e.target == -1 || target == -1 || e.target == target) return &e;
+  }
+  return nullptr;
+}
+
+const Episode* Plan::next_after(Kind kind, TimePoint t) const {
+  for (const Episode& e : episodes_) {
+    if (e.kind == kind && e.start >= t) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace psc::fault

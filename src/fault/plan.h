@@ -1,0 +1,110 @@
+// Deterministic fault timeline.
+//
+// A Plan is an immutable, sorted list of fault episodes — what goes
+// wrong, when, for how long, and how badly. Plans are pure data: they are
+// generated from a SplitMix64 seed (or parsed from a small text format)
+// *before* any simulation runs, so every shard of a campaign sees the
+// same timeline regardless of thread count — episodes are part of the
+// frozen world, like the shared-world WorldTimeline. The Injector
+// (injector.h) arms a Plan against links and servers; the Plan itself
+// never touches the simulation. Format and taxonomy: docs/ROBUSTNESS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/units.h"
+
+namespace psc::fault {
+
+/// Episode taxonomy. Radio-side kinds act on the viewer's access links;
+/// server-side kinds act on the service processes.
+enum class Kind {
+  LinkBlackout,    // access link fully dead (rate -> 0)
+  RateCollapse,    // access rate multiplied by `severity` (0.03..0.2)
+  HandoverGap,     // short blackout: WiFi<->LTE handover
+  EdgeOutage,      // CDN edge 503s; `target` = edge index, -1 = all
+  OriginRestart,   // RTMP origin drops connections and refuses new ones
+  ApiErrorBurst,   // API answers 503
+  ApiLatencyBurst, // API adds `severity` seconds of latency
+};
+inline constexpr int kKindCount = 7;
+
+const char* kind_name(Kind k);
+/// False (and *out untouched) for an unknown name.
+bool kind_from_name(std::string_view name, Kind* out);
+
+/// Kind bitmasks for Plan::generate.
+inline constexpr unsigned kind_bit(Kind k) {
+  return 1u << static_cast<int>(k);
+}
+inline constexpr unsigned kRadioKinds = kind_bit(Kind::LinkBlackout) |
+                                        kind_bit(Kind::RateCollapse) |
+                                        kind_bit(Kind::HandoverGap);
+inline constexpr unsigned kServerKinds = kind_bit(Kind::EdgeOutage) |
+                                         kind_bit(Kind::OriginRestart) |
+                                         kind_bit(Kind::ApiErrorBurst) |
+                                         kind_bit(Kind::ApiLatencyBurst);
+inline constexpr unsigned kAllKinds = kRadioKinds | kServerKinds;
+
+struct Episode {
+  Kind kind = Kind::LinkBlackout;
+  TimePoint start{};
+  Duration duration{0};
+  /// Kind-specific magnitude: rate factor for RateCollapse, extra
+  /// latency seconds for ApiLatencyBurst, unused (0) otherwise.
+  double severity = 0;
+  /// Kind-specific target (EdgeOutage: edge index); -1 = all targets.
+  int target = -1;
+
+  TimePoint end() const { return start + duration; }
+};
+
+struct GenConfig {
+  /// Timeline length; episodes all start inside [0, horizon).
+  Duration horizon = seconds(1800);
+  /// Which kinds to generate (kind_bit masks).
+  unsigned kinds = kAllKinds;
+  /// Scales every kind's episode count (1.0 = the default rates).
+  double intensity = 1.0;
+};
+
+class Plan {
+ public:
+  Plan() = default;
+
+  /// Deterministic timeline from `seed`: same seed + config => identical
+  /// plan, on every shard and every machine.
+  static Plan generate(std::uint64_t seed, const GenConfig& cfg = {});
+
+  /// Parse the text format (see to_text). Malformed input yields a clean
+  /// Error; accepted input is canonicalised exactly like generate's
+  /// output, so to_text(parse(t)) is a fixpoint after one application.
+  static Result<Plan> parse(std::string_view text);
+
+  /// Canonical text form:
+  ///   # psc-fault-plan v1
+  ///   episode rate_collapse start=12.5 dur=30 severity=0.05 target=-1
+  std::string to_text() const;
+
+  bool empty() const { return episodes_.empty(); }
+  std::size_t size() const { return episodes_.size(); }
+  const std::vector<Episode>& episodes() const { return episodes_; }
+
+  /// The episode of `kind` active at `t` and matching `target`
+  /// (episode.target == -1, target == -1, or equal), or nullptr.
+  const Episode* active(Kind kind, TimePoint t, int target = -1) const;
+
+  /// The first episode of `kind` starting at or after `t`, or nullptr.
+  const Episode* next_after(Kind kind, TimePoint t) const;
+
+ private:
+  explicit Plan(std::vector<Episode> episodes);  // sorts + canonicalises
+
+  std::vector<Episode> episodes_;  // sorted by (start, kind, target)
+};
+
+}  // namespace psc::fault

@@ -27,6 +27,10 @@ double Link::noise_factor() {
   return noise_current_;
 }
 
+double Link::effective_rate() {
+  return std::max(1.0, rate_ * noise_factor() * fault_factor_);
+}
+
 void Link::enable_shaped_queue(std::size_t queue_limit_bytes, Rng rng,
                                Duration rto_min, Duration rto_max) {
   shaped_ = true;
@@ -55,16 +59,84 @@ void Link::send(Bytes data, DeliveryFn deliver) {
       recovery_cooldown_until_ = sim_.now() + seconds(2.0);
     }
   }
-  const TimePoint start = std::max(sim_.now(), busy_until_);
-  const BitRate eff_rate = std::max(1.0, rate_ * noise_factor());
-  const TimePoint end = start + transmit_time(size, eff_rate);
+  const TimePoint start =
+      std::max({sim_.now(), busy_until_, frozen_until_});
+  const TimePoint end = start + transmit_time(size, effective_rate());
   busy_until_ = end;
   const TimePoint arrival = end + latency_;
-  sim_.schedule_at(arrival,
-                   [arrival, deliver = std::move(deliver),
-                    data = std::move(data)]() mutable {
-                     deliver(arrival, std::move(data));
-                   });
+  Pending p;
+  p.id = next_transfer_id_++;
+  p.size = size;
+  p.start = start;
+  p.end = end;
+  p.deliver = std::move(deliver);
+  p.data = std::move(data);
+  p.ev = sim_.schedule_at(arrival, [this, id = p.id] { complete(id); });
+  pending_.push_back(std::move(p));
+}
+
+void Link::complete(std::uint64_t id) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->id != id) continue;
+    // Detach before delivering: `deliver` may re-enter send() on this
+    // same link (the pump chains do).
+    DeliveryFn deliver = std::move(it->deliver);
+    Bytes data = std::move(it->data);
+    pending_.erase(it);
+    deliver(sim_.now(), std::move(data));
+    return;
+  }
+}
+
+void Link::set_rate(BitRate rate) {
+  rate_ = rate;
+  repace();
+}
+
+void Link::set_fault_factor(double factor) {
+  fault_factor_ = factor;
+  repace();
+}
+
+void Link::freeze_until(TimePoint until) {
+  if (until <= frozen_until_) return;
+  frozen_until_ = until;
+  repace();
+}
+
+void Link::repace() {
+  const TimePoint now = sim_.now();
+  bool any_unfinished = false;
+  for (const Pending& p : pending_) {
+    if (p.end > now) {
+      any_unfinished = true;
+      break;
+    }
+  }
+  // Nothing mid-serialization: future sends pick up the new rate/freeze
+  // on their own. Returning early also keeps the noise process draw count
+  // identical to the pre-repace kernel when faults are off.
+  if (!any_unfinished) return;
+
+  const BitRate eff = effective_rate();
+  TimePoint cursor = std::max(now, frozen_until_);
+  for (Pending& p : pending_) {
+    if (p.end <= now) continue;  // fully serialized; already on the wire
+    // Remaining fraction by time ratio — rate-agnostic within the
+    // constant-rate window the entry was last paced for.
+    double frac = 1.0;
+    if (p.start < now && p.end > p.start) {
+      frac = to_s(p.end - now) / to_s(p.end - p.start);
+    }
+    const double remaining_bytes = frac * static_cast<double>(p.size);
+    p.start = cursor;
+    p.end = cursor + Duration{remaining_bytes * 8.0 / eff};
+    cursor = p.end;
+    sim_.cancel(p.ev);
+    p.ev = sim_.schedule_at(p.end + latency_,
+                            [this, id = p.id] { complete(id); });
+  }
+  busy_until_ = cursor;
 }
 
 }  // namespace psc::net

@@ -6,12 +6,19 @@
 // downlink) puts the bottleneck wherever the slower rate is — which is how
 // the paper's `tc`-limited access experiments are reproduced.
 //
+// In-flight transfers are kept in a pending table so a mid-transfer rate
+// change — set_rate (the `tc` command), a fault-injected rate collapse
+// (set_fault_factor) or a blackout (freeze_until) — re-paces the
+// unserialized tail at the new effective rate instead of applying only to
+// subsequent sends. Bytes already serialized onto the wire still arrive.
+//
 // An optional throughput-noise process multiplies the nominal rate by a
 // factor redrawn every `noise_period`, standing in for cross-traffic and
 // radio variability on a real phone's path.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 
 #include "sim/simulation.h"
@@ -31,10 +38,21 @@ class Link {
   /// Enqueue `data`; `deliver` fires when the last byte arrives.
   void send(Bytes data, DeliveryFn deliver);
 
-  /// Change the nominal rate (takes effect for subsequent sends) — the
-  /// simulation's `tc` command.
-  void set_rate(BitRate rate) { rate_ = rate; }
+  /// Change the nominal rate — the simulation's `tc` command. The
+  /// unserialized remainder of every in-flight transfer is re-paced at
+  /// the new rate; bytes already on the wire keep their arrival times.
+  void set_rate(BitRate rate);
   BitRate rate() const { return rate_; }
+
+  /// Fault injection: multiply the effective rate by `factor` (1.0 =
+  /// healthy) and re-pace in-flight tails — a radio rate collapse.
+  void set_fault_factor(double factor);
+  double fault_factor() const { return fault_factor_; }
+
+  /// Fault injection: no byte serializes before `until` (a blackout or
+  /// handover gap). In-flight tails resume — re-paced — at `until`;
+  /// monotone, so overlapping freezes extend each other.
+  void freeze_until(TimePoint until);
 
   /// Enable multiplicative throughput noise: every `period`, the
   /// effective rate becomes rate() * U(lo, hi).
@@ -59,13 +77,35 @@ class Link {
   TimePoint busy_until() const { return busy_until_; }
 
  private:
+  /// One enqueued transfer. [start, end] is its serialization window at
+  /// the rate in force when it was (re-)paced; the delivery event fires
+  /// at end + latency and is rescheduled whenever the tail re-paces.
+  struct Pending {
+    std::uint64_t id;
+    std::size_t size;
+    TimePoint start;
+    TimePoint end;
+    DeliveryFn deliver;
+    Bytes data;
+    sim::EventHandle ev;
+  };
+
   double noise_factor();
+  double effective_rate();
+  void complete(std::uint64_t id);
+  /// Re-serialize every unfinished pending tail from max(now,
+  /// frozen_until_) at the current effective rate.
+  void repace();
 
   sim::Simulation& sim_;
   BitRate rate_;
   Duration latency_;
   TimePoint busy_until_{};
+  TimePoint frozen_until_{};
+  double fault_factor_ = 1.0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t next_transfer_id_ = 1;
+  std::deque<Pending> pending_;
 
   bool noise_enabled_ = false;
   Rng noise_rng_{0};

@@ -143,6 +143,23 @@ json::Value ApiServer::handle_ranked_feed(TimePoint now) {
 json::Value ApiServer::call(const std::string& api_request,
                             const json::Value& body, TimePoint now,
                             int* status_out) {
+  last_injected_latency_ = Duration{0};
+  if (fault_hook_) {
+    const fault::ApiFault f = fault_hook_(now);
+    last_injected_latency_ = f.extra_latency;
+    if (f.status != 0) {
+      ++faulted_;
+      if (obs_ != nullptr) {
+        obs_->metrics.counter("api_faulted_total").add(1);
+        obs_->trace.instant("fault",
+                            strf("api %d %s", f.status, api_request.c_str()),
+                            now);
+      }
+      if (status_out != nullptr) *status_out = f.status;
+      return json::Value(
+          json::Object{{"error", json::Value("service unavailable")}});
+    }
+  }
   const std::string account = body["cookie"].as_string();
   if (!limiter_.allow(account.empty() ? "anonymous" : account, now)) {
     ++throttled_;

@@ -19,8 +19,10 @@
 // limiter answers 429 per account, as the paper observed.
 #pragma once
 
+#include <functional>
 #include <vector>
 
+#include "fault/backoff.h"
 #include "http/http.h"
 #include "json/json.h"
 #include "obs/bundle.h"
@@ -63,6 +65,18 @@ class ApiServer {
   /// instant per request on the shard lane.
   void set_obs(obs::Obs* obs) { obs_ = obs; }
 
+  /// Fault injection: consulted once per call(). A non-zero status in
+  /// the returned ApiFault turns the response into a 5xx error; any
+  /// extra_latency is recorded for the caller to apply to the request's
+  /// service time (the in-process call path has no transport to delay).
+  void set_fault_hook(std::function<fault::ApiFault(TimePoint)> hook) {
+    fault_hook_ = std::move(hook);
+  }
+  /// Extra latency injected into the most recent call() (zero when the
+  /// hook is unset or no latency burst is active).
+  Duration last_injected_latency() const { return last_injected_latency_; }
+  std::size_t requests_faulted() const { return faulted_; }
+
  private:
   json::Value describe(const BroadcastInfo& b, TimePoint now) const;
   json::Value handle_map_feed(const json::Value& body, TimePoint now);
@@ -76,9 +90,12 @@ class ApiServer {
   ApiConfig cfg_;
   obs::Obs* obs_ = nullptr;
   RateLimiter limiter_;
+  std::function<fault::ApiFault(TimePoint)> fault_hook_;
+  Duration last_injected_latency_{0};
   std::vector<json::Value> playback_metas_;
   std::size_t served_ = 0;
   std::size_t throttled_ = 0;
+  std::size_t faulted_ = 0;
   std::size_t access_counter_ = 0;
 };
 

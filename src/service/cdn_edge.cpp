@@ -28,6 +28,13 @@ http::Response CdnEdge::handle(const http::Request& req,
     }
     return r;
   };
+  if (fault_hook_ && fault_hook_(now)) {
+    // Injected edge outage: the PoP is up enough to answer, but broken.
+    http::Response r;
+    r.status = 503;
+    r.reason = http::reason_for(503);
+    return serve(std::move(r));
+  }
   if (req.method != "GET" || !starts_with(req.path, "/hls/")) {
     return serve(http::Response::not_found());
   }

@@ -6,6 +6,7 @@
 // behaviour that bounds HLS delivery latency in Fig. 5.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 
@@ -53,7 +54,14 @@ class CdnEdge {
   /// HLS delivery latency (Fig. 5), and are counted separately.
   void set_obs(obs::Obs* obs);
 
+  /// Fault injection: when the hook returns true for a request's time,
+  /// the edge answers 503 (an edge outage).
+  void set_fault_hook(std::function<bool(TimePoint)> hook) {
+    fault_hook_ = std::move(hook);
+  }
+
  private:
+  std::function<bool(TimePoint)> fault_hook_;
   std::string host_;
   std::map<std::string, const LiveBroadcastPipeline*> pipelines_;
   mutable EpochLoadLedger ledger_;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -55,6 +56,13 @@ class MediaOrigin {
   /// ingest/egress byte counters.
   void set_obs(obs::Obs* obs);
 
+  /// Fault injection: while the hook returns true for the server-local
+  /// clock, the origin is restarting — on_input refuses bytes with a
+  /// clean error, which drops the connection's protocol session.
+  void set_fault_hook(std::function<bool(TimePoint)> hook) {
+    fault_hook_ = std::move(hook);
+  }
+
  private:
   struct Stream {
     std::optional<media::AvcDecoderConfig> config;
@@ -74,6 +82,7 @@ class MediaOrigin {
   Stream& stream_of(const std::string& name) { return streams_[name]; }
 
   std::uint64_t seed_;
+  std::function<bool(TimePoint)> fault_hook_;
   int next_conn_ = 1;
   TimePoint now_{};
   EpochLoadLedger ledger_;

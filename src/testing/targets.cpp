@@ -16,6 +16,7 @@
 #include <tuple>
 
 #include "amf/amf0.h"
+#include "fault/plan.h"
 #include "flv/flv.h"
 #include "hls/playlist.h"
 #include "http/http.h"
@@ -1513,6 +1514,60 @@ Status bitio_roundtrip(std::uint64_t seed) {
   return {};
 }
 
+// ---------------------------------------------------------- fault plan --
+
+std::vector<Bytes> fault_plan_corpus() {
+  std::vector<Bytes> out;
+  out.push_back(to_bytes(fault::Plan::generate(3).to_text()));
+  fault::GenConfig radio;
+  radio.kinds = fault::kRadioKinds;
+  out.push_back(to_bytes(fault::Plan::generate(8, radio).to_text()));
+  out.push_back(to_bytes(std::string(
+      "# psc-fault-plan v1\n"
+      "# hand-written\n"
+      "episode edge_outage start=10 dur=30 target=-1\n"
+      "episode rate_collapse start=5.5 dur=12 severity=0.08\n")));
+  return out;
+}
+
+Status fault_plan_execute(BytesView data) {
+  auto plan = fault::Plan::parse(input_as_text(data));
+  if (!plan) return check_clean(plan.error());
+  // Accepted input: one re-write canonicalises (episode ordering, overlap
+  // drops, %.9g number formatting), after which write -> parse -> write
+  // must be a byte fixpoint.
+  const std::string t1 = plan.value().to_text();
+  auto second = fault::Plan::parse(t1);
+  if (!second) {
+    return violation("re-written fault plan failed to parse: " +
+                     second.error().to_string());
+  }
+  if (second.value().to_text() != t1) {
+    return violation("fault plan write -> parse -> write not a fixpoint");
+  }
+  return {};
+}
+
+Status fault_plan_roundtrip(std::uint64_t seed) {
+  fault::GenConfig cfg;
+  cfg.intensity = 1.0 + static_cast<double>(seed % 5);
+  const fault::Plan plan = fault::Plan::generate(seed, cfg);
+  const std::string text = plan.to_text();
+  auto parsed = fault::Plan::parse(text);
+  if (!parsed) {
+    return violation("generated fault plan failed to parse: " +
+                     parsed.error().to_string());
+  }
+  if (parsed.value().size() != plan.size()) {
+    return violation("fault plan round-trip changed the episode count");
+  }
+  if (parsed.value().to_text() != text) {
+    return violation(
+        "fault plan generate -> write -> parse -> write not byte-identical");
+  }
+  return {};
+}
+
 }  // namespace
 
 void register_builtin_targets() {
@@ -1557,6 +1612,8 @@ void register_builtin_targets() {
            base64_corpus, base64_execute, base64_roundtrip});
   reg.add({"bitio", "Exp-Golomb bit reader (H.264 RBSP syntax)",
            bitio_corpus, bitio_execute, bitio_roundtrip});
+  reg.add({"fault_plan", "Fault-plan text format (episode timelines)",
+           fault_plan_corpus, fault_plan_execute, fault_plan_roundtrip});
 }
 
 }  // namespace psc::testing

@@ -99,6 +99,46 @@ TEST(DeepCrawl, AggressivePacingGets429s) {
   EXPECT_GT(result->ids.size(), 100u);
 }
 
+TEST(DeepCrawl, BackoffRidesOutSevereThrottlingDeterministically) {
+  // A limiter an order of magnitude slower than the pacing. The old fixed
+  // 2 s backoff_on_429 would re-poll a ~4 s-per-token limiter twice per
+  // grant forever; the shared capped-exponential ladder (2,4,8,16 s)
+  // spaces retries past the refill period, so throttles stay within a
+  // small multiple of the successes and the crawl still drains. Zero
+  // jitter keeps the ladder draw-free, so two runs agree exactly.
+  auto run = [] {
+    sim::Simulation sim;
+    service::World world(sim, CrawlWorld::config(250), 11);
+    service::MediaServerPool servers(12);
+    service::ApiConfig api_cfg;
+    api_cfg.rate_limit.capacity = 2;
+    api_cfg.rate_limit.refill_per_sec = 0.25;
+    service::ApiServer api(world, servers, api_cfg);
+    world.start();
+    sim.run_until(time_at(10));
+    DeepCrawlConfig cfg;
+    cfg.pacing = millis(100);  // hammering: every grant is contested
+    cfg.max_depth = 4;         // keep the area count small
+    DeepCrawler crawler(sim, api, cfg);
+    std::optional<DeepCrawlResult> result;
+    crawler.run([&](DeepCrawlResult r) { result = std::move(r); });
+    sim.run_until(time_at(7200));
+    return result;
+  };
+  const auto a = run();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_GT(a->throttled, 0u);
+  EXPECT_FALSE(a->ids.empty());
+  const std::size_t successes = a->requests - a->throttled;
+  EXPECT_GT(successes, 0u);
+  EXPECT_LT(a->throttled, successes * 3 + 8);
+  const auto b = run();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->requests, a->requests);
+  EXPECT_EQ(b->throttled, a->throttled);
+  EXPECT_EQ(b->ids, a->ids);
+}
+
 TEST(DeepCrawl, TakesAboutTenSimMinutes) {
   CrawlWorld w(2500, 9);
   DeepCrawler crawler(w.sim, w.api, DeepCrawlConfig{});

@@ -78,7 +78,7 @@ TEST(FuzzTargets, RegistrationOrderIsFixed) {
       "rtmp_handshake", "mpegts",      "hls_media",     "hls_master",
       "h264_annexb", "h264_avcc",      "h264_paramsets", "aac_adts",
       "http_request", "http_response", "websocket",     "json",
-      "base64",      "bitio"};
+      "base64",      "bitio",          "fault_plan"};
   const auto& targets = TargetRegistry::instance().targets();
   ASSERT_EQ(targets.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
@@ -122,7 +122,7 @@ TEST(FuzzRunner, CampaignIsByteDeterministic) {
   ASSERT_TRUE(r1.ok()) << r1.error().to_string();
   ASSERT_TRUE(r2.ok());
   EXPECT_EQ(out1.str(), out2.str());
-  ASSERT_EQ(r1.value().size(), 18u);
+  ASSERT_EQ(r1.value().size(), 19u);
   for (std::size_t i = 0; i < r1.value().size(); ++i) {
     const TargetReport& a = r1.value()[i];
     const TargetReport& b = r2.value()[i];

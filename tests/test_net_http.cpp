@@ -97,6 +97,82 @@ TEST(Link, CountsBytes) {
   EXPECT_EQ(link.bytes_sent(), 1200u);
 }
 
+TEST(Link, SetRateRepacesInFlightTail) {
+  sim::Simulation sim;
+  net::Link link(sim, 1e6, millis(50));
+  TimePoint arrival{};
+  // 125000 B = 1 Mbit -> 1.0 s to serialize at 1 Mbps.
+  link.send(Bytes(125000, 0), [&](TimePoint t, Bytes) { arrival = t; });
+  sim.schedule_at(time_at(0.5), [&link] { link.set_rate(10e6); });
+  sim.run_all();
+  // Half the bytes went out at 1 Mbps (0.5 s); the remaining 500 kbit
+  // re-pace at 10 Mbps (0.05 s). Old kernel would deliver at 1.05 s.
+  EXPECT_NEAR(to_s(arrival), 0.5 + 0.05 + 0.05, 1e-9);
+}
+
+TEST(Link, SetRateRepacesQueuedTransfers) {
+  sim::Simulation sim;
+  net::Link link(sim, 1e6, Duration{0});
+  std::vector<double> arrivals;
+  link.send(Bytes(125000, 0), [&](TimePoint t, Bytes) {
+    arrivals.push_back(to_s(t));
+  });
+  link.send(Bytes(125000, 0), [&](TimePoint t, Bytes) {
+    arrivals.push_back(to_s(t));
+  });
+  sim.schedule_at(time_at(0.5), [&link] { link.set_rate(10e6); });
+  sim.run_all();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // First: 0.5 s done + 0.05 s tail. Second: fully unserved at the rate
+  // change, re-paced behind the first at the new rate (0.1 s).
+  EXPECT_NEAR(arrivals[0], 0.55, 1e-9);
+  EXPECT_NEAR(arrivals[1], 0.65, 1e-9);
+}
+
+TEST(Link, RateCollapseStretchesInFlightTail) {
+  sim::Simulation sim;
+  net::Link link(sim, 1e6, Duration{0});
+  TimePoint arrival{};
+  link.send(Bytes(125000, 0), [&](TimePoint t, Bytes) { arrival = t; });
+  sim.schedule_at(time_at(0.5), [&link] { link.set_fault_factor(0.1); });
+  sim.run_all();
+  // Remaining 500 kbit now trickle at 100 kbps: 5 s more.
+  EXPECT_NEAR(to_s(arrival), 0.5 + 5.0, 1e-9);
+}
+
+TEST(Link, FreezeUntilStallsInFlightTransfer) {
+  sim::Simulation sim;
+  net::Link link(sim, 1e6, Duration{0});
+  TimePoint arrival{};
+  link.send(Bytes(125000, 0), [&](TimePoint t, Bytes) { arrival = t; });
+  sim.schedule_at(time_at(0.5), [&link] { link.freeze_until(time_at(3.0)); });
+  sim.run_all();
+  // Blackout from 0.5 s to 3.0 s; the remaining half second of
+  // serialization resumes when the link thaws.
+  EXPECT_NEAR(to_s(arrival), 3.5, 1e-9);
+}
+
+TEST(Link, RepaceLeavesFutureSendsAlone) {
+  // set_rate with nothing mid-serialization must behave exactly like the
+  // pre-repace kernel: only subsequent sends see the new rate.
+  sim::Simulation sim;
+  net::Link link(sim, 1e6, Duration{0});
+  std::vector<double> arrivals;
+  link.send(Bytes(12500, 0), [&](TimePoint t, Bytes) {
+    arrivals.push_back(to_s(t));
+  });
+  sim.schedule_at(time_at(1.0), [&] {
+    link.set_rate(2e6);
+    link.send(Bytes(25000, 0), [&](TimePoint t, Bytes) {
+      arrivals.push_back(to_s(t));
+    });
+  });
+  sim.run_all();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], 0.1, 1e-9);
+  EXPECT_NEAR(arrivals[1], 1.1, 1e-9);  // 200 kbit at 2 Mbps
+}
+
 TEST(Capture, RecordsPacketsAndFindsByteTimes) {
   net::Capture cap;
   cap.record(time_at(1.0), Bytes(100, 1));
