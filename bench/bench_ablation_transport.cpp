@@ -54,7 +54,7 @@ QoE run_fluid(const std::vector<Msg>& trace, BitRate rate,
                         sim.now(), 0.0);
   for (const Msg& m : trace) {
     sim.schedule_at(time_at(m.dts_s), [&link, &player, m] {
-      link.send(Bytes(m.bytes, 0), [&player, m](TimePoint t, Bytes) {
+      link.send(Bytes(m.bytes, 0), [&player, m](TimePoint t, util::BufferSlice) {
         player.on_media(t, seconds(m.pts_s),
                         seconds(m.pts_s + 1.0 / 30));
       });

@@ -186,16 +186,30 @@ class WallTimer {
 /// so the perf trajectory can tell faulted runs from clean ones.
 /// When the run collected metrics, the line also carries the series count
 /// so the perf trajectory records whether instrumentation was on.
+/// `kernel` (optional) carries the campaign's raw kernel/allocator totals;
+/// the derived `allocs_per_event` field is ALWAYS printed (0 when the
+/// bench has no campaign) so the perf trajectory can regress on it without
+/// special-casing collectors-off runs.
 inline void emit_bench_line(
     const char* bench, double wall_s, const obs::Registry& metrics,
-    std::initializer_list<std::pair<const char*, double>> extra = {}) {
+    std::initializer_list<std::pair<const char*, double>> extra = {},
+    const core::KernelTotals* kernel = nullptr) {
   std::printf(
       "BENCH {\"bench\":\"%s\",\"wall_s\":%.3f,\"threads\":%d,"
       "\"shard_size\":%d,\"mode\":\"%s\",\"fault_plan\":\"%s\","
-      "\"fault_seed\":%llu",
+      "\"fault_seed\":%llu,\"allocs_per_event\":%.6f",
       bench, wall_s, threads(), shard_sessions(),
       mode_name(campaign_mode()), fault_bench_fields().plan.c_str(),
-      static_cast<unsigned long long>(fault_bench_fields().seed));
+      static_cast<unsigned long long>(fault_bench_fields().seed),
+      kernel != nullptr ? kernel->allocs_per_event() : 0.0);
+  if (kernel != nullptr && kernel->events_executed > 0) {
+    std::printf(",\"events_executed\":%llu,\"arena_allocs\":%llu,"
+                "\"slice_retains\":%llu,\"wheel_inserts\":%llu",
+                static_cast<unsigned long long>(kernel->events_executed),
+                static_cast<unsigned long long>(kernel->arena_allocations),
+                static_cast<unsigned long long>(kernel->slice_retains),
+                static_cast<unsigned long long>(kernel->wheel_inserts));
+  }
   for (const auto& [key, value] : extra) {
     std::printf(",\"%s\":%g", key, value);
   }
@@ -251,8 +265,12 @@ class Reporter {
   /// into the bench-wide aggregate (call in campaign order).
   void add(const core::CampaignResult& r) {
     merged_.merge(r.metrics);
+    kernel_.merge(r.kernel);
     for (const auto& lane : r.shard_traces) lanes_.push_back(lane);
   }
+
+  /// Kernel/allocator totals aggregated over the added campaigns.
+  const core::KernelTotals& kernel() const { return kernel_; }
 
   /// Metrics recorded by the bench itself (outside any campaign).
   obs::Registry& local() { return merged_; }
@@ -261,7 +279,7 @@ class Reporter {
   void finish(double wall_s,
               std::initializer_list<std::pair<const char*, double>> extra =
                   {}) {
-    emit_bench_line(bench_.c_str(), wall_s, merged_, extra);
+    emit_bench_line(bench_.c_str(), wall_s, merged_, extra, &kernel_);
     if (!metrics_path_.empty() && obs::metrics_enabled()) {
       std::string out = "{\"config\":{\"bench\":\"" + bench_ + "\"";
       char buf[96];
@@ -295,6 +313,7 @@ class Reporter {
   std::string metrics_path_;
   std::string trace_path_;
   obs::Registry merged_;
+  core::KernelTotals kernel_;
   std::vector<std::vector<obs::TraceEvent>> lanes_;
 };
 

@@ -45,11 +45,13 @@ void BroadcasterSession::start(Duration broadcast_time) {
 void BroadcasterSession::pump() {
   if (stopped_) return;
   if (publisher_.has_output()) {
-    Bytes up = publisher_.take_output();
+    util::BufferSlice up = publisher_.take_output();
     uplink_capture_.record(sim_.now(), up);
     // Phone uplink (possibly shaped) then the path leg to the origin.
-    device_.uplink().send(std::move(up), [this](TimePoint, Bytes data) {
-      to_origin_.send(std::move(data), [this](TimePoint, Bytes d) {
+    device_.uplink().send(std::move(up),
+                          [this](TimePoint, util::BufferSlice data) {
+      to_origin_.send(std::move(data),
+                      [this](TimePoint, util::BufferSlice d) {
         if (stopped_) return;
         (void)origin_.on_input(d);
         pump();
@@ -57,7 +59,8 @@ void BroadcasterSession::pump() {
     });
   }
   if (origin_.has_output()) {
-    from_origin_.send(origin_.take_output(), [this](TimePoint, Bytes data) {
+    from_origin_.send(origin_.take_output(),
+                      [this](TimePoint, util::BufferSlice data) {
       if (stopped_) return;
       (void)publisher_.on_input(data);
       pump();

@@ -21,7 +21,7 @@ ChatSession::ChatSession(sim::Simulation& sim, Device& device,
 
 ChatSession::~ChatSession() { disconnect(); }
 
-void ChatSession::on_downlink(TimePoint t, Bytes data) {
+void ChatSession::on_downlink(TimePoint t, util::BufferSlice data) {
   capture_.record(t, data);
   if (auto s = decoder_.push(data); !s) return;
   for (const ws::Frame& f : decoder_.take_frames()) {
@@ -42,12 +42,14 @@ void ChatSession::connect() {
   handshake_sent_ = true;
   const std::string request =
       ws::upgrade_request("chan.periscope.tv", "/chatapi/v1/chat", ws_key_);
-  device_.uplink().send(to_bytes(request), [this](TimePoint, Bytes) {
+  device_.uplink().send(to_bytes(request),
+                        [this](TimePoint, util::BufferSlice) {
     // Chat frontend answers 101 and starts streaming the room.
     const std::string response = ws::upgrade_response(ws_key_);
-    server_link_.send(to_bytes(response), [this](TimePoint, Bytes resp) {
-      device_.downlink().send(std::move(resp), [this](TimePoint t2,
-                                                      Bytes data) {
+    server_link_.send(to_bytes(response),
+                      [this](TimePoint, util::BufferSlice resp) {
+      device_.downlink().send(std::move(resp),
+                              [this](TimePoint t2, util::BufferSlice data) {
         capture_.record(t2, data);
         if (to_string(data).find("101 Switching Protocols") ==
             std::string::npos) {
@@ -64,10 +66,11 @@ void ChatSession::connect() {
               Bytes frame =
                   ws::server_text_frame(json::Value(std::move(env)).dump());
               server_link_.send(std::move(frame),
-                                [this](TimePoint, Bytes f) {
+                                [this](TimePoint, util::BufferSlice f) {
                                   device_.downlink().send(
                                       std::move(f),
-                                      [this](TimePoint t, Bytes d) {
+                                      [this](TimePoint t,
+                                             util::BufferSlice d) {
                                         if (connected_) {
                                           on_downlink(t, std::move(d));
                                         }
@@ -99,8 +102,9 @@ void ChatSession::send_message(const std::string& text) {
   const Bytes frame = ws::client_text_frame(
       json::Value(std::move(env)).dump(),
       static_cast<std::uint32_t>(rng_.engine()()));
-  capture_.record(sim_.now(), frame);
-  device_.uplink().send(frame, [](TimePoint, Bytes) {});
+  capture_.record_copy(sim_.now(), frame);
+  // Pacing-only: the chat backend's receipt is not modelled.
+  device_.uplink().send(frame.size(), [](TimePoint, util::BufferSlice) {});
 }
 
 }  // namespace psc::client

@@ -46,7 +46,7 @@ class ChatSession {
   std::uint64_t frames_decoded() const { return frames_decoded_; }
 
  private:
-  void on_downlink(TimePoint t, Bytes data);
+  void on_downlink(TimePoint t, util::BufferSlice data);
 
   sim::Simulation& sim_;
   Device& device_;

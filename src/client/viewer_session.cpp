@@ -115,7 +115,7 @@ void RtmpViewerSession::pump() {
   if (finished_) return;
   if (client_->has_output()) {
     up_link_.send(client_->take_output(),
-                  [this, gen = conn_gen_](TimePoint, Bytes data) {
+                  [this, gen = conn_gen_](TimePoint, util::BufferSlice data) {
       if (finished_ || gen != conn_gen_) return;
       (void)server_->on_input(data);
       // Play accepted: burst the decodable backlog and go live.
@@ -137,9 +137,11 @@ void RtmpViewerSession::pump() {
   }
   if (server_->has_output()) {
     origin_link_.send(server_->take_output(),
-                      [this, gen = conn_gen_](TimePoint, Bytes data) {
+                      [this, gen = conn_gen_](TimePoint,
+                                              util::BufferSlice data) {
       device_.downlink().send(std::move(data),
-                              [this, gen](TimePoint t, Bytes d) {
+                              [this, gen](TimePoint t,
+                                          util::BufferSlice d) {
                                 capture_.record(t, d);
                                 if (finished_ || gen != conn_gen_) return;
                                 (void)client_->on_input(d);
@@ -295,16 +297,17 @@ void HlsViewerSession::start(Duration watch_time) {
     // let the throughput estimator ramp up.
     http::Request master_req;
     master_req.path = hls_base() + "master.m3u8";
-    up_link_.send(to_bytes(master_req.serialize()),
-                  [this, master_req](TimePoint t_edge, Bytes) {
+    up_link_.send(master_req.serialize().size(),
+                  [this, master_req](TimePoint t_edge, util::BufferSlice) {
       if (finished_) return;
       const http::Response resp = edge_server_.handle(master_req, t_edge);
-      edge_a_link_.send(resp.serialize(), [this](TimePoint, Bytes data) {
-        device_.downlink().send(std::move(data), [this](TimePoint,
-                                                        Bytes d) {
+      edge_a_link_.send(resp.serialize(),
+                        [this](TimePoint, util::BufferSlice data) {
+        device_.downlink().send(std::move(data),
+                                [this](TimePoint, util::BufferSlice d) {
           if (finished_) return;
           playlist_bytes_ += d.size();
-          auto parsed_resp = http::Response::parse(d);
+          auto parsed_resp = http::Response::parse_slice(d);
           if (!parsed_resp || parsed_resp.value().status != 200) return;
           auto variants = hls::parse_master_m3u8(
               to_string(parsed_resp.value().body));
@@ -366,15 +369,17 @@ void HlsViewerSession::poll_playlist() {
   http::Request pl_req;
   pl_req.path = hls_base() +
                 (mode_ == Mode::Replay ? "vod.m3u8" : "playlist.m3u8");
-  up_link_.send(to_bytes(pl_req.serialize()),
-                [this, pl_req](TimePoint t_edge, Bytes) {
+  up_link_.send(pl_req.serialize().size(),
+                [this, pl_req](TimePoint t_edge, util::BufferSlice) {
     if (finished_) return;
     const http::Response resp = edge_server_.handle(pl_req, t_edge);
-    edge_a_link_.send(resp.serialize(), [this](TimePoint, Bytes data) {
-      device_.downlink().send(std::move(data), [this](TimePoint, Bytes d) {
+    edge_a_link_.send(resp.serialize(),
+                      [this](TimePoint, util::BufferSlice data) {
+      device_.downlink().send(std::move(data),
+                              [this](TimePoint, util::BufferSlice d) {
         if (finished_) return;
         playlist_bytes_ += d.size();
-        auto parsed_resp = http::Response::parse(d);
+        auto parsed_resp = http::Response::parse_slice(d);
         if (!parsed_resp || parsed_resp.value().status != 200) return;
         auto pl2 = hls::parse_m3u8(to_string(parsed_resp.value().body));
         if (!pl2 || pl2.value().segments.empty()) return;
@@ -479,9 +484,10 @@ void HlsViewerSession::issue_fetch(std::uint64_t seq, std::size_t rendition,
   }
   http::Request seg_req;
   seg_req.path = hls_base() + uri;
-  up_link_.send(to_bytes(seg_req.serialize()),
+  up_link_.send(seg_req.serialize().size(),
                 [this, seg_req, uri, rendition, fetch_start, fid, seq,
-                 attempt, edge_idx, &edge_link](TimePoint t_edge, Bytes) {
+                 attempt, edge_idx,
+                 &edge_link](TimePoint t_edge, util::BufferSlice) {
     if (live_fetches_.count(fid) == 0) return;  // timed out underway
     if (finished_) {
       settle_fetch(fid);
@@ -504,17 +510,19 @@ void HlsViewerSession::issue_fetch(std::uint64_t seq, std::size_t rendition,
       return;
     }
     const auto* es = pipe_.find_segment(uri);
-    edge_link.send(resp.serialize(), [this, es, rendition, fetch_start,
-                                      fid](TimePoint, Bytes data) {
+    edge_link.send(resp.serialize(),
+                   [this, es, rendition, fetch_start,
+                    fid](TimePoint, util::BufferSlice data) {
       device_.downlink().send(
           std::move(data),
-          [this, es, rendition, fetch_start, fid](TimePoint t2, Bytes d) {
+          [this, es, rendition, fetch_start, fid](TimePoint t2,
+                                                  util::BufferSlice d) {
             if (live_fetches_.count(fid) == 0) return;  // timed out
             settle_fetch(fid);
             --in_flight_;
             consecutive_failures_ = 0;
             if (finished_ || es == nullptr) return;
-            auto parsed = http::Response::parse(d);
+            auto parsed = http::Response::parse_slice(d);
             if (!parsed || parsed.value().status != 200) return;
             const double dl_s = to_s(t2 - fetch_start);
             if (dl_s > 1e-6) {
@@ -591,7 +599,7 @@ void HlsViewerSession::handle_fetch_failure(std::uint64_t seq,
 
 void HlsViewerSession::on_segment(
     TimePoint t, const service::LiveBroadcastPipeline::EdgeSegment& seg,
-    Bytes body) {
+    util::BufferSlice body) {
   capture_.record(t, body);
   video_frames_ += static_cast<std::uint64_t>(
       std::llround(to_s(seg.segment.duration) * kVideoFps));

@@ -241,7 +241,8 @@ class HlsViewerSession : public ViewerSession {
   void handle_fetch_failure(std::uint64_t seq, std::size_t rendition,
                             int attempt, int edge_idx);
   void on_segment(TimePoint t, const service::LiveBroadcastPipeline::
-                                   EdgeSegment& seg, Bytes body);
+                                   EdgeSegment& seg,
+                  util::BufferSlice body);
   void give_up();
   void finish();
   /// ABR decision: rendition to fetch next, from the throughput estimate

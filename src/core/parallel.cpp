@@ -85,6 +85,7 @@ double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
 /// the registry moves over, the trace ring becomes this shard's lane.
 void harvest_obs(Study& study, CampaignResult& r) {
   study.finalize_obs();
+  r.kernel.merge(study.kernel_totals());  // raw totals: no obs toggle
   if (!obs::enabled()) return;
   r.metrics.merge(study.obs().metrics);
   r.shard_traces.push_back(study.obs().trace.take_events());
@@ -156,6 +157,7 @@ std::vector<CampaignResult> ShardedRunner::run_many(
         merged[ci].sessions.push_back(std::move(rec));
       }
       merged[ci].metrics.merge(r.metrics);
+      merged[ci].kernel.merge(r.kernel);
       for (auto& lane : r.shard_traces) {
         merged[ci].shard_traces.push_back(std::move(lane));
       }

@@ -28,6 +28,7 @@
 #include "service/world.h"
 #include "service/world_timeline.h"
 #include "sim/simulation.h"
+#include "util/buffer.h"
 
 namespace psc::core {
 
@@ -90,8 +91,46 @@ struct SessionRecord {
   analysis::StreamAnalysis analysis;
 };
 
+/// Raw kernel + allocator totals of a campaign, independent of the
+/// observability toggles (the BENCH `allocs_per_event` field must exist
+/// in collectors-off runs too). Summed across shards in shard order.
+struct KernelTotals {
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t wheel_inserts = 0;
+  std::uint64_t callback_heap_allocs = 0;
+  /// Fresh allocator hits attributable to the media-path arena
+  /// (buffers + block headers); pool reuse keeps this near-constant.
+  std::uint64_t arena_allocations = 0;
+  std::uint64_t arena_buffers_reused = 0;
+  std::uint64_t slices_adopted = 0;
+  std::uint64_t slice_retains = 0;
+
+  void merge(const KernelTotals& o) {
+    events_executed += o.events_executed;
+    events_scheduled += o.events_scheduled;
+    wheel_inserts += o.wheel_inserts;
+    callback_heap_allocs += o.callback_heap_allocs;
+    arena_allocations += o.arena_allocations;
+    arena_buffers_reused += o.arena_buffers_reused;
+    slices_adopted += o.slices_adopted;
+    slice_retains += o.slice_retains;
+  }
+  /// Tracked allocations per executed event — the media-path zero-copy
+  /// regression metric (docs/PERFORMANCE.md).
+  double allocs_per_event() const {
+    if (events_executed == 0) return 0.0;
+    return static_cast<double>(arena_allocations + callback_heap_allocs) /
+           static_cast<double>(events_executed);
+  }
+};
+
 struct CampaignResult {
   std::vector<SessionRecord> sessions;
+
+  /// Kernel/allocator counters summed across this campaign's shards.
+  /// Always populated by the sharded runner (no obs toggle needed).
+  KernelTotals kernel;
 
   /// Deterministic metric snapshot of the campaign: per-shard registries
   /// merged in shard order, so the same campaign produces a byte-identical
@@ -158,6 +197,9 @@ class Study {
   /// campaign; the sharded runner does this before harvesting the shard.
   void finalize_obs();
 
+  /// Raw kernel + arena counters of this shard so far (no obs needed).
+  KernelTotals kernel_totals() const;
+
   /// The campaign's fault timeline, or nullptr when faults are off.
   const fault::Plan* fault_plan() const { return fault_plan_.get(); }
   const fault::Injector* injector() const { return injector_.get(); }
@@ -199,6 +241,12 @@ class Study {
   StudyConfig cfg_;
   sim::Simulation sim_;
   Rng rng_;
+  /// Media-path buffer recycler, one per shard (deterministic). Declared
+  /// before the retired lists so it outlives every pipeline and capture
+  /// holding a segment slice (late releases after arena destruction are
+  /// still safe — they fall back to the allocator — but recycling is the
+  /// point).
+  util::BufferArena arena_;
   /// Single-writer observability bundle, owned like the RNG and the sim:
   /// one per shard, merged in shard order by the runner.
   obs::Obs obs_;

@@ -11,6 +11,7 @@
 
 #include "media/types.h"
 #include "mpegts/mpegts.h"
+#include "util/buffer.h"
 #include "util/units.h"
 
 namespace psc::hls {
@@ -18,7 +19,10 @@ namespace psc::hls {
 struct Segment {
   std::uint64_t sequence = 0;
   Duration duration{0};
-  Bytes ts_data;
+  /// The packaged MPEG-TS bytes. Ref-counted: the edge cache, every HTTP
+  /// response serving it and every capture recording it share this one
+  /// buffer — the segment is packaged once per world and never copied.
+  util::BufferSlice ts_data;
   /// DTS of the first video sample in the segment (origin timeline).
   Duration start_dts{0};
 };
@@ -34,6 +38,10 @@ class Segmenter {
   /// Flush the final partial segment at end of stream.
   std::optional<Segment> flush();
 
+  /// Optional arena: completed segments adopt their buffer into it so
+  /// the block is pooled for reuse once the last reference drops.
+  void set_arena(util::BufferArena* arena) { arena_ = arena; }
+
   /// Drop the open partial segment and its buffer (retirement path).
   void discard() {
     current_ = ByteWriter{};
@@ -47,6 +55,7 @@ class Segmenter {
   Segment close_segment(Duration end_dts);
 
   Duration target_;
+  util::BufferArena* arena_ = nullptr;
   mpegts::TsMuxer muxer_;
   ByteWriter current_;
   bool open_ = false;

@@ -81,9 +81,12 @@ Bytes Response::serialize() const {
   return w.take();
 }
 
-Result<Response> Response::parse(BytesView data) {
+namespace {
+
+/// Parse the status line + headers; on success returns the byte offset
+/// where the body starts (callers attach the body zero-copy or by copy).
+Result<std::size_t> parse_response_head(BytesView data, Response& resp) {
   // Headers are ASCII; find the terminator in the raw bytes first.
-  const std::string needle = "\r\n\r\n";
   std::size_t pos = std::string::npos;
   for (std::size_t i = 0; i + 4 <= data.size(); ++i) {
     if (data[i] == '\r' && data[i + 1] == '\n' && data[i + 2] == '\r' &&
@@ -102,16 +105,32 @@ Result<Response> Response::parse(BytesView data) {
   if (start.size() < 2 || !starts_with(start[0], "HTTP/")) {
     return make_error("http", "malformed status line");
   }
-  Response resp;
   resp.status = std::atoi(start[1].c_str());
   resp.reason = reason_for(resp.status);
   resp.headers = parse_headers(lines);
-  resp.body.assign(data.begin() + static_cast<std::ptrdiff_t>(pos) + 4,
-                   data.end());
+  return pos + 4;
+}
+
+}  // namespace
+
+Result<Response> Response::parse(BytesView data) {
+  Response resp;
+  auto body_off = parse_response_head(data, resp);
+  if (!body_off) return body_off.error();
+  resp.body = util::BufferSlice::copy_of(data.subspan(body_off.value()));
   return resp;
 }
 
-Response Response::ok(Bytes body, std::string content_type) {
+Result<Response> Response::parse_slice(const util::BufferSlice& data) {
+  Response resp;
+  auto body_off = parse_response_head(data.view(), resp);
+  if (!body_off) return body_off.error();
+  resp.body =
+      data.subslice(body_off.value(), data.size() - body_off.value());
+  return resp;
+}
+
+Response Response::ok(util::BufferSlice body, std::string content_type) {
   Response r;
   r.status = 200;
   r.reason = "OK";

@@ -10,6 +10,7 @@
 #include <map>
 #include <string>
 
+#include "util/buffer.h"
 #include "util/bytes.h"
 #include "util/result.h"
 
@@ -29,12 +30,17 @@ struct Response {
   int status = 200;
   std::string reason = "OK";
   std::map<std::string, std::string> headers;
-  Bytes body;
+  /// Ref-counted: serving a cached segment shares its buffer instead of
+  /// copying (an owning Bytes converts implicitly).
+  util::BufferSlice body;
 
   Bytes serialize() const;
+  /// Parse from a view; the body is copied out.
   static Result<Response> parse(BytesView data);
+  /// Parse from a delivered slice; the body aliases `data` (zero-copy).
+  static Result<Response> parse_slice(const util::BufferSlice& data);
 
-  static Response ok(Bytes body, std::string content_type);
+  static Response ok(util::BufferSlice body, std::string content_type);
   static Response json(const std::string& body);
   static Response too_many_requests();
   static Response not_found();

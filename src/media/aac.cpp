@@ -41,12 +41,39 @@ Bytes write_adts_frame(const AudioConfig& cfg, std::size_t payload_bytes,
   // buffer fullness lo 6 bits + number_of_raw_data_blocks(2)=0
   w.u8(0xFC);
 
+  // Same 4-step LCG jump as the video slice filler (media/h264.cpp):
+  // state_{n+k} = A^k * state_n + C_k breaks the serial multiply chain;
+  // the byte stream is identical to the one-step loop.
+  constexpr std::uint64_t kA = 6364136223846793005ull;
+  constexpr std::uint64_t kC = 1442695040888963407ull;
+  constexpr std::uint64_t kA2 = kA * kA;
+  constexpr std::uint64_t kC2 = kA * kC + kC;
+  constexpr std::uint64_t kA3 = kA2 * kA;
+  constexpr std::uint64_t kC3 = kA * kC2 + kC;
+  constexpr std::uint64_t kA4 = kA3 * kA;
+  constexpr std::uint64_t kC4 = kA * kC3 + kC;
   std::uint64_t state = filler_seed * 0x9E3779B97F4A7C15ull + 0xA5;
-  for (std::size_t i = 0; i < payload_bytes; ++i) {
-    state = state * 6364136223846793005ull + 1442695040888963407ull;
-    w.u8(static_cast<std::uint8_t>(state >> 33));
+  Bytes out = w.take();
+  const std::size_t start = out.size();
+  out.resize(start + payload_bytes);
+  std::uint8_t* p = out.data() + start;
+  std::uint8_t* const pe = out.data() + out.size();
+  for (; pe - p >= 4; p += 4) {
+    const std::uint64_t s1 = state * kA + kC;
+    const std::uint64_t s2 = state * kA2 + kC2;
+    const std::uint64_t s3 = state * kA3 + kC3;
+    const std::uint64_t s4 = state * kA4 + kC4;
+    p[0] = static_cast<std::uint8_t>(s1 >> 33);
+    p[1] = static_cast<std::uint8_t>(s2 >> 33);
+    p[2] = static_cast<std::uint8_t>(s3 >> 33);
+    p[3] = static_cast<std::uint8_t>(s4 >> 33);
+    state = s4;
   }
-  return w.take();
+  while (p != pe) {
+    state = state * kA + kC;
+    *p++ = static_cast<std::uint8_t>(state >> 33);
+  }
+  return out;
 }
 
 Result<AdtsFrameInfo> parse_adts_header(BytesView data) {

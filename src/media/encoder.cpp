@@ -52,18 +52,23 @@ MediaSample VideoEncoder::encode_one(std::uint64_t display_idx,
   if (type != FrameType::B) ++frame_num_;
   hdr.qp = qp;
 
-  std::vector<NalUnit> nals;
+  // Assemble the access unit directly into the sample buffer: small
+  // prefix NALs (SPS/PPS/SEI) via the per-NAL append, then the slice in
+  // fused streaming form — byte-identical to annexb_wrap over the
+  // equivalent NalUnit list, without materialising the slice RBSP/EBSP.
+  const auto payload = static_cast<std::size_t>(std::max(40.0, bits / 8.0));
+  Bytes data;
+  data.reserve(payload + payload / 64 + 192);
   if (idr) {
-    nals.push_back(NalUnit{NalType::Sps, 3, write_sps_rbsp(sps_)});
-    nals.push_back(NalUnit{NalType::Pps, 3, write_pps_rbsp(pps_)});
+    append_annexb_nal(data, NalUnit{NalType::Sps, 3, write_sps_rbsp(sps_)});
+    append_annexb_nal(data, NalUnit{NalType::Pps, 3, write_pps_rbsp(pps_)});
   }
   const double pts_s = static_cast<double>(display_idx) * frame_period;
   if (pts_s >= next_sei_pts_s_) {
-    nals.push_back(make_ntp_sei(ntp_from_seconds(epoch_s_ + pts_s)));
+    append_annexb_nal(data, make_ntp_sei(ntp_from_seconds(epoch_s_ + pts_s)));
     next_sei_pts_s_ = pts_s + 1.0;
   }
-  const auto payload = static_cast<std::size_t>(std::max(40.0, bits / 8.0));
-  nals.push_back(make_slice_nal(hdr, sps_, pps_, payload, display_idx));
+  append_annexb_slice(data, hdr, sps_, pps_, payload, display_idx);
 
   MediaSample s;
   s.kind = SampleKind::Video;
@@ -73,7 +78,7 @@ MediaSample VideoEncoder::encode_one(std::uint64_t display_idx,
   s.pts = seconds(static_cast<double>(display_idx + 1) * frame_period);
   s.dts = seconds(static_cast<double>(dts_emitted_++) * frame_period);
   s.keyframe = idr;
-  s.data = annexb_wrap(nals);
+  s.data = std::move(data);
   s.frame_type = type;
   s.encoded_qp = qp;
   return s;

@@ -4,6 +4,7 @@
 #include <array>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 #include "util/bitio.h"
 
@@ -19,55 +20,110 @@ constexpr std::array<std::uint8_t, 16> kNtpSeiUuid = {
 constexpr int kMbSize = 16;
 constexpr int kCropUnitY = 2;  // 4:2:0, frame_mbs_only
 
+/// Core of escape_ebsp, reusable for streamed producers: append d[0, n)
+/// to `out` in escaped (EBSP) form, carrying the consecutive-zero count
+/// across calls so a payload can be escaped in chunks. Runs as
+/// run-copies: memchr to the next zero byte, bulk-append the clean run,
+/// and only inspect bytes around zero pairs. Output is byte-identical to
+/// the naive per-byte loop.
+void escape_append(Bytes& out, const std::uint8_t* d, std::size_t n,
+                   std::size_t& zeros) {
+  std::size_t copied = 0;  // d[0, copied) already appended
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint8_t b = d[i];
+    if (zeros >= 2 && b <= 0x03) {
+      out.insert(out.end(), d + copied, d + i);
+      out.push_back(0x03);
+      copied = i;  // current byte flushes with the next run
+      zeros = (b == 0x00) ? 1 : 0;
+      ++i;
+      continue;
+    }
+    if (b == 0x00) {
+      ++zeros;
+      ++i;
+      continue;
+    }
+    zeros = 0;
+    const void* z = std::memchr(d + i, 0, n - i);
+    i = (z != nullptr)
+            ? static_cast<std::size_t>(static_cast<const std::uint8_t*>(z) - d)
+            : n;
+  }
+  out.insert(out.end(), d + copied, d + n);
+}
+
 }  // namespace
 
 Bytes escape_ebsp(BytesView rbsp) {
   Bytes out;
   out.reserve(rbsp.size() + rbsp.size() / 64);
-  int zeros = 0;
-  for (std::uint8_t b : rbsp) {
-    if (zeros >= 2 && b <= 0x03) {
-      out.push_back(0x03);
-      zeros = 0;
-    }
-    out.push_back(b);
-    zeros = (b == 0x00) ? zeros + 1 : 0;
-  }
+  std::size_t zeros = 0;
+  escape_append(out, rbsp.data(), rbsp.size(), zeros);
   return out;
 }
 
 Bytes unescape_ebsp(BytesView ebsp) {
+  const std::uint8_t* d = ebsp.data();
+  const std::size_t n = ebsp.size();
   Bytes out;
-  out.reserve(ebsp.size());
-  int zeros = 0;
-  for (std::size_t i = 0; i < ebsp.size(); ++i) {
-    const std::uint8_t b = ebsp[i];
-    if (zeros >= 2 && b == 0x03 && i + 1 < ebsp.size() && ebsp[i + 1] <= 0x03) {
+  out.reserve(n);
+  std::size_t copied = 0;
+  std::size_t zeros = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint8_t b = d[i];
+    if (zeros >= 2 && b == 0x03 && i + 1 < n && d[i + 1] <= 0x03) {
+      out.insert(out.end(), d + copied, d + i);
+      copied = i + 1;  // drop the emulation prevention byte
       zeros = 0;
-      continue;  // emulation prevention byte
+      ++i;
+      continue;
     }
-    out.push_back(b);
-    zeros = (b == 0x00) ? zeros + 1 : 0;
+    if (b == 0x00) {
+      ++zeros;
+      ++i;
+      continue;
+    }
+    zeros = 0;
+    const void* z = std::memchr(d + i, 0, n - i);
+    i = (z != nullptr)
+            ? static_cast<std::size_t>(static_cast<const std::uint8_t*>(z) - d)
+            : n;
   }
+  out.insert(out.end(), d + copied, d + n);
   return out;
 }
 
+const Bytes& NalUnit::escaped() const {
+  if (ebsp.empty() && !rbsp.empty()) ebsp = escape_ebsp(rbsp);
+  return ebsp;
+}
+
 Bytes serialize_nal(const NalUnit& nal) {
-  ByteWriter w;
-  w.u8(static_cast<std::uint8_t>((nal.nal_ref_idc & 0x3) << 5 |
-                                 static_cast<int>(nal.type)));
-  const Bytes escaped = escape_ebsp(nal.rbsp);
-  w.raw(escaped);
-  return w.take();
+  const Bytes& escaped = nal.escaped();
+  Bytes out;
+  out.reserve(1 + escaped.size());
+  out.push_back(static_cast<std::uint8_t>((nal.nal_ref_idc & 0x3) << 5 |
+                                          static_cast<int>(nal.type)));
+  out.insert(out.end(), escaped.begin(), escaped.end());
+  return out;
 }
 
 Bytes annexb_wrap(const std::vector<NalUnit>& nals) {
-  ByteWriter w;
+  std::size_t total = 0;
+  for (const NalUnit& nal : nals) total += 5 + nal.escaped().size();
+  Bytes out;
+  out.reserve(total);
   for (const NalUnit& nal : nals) {
-    w.u32be(0x00000001);
-    w.raw(serialize_nal(nal));
+    const Bytes& escaped = nal.escaped();
+    out.insert(out.end(), {0x00, 0x00, 0x00, 0x01});
+    out.push_back(static_cast<std::uint8_t>((nal.nal_ref_idc & 0x3) << 5 |
+                                            static_cast<int>(nal.type)));
+    out.insert(out.end(), escaped.begin(), escaped.end());
   }
-  return w.take();
+  return out;
 }
 
 namespace {
@@ -79,8 +135,39 @@ Result<NalUnit> parse_nal_bytes(BytesView raw) {
   if (hdr & 0x80) return make_error("malformed", "forbidden_zero_bit set");
   nal.nal_ref_idc = (hdr >> 5) & 0x3;
   nal.type = static_cast<NalType>(hdr & 0x1F);
-  nal.rbsp = unescape_ebsp(raw.subspan(1));
+  const BytesView payload = raw.subspan(1);
+  nal.rbsp = unescape_ebsp(payload);
+  // Harvest the escaped form from the source stream: a re-wrap of this
+  // NAL (AVCC <-> Annex-B at the origin and in RTMP fan-out) becomes a
+  // bulk copy. The sim's streams are canonical escape outputs, so the
+  // harvested bytes equal what escape_ebsp(rbsp) would produce.
+  nal.ebsp.assign(payload.begin(), payload.end());
   return nal;
+}
+
+/// Start-code scan shared by split_annexb and annexb_to_avcc: fills
+/// (starts, code_pos) with the offset of each NAL's first byte and of its
+/// start code.
+void scan_annexb_start_codes(BytesView data, std::vector<std::size_t>* starts,
+                             std::vector<std::size_t>* code_pos) {
+  // Hunt for the 0x01 terminator of the 00 00 01 code and check the two
+  // bytes before it — the slice filler is ~1/16 zero bytes but only
+  // ~1/256 0x01 bytes, so keying the memchr on 0x01 stops 16x less
+  // often. Matches the byte-at-a-time scan exactly: a 0x01 inside or
+  // directly after a matched code can never have two zeros before it.
+  const std::uint8_t* d = data.data();
+  const std::size_t n = data.size();
+  for (std::size_t i = 2; i < n;) {
+    const void* z = std::memchr(d + i, 0x01, n - i);
+    if (z == nullptr) break;
+    const std::size_t j =
+        static_cast<std::size_t>(static_cast<const std::uint8_t*>(z) - d);
+    if (d[j - 1] == 0 && d[j - 2] == 0) {
+      starts->push_back(j + 1);
+      code_pos->push_back(j - 2);
+    }
+    i = j + 1;
+  }
 }
 
 }  // namespace
@@ -90,15 +177,7 @@ Result<std::vector<NalUnit>> split_annexb(BytesView data) {
   // Find 3- or 4-byte start codes.
   std::vector<std::size_t> starts;  // offset of first NAL byte
   std::vector<std::size_t> code_pos;
-  for (std::size_t i = 0; i + 3 <= data.size();) {
-    if (data[i] == 0 && data[i + 1] == 0 && data[i + 2] == 1) {
-      starts.push_back(i + 3);
-      code_pos.push_back(i);
-      i += 3;
-    } else {
-      ++i;
-    }
-  }
+  scan_annexb_start_codes(data, &starts, &code_pos);
   if (starts.empty()) {
     return make_error("malformed", "no Annex-B start code found");
   }
@@ -114,13 +193,74 @@ Result<std::vector<NalUnit>> split_annexb(BytesView data) {
 }
 
 Bytes avcc_wrap(const std::vector<NalUnit>& nals) {
-  ByteWriter w;
+  std::size_t total = 0;
+  for (const NalUnit& nal : nals) total += 5 + nal.escaped().size();
+  Bytes out;
+  out.reserve(total);
   for (const NalUnit& nal : nals) {
-    const Bytes raw = serialize_nal(nal);
-    w.u32be(static_cast<std::uint32_t>(raw.size()));
-    w.raw(raw);
+    const Bytes& escaped = nal.escaped();
+    const auto len = static_cast<std::uint32_t>(1 + escaped.size());
+    out.push_back(static_cast<std::uint8_t>(len >> 24));
+    out.push_back(static_cast<std::uint8_t>(len >> 16));
+    out.push_back(static_cast<std::uint8_t>(len >> 8));
+    out.push_back(static_cast<std::uint8_t>(len));
+    out.push_back(static_cast<std::uint8_t>((nal.nal_ref_idc & 0x3) << 5 |
+                                            static_cast<int>(nal.type)));
+    out.insert(out.end(), escaped.begin(), escaped.end());
   }
-  return w.take();
+  return out;
+}
+
+Result<Bytes> annexb_to_avcc(BytesView data) {
+  std::vector<std::size_t> starts;
+  std::vector<std::size_t> code_pos;
+  scan_annexb_start_codes(data, &starts, &code_pos);
+  if (starts.empty()) {
+    return make_error("malformed", "no Annex-B start code found");
+  }
+  Bytes out;
+  out.reserve(data.size() + starts.size());
+  for (std::size_t k = 0; k < starts.size(); ++k) {
+    std::size_t end = (k + 1 < starts.size()) ? code_pos[k + 1] : data.size();
+    if (k + 1 < starts.size() && end > starts[k] && data[end - 1] == 0) --end;
+    const std::size_t len = end - starts[k];
+    if (len == 0) return make_error("malformed", "empty NAL");
+    if (data[starts[k]] & 0x80) {
+      return make_error("malformed", "forbidden_zero_bit set");
+    }
+    out.push_back(static_cast<std::uint8_t>(len >> 24));
+    out.push_back(static_cast<std::uint8_t>(len >> 16));
+    out.push_back(static_cast<std::uint8_t>(len >> 8));
+    out.push_back(static_cast<std::uint8_t>(len));
+    out.insert(out.end(), data.begin() + starts[k], data.begin() + end);
+  }
+  return out;
+}
+
+Result<Bytes> avcc_to_annexb(BytesView data) {
+  Bytes out;
+  out.reserve(data.size() + 16);
+  std::size_t pos = 0;
+  const std::size_t n = data.size();
+  while (pos < n) {
+    if (n - pos < 4) {
+      return make_error("truncated", "not enough bytes for u32be");
+    }
+    const std::size_t len = (std::size_t{data[pos]} << 24) |
+                            (std::size_t{data[pos + 1]} << 16) |
+                            (std::size_t{data[pos + 2]} << 8) |
+                            data[pos + 3];
+    pos += 4;
+    if (n - pos < len) return make_error("truncated", "not enough bytes for view");
+    if (len == 0) return make_error("malformed", "empty NAL");
+    if (data[pos] & 0x80) {
+      return make_error("malformed", "forbidden_zero_bit set");
+    }
+    out.insert(out.end(), {0x00, 0x00, 0x00, 0x01});
+    out.insert(out.end(), data.begin() + pos, data.begin() + pos + len);
+    pos += len;
+  }
+  return out;
 }
 
 Result<std::vector<NalUnit>> split_avcc(BytesView data) {
@@ -337,9 +477,33 @@ Result<FrameType> frame_type_from_code(std::uint32_t code) {
 
 }  // namespace
 
-NalUnit make_slice_nal(const SliceHeader& hdr, const Sps& sps, const Pps& pps,
-                       std::size_t payload_bytes, std::uint64_t filler_seed) {
-  BitWriter w;
+namespace {
+
+// Filler LCG: jump the recurrence four steps at a time —
+// state_{n+k} = A^k * state_n + C_k with precomputed (A^k, C_k) — so the
+// serial multiply chain (~5 cycles/byte one-step) becomes four
+// independent multiplies per iteration. The emitted byte stream is
+// exactly the one-step sequence.
+constexpr std::uint64_t kFillA = 6364136223846793005ull;
+constexpr std::uint64_t kFillC = 1442695040888963407ull;
+constexpr std::uint64_t kFillA2 = kFillA * kFillA;
+constexpr std::uint64_t kFillC2 = kFillA * kFillC + kFillC;
+constexpr std::uint64_t kFillA3 = kFillA2 * kFillA;
+constexpr std::uint64_t kFillC3 = kFillA * kFillC2 + kFillC;
+constexpr std::uint64_t kFillA4 = kFillA3 * kFillA;
+constexpr std::uint64_t kFillC4 = kFillA * kFillC3 + kFillC;
+
+/// Map one LCG state to a filler byte. Zero runs are injected (every
+/// low-nibble-zero draw) so emulation prevention gets exercised.
+inline std::uint8_t fill_emit(std::uint64_t s) {
+  const auto b = static_cast<std::uint8_t>(s >> 33);
+  return static_cast<std::uint8_t>((b & 0x0F) == 0 ? 0x00 : b);
+}
+
+/// Slice-header RBSP bits shared by make_slice_nal (materialised NAL)
+/// and append_annexb_slice (fused streaming form). Returns nal_ref_idc.
+int write_slice_header_bits(BitWriter& w, const SliceHeader& hdr,
+                            const Sps& sps, const Pps& pps) {
   w.ue(0);  // first_mb_in_slice
   w.ue(slice_type_code(hdr.type));
   w.ue(pps.pps_id);
@@ -367,6 +531,15 @@ NalUnit make_slice_nal(const SliceHeader& hdr, const Sps& sps, const Pps& pps,
   }
   w.se(hdr.qp - pps.pic_init_qp);  // slice_qp_delta
   w.rbsp_trailing_bits();
+  return nal_ref_idc;
+}
+
+}  // namespace
+
+NalUnit make_slice_nal(const SliceHeader& hdr, const Sps& sps, const Pps& pps,
+                       std::size_t payload_bytes, std::uint64_t filler_seed) {
+  BitWriter w;
+  const int nal_ref_idc = write_slice_header_bits(w, hdr, sps, pps);
 
   NalUnit nal;
   nal.type = hdr.idr ? NalType::IdrSlice : NalType::NonIdrSlice;
@@ -374,14 +547,114 @@ NalUnit make_slice_nal(const SliceHeader& hdr, const Sps& sps, const Pps& pps,
   nal.rbsp = w.take();
 
   // Pad with deterministic pseudo-random "slice data" to the requested
-  // size. Zero runs are injected so emulation prevention gets exercised.
-  std::uint64_t state = filler_seed * 0x9E3779B97F4A7C15ull + 1;
-  while (nal.rbsp.size() < payload_bytes) {
-    state = state * 6364136223846793005ull + 1442695040888963407ull;
-    const auto b = static_cast<std::uint8_t>(state >> 33);
-    nal.rbsp.push_back((b & 0x0F) == 0 ? 0x00 : b);
+  // size (see fill_emit above for the zero-run injection).
+  if (nal.rbsp.size() < payload_bytes) {
+    const std::size_t start = nal.rbsp.size();
+    nal.rbsp.resize(payload_bytes);
+    std::uint8_t* p = nal.rbsp.data() + start;
+    std::uint8_t* const pe = nal.rbsp.data() + payload_bytes;
+    std::uint64_t state = filler_seed * 0x9E3779B97F4A7C15ull + 1;
+    for (; pe - p >= 4; p += 4) {
+      const std::uint64_t s1 = state * kFillA + kFillC;
+      const std::uint64_t s2 = state * kFillA2 + kFillC2;
+      const std::uint64_t s3 = state * kFillA3 + kFillC3;
+      const std::uint64_t s4 = state * kFillA4 + kFillC4;
+      p[0] = fill_emit(s1);
+      p[1] = fill_emit(s2);
+      p[2] = fill_emit(s3);
+      p[3] = fill_emit(s4);
+      state = s4;
+    }
+    while (p != pe) {
+      state = state * kFillA + kFillC;
+      *p++ = fill_emit(state);
+    }
   }
   return nal;
+}
+
+void append_annexb_nal(Bytes& out, const NalUnit& nal) {
+  const Bytes& escaped = nal.escaped();
+  out.insert(out.end(), {0x00, 0x00, 0x00, 0x01});
+  out.push_back(static_cast<std::uint8_t>((nal.nal_ref_idc & 0x3) << 5 |
+                                          static_cast<int>(nal.type)));
+  out.insert(out.end(), escaped.begin(), escaped.end());
+}
+
+void append_annexb_slice(Bytes& out, const SliceHeader& hdr, const Sps& sps,
+                         const Pps& pps, std::size_t payload_bytes,
+                         std::uint64_t filler_seed) {
+  // The encoder's hot path: a slice is produced exactly once, fanned out
+  // many times — and the materialised route writes its megabyte filler
+  // three times (RBSP fill, EBSP escape, Annex-B copy) with a heap
+  // allocation for each. Stream the same bytes out in one pass instead:
+  // header bits, then filler generated directly in escaped form, chunked
+  // through a stack buffer so vector growth stays amortised bulk appends.
+  BitWriter w;
+  const int nal_ref_idc = write_slice_header_bits(w, hdr, sps, pps);
+  const Bytes head = w.take();
+  const std::size_t filler =
+      head.size() < payload_bytes ? payload_bytes - head.size() : 0;
+  out.reserve(out.size() + 5 + payload_bytes + payload_bytes / 64 + 16);
+
+  const NalType type = hdr.idr ? NalType::IdrSlice : NalType::NonIdrSlice;
+  out.insert(out.end(), {0x00, 0x00, 0x00, 0x01});
+  out.push_back(static_cast<std::uint8_t>((nal_ref_idc & 0x3) << 5 |
+                                          static_cast<int>(type)));
+
+  // Escape state spans the whole RBSP (header then filler), exactly as
+  // escape_ebsp sees it on the materialised route. The filler's zero
+  // density (~1/16 bytes) is high enough that memchr-style run-skipping
+  // loses to this branch-predictable per-byte loop — escapes themselves
+  // fire only once per few thousand bytes, so the inner branch is
+  // almost-never-taken and the chunked stack buffer keeps vector growth
+  // as amortised bulk appends.
+  std::size_t zeros = 0;
+  const auto put = [&zeros](std::uint8_t*& p, std::uint8_t b) {
+    if (zeros >= 2 && b <= 0x03) {
+      *p++ = 0x03;
+      zeros = 0;
+    }
+    *p++ = b;
+    zeros = (b == 0x00) ? zeros + 1 : 0;
+  };
+
+  {
+    // Header bytes: tiny, escape via the same per-byte rule.
+    std::uint8_t hbuf[128];
+    std::uint8_t* p = hbuf;
+    for (std::uint8_t b : head) put(p, b);
+    out.insert(out.end(), hbuf, p);
+  }
+
+  // Escapes expand by at most 1 byte per 3 (a 00 00 0x run), so a chunk
+  // of 6000 RBSP bytes needs at most 8000 output bytes.
+  constexpr std::size_t kChunk = 6000;
+  std::uint8_t buf[8008];
+  std::uint64_t state = filler_seed * 0x9E3779B97F4A7C15ull + 1;
+  std::size_t remaining = filler;
+  while (remaining > 0) {
+    const std::size_t n = remaining < kChunk ? remaining : kChunk;
+    std::uint8_t* p = buf;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const std::uint64_t s1 = state * kFillA + kFillC;
+      const std::uint64_t s2 = state * kFillA2 + kFillC2;
+      const std::uint64_t s3 = state * kFillA3 + kFillC3;
+      const std::uint64_t s4 = state * kFillA4 + kFillC4;
+      put(p, fill_emit(s1));
+      put(p, fill_emit(s2));
+      put(p, fill_emit(s3));
+      put(p, fill_emit(s4));
+      state = s4;
+    }
+    for (; i < n; ++i) {
+      state = state * kFillA + kFillC;
+      put(p, fill_emit(state));
+    }
+    out.insert(out.end(), buf, p);
+    remaining -= n;
+  }
 }
 
 Result<SliceHeader> parse_slice_header(const NalUnit& nal, const Sps& sps,

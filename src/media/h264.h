@@ -34,6 +34,16 @@ struct NalUnit {
   NalType type = NalType::NonIdrSlice;
   int nal_ref_idc = 0;
   Bytes rbsp;  // unescaped payload (no header byte, no emulation bytes)
+  /// Cached escaped payload (EBSP). Parsers harvest it from the source
+  /// stream so a re-wrap (Annex-B <-> AVCC, the origin/RTMP fan-out path)
+  /// is a bulk copy instead of a fresh escape pass; writers fill it on
+  /// first serialisation. Empty = not cached (an empty rbsp escapes to an
+  /// empty EBSP, so the states coincide harmlessly). Treat a NalUnit as
+  /// immutable once built: mutating `rbsp` in place would stale the cache.
+  mutable Bytes ebsp{};
+
+  /// The escaped payload, computing and caching it on first use.
+  const Bytes& escaped() const;
 };
 
 /// Sequence parameter set (the subset we write and read).
@@ -81,6 +91,14 @@ Result<std::vector<NalUnit>> split_annexb(BytesView data);
 Bytes avcc_wrap(const std::vector<NalUnit>& nals);
 Result<std::vector<NalUnit>> split_avcc(BytesView data);
 
+/// Direct re-framers for the fan-out hot path: switch between Annex-B and
+/// AVCC framing without materialising NalUnits or touching emulation
+/// prevention — NAL payload bytes are copied verbatim. For the canonical
+/// streams this codebase produces the result is byte-identical to
+/// split + wrap; malformed inputs fail with the same error classes.
+Result<Bytes> annexb_to_avcc(BytesView data);
+Result<Bytes> avcc_to_annexb(BytesView data);
+
 /// AVCDecoderConfigurationRecord carrying the SPS+PPS, as found in the FLV
 /// "AVC sequence header" tag.
 Bytes write_avc_decoder_config(const Sps& sps, const Pps& pps);
@@ -104,6 +122,19 @@ Result<Pps> parse_pps_rbsp(BytesView rbsp);
 /// filler payload pads the RBSP to ~`payload_bytes` total.
 NalUnit make_slice_nal(const SliceHeader& hdr, const Sps& sps, const Pps& pps,
                        std::size_t payload_bytes, std::uint64_t filler_seed);
+
+/// Append one Annex-B framed NAL (4-byte start code + header byte +
+/// escaped payload) to `out` — the per-NAL step of annexb_wrap.
+void append_annexb_nal(Bytes& out, const NalUnit& nal);
+
+/// Append the Annex-B framing of make_slice_nal(...) to `out`,
+/// byte-identically, in a single pass: the RBSP is streamed out in
+/// escaped (EBSP) form as it is generated and never materialised. This is
+/// the encoder's hot path — the materialised route writes the filler
+/// three times (fill, escape, wrap) with an allocation for each.
+void append_annexb_slice(Bytes& out, const SliceHeader& hdr, const Sps& sps,
+                         const Pps& pps, std::size_t payload_bytes,
+                         std::uint64_t filler_seed);
 
 /// Parse a slice header given the active parameter sets.
 Result<SliceHeader> parse_slice_header(const NalUnit& nal, const Sps& sps,

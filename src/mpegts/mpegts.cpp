@@ -43,7 +43,7 @@ Result<std::uint64_t> read_pts_field(ByteReader& r) {
   return (hi << 30) | (mid << 15) | lo;
 }
 
-Bytes make_psi_packet(std::uint16_t pid, std::uint8_t table_id,
+void write_psi_packet(ByteWriter& w, std::uint16_t pid, std::uint8_t table_id,
                       const Bytes& table_body, std::uint8_t cc) {
   // section: table_id, section_syntax(1)+len, id, version, section nums,
   // body, crc32.
@@ -59,16 +59,15 @@ Bytes make_psi_packet(std::uint16_t pid, std::uint8_t table_id,
   const Bytes section = sec.take();
   const std::uint32_t crc = crc32_mpeg(section);
 
-  ByteWriter w;
+  const std::size_t start = w.size();
   write_ts_header(w, pid, /*pusi=*/true, /*adaptation=*/false,
                   /*payload=*/true, cc);
   w.u8(0);  // pointer_field
   w.raw(section);
   w.u32be(crc);
   // Stuff the remainder with 0xFF.
-  assert(w.size() <= kTsPacketSize);
-  w.fill(kTsPacketSize - w.size(), 0xFF);
-  return w.take();
+  assert(w.size() - start <= kTsPacketSize);
+  w.fill(kTsPacketSize - (w.size() - start), 0xFF);
 }
 
 }  // namespace
@@ -94,11 +93,17 @@ std::uint8_t TsMuxer::next_cc(std::uint16_t pid) {
 }
 
 Bytes TsMuxer::psi() {
+  ByteWriter out;
+  psi_into(out);
+  return out.take();
+}
+
+void TsMuxer::psi_into(ByteWriter& out) {
   // PAT: program 1 -> PMT PID.
   ByteWriter pat_body;
   pat_body.u16be(1);  // program_number
   pat_body.u16be(static_cast<std::uint16_t>(0xE000 | pmt_pid_));
-  Bytes pat = make_psi_packet(kPatPid, 0x00, pat_body.take(), next_cc(kPatPid));
+  write_psi_packet(out, kPatPid, 0x00, pat_body.take(), next_cc(kPatPid));
 
   // PMT: PCR on video PID; AVC video + ADTS audio streams.
   ByteWriter pmt_body;
@@ -110,19 +115,13 @@ Bytes TsMuxer::psi() {
   pmt_body.u8(kStreamTypeAac);
   pmt_body.u16be(static_cast<std::uint16_t>(0xE000 | audio_pid_));
   pmt_body.u16be(0xF000);
-  Bytes pmt = make_psi_packet(pmt_pid_, 0x02, pmt_body.take(),
-                              next_cc(pmt_pid_));
-
-  ByteWriter out;
-  out.raw(pat);
-  out.raw(pmt);
-  return out.take();
+  write_psi_packet(out, pmt_pid_, 0x02, pmt_body.take(), next_cc(pmt_pid_));
 }
 
-Bytes TsMuxer::pes_packet(const media::MediaSample& sample) const {
+void TsMuxer::pes_header_into(ByteWriter& pes,
+                              const media::MediaSample& sample) const {
   const bool video = sample.kind == media::SampleKind::Video;
   const bool has_dts = video && sample.dts != sample.pts;
-  ByteWriter pes;
   pes.u24be(0x000001);
   pes.u8(video ? 0xE0 : 0xC0);
   const std::size_t header_data_len = has_dts ? 10 : 5;
@@ -134,16 +133,16 @@ Bytes TsMuxer::pes_packet(const media::MediaSample& sample) const {
   pes.u8(static_cast<std::uint8_t>(header_data_len));
   write_pts_field(pes, has_dts ? 0x3 : 0x2, to_pts90k(sample.pts));
   if (has_dts) write_pts_field(pes, 0x1, to_pts90k(sample.dts));
-  pes.raw(sample.data);
-  return pes.take();
 }
 
-void TsMuxer::write_payload(ByteWriter& out, std::uint16_t pid, BytesView pes,
-                            bool keyframe, std::optional<Duration> pcr) {
+void TsMuxer::write_payload(ByteWriter& out, std::uint16_t pid, BytesView head,
+                            BytesView body, bool keyframe,
+                            std::optional<Duration> pcr) {
+  const std::size_t total = head.size() + body.size();
   std::size_t offset = 0;
   bool first = true;
-  while (offset < pes.size()) {
-    const std::size_t remaining = pes.size() - offset;
+  while (offset < total) {
+    const std::size_t remaining = total - offset;
     // Compute adaptation field needs: PCR/random-access on first packet,
     // stuffing on the last.
     const bool want_flags = first && (keyframe || pcr.has_value());
@@ -194,21 +193,36 @@ void TsMuxer::write_payload(ByteWriter& out, std::uint16_t pid, BytesView pes,
         if (af_len > used) out.fill(af_len - used, 0xFF);
       }
     }
-    out.raw(pes.subspan(offset, payload_room));
+    std::size_t pos = offset;
+    std::size_t left = payload_room;
+    if (pos < head.size()) {
+      const std::size_t take = std::min(left, head.size() - pos);
+      out.raw(head.subspan(pos, take));
+      pos += take;
+      left -= take;
+    }
+    if (left > 0) out.raw(body.subspan(pos - head.size(), left));
     offset += payload_room;
     first = false;
   }
 }
 
 Bytes TsMuxer::mux_sample(const media::MediaSample& sample) {
+  ByteWriter out;
+  mux_sample_into(out, sample);
+  return out.take();
+}
+
+void TsMuxer::mux_sample_into(ByteWriter& out,
+                              const media::MediaSample& sample) {
   const bool video = sample.kind == media::SampleKind::Video;
   const std::uint16_t pid = video ? video_pid_ : audio_pid_;
-  ByteWriter out;
-  const Bytes pes = pes_packet(sample);
+  pes_scratch_.clear();
+  pes_header_into(pes_scratch_, sample);
   const std::optional<Duration> pcr =
       video ? std::optional<Duration>(sample.dts) : std::nullopt;
-  write_payload(out, pid, pes, sample.keyframe, pcr);
-  return out.take();
+  write_payload(out, pid, pes_scratch_.bytes(), sample.data, sample.keyframe,
+                pcr);
 }
 
 Status TsDemuxer::push(BytesView ts_bytes) {

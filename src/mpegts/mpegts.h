@@ -42,20 +42,31 @@ class TsMuxer {
 
   /// TS packets (multiple of 188 bytes) for one sample.
   Bytes mux_sample(const media::MediaSample& sample);
+  /// Same, appended to an existing writer (segmenter hot path: no
+  /// intermediate per-sample buffer).
+  void mux_sample_into(ByteWriter& out, const media::MediaSample& sample);
 
   /// PAT + PMT packets (2 x 188 bytes).
   Bytes psi();
+  void psi_into(ByteWriter& out);
 
  private:
-  Bytes pes_packet(const media::MediaSample& sample) const;
-  void write_payload(ByteWriter& out, std::uint16_t pid, BytesView pes,
-                     bool keyframe, std::optional<Duration> pcr);
+  /// PES header only (start code through the optional DTS field); the
+  /// sample payload is chunked straight from the caller's buffer by
+  /// write_payload so media bytes are copied once, not twice.
+  void pes_header_into(ByteWriter& pes, const media::MediaSample& sample) const;
+  /// Packetises the logical PES stream `head ++ body` (two spans so the
+  /// header can live in scratch while the payload stays in place).
+  void write_payload(ByteWriter& out, std::uint16_t pid, BytesView head,
+                     BytesView body, bool keyframe,
+                     std::optional<Duration> pcr);
   std::uint8_t next_cc(std::uint16_t pid);
 
   std::uint16_t pmt_pid_;
   std::uint16_t video_pid_;
   std::uint16_t audio_pid_;
   std::map<std::uint16_t, std::uint8_t> continuity_;
+  ByteWriter pes_scratch_;  // reused across samples; capacity persists
 };
 
 /// One elementary-stream access unit recovered from a TS.

@@ -4,6 +4,17 @@
 
 namespace psc::net {
 
+const Bytes& Capture::payload() const {
+  if (payload_.size() != total_) {
+    payload_.clear();
+    payload_.reserve(static_cast<std::size_t>(total_));
+    for (const util::BufferSlice& c : chunks_) {
+      payload_.insert(payload_.end(), c.begin(), c.end());
+    }
+  }
+  return payload_;
+}
+
 TimePoint Capture::time_of_byte(std::size_t offset) const {
   // Binary search over packet offsets.
   auto it = std::upper_bound(

@@ -5,12 +5,19 @@
 // later reconstructed the TCP streams with wireshark; analysis code here
 // consumes Capture objects the same way — it never looks at sender-side
 // ground truth.
+//
+// Storage is chunked: each record keeps a ref-counted BufferSlice, so
+// recording a delivered network buffer shares it instead of copying.
+// payload() flattens the chunks into one contiguous buffer lazily — only
+// the offline analysis paths (RTMP re-dissection, pcap export) pay for
+// that; per-packet consumers use packet_data().
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "util/buffer.h"
 #include "util/bytes.h"
 #include "util/units.h"
 
@@ -24,14 +31,24 @@ class Capture {
     std::size_t size = 0;
   };
 
-  void record(TimePoint t, BytesView data) {
-    packets_.push_back(Packet{t, payload_.size(), data.size()});
-    payload_.insert(payload_.end(), data.begin(), data.end());
+  /// Record by view: the bytes are copied (callers without a slice).
+  void record_copy(TimePoint t, BytesView data) {
+    record(t, util::BufferSlice::copy_of(data));
+  }
+  /// Record by slice: shares the buffer, no copy (an owning Bytes
+  /// converts implicitly).
+  void record(TimePoint t, util::BufferSlice data) {
+    packets_.push_back(Packet{t, total_, data.size()});
+    total_ += data.size();
+    chunks_.push_back(std::move(data));
   }
 
   const std::vector<Packet>& packets() const { return packets_; }
-  const Bytes& payload() const { return payload_; }
-  std::uint64_t total_bytes() const { return payload_.size(); }
+  /// Bytes of packet `i` without flattening.
+  BytesView packet_data(std::size_t i) const { return chunks_[i].view(); }
+  /// The reassembled contiguous stream; materialised on first call.
+  const Bytes& payload() const;
+  std::uint64_t total_bytes() const { return total_; }
 
   /// Arrival time of the packet containing payload byte `offset`
   /// (the paper computes delivery latency as "time of receiving the
@@ -43,8 +60,11 @@ class Capture {
   void clear() {
     packets_.clear();
     packets_.shrink_to_fit();
+    chunks_.clear();
+    chunks_.shrink_to_fit();
     payload_.clear();
     payload_.shrink_to_fit();
+    total_ = 0;
   }
 
   bool empty() const { return packets_.empty(); }
@@ -57,7 +77,9 @@ class Capture {
 
  private:
   std::vector<Packet> packets_;
-  Bytes payload_;
+  std::vector<util::BufferSlice> chunks_;  // aligned with packets_
+  std::uint64_t total_ = 0;
+  mutable Bytes payload_;  // lazy flatten cache; valid when size()==total_
 };
 
 }  // namespace psc::net

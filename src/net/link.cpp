@@ -40,8 +40,17 @@ void Link::enable_shaped_queue(std::size_t queue_limit_bytes, Rng rng,
   rto_max_ = rto_max;
 }
 
-void Link::send(Bytes data, DeliveryFn deliver) {
+void Link::send(std::size_t size, DeliveryFn deliver) {
+  send_sized(util::BufferSlice{}, size, std::move(deliver));
+}
+
+void Link::send(util::BufferSlice data, DeliveryFn deliver) {
   const std::size_t size = data.size();
+  send_sized(std::move(data), size, std::move(deliver));
+}
+
+void Link::send_sized(util::BufferSlice data, std::size_t size,
+                      DeliveryFn deliver) {
   bytes_sent_ += size;
   if (shaped_ && busy_until_ > sim_.now() &&
       sim_.now() >= recovery_cooldown_until_) {
@@ -81,7 +90,7 @@ void Link::complete(std::uint64_t id) {
     // Detach before delivering: `deliver` may re-enter send() on this
     // same link (the pump chains do).
     DeliveryFn deliver = std::move(it->deliver);
-    Bytes data = std::move(it->data);
+    util::BufferSlice data = std::move(it->data);
     pending_.erase(it);
     deliver(sim_.now(), std::move(data));
     return;

@@ -19,9 +19,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "sim/simulation.h"
+#include "util/buffer.h"
 #include "util/bytes.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -29,14 +29,24 @@
 namespace psc::net {
 
 /// Called on delivery with the arrival time and the delivered bytes.
-using DeliveryFn = std::function<void(TimePoint, Bytes)>;
+/// The slice is ref-counted: forwarding it down a chained link or into a
+/// capture shares the buffer instead of copying it. Small-buffer inline
+/// storage: the usual `this`-plus-a-few-words capture never allocates
+/// (millions of deliveries per run go through here).
+using DeliveryFn = sim::InlineFunction<void(TimePoint, util::BufferSlice), 96>;
 
 class Link {
  public:
   Link(sim::Simulation& sim, BitRate rate, Duration latency);
 
-  /// Enqueue `data`; `deliver` fires when the last byte arrives.
-  void send(Bytes data, DeliveryFn deliver);
+  /// Enqueue `data`; `deliver` fires when the last byte arrives. An
+  /// owning Bytes converts implicitly; re-sending a delivered slice on
+  /// the next hop is copy-free.
+  void send(util::BufferSlice data, DeliveryFn deliver);
+  /// Pacing-only transfer: occupies the serializer for `size` bytes and
+  /// delivers an empty slice. For sends whose payload the receiver never
+  /// reads (the metadata rides in the closure) — skips carrying bytes.
+  void send(std::size_t size, DeliveryFn deliver);
 
   /// Change the nominal rate — the simulation's `tc` command. The
   /// unserialized remainder of every in-flight transfer is re-paced at
@@ -86,12 +96,14 @@ class Link {
     TimePoint start;
     TimePoint end;
     DeliveryFn deliver;
-    Bytes data;
+    util::BufferSlice data;
     sim::EventHandle ev;
   };
 
   double noise_factor();
   double effective_rate();
+  void send_sized(util::BufferSlice data, std::size_t size,
+                  DeliveryFn deliver);
   void complete(std::uint64_t id);
   /// Re-serialize every unfinished pending tail from max(now,
   /// frozen_until_) at the current effective rate.

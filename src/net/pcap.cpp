@@ -126,7 +126,7 @@ Result<Capture> read_pcap(BytesView file) {
     }
     const double t =
         static_cast<double>(secs.value()) + usecs.value() / 1e6;
-    cap.record(time_at(t), f.subspan(tcp_off));
+    cap.record_copy(time_at(t), f.subspan(tcp_off));
   }
   return cap;
 }

@@ -11,8 +11,17 @@ TcpFlow::TcpFlow(sim::Simulation& sim, const TcpConfig& cfg,
       on_deliver_(std::move(on_deliver)),
       cwnd_(static_cast<double>(cfg.initial_cwnd_segments * cfg.mss)) {}
 
-void TcpFlow::send(Bytes data) {
+void TcpFlow::send(BytesView data) {
   app_buffer_.insert(app_buffer_.end(), data.begin(), data.end());
+  try_send();
+}
+
+void TcpFlow::send(Bytes&& data) {
+  if (app_buffer_.empty()) {
+    app_buffer_ = std::move(data);
+  } else {
+    app_buffer_.insert(app_buffer_.end(), data.begin(), data.end());
+  }
   try_send();
 }
 

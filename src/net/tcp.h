@@ -38,8 +38,13 @@ class TcpFlow {
   TcpFlow(sim::Simulation& sim, const TcpConfig& cfg,
           std::function<void(TimePoint, Bytes)> on_deliver);
 
-  /// Enqueue application data for transmission.
-  void send(Bytes data);
+  /// Enqueue application data for transmission (copied into the send
+  /// buffer).
+  void send(BytesView data);
+  /// Move overload: adopts the vector outright when the send buffer is
+  /// drained — the common "pump everything, then refill" pattern never
+  /// copies the payload.
+  void send(Bytes&& data);
 
   /// Unacknowledged bytes currently outstanding.
   std::uint64_t bytes_in_flight() const { return next_seq_ - snd_una_; }

@@ -207,15 +207,16 @@ void ServerSession::send_avc_config(const media::Sps& sps,
 
 void ServerSession::send_sample(const media::MediaSample& sample) {
   if (sample.kind == media::SampleKind::Video) {
-    auto nals = media::split_annexb(sample.data);
-    if (!nals) return;
-    const Bytes avcc = media::avcc_wrap(nals.value());
+    // Direct re-frame (no NAL materialisation): this runs once per sample
+    // per attached player.
+    auto avcc = media::annexb_to_avcc(sample.data);
+    if (!avcc) return;
     const auto cts = static_cast<std::int32_t>(
         std::llround(to_ms(sample.pts - sample.dts)));
     send_message(kCsidVideo, MessageType::Video, ms_from(sample.dts),
                  kMediaStreamId,
                  flv::make_video_tag(sample.keyframe, flv::AvcPacketType::Nalu,
-                                     cts, avcc));
+                                     cts, avcc.value()));
   } else {
     send_message(kCsidAudio, MessageType::Audio, ms_from(sample.dts),
                  kMediaStreamId,
@@ -456,13 +457,13 @@ void PublisherSession::send_avc_config(const media::Sps& sps,
 
 void PublisherSession::send_sample(const media::MediaSample& sample) {
   if (sample.kind == media::SampleKind::Video) {
-    auto nals = media::split_annexb(sample.data);
-    if (!nals) return;
+    auto avcc = media::annexb_to_avcc(sample.data);
+    if (!avcc) return;
     const auto cts = static_cast<std::int32_t>(
         std::llround(to_ms(sample.pts - sample.dts)));
     send_media(kCsidVideo, MessageType::Video, ms_from(sample.dts),
                flv::make_video_tag(sample.keyframe, flv::AvcPacketType::Nalu,
-                                   cts, media::avcc_wrap(nals.value())));
+                                   cts, avcc.value()));
   } else {
     send_media(kCsidAudio, MessageType::Audio, ms_from(sample.dts),
                flv::make_audio_tag(flv::AacPacketType::Raw, sample.data));

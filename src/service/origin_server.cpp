@@ -52,9 +52,9 @@ void MediaOrigin::wire_publish_hooks(int conn) {
     // Published video arrives as AVCC (FLV framing); the fan-out path
     // re-wraps per player, so convert back to Annex-B once here.
     if (sample.kind == media::SampleKind::Video) {
-      auto nals = media::split_avcc(sample.data);
-      if (!nals) return;
-      sample.data = media::annexb_wrap(nals.value());
+      auto annexb = media::avcc_to_annexb(sample.data);
+      if (!annexb) return;
+      sample.data = std::move(annexb).value();
     }
     if (sample.kind == media::SampleKind::Video && sample.keyframe) {
       s.backlog.clear();

@@ -57,11 +57,13 @@ LiveBroadcastPipeline::LiveBroadcastPipeline(sim::Simulation& sim,
       cfg_.source_nominal_bandwidth_bps;
   source_rendition.is_source = true;
   source_rendition.segmenter = hls::Segmenter(cfg_.segment_target);
+  source_rendition.segmenter.set_arena(cfg_.arena);
   renditions_.push_back(std::move(source_rendition));
   for (const RenditionSpec& spec : cfg_.transcode_ladder) {
     RenditionState r;
     r.spec = spec;
     r.segmenter = hls::Segmenter(cfg_.segment_target);
+    r.segmenter.set_arena(cfg_.arena);
     renditions_.push_back(std::move(r));
   }
 }
@@ -124,12 +126,13 @@ void LiveBroadcastPipeline::produce_next() {
                                                 : ready - sim_.now();
   sim_.schedule_after(next_gap, [this, sample = std::move(sample)]() mutable {
     if (!running_) return;
-    // Model the upload cost with the sample's own size; metadata rides
-    // along in the closure rather than being re-parsed at the origin.
-    Bytes wire = sample.data;
-    uplink_.send(std::move(wire),
+    // Model the upload cost with the sample's own size (pacing-only
+    // send); metadata rides along in the closure rather than being
+    // re-parsed at the origin.
+    const std::size_t wire_size = sample.data.size();
+    uplink_.send(wire_size,
                  [this, sample = std::move(sample)](
-                     TimePoint t, Bytes /*data*/) mutable {
+                     TimePoint t, util::BufferSlice /*data*/) mutable {
                    on_sample_at_origin(t, std::move(sample));
                  });
     produce_next();
@@ -182,10 +185,12 @@ void LiveBroadcastPipeline::on_sample_at_origin(TimePoint now,
     const TimePoint cut = now;
     sim_.schedule_after(
         cfg_.packaging_delay, [this, r, cut, seg = std::move(seg)]() mutable {
-          Bytes wire = seg.ts_data;
-          cdn_link_.send(std::move(wire),
+          // Pacing-only send: the edge cache receives the segment object
+          // itself; nobody reads the wire bytes.
+          const std::size_t wire_size = seg.ts_data.size();
+          cdn_link_.send(wire_size,
                          [this, r, cut, seg = std::move(seg)](
-                             TimePoint t, Bytes /*d*/) mutable {
+                             TimePoint t, util::BufferSlice /*d*/) mutable {
                            renditions_[r].edge.push_back(
                                EdgeSegment{std::move(seg), t});
                            if (segments_shipped_ != nullptr) {

@@ -3,9 +3,14 @@
 // The kernel fires hundreds of millions of events in a paper-scale run and
 // almost every callback is a lambda capturing `this` plus a few words of
 // state. std::function heap-allocates those on libstdc++ whenever the
-// capture exceeds two pointers; InlineCallback stores any callable up to
+// capture exceeds two pointers; InlineFunction stores any callable up to
 // `Capacity` bytes in place, so the common case never touches the
 // allocator. Larger captures transparently fall back to the heap.
+//
+// InlineFunction<void(Args...), Capacity> is signature-generic: the event
+// queue uses void() and the network layer's delivery callbacks use
+// void(TimePoint, BufferSlice) — both avoid std::function's type-erasure
+// allocation on the hottest paths.
 //
 // Move-only (like std::move_only_function): events fire exactly once, so
 // there is no reason to pay for copyability.
@@ -18,16 +23,19 @@
 
 namespace psc::sim {
 
-template <std::size_t Capacity>
-class InlineCallback {
+template <typename Sig, std::size_t Capacity>
+class InlineFunction;
+
+template <std::size_t Capacity, typename... Args>
+class InlineFunction<void(Args...), Capacity> {
  public:
-  InlineCallback() = default;
+  InlineFunction() = default;
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  InlineCallback(F&& f) {  // NOLINT: implicit, mirrors std::function
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT: implicit, mirrors std::function
     using Fn = std::decay_t<F>;
     if constexpr (stores_inline<Fn>()) {
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
@@ -38,14 +46,14 @@ class InlineCallback {
     }
   }
 
-  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
     if (ops_ != nullptr) {
       ops_->relocate(other.buf_, buf_);
       other.ops_ = nullptr;
     }
   }
 
-  InlineCallback& operator=(InlineCallback&& other) noexcept {
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
     if (this != &other) {
       reset();
       ops_ = other.ops_;
@@ -57,12 +65,14 @@ class InlineCallback {
     return *this;
   }
 
-  InlineCallback(const InlineCallback&) = delete;
-  InlineCallback& operator=(const InlineCallback&) = delete;
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
 
-  ~InlineCallback() { reset(); }
+  ~InlineFunction() { reset(); }
 
-  void operator()() { ops_->invoke(buf_); }
+  void operator()(Args... args) {
+    ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
 
   explicit operator bool() const { return ops_ != nullptr; }
 
@@ -87,7 +97,7 @@ class InlineCallback {
 
  private:
   struct Ops {
-    void (*invoke)(void*);
+    void (*invoke)(void*, Args&&...);
     void (*destroy)(void*);
     void (*relocate)(void* src, void* dst);  // move into dst, destroy src
     bool inline_storage;
@@ -98,7 +108,9 @@ class InlineCallback {
 
   template <typename Fn>
   struct OpsFor<Fn, true> {
-    static void invoke(void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); }
+    static void invoke(void* p, Args&&... args) {
+      (*std::launder(reinterpret_cast<Fn*>(p)))(std::forward<Args>(args)...);
+    }
     static void destroy(void* p) {
       std::launder(reinterpret_cast<Fn*>(p))->~Fn();
     }
@@ -113,7 +125,9 @@ class InlineCallback {
   template <typename Fn>
   struct OpsFor<Fn, false> {
     static Fn* get(void* p) { return static_cast<Fn*>(*reinterpret_cast<void**>(p)); }
-    static void invoke(void* p) { (*get(p))(); }
+    static void invoke(void* p, Args&&... args) {
+      (*get(p))(std::forward<Args>(args)...);
+    }
     static void destroy(void* p) { delete get(p); }
     static void relocate(void* src, void* dst) {
       *reinterpret_cast<void**>(dst) = *reinterpret_cast<void**>(src);
@@ -124,5 +138,8 @@ class InlineCallback {
   alignas(std::max_align_t) unsigned char buf_[Capacity];
   const Ops* ops_ = nullptr;
 };
+
+template <std::size_t Capacity>
+using InlineCallback = InlineFunction<void(), Capacity>;
 
 }  // namespace psc::sim

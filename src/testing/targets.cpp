@@ -1159,8 +1159,9 @@ Status http_response_roundtrip(std::uint64_t seed) {
   resp.status = kStatuses[rng() % std::size(kStatuses)];
   resp.reason = http::reason_for(resp.status);
   resp.headers["Content-Type"] = "application/octet-stream";
-  resp.body.resize(rng() % 400);
-  for (auto& b : resp.body) b = static_cast<std::uint8_t>(rng());
+  Bytes body(rng() % 400);
+  for (auto& b : body) b = static_cast<std::uint8_t>(rng());
+  resp.body = std::move(body);
   const Bytes s = resp.serialize();
   auto parsed = http::Response::parse(s);
   if (!parsed) {

@@ -30,6 +30,9 @@ inline std::string to_string(BytesView b) {
 class ByteWriter {
  public:
   ByteWriter() = default;
+  /// Start from an existing (cleared) buffer — lets arena-pooled storage
+  /// back the writer so refilling it allocates nothing.
+  explicit ByteWriter(Bytes initial) : buf_(std::move(initial)) {}
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16be(std::uint16_t v) {
@@ -72,6 +75,9 @@ class ByteWriter {
   std::size_t size() const { return buf_.size(); }
   const Bytes& bytes() const& { return buf_; }
   Bytes take() { return std::move(buf_); }
+  /// Empties the buffer but keeps its capacity — for scratch writers that
+  /// are refilled on a hot path.
+  void clear() { buf_.clear(); }
 
  private:
   Bytes buf_;

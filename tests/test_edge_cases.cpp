@@ -74,7 +74,7 @@ TEST(LinkEdge, RecoveryCooldownBoundsEvents) {
   // Hammer 100 x 5 KB sends instantly: the backlog blows the 10 KB queue
   // immediately, but recoveries are cooldown-limited (one per ~2 s).
   for (int i = 0; i < 100; ++i) {
-    link.send(Bytes(5000, 0), [](TimePoint, Bytes) {});
+    link.send(Bytes(5000, 0), [](TimePoint, util::BufferSlice) {});
   }
   sim.run_all();
   EXPECT_GE(link.loss_recovery_events(), 1u);
@@ -87,7 +87,7 @@ TEST(LinkEdge, ShapingDisabledNoRecoveries) {
   link.enable_shaped_queue(10000, Rng(1));
   link.disable_shaped_queue();
   for (int i = 0; i < 50; ++i) {
-    link.send(Bytes(5000, 0), [](TimePoint, Bytes) {});
+    link.send(Bytes(5000, 0), [](TimePoint, util::BufferSlice) {});
   }
   sim.run_all();
   EXPECT_EQ(link.loss_recovery_events(), 0u);

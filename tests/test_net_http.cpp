@@ -12,7 +12,7 @@ TEST(Link, TransmissionTimePlusLatency) {
   sim::Simulation sim;
   net::Link link(sim, 1e6, millis(50));  // 1 Mbps, 50 ms
   TimePoint arrival{};
-  link.send(Bytes(12500, 0), [&](TimePoint t, Bytes) { arrival = t; });
+  link.send(Bytes(12500, 0), [&](TimePoint t, util::BufferSlice) { arrival = t; });
   sim.run_all();
   // 12500 B = 100 kbit -> 0.1 s serialize + 0.05 s propagate.
   EXPECT_NEAR(to_s(arrival), 0.15, 1e-9);
@@ -22,10 +22,10 @@ TEST(Link, FifoQueueingDelaysSecondTransfer) {
   sim::Simulation sim;
   net::Link link(sim, 1e6, Duration{0});
   std::vector<double> arrivals;
-  link.send(Bytes(12500, 0), [&](TimePoint t, Bytes) {
+  link.send(Bytes(12500, 0), [&](TimePoint t, util::BufferSlice) {
     arrivals.push_back(to_s(t));
   });
-  link.send(Bytes(12500, 0), [&](TimePoint t, Bytes) {
+  link.send(Bytes(12500, 0), [&](TimePoint t, util::BufferSlice) {
     arrivals.push_back(to_s(t));
   });
   sim.run_all();
@@ -39,7 +39,7 @@ TEST(Link, DeliveryOrderPreserved) {
   net::Link link(sim, 10e6, millis(10));
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    link.send(Bytes(100, 0), [&order, i](TimePoint, Bytes) {
+    link.send(Bytes(100, 0), [&order, i](TimePoint, util::BufferSlice) {
       order.push_back(i);
     });
   }
@@ -52,7 +52,7 @@ TEST(Link, RateChangeAffectsSubsequentSends) {
   net::Link link(sim, 1e6, Duration{0});
   link.set_rate(2e6);
   TimePoint arrival{};
-  link.send(Bytes(25000, 0), [&](TimePoint t, Bytes) { arrival = t; });
+  link.send(Bytes(25000, 0), [&](TimePoint t, util::BufferSlice) { arrival = t; });
   sim.run_all();
   EXPECT_NEAR(to_s(arrival), 0.1, 1e-9);  // 200 kbit at 2 Mbps
 }
@@ -62,8 +62,8 @@ TEST(Link, ChainedLinksBottleneckAtSlower) {
   net::Link fast(sim, 100e6, millis(5));
   net::Link slow(sim, 1e6, millis(5));
   TimePoint arrival{};
-  fast.send(Bytes(12500, 0), [&](TimePoint, Bytes data) {
-    slow.send(std::move(data), [&](TimePoint t2, Bytes) { arrival = t2; });
+  fast.send(Bytes(12500, 0), [&](TimePoint, util::BufferSlice data) {
+    slow.send(std::move(data), [&](TimePoint t2, util::BufferSlice) { arrival = t2; });
   });
   sim.run_all();
   // fast: 1 ms + 5 ms; slow: 100 ms + 5 ms.
@@ -78,7 +78,7 @@ TEST(Link, NoiseIsDeterministicPerSeed) {
     std::vector<double> arrivals;
     for (int i = 0; i < 10; ++i) {
       sim.schedule_at(time_at(i * 1.0), [&link, &arrivals] {
-        link.send(Bytes(1250, 0), [&arrivals](TimePoint t, Bytes) {
+        link.send(Bytes(1250, 0), [&arrivals](TimePoint t, util::BufferSlice) {
           arrivals.push_back(to_s(t));
         });
       });
@@ -92,8 +92,8 @@ TEST(Link, NoiseIsDeterministicPerSeed) {
 TEST(Link, CountsBytes) {
   sim::Simulation sim;
   net::Link link(sim, 1e6, Duration{0});
-  link.send(Bytes(500, 0), [](TimePoint, Bytes) {});
-  link.send(Bytes(700, 0), [](TimePoint, Bytes) {});
+  link.send(Bytes(500, 0), [](TimePoint, util::BufferSlice) {});
+  link.send(Bytes(700, 0), [](TimePoint, util::BufferSlice) {});
   EXPECT_EQ(link.bytes_sent(), 1200u);
 }
 
@@ -102,7 +102,7 @@ TEST(Link, SetRateRepacesInFlightTail) {
   net::Link link(sim, 1e6, millis(50));
   TimePoint arrival{};
   // 125000 B = 1 Mbit -> 1.0 s to serialize at 1 Mbps.
-  link.send(Bytes(125000, 0), [&](TimePoint t, Bytes) { arrival = t; });
+  link.send(Bytes(125000, 0), [&](TimePoint t, util::BufferSlice) { arrival = t; });
   sim.schedule_at(time_at(0.5), [&link] { link.set_rate(10e6); });
   sim.run_all();
   // Half the bytes went out at 1 Mbps (0.5 s); the remaining 500 kbit
@@ -114,10 +114,10 @@ TEST(Link, SetRateRepacesQueuedTransfers) {
   sim::Simulation sim;
   net::Link link(sim, 1e6, Duration{0});
   std::vector<double> arrivals;
-  link.send(Bytes(125000, 0), [&](TimePoint t, Bytes) {
+  link.send(Bytes(125000, 0), [&](TimePoint t, util::BufferSlice) {
     arrivals.push_back(to_s(t));
   });
-  link.send(Bytes(125000, 0), [&](TimePoint t, Bytes) {
+  link.send(Bytes(125000, 0), [&](TimePoint t, util::BufferSlice) {
     arrivals.push_back(to_s(t));
   });
   sim.schedule_at(time_at(0.5), [&link] { link.set_rate(10e6); });
@@ -133,7 +133,7 @@ TEST(Link, RateCollapseStretchesInFlightTail) {
   sim::Simulation sim;
   net::Link link(sim, 1e6, Duration{0});
   TimePoint arrival{};
-  link.send(Bytes(125000, 0), [&](TimePoint t, Bytes) { arrival = t; });
+  link.send(Bytes(125000, 0), [&](TimePoint t, util::BufferSlice) { arrival = t; });
   sim.schedule_at(time_at(0.5), [&link] { link.set_fault_factor(0.1); });
   sim.run_all();
   // Remaining 500 kbit now trickle at 100 kbps: 5 s more.
@@ -144,7 +144,7 @@ TEST(Link, FreezeUntilStallsInFlightTransfer) {
   sim::Simulation sim;
   net::Link link(sim, 1e6, Duration{0});
   TimePoint arrival{};
-  link.send(Bytes(125000, 0), [&](TimePoint t, Bytes) { arrival = t; });
+  link.send(Bytes(125000, 0), [&](TimePoint t, util::BufferSlice) { arrival = t; });
   sim.schedule_at(time_at(0.5), [&link] { link.freeze_until(time_at(3.0)); });
   sim.run_all();
   // Blackout from 0.5 s to 3.0 s; the remaining half second of
@@ -158,12 +158,12 @@ TEST(Link, RepaceLeavesFutureSendsAlone) {
   sim::Simulation sim;
   net::Link link(sim, 1e6, Duration{0});
   std::vector<double> arrivals;
-  link.send(Bytes(12500, 0), [&](TimePoint t, Bytes) {
+  link.send(Bytes(12500, 0), [&](TimePoint t, util::BufferSlice) {
     arrivals.push_back(to_s(t));
   });
   sim.schedule_at(time_at(1.0), [&] {
     link.set_rate(2e6);
-    link.send(Bytes(25000, 0), [&](TimePoint t, Bytes) {
+    link.send(Bytes(25000, 0), [&](TimePoint t, util::BufferSlice) {
       arrivals.push_back(to_s(t));
     });
   });

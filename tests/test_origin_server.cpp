@@ -154,6 +154,22 @@ TEST(MediaOrigin, ViewerDisconnectStopsFanOutToIt) {
   EXPECT_TRUE(origin.live_streams().size() == 1u);
 }
 
+TEST(MediaOrigin, TakeOutputDrainsInOneCall) {
+  // take_output must hand the whole pending buffer over (move, not a
+  // peek-and-copy): an immediate second call sees an empty buffer, and
+  // has_output flips accordingly.
+  MediaOrigin origin(23);
+  const int conn = origin.open_connection();
+  rtmp::PublisherSession pub("live", "drainme", 24);
+  ASSERT_TRUE(pub.has_output());
+  ASSERT_TRUE(origin.on_input(conn, pub.take_output()).ok());
+  ASSERT_TRUE(origin.has_output(conn));  // handshake reply pending
+  const Bytes first = origin.take_output(conn);
+  EXPECT_FALSE(first.empty());
+  EXPECT_FALSE(origin.has_output(conn));
+  EXPECT_TRUE(origin.take_output(conn).empty());
+}
+
 TEST(MediaOrigin, UnknownConnectionRejected) {
   MediaOrigin origin(15);
   EXPECT_FALSE(origin.on_input(42, Bytes{0x03}).ok());

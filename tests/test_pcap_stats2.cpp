@@ -22,7 +22,7 @@ net::Capture sample_capture() {
     for (std::size_t k = 0; k < n; ++k) {
       data.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
     }
-    cap.record(time_at(100.0 + i * 0.033), data);
+    cap.record_copy(time_at(100.0 + i * 0.033), data);
   }
   return cap;
 }
@@ -88,7 +88,7 @@ TEST(Pcap, ExportedRtmpCaptureStillDissects) {
     if (client.has_output()) (void)server.on_input(client.take_output());
     if (server.has_output()) {
       Bytes b = server.take_output();
-      cap.record(time_at(now), b);
+      cap.record_copy(time_at(now), b);
       (void)client.on_input(b);
     }
   }

@@ -41,7 +41,7 @@ struct RtmpFixture {
       if (client.has_output()) (void)server.on_input(client.take_output());
       if (server.has_output()) {
         Bytes b = server.take_output();
-        capture.record(time_at(now), b);
+        capture.record_copy(time_at(now), b);
         (void)client.on_input(b);
       }
     }

@@ -190,7 +190,7 @@ TEST(InlineCallback, SmallCapturesStayInline) {
     double c;
   };
   struct Big {
-    char bytes[96];
+    char bytes[128];
   };
   static_assert(Simulation::Callback::stores_inline<decltype([] {})>());
   static_assert(

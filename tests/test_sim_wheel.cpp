@@ -1,0 +1,210 @@
+// Calendar-wheel tier of sim::Simulation: the wheel must be invisible to
+// observers — execution order identical to a single global (when, seq)
+// heap — across bucket boundaries, cancels, overflow promotion and
+// cursor rollover. Uses a deliberately tiny wheel (4 ms × 64 buckets =
+// 256 ms horizon) so every edge is exercised within short runs.
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <random>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "util/units.h"
+
+namespace psc {
+namespace {
+
+using sim::EventHandle;
+using sim::Simulation;
+
+TEST(SimWheel, SameTickFifoWithinOneBucket) {
+  // Three events at the same instant plus one earlier in a neighbouring
+  // 4 ms bucket: FIFO among equals, time order otherwise. All four land
+  // past the cursor bucket, so all take the O(1) wheel path.
+  Simulation s(Duration{0.004}, 64);
+  std::vector<int> order;
+  s.schedule_at(time_at(0.0131), [&] { order.push_back(1); });
+  s.schedule_at(time_at(0.0131), [&] { order.push_back(2); });
+  s.schedule_at(time_at(0.0115), [&] { order.push_back(0); });
+  s.schedule_at(time_at(0.0131), [&] { order.push_back(3); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(s.wheel_inserts(), 4u);
+}
+
+TEST(SimWheel, SameTickFifoAcrossTiers) {
+  // Same instant, one node arriving in the heap via a bucket dump and
+  // one inserted directly (scheduled while the cursor sat on its
+  // bucket): sequence order must still decide.
+  Simulation s(Duration{0.004}, 64);
+  std::vector<int> order;
+  s.schedule_at(time_at(0.0050), [&] { order.push_back(1); });  // wheel
+  s.schedule_at(time_at(0.0045), [&] {
+    // cursor is on this bucket now: same-bucket schedules go straight
+    // to the heap, joining the dumped wheel node above.
+    s.schedule_at(time_at(0.0050), [&] { order.push_back(2); });
+  });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.wheel_inserts(), 2u);  // the inner schedule was heap-direct
+}
+
+TEST(SimWheel, CancelWhileResidentInBucket) {
+  Simulation s(Duration{0.004}, 64);
+  int fired = 0;
+  EventHandle h = s.schedule_at(time_at(0.1), [&] { ++fired; });
+  ASSERT_EQ(s.wheel_inserts(), 1u);  // parked in a wheel bucket
+  EXPECT_TRUE(s.cancel(h));
+  EXPECT_FALSE(s.cancel(h));  // second cancel is a stale handle
+  s.schedule_at(time_at(0.2), [&] { fired += 10; });
+  s.run_all();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(s.events_cancelled(), 1u);
+  EXPECT_FALSE(s.pending());
+}
+
+TEST(SimWheel, FarFutureOverflowPromotes) {
+  // 64 buckets × 4 ms = 256 ms horizon. 10 s is far past it: the node
+  // must take the heap (overflow) tier and still fire, in order, after
+  // the cursor has wrapped the wheel ~39 times.
+  Simulation s(Duration{0.004}, 64);
+  std::vector<int> order;
+  s.schedule_at(time_at(10.0), [&] { order.push_back(2); });
+  EXPECT_EQ(s.wheel_inserts(), 0u);  // overflow bypasses the wheel
+  s.schedule_at(time_at(0.01), [&] {
+    order.push_back(1);
+    // From t=0.01, 10.0 is still beyond horizon; 0.05 is within it.
+    s.schedule_at(time_at(0.05), [&] { order.push_back(10); });
+  });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 10, 2}));
+  EXPECT_EQ(to_s(s.now()), 10.0);
+}
+
+TEST(SimWheel, RunUntilStopsMidBucketAndResumes) {
+  // Two events in the same bucket straddling a run_until boundary: the
+  // first fires, the second must wait for the next run_until call (not
+  // be dropped or fired early).
+  Simulation s(Duration{0.004}, 64);
+  std::vector<int> order;
+  s.schedule_at(time_at(0.0410), [&] { order.push_back(1); });
+  s.schedule_at(time_at(0.0418), [&] { order.push_back(2); });
+  s.run_until(time_at(0.0414));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(to_s(s.now()), 0.0414);  // clock advances to the horizon
+  EXPECT_TRUE(s.pending());
+  s.run_until(time_at(1.0));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimWheel, FarFutureHeapNodeDoesNotMaskWheelResidents) {
+  // Regression: with a far-future node sitting at the heap top past
+  // `until`, wheel residents due *before* `until` must still fire in
+  // this run_until call.
+  Simulation s(Duration{0.004}, 64);
+  std::vector<int> order;
+  s.schedule_at(time_at(50.0), [&] { order.push_back(99); });  // heap tier
+  s.schedule_at(time_at(0.1), [&] { order.push_back(1); });    // wheel tier
+  s.run_until(time_at(1.0));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 99}));
+}
+
+TEST(SimWheel, CursorRollsOverTheBucketArrayManyTimes) {
+  // A periodic event with a 10 ms period over 10 s crosses the 256 ms
+  // wheel span ~39 times; each reschedule lands in a bucket that has
+  // already been drained at least once (index reuse modulo 64).
+  Simulation s(Duration{0.004}, 64);
+  int ticks = 0;
+  double last = -1.0;
+  bool monotone = true;
+  std::function<void()> tick = [&] {
+    if (to_s(s.now()) < last) monotone = false;
+    last = to_s(s.now());
+    if (++ticks < 1000) s.schedule_after(seconds(0.01), tick);
+  };
+  s.schedule_at(time_at(0.0), tick);
+  s.run_all();
+  EXPECT_EQ(ticks, 1000);
+  EXPECT_TRUE(monotone);
+  EXPECT_NEAR(last, 9.99, 1e-9);
+  EXPECT_GT(s.wheel_inserts(), 900u);  // steady-state path is the wheel
+}
+
+TEST(SimWheel, PastEventsClampToNowAndFireInSeqOrder) {
+  Simulation s(Duration{0.004}, 64);
+  std::vector<int> order;
+  s.schedule_at(time_at(0.5), [&] {
+    // Scheduling into the past clamps to now(); among clamped events
+    // sequence order decides.
+    s.schedule_at(time_at(0.1), [&] { order.push_back(1); });
+    s.schedule_at(time_at(0.2), [&] { order.push_back(2); });
+    s.schedule_at(s.now(), [&] { order.push_back(3); });
+  });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(to_s(s.now()), 0.5);
+}
+
+TEST(SimWheel, MatchesReferenceHeapOrderingUnderStress) {
+  // Differential check against an exact (when, seq) reference ordering:
+  // random schedules (including same-instant and cancels), run_until
+  // cuts at mid-bucket times, tiny wheel so nodes constantly migrate
+  // between tiers.
+  for (int trial = 0; trial < 40; ++trial) {
+    std::mt19937_64 rng(trial * 104729u + 3u);
+    Simulation s(Duration{0.004}, 64);
+    std::set<std::tuple<double, long>> ref;  // (fire time, seq)
+    std::map<long, double> when_of;
+    long seq = 0;
+    long fired = 0;
+    bool ok = true;
+    std::vector<std::pair<EventHandle, long>> handles;
+    std::function<void(double)> sched = [&](double base) {
+      double when = base + static_cast<double>(rng() % 10000) * 0.0005;
+      if (rng() % 8 == 0) when = base + static_cast<double>(rng() % 4);
+      if (rng() % 13 == 0) when = base;  // same-instant FIFO
+      const long my = seq++;
+      const double clamped = when < to_s(s.now()) ? to_s(s.now()) : when;
+      ref.insert({clamped, my});
+      when_of[my] = clamped;
+      handles.push_back({s.schedule_at(time_at(when), [&, my] {
+        ok = ok && !ref.empty() &&
+             *ref.begin() == std::make_tuple(to_s(s.now()), my);
+        if (!ref.empty()) ref.erase(ref.begin());
+        if (++fired < 800 && rng() % 3 != 0) sched(to_s(s.now()));
+        if (fired < 800 && rng() % 5 == 0) sched(to_s(s.now()));
+      }), my});
+    };
+    for (int i = 0; i < 50; ++i) sched(static_cast<double>(rng() % 100) * 0.01);
+    for (int i = 0; i < 10; ++i) {
+      auto [h, id] = handles[rng() % handles.size()];
+      if (s.cancel(h)) ref.erase({when_of[id], id});
+    }
+    s.run_until(time_at(0.0101));  // mid-bucket cut
+    s.run_until(time_at(0.016));
+    s.run_until(time_at(1.2345));
+    s.run_all();
+    ASSERT_TRUE(ok) << "trial " << trial << " fired out of order";
+    ASSERT_TRUE(ref.empty()) << "trial " << trial << ": " << ref.size()
+                             << " events never fired";
+  }
+}
+
+TEST(SimWheel, GeometryIsConfigurableAndDefaultsSane) {
+  // Degenerate constructor arguments fall back to a working geometry.
+  Simulation s(Duration{0.0}, 0);
+  int fired = 0;
+  s.schedule_at(time_at(0.01), [&] { ++fired; });
+  s.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace psc

@@ -159,5 +159,45 @@ TEST(Tcp, StreamingPacedSourceLowLatency) {
   }
 }
 
+TEST(Tcp, MoveSendAdoptsVectorWhenBufferDrained) {
+  // The rvalue overload must take the vector wholesale when the send
+  // buffer is empty (no payload copy) and fall back to appending when
+  // bytes are still queued — with identical delivered bytes either way.
+  sim::Simulation sim;
+  Sink sink;
+  TcpConfig cfg;
+  cfg.bottleneck_rate = 10e6;
+  cfg.rtt = millis(40);
+  TcpFlow flow(sim, cfg, std::ref(sink));
+
+  Bytes first = pattern_bytes(40000, 7);
+  const Bytes expect_first = first;
+  flow.send(std::move(first));
+  EXPECT_TRUE(first.empty());  // adopted outright, not copied
+  EXPECT_EQ(flow.bytes_queued_app(), expect_first.size());
+
+  // Buffer still holds unacked bytes: the move overload must append.
+  Bytes second = pattern_bytes(10000, 9);
+  Bytes expect = expect_first;
+  expect.insert(expect.end(), second.begin(), second.end());
+  flow.send(std::move(second));
+  EXPECT_EQ(flow.bytes_queued_app(), expect.size());
+
+  sim.run_until(sim.now() + seconds(30));
+  EXPECT_EQ(sink.received, expect);
+  EXPECT_EQ(flow.bytes_acked(), expect.size());
+}
+
+TEST(Tcp, ViewSendCopiesAndLeavesSourceIntact) {
+  sim::Simulation sim;
+  Sink sink;
+  TcpFlow flow(sim, TcpConfig{}, std::ref(sink));
+  const Bytes data = pattern_bytes(5000, 3);
+  flow.send(BytesView(data));  // lvalue path: copy into the send buffer
+  EXPECT_EQ(data.size(), 5000u);
+  sim.run_until(sim.now() + seconds(10));
+  EXPECT_EQ(sink.received, data);
+}
+
 }  // namespace
 }  // namespace psc::net
