@@ -30,10 +30,17 @@
 //                    generated from this seed (docs/ROBUSTNESS.md).
 //   PSC_FAULT_PLAN   path to a fault-plan text file; enables fault
 //                    injection and overrides the generated plan.
+//   PSC_AGG_PEAK     hybrid-fidelity benches: flash-crowd spike scale in
+//                    viewers (default 150000; docs/EXPERIMENTS.md).
+//   PSC_AGG_SAMPLE   cohort sample-rate denominator (default 100: one
+//                    full-protocol session per 100 aggregate viewers).
+//   PSC_FLASH_SEED   flash-crowd schedule seed (default 11), used
+//                    verbatim — never mixed with shard seeds.
 // Every bench also accepts --metrics-out=FILE / --trace-out=FILE flags,
 // which enable collection and set the output path in one step.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -135,6 +142,29 @@ inline void apply_fault_env(core::StudyConfig& cfg) {
                    path.c_str());
     }
   }
+}
+
+/// --- Hybrid-fidelity aggregate-audience knobs (docs/EXPERIMENTS.md) ---
+
+inline double agg_peak() { return env_double("PSC_AGG_PEAK", 150e3); }
+inline double agg_sample_denominator() {
+  return env_double("PSC_AGG_SAMPLE", 100);
+}
+inline std::uint64_t flash_seed() {
+  const char* v = std::getenv("PSC_FLASH_SEED");
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : 11;
+}
+
+/// Turn on the fluid audience tier for a campaign: flash-crowd spikes
+/// scaled to PSC_AGG_PEAK over `horizon`, cohort at `sample_rate`.
+inline void configure_aggregate(core::StudyConfig& cfg, Duration horizon,
+                                double sample_rate) {
+  cfg.aggregate.enabled = true;
+  cfg.aggregate.schedule_seed = flash_seed();
+  cfg.aggregate.gen.horizon = horizon;
+  cfg.aggregate.gen.peak_xm = std::max(1e3, agg_peak() / 8);
+  cfg.aggregate.gen.peak_cap = agg_peak();
+  cfg.aggregate.sample_rate = sample_rate;
 }
 
 inline core::StudyConfig default_study_config(std::uint64_t seed = 2016) {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "util/strings.h"
 
@@ -269,6 +270,64 @@ WelchResult welch_t_test(std::span<const double> a, std::span<const double> b) {
   r.p_value = std::clamp(r.p_value, 0.0, 1.0);
   r.valid = true;
   return r;
+}
+
+namespace {
+
+/// (value, weight) pairs sorted by value, dropping non-positive weights.
+std::vector<std::pair<double, double>> weighted_sorted(
+    std::span<const double> xs, std::span<const double> ws) {
+  const std::size_t n = std::min(xs.size(), ws.size());
+  std::vector<std::pair<double, double>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ws[i] > 0) out.emplace_back(xs[i], ws[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+double weighted_quantile(std::span<const double> xs,
+                         std::span<const double> ws, double q) {
+  const auto sorted = weighted_sorted(xs, ws);
+  if (sorted.empty()) return 0;
+  double total = 0;
+  for (const auto& [x, w] : sorted) total += w;
+  q = std::clamp(q, 0.0, 1.0);
+  double cum = 0;
+  for (const auto& [x, w] : sorted) {
+    cum += w;
+    if (cum >= q * total) return x;
+  }
+  return sorted.back().first;
+}
+
+double weighted_ks_distance(std::span<const double> a,
+                            std::span<const double> wa,
+                            std::span<const double> b,
+                            std::span<const double> wb) {
+  const auto sa = weighted_sorted(a, wa);
+  const auto sb = weighted_sorted(b, wb);
+  if (sa.empty() || sb.empty()) return 0;
+  double ta = 0, tb = 0;
+  for (const auto& [x, w] : sa) ta += w;
+  for (const auto& [x, w] : sb) tb += w;
+  // Walk the pooled sample points; after absorbing every sample <= x the
+  // running sums are F_a(x) and F_b(x).
+  std::size_t ia = 0, ib = 0;
+  double ca = 0, cb = 0, d = 0;
+  while (ia < sa.size() || ib < sb.size()) {
+    const double x = (ib >= sb.size() ||
+                      (ia < sa.size() && sa[ia].first <= sb[ib].first))
+                         ? sa[ia].first
+                         : sb[ib].first;
+    while (ia < sa.size() && sa[ia].first <= x) ca += sa[ia++].second;
+    while (ib < sb.size() && sb[ib].first <= x) cb += sb[ib++].second;
+    d = std::max(d, std::fabs(ca / ta - cb / tb));
+  }
+  return d;
 }
 
 }  // namespace psc::analysis

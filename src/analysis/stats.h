@@ -96,4 +96,25 @@ struct KsResult {
 
 KsResult ks_test(std::span<const double> a, std::span<const double> b);
 
+/// --- Weighted samples (hybrid-fidelity cohort reweighting) ---
+///
+/// A sampled cohort observes each QoE value with a statistical weight
+/// (1/sample_rate aggregate viewers per session). Its CDFs must be
+/// weight-normalised or a mixed-rate comparison is biased.
+
+/// Weighted quantile: the smallest sample value whose cumulative weight
+/// fraction reaches q (step inverse of the weighted ECDF). xs and ws are
+/// index-aligned; non-positive weights are ignored.
+double weighted_quantile(std::span<const double> xs,
+                         std::span<const double> ws, double q);
+
+/// Weighted two-sample KS distance: sup |F_a - F_b| over the pooled
+/// sample points, each F the weight-normalised ECDF. No p-value — the
+/// effective sample size of a reweighted cohort is ill-defined. Returns
+/// 0 when either sample carries no weight.
+double weighted_ks_distance(std::span<const double> a,
+                            std::span<const double> wa,
+                            std::span<const double> b,
+                            std::span<const double> wb);
+
 }  // namespace psc::analysis

@@ -65,6 +65,21 @@ struct SessionStats {
   double reported_fps = 0;
   std::uint64_t bytes_received = 0;
 
+  /// --- Hybrid-fidelity cohort (set by the Study when the aggregate
+  /// audience tier is on; see service/aggregate_audience.h) ---
+  /// This session is a sampled representative of the fluid audience.
+  bool cohort = false;
+  /// Statistical weight: one cohort session stands for this many
+  /// aggregate viewers (1/sample_rate). 1 when the tier is off.
+  double cohort_weight = 1;
+  /// Aggregate (fluid) concurrent viewers of the broadcast when this
+  /// session joined — the load context its QoE was measured under.
+  double agg_viewers_at_join = 0;
+  /// Previous-epoch merged average concurrency on this session's primary
+  /// server when it started (what the load->latency penalty was read
+  /// from).
+  double server_load_at_join = 0;
+
   /// Resilience outcome (always Completed when faults are off).
   Outcome outcome = Outcome::Completed;
   /// RTMP: successful reconnects after a dropped connection.

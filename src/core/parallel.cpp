@@ -189,6 +189,11 @@ CampaignResult ShardedRunner::run_shared(const ShardedCampaign& c) {
     const double span_s =
         to_s(c.base.preroll) + to_s(c.base.watch_time) + 10.0;
     horizon = seconds(30 + span_s * (shard_size + 1) + 120);
+    // The fluid audience integrates over the recorded timeline, so the
+    // recording must cover the flash-crowd horizon too.
+    if (c.base.aggregate.enabled && c.base.aggregate.gen.horizon > horizon) {
+      horizon = c.base.aggregate.gen.horizon;
+    }
   }
   const auto timeline = service::WorldTimeline::record(
       c.base.world, c.base.seed ^ 0x0170BB57ull, horizon,
@@ -199,6 +204,16 @@ CampaignResult ShardedRunner::run_shared(const ShardedCampaign& c) {
   shared.timeline = timeline;
   shared.load_board = &board;
   shared.campaign_seed = c.base.seed;
+  if (c.base.aggregate.enabled) {
+    // One fluid audience for the whole campaign, integrated up front
+    // over the campaign timeline with the campaign-seed server pool
+    // (identical ip space in every shard). Immutable afterwards: shards
+    // read it lock-free via the context.
+    service::MediaServerPool campaign_pool(c.base.seed ^ 0x5EEDull);
+    shared.aggregate = std::make_shared<service::AggregateAudience>(
+        timeline, service::make_flash_crowd_schedule(c.base.aggregate),
+        campaign_pool, c.base.aggregate, c.base.load.epoch_length);
+  }
 
   std::vector<std::unique_ptr<Study>> studies;
   std::vector<CampaignResult> results(n_shards);
@@ -244,8 +259,13 @@ CampaignResult ShardedRunner::run_shared(const ShardedCampaign& c) {
         obs::process_hist_record("shard_epoch_wall_s", shard_epoch_wall[i]);
       }
     }
-    // Barrier: fold this epoch's contributions in shard order (the board
-    // is never written while shards run, never read while it is written).
+    // Barrier: fold this epoch's contributions — the fluid tier first,
+    // then every shard in shard order (the board is never written while
+    // shards run, never read while it is written). The fixed fold order
+    // keeps the board byte-identical for any thread count.
+    if (shared.aggregate != nullptr) {
+      board.merge_epoch(epoch, shared.aggregate->ledger());
+    }
     for (std::size_t i = 0; i < n_shards; ++i) {
       board.merge_epoch(epoch, studies[i]->servers().load_ledger());
     }

@@ -58,6 +58,7 @@ Study::Study(const StudyConfig& cfg)
   obs_.trace.set_enabled(obs::trace_enabled());
   api_.set_obs(obs_ptr());
   init_faults();
+  init_aggregate(nullptr);
 }
 
 Study::Study(const StudyConfig& cfg, const SharedWorldContext& shared)
@@ -73,6 +74,7 @@ Study::Study(const StudyConfig& cfg, const SharedWorldContext& shared)
   obs_.trace.set_enabled(obs::trace_enabled());
   api_.set_obs(obs_ptr());
   init_faults();
+  init_aggregate(&shared);
 }
 
 void Study::init_faults() {
@@ -105,6 +107,39 @@ void Study::init_faults() {
                         fault::kind_name(e.kind)))
           .add(1);
     }
+  }
+}
+
+void Study::init_aggregate(const SharedWorldContext* shared) {
+  if (!cfg_.aggregate.enabled) return;
+  if (shared != nullptr) {
+    aggregate_ = shared->aggregate;
+  } else {
+    // Independent mode: every shard freezes its *own* world process (the
+    // exact process own_world_ runs live — same config, same seed
+    // derivation) and integrates a private fluid audience over it. All
+    // fluid epochs pre-merge into a study-local board, so sessions pay
+    // the aggregate load penalties from epoch 1 on even without the
+    // shared-world barrier schedule.
+    const auto tl = service::WorldTimeline::record(
+        cfg_.world, cfg_.seed ^ 0x0170BB57ull, cfg_.aggregate.gen.horizon,
+        cfg_.load.epoch_length);
+    aggregate_ = std::make_shared<service::AggregateAudience>(
+        tl, service::make_flash_crowd_schedule(cfg_.aggregate), servers_,
+        cfg_.aggregate, cfg_.load.epoch_length);
+    own_board_ =
+        std::make_unique<service::EpochLoadBoard>(cfg_.load.epoch_length);
+    for (std::size_t e = 0; e < aggregate_->ledger().epoch_count(); ++e) {
+      own_board_->merge_epoch(e, aggregate_->ledger());
+    }
+    load_board_ = own_board_.get();
+  }
+  if (aggregate_ != nullptr) {
+    api_.set_viewer_overlay(
+        [agg = aggregate_.get()](const service::BroadcastInfo& b,
+                                 TimePoint t) {
+          return agg->extra_viewers_at(b, t);
+        });
   }
 }
 
@@ -215,10 +250,16 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
   std::string load_ip_a;
   std::string load_ip_b;
   double load_weight = 1.0;
+  // Priced at session_begin, not now: the clock is past the preroll
+  // here, and a session that teleported near the end of epoch e would
+  // otherwise ask for epoch e itself — which the barrier has not merged
+  // yet (silent zero). The contract is "a session starting in epoch e
+  // reads the merged load of epoch e-1" (load.h), and the start is the
+  // teleport.
   const auto penalty = [&](const std::string& ip) {
     return load_board_ == nullptr
                ? Duration{0}
-               : load_board_->penalty(ip, sim_.now(), cfg_.load);
+               : load_board_->penalty(ip, session_begin, cfg_.load);
   };
   if (use_hls) {
     client::PlayerConfig pc = cfg_.hls_player;
@@ -252,6 +293,18 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
   SessionRecord rec;
   rec.stats = session->stats();
   report_playback_meta(rec.stats);
+  if (aggregate_ != nullptr) {
+    rec.stats.cohort = true;
+    rec.stats.cohort_weight = cfg_.aggregate.sample_rate > 0
+                                  ? 1.0 / cfg_.aggregate.sample_rate
+                                  : 1.0;
+    rec.stats.agg_viewers_at_join =
+        aggregate_->viewers_at(b->id, watch_begin);
+    if (load_board_ != nullptr) {
+      rec.stats.server_load_at_join =
+          load_board_->previous_epoch_concurrent(load_ip_a, session_begin);
+    }
+  }
 
   // Book this session into the pool's per-epoch load account.
   const TimePoint watch_end = sim_.now();
@@ -284,6 +337,13 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
       o->metrics.counter("session_reconnects_total")
           .add(rec.stats.reconnects);
       o->metrics.counter("session_retries_total").add(rec.stats.retries);
+    }
+    if (aggregate_ != nullptr) {
+      o->metrics.counter("cohort_sessions_total").add(1);
+      o->metrics.counter("cohort_weight_total")
+          .add(rec.stats.cohort_weight);
+      o->metrics.histogram("cohort_agg_viewers_at_join")
+          .record(rec.stats.agg_viewers_at_join);
     }
   }
   // Retire rather than destroy: late events may still reference these

@@ -20,6 +20,7 @@
 #include "client/viewer_session.h"
 #include "fault/injector.h"
 #include "obs/bundle.h"
+#include "service/aggregate_audience.h"
 #include "service/api.h"
 #include "service/chat.h"
 #include "service/load.h"
@@ -70,6 +71,10 @@ struct StudyConfig {
   /// default; when enabled, the plan seed is used verbatim (never mixed
   /// with the shard seed) so every shard replays the same fault timeline.
   fault::FaultConfig fault;
+  /// Hybrid-fidelity aggregate audience tier (flash crowds + fluid load;
+  /// service/aggregate_audience.h). Off by default — campaigns without
+  /// it are bit-identical to builds that predate the tier.
+  service::AggregateConfig aggregate;
 };
 
 /// Everything a shard of a shared-world campaign shares with its
@@ -82,6 +87,9 @@ struct SharedWorldContext {
   /// The *campaign* seed (not the shard seed): server pools must be
   /// identical in every shard so load accounts key to the same ips.
   std::uint64_t campaign_seed = 0;
+  /// Fluid audience over the campaign timeline, built once by the runner
+  /// (immutable, read lock-free by all shards); nullptr = tier off.
+  std::shared_ptr<const service::AggregateAudience> aggregate;
 };
 
 /// One completed viewing session: the app-reported stats plus the offline
@@ -204,6 +212,11 @@ class Study {
   const fault::Plan* fault_plan() const { return fault_plan_.get(); }
   const fault::Injector* injector() const { return injector_.get(); }
 
+  /// The fluid audience this study runs under, or nullptr (tier off).
+  const service::AggregateAudience* aggregate() const {
+    return aggregate_.get();
+  }
+
   sim::Simulation& sim() { return sim_; }
   /// The live world — only valid in independent mode (a shared-world
   /// shard has a ReplayWorld instead; use world_view()).
@@ -225,6 +238,12 @@ class Study {
   /// Build the fault plan + injector from cfg_.fault and hook the API
   /// server. Called from both constructors; no-op when faults are off.
   void init_faults();
+  /// Attach the aggregate audience tier (no-op when off): take the
+  /// campaign's shared audience, or — independent mode — record this
+  /// shard's own world process and integrate a private one, pre-merging
+  /// its fluid load into a study-local board. Hooks the API viewer
+  /// overlay either way.
+  void init_aggregate(const SharedWorldContext* shared);
   /// accessVideo with the client's API retry ladder (5xx under injected
   /// faults -> capped exponential backoff). Returns the response, or
   /// nullopt when the retry budget is exhausted.
@@ -256,6 +275,11 @@ class Study {
   std::unique_ptr<service::ReplayWorld> replay_world_;
   service::WorldView* world_view_ = nullptr;
   const service::EpochLoadBoard* load_board_ = nullptr;
+  /// Fluid audience (shared from the runner, or privately built in
+  /// independent mode); own_board_ holds the pre-merged fluid load in
+  /// the latter case and load_board_ points at it.
+  std::shared_ptr<const service::AggregateAudience> aggregate_;
+  std::unique_ptr<service::EpochLoadBoard> own_board_;
   service::MediaServerPool servers_;
   service::ApiServer api_;
   /// Fault subsystem (set iff cfg_.fault.enabled): one immutable plan +

@@ -1,0 +1,276 @@
+#include "service/aggregate_audience.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace psc::service {
+
+namespace {
+
+/// One integration interval [a, b) of a single broadcast. Both endpoints
+/// lie inside one epoch cell (the grid divides the epoch length, and
+/// partial first/last intervals cannot straddle a grid point).
+struct StepBook {
+  std::size_t epoch = 0;
+  double arrivals = 0;
+  double departures = 0;
+  double viewer_seconds = 0;
+  double rtmp_viewer_seconds = 0;
+  double hls_viewer_seconds = 0;
+  double edge_requests = 0;
+  double distinct_segments = 0;
+};
+
+}  // namespace
+
+FlashCrowdSchedule make_flash_crowd_schedule(const AggregateConfig& cfg) {
+  if (!cfg.schedule_text.empty()) {
+    auto parsed = FlashCrowdSchedule::parse(cfg.schedule_text);
+    if (parsed) return std::move(parsed).value();
+    std::fprintf(stderr,
+                 "psc: flash-crowd schedule rejected (%s); generating from "
+                 "seed %llu instead\n",
+                 parsed.error().message.c_str(),
+                 static_cast<unsigned long long>(cfg.schedule_seed));
+  }
+  return FlashCrowdSchedule::generate(cfg.schedule_seed, cfg.gen);
+}
+
+AggregateAudience::AggregateAudience(
+    std::shared_ptr<const WorldTimeline> timeline,
+    FlashCrowdSchedule schedule, const MediaServerPool& servers,
+    const AggregateConfig& cfg, Duration epoch_length)
+    : schedule_(std::move(schedule)),
+      cfg_(cfg),
+      epoch_length_(epoch_length.count() > 0 ? epoch_length : seconds(300)),
+      ledger_(epoch_length_),
+      timeline_(std::move(timeline)) {
+  // Snap the step so it divides the epoch length: grid points (and hence
+  // epoch boundaries) are never inside an integration interval.
+  const double epoch_s = to_s(epoch_length_);
+  double step_s = to_s(cfg_.step);
+  if (step_s <= 0 || step_s > epoch_s) step_s = epoch_s;
+  step_ = seconds(epoch_s / std::ceil(epoch_s / step_s));
+  horizon_ = timeline_->horizon();
+  edge_ips_ = {servers.hls_edges()[0].ip, servers.hls_edges()[1].ip};
+  resolve_spikes(*timeline_);
+  integrate(servers);
+}
+
+void AggregateAudience::resolve_spikes(const WorldTimeline& timeline) {
+  const auto& spikes = schedule_.spikes();
+  spike_targets_.assign(spikes.size(), BroadcastId());
+  for (std::size_t i = 0; i < spikes.size(); ++i) {
+    const Spike& s = spikes[i];
+    // Candidates: broadcasts live (and public) when the crowd arrives,
+    // ranked by popularity — the Twitch study's channel skew: spikes hit
+    // the head of the popularity distribution.
+    std::vector<const BroadcastInfo*> live;
+    timeline.for_each_present(s.start, [&](const BroadcastInfo& b) {
+      if (!b.is_private && b.live_at(s.start)) live.push_back(&b);
+    });
+    if (live.empty()) continue;
+    std::sort(live.begin(), live.end(),
+              [](const BroadcastInfo* a, const BroadcastInfo* b) {
+                if (a->peak_viewers != b->peak_viewers) {
+                  return a->peak_viewers > b->peak_viewers;
+                }
+                return a->id < b->id;
+              });
+    const std::size_t rank =
+        static_cast<std::size_t>(std::max(0, s.channel_rank)) % live.size();
+    spike_targets_[i] = live[rank]->id;
+    spikes_by_broadcast_[live[rank]->id].push_back(i);
+  }
+}
+
+double AggregateAudience::target_at(const BroadcastPlan& plan,
+                                    TimePoint t) const {
+  const BroadcastInfo& b = plan.entry->value;
+  if (!b.live_at(t)) return 0;
+  double v = cfg_.baseline_multiplier * b.viewers_at(t);
+  for (std::size_t i : plan.spikes) {
+    v += schedule_.spikes()[i].viewers_at(t);
+  }
+  return v;
+}
+
+void AggregateAudience::integrate(const MediaServerPool& servers) {
+  const double step_s = to_s(step_);
+  const double horizon_s = to_s(horizon_);
+  const std::size_t n_epochs =
+      static_cast<std::size_t>(horizon_s / to_s(epoch_length_)) + 1;
+  epochs_.assign(n_epochs, AggregateEpoch{});
+  // Campaign-wide concurrent population at every grid point, for the
+  // per-epoch / campaign peaks.
+  std::vector<double> grid_pop(
+      static_cast<std::size_t>(horizon_s / step_s) + 2, 0.0);
+
+  for (const auto& entry : timeline_->log().entries()) {
+    const BroadcastInfo& b = entry.value;
+    const bool spiked = spikes_by_broadcast_.count(b.id) > 0;
+    if (b.is_private || (b.peak_viewers <= 0 && !spiked)) continue;
+    const double lo = std::max(0.0, to_s(b.start_time));
+    const double hi = std::min(to_s(b.end_time()), horizon_s);
+    if (hi <= lo) continue;
+
+    BroadcastPlan plan;
+    plan.entry = &entry;
+    if (spiked) plan.spikes = spikes_by_broadcast_.at(b.id);
+    plan.origin_ip = servers.rtmp_origin_for(b.location, b.id).ip;
+
+    // Euler steps on the global grid, with partial first/last intervals.
+    const double per_viewer_rate = (b.video_bitrate + b.audio_bitrate) / 8;
+    const double seg_s = std::max(0.1, cfg_.segment_duration_s);
+    const double seg_bytes = seg_s * per_viewer_rate;
+    const int thr = std::max(0, cfg_.hls_viewer_threshold);
+    std::vector<BroadcastEpoch> book;
+    std::map<std::size_t, StepBook> steps;  // epoch -> accumulated flows
+    double v = 0;
+    double a = lo;
+    std::size_t cur_epoch = ledger_.epoch_of(time_at(lo));
+    book.push_back(BroadcastEpoch{cur_epoch, 0, 0, v, v});
+    std::size_t k = static_cast<std::size_t>(lo / step_s) + 1;
+    bool done = false;
+    while (!done) {
+      double bnd = step_s * static_cast<double>(k);
+      if (bnd >= hi) {
+        bnd = hi;
+        done = true;
+      }
+      const double dt = bnd - a;
+      if (dt <= 0) {
+        ++k;
+        continue;
+      }
+      // Target at the far endpoint. When the broadcast ends inside the
+      // horizon, live_at() turns the target to 0 there, which flushes
+      // the remaining population as departures; a horizon cut instead
+      // leaves the population standing (pop_end of the last epoch).
+      const bool horizon_cut = done && hi >= horizon_s &&
+                               to_s(b.end_time()) > horizon_s;
+      const double target =
+          horizon_cut ? v : target_at(plan, time_at(bnd));
+      const double churn =
+          cfg_.mean_watch_s > 0 ? v * dt / cfg_.mean_watch_s : 0;
+      const double net = target - v;
+      const double arrivals = churn + std::max(0.0, net);
+      const double departures = churn + std::max(0.0, -net);
+      const double v_next = target;
+      const double v_avg = 0.5 * (v + v_next);
+      const double rtmp_c = std::min(v_avg, static_cast<double>(thr));
+      const double hls_c = v_avg - rtmp_c;
+
+      StepBook& sb = steps[cur_epoch];
+      sb.epoch = cur_epoch;
+      sb.arrivals += arrivals;
+      sb.departures += departures;
+      sb.viewer_seconds += v_avg * dt;
+      sb.rtmp_viewer_seconds += rtmp_c * dt;
+      sb.hls_viewer_seconds += hls_c * dt;
+      sb.edge_requests += hls_c * dt / seg_s;
+      // The edge caches: while any overflow audience exists, each
+      // segment is fetched from the origin once per edge and served from
+      // cache to everyone else.
+      if (hls_c > 0) sb.distinct_segments += dt / seg_s;
+      BroadcastEpoch& be = book.back();
+      be.arrivals += arrivals;
+      be.departures += departures;
+      be.pop_end = v_next;
+
+      v = v_next;
+      a = bnd;
+      if (!done) {
+        // Grid point: record the campaign-wide population, and open a new
+        // epoch row when this point is an epoch boundary.
+        grid_pop[k] += v;
+        const std::size_t e = ledger_.epoch_of(time_at(bnd));
+        if (e != cur_epoch) {
+          cur_epoch = e;
+          book.push_back(BroadcastEpoch{cur_epoch, 0, 0, v, v});
+        }
+        ++k;
+      }
+    }
+
+    // Fold this broadcast into the campaign-wide epochs and the ledger.
+    for (const BroadcastEpoch& be : book) {
+      if (be.epoch >= epochs_.size()) epochs_.resize(be.epoch + 1);
+      AggregateEpoch& ae = epochs_[be.epoch];
+      ae.arrivals += be.arrivals;
+      ae.departures += be.departures;
+      ae.pop_begin += be.pop_begin;
+      ae.pop_end += be.pop_end;
+      total_arrivals_ += be.arrivals;
+    }
+    per_broadcast_[b.id] = std::move(book);
+    for (const auto& [e, sb] : steps) {
+      if (e >= epochs_.size()) epochs_.resize(e + 1);
+      AggregateEpoch& ae = epochs_[e];
+      const double hits =
+          std::max(0.0, sb.edge_requests - 2 * sb.distinct_segments);
+      const double bytes = sb.viewer_seconds * per_viewer_rate;
+      ae.viewer_seconds += sb.viewer_seconds;
+      ae.rtmp_viewer_seconds += sb.rtmp_viewer_seconds;
+      ae.hls_viewer_seconds += sb.hls_viewer_seconds;
+      ae.edge_requests += sb.edge_requests;
+      ae.edge_hits += hits;
+      ae.origin_requests += 2 * sb.distinct_segments;
+      ae.bytes += bytes;
+      total_viewer_seconds_ += sb.viewer_seconds;
+
+      // Ledger contributions, same key space as the session ledgers.
+      LoadAccount origin;
+      origin.session_seconds = sb.rtmp_viewer_seconds;
+      origin.sessions = cfg_.mean_watch_s > 0
+                            ? sb.rtmp_viewer_seconds / cfg_.mean_watch_s
+                            : 0;
+      origin.bytes = sb.rtmp_viewer_seconds * per_viewer_rate +
+                     2 * sb.distinct_segments * seg_bytes;
+      origin.requests = 2 * sb.distinct_segments;
+      if (origin.session_seconds > 0 || origin.requests > 0) {
+        ledger_.add_raw(plan.origin_ip, e, origin);
+      }
+      if (sb.hls_viewer_seconds > 0) {
+        LoadAccount edge;
+        edge.session_seconds = sb.hls_viewer_seconds / 2;
+        edge.sessions = cfg_.mean_watch_s > 0
+                            ? edge.session_seconds / cfg_.mean_watch_s
+                            : 0;
+        edge.bytes = sb.hls_viewer_seconds * per_viewer_rate / 2;
+        edge.requests = sb.edge_requests / 2;
+        ledger_.add_raw(edge_ips_[0], e, edge);
+        ledger_.add_raw(edge_ips_[1], e, edge);
+      }
+    }
+    plans_.emplace(b.id, std::move(plan));
+  }
+
+  // Per-epoch and campaign peaks from the grid populations.
+  for (std::size_t k = 0; k < grid_pop.size(); ++k) {
+    const double t = step_s * static_cast<double>(k);
+    if (t > horizon_s) break;
+    const std::size_t e = ledger_.epoch_of(time_at(t));
+    if (e >= epochs_.size()) break;
+    epochs_[e].peak_concurrent =
+        std::max(epochs_[e].peak_concurrent, grid_pop[k]);
+    peak_concurrent_ = std::max(peak_concurrent_, grid_pop[k]);
+  }
+}
+
+double AggregateAudience::viewers_at(const BroadcastId& id,
+                                     TimePoint t) const {
+  auto it = plans_.find(id);
+  if (it == plans_.end()) return 0;
+  return target_at(it->second, t);
+}
+
+double AggregateAudience::extra_viewers_at(const BroadcastInfo& b,
+                                           TimePoint t) const {
+  auto it = plans_.find(b.id);
+  if (it == plans_.end()) return 0;
+  return std::max(0.0, target_at(it->second, t) - b.viewers_at(t));
+}
+
+}  // namespace psc::service

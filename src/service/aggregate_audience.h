@@ -1,0 +1,197 @@
+// Fluid-model aggregate viewer tier (hybrid-fidelity campaigns).
+//
+// Full-protocol sessions are expensive: a campaign tops out at a few
+// hundred of them, while the paper's headline phenomena — join/stall
+// distributions under popular broadcasts — are shaped by audiences of
+// 10^5..10^6. The hybrid split: a *fluid* tier carries the viewer mass as
+// continuous per-broadcast populations (arrivals, departures, flash-crowd
+// spikes) and converts them into edge/origin load-ledger contributions
+// and cache-hit dynamics, while a deterministically sampled cohort (the
+// ordinary full-protocol sessions, reweighted by 1/sample_rate) keeps the
+// byte-accurate RTMP/HLS pipeline so Fig. 3/4/5-style QoE CDFs still come
+// off the wire — now measured *under* million-viewer load.
+//
+// Like WorldTimeline and fault::Plan, the audience is a *closed* process:
+// it depends only on (timeline, schedule, config) and is fully integrated
+// at construction, before any session runs. Nothing a cohort session does
+// feeds back into it, so every shard can read it lock-free and the
+// sample rate cannot perturb the fluid state (the invariance the property
+// tests pin down).
+//
+// Population dynamics per broadcast b:
+//   target T_b(t) = baseline_multiplier * b.viewers_at(t)
+//                 + sum of spikes resolved onto b        (while b is live)
+// integrated on a fixed grid aligned to epoch boundaries. Each step emits
+//   churn     = v * dt / mean_watch_s          (audience turnover)
+//   arrivals  = churn + max(0, T(t+dt) - v)
+//   departures= churn + max(0, v - T(t+dt))
+// so v tracks T exactly and, *by construction*,
+//   pop_end = pop_begin + arrivals - departures   (conservation)
+//   v >= 0                                         (non-negativity)
+// hold per broadcast per epoch. Broadcast end flushes the remaining
+// population as departures.
+//
+// Delivery split mirrors accessVideo: up to hls_viewer_threshold viewers
+// watch RTMP from the broadcast's origin; the overflow watches HLS,
+// striped half/half across the two edges. Edge cache model: every viewer
+// fetches one segment per segment_duration_s, but only the first fetch of
+// each segment misses to the origin — hits = requests - distinct
+// segments while the overflow is non-empty.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/broadcast.h"
+#include "service/flash_crowd.h"
+#include "service/load.h"
+#include "service/servers.h"
+#include "service/world_timeline.h"
+
+namespace psc::service {
+
+struct AggregateConfig {
+  /// Off by default: campaigns without the fluid tier are bit-identical
+  /// to builds that predate it (no RNG draws, no events, no load).
+  bool enabled = false;
+  /// Flash-crowd schedule seed, used verbatim (never mixed with the
+  /// shard seed) so every shard sees the same crowd timeline.
+  std::uint64_t schedule_seed = 1;
+  FlashCrowdGenConfig gen;
+  /// Explicit schedule text (FlashCrowdSchedule::to_text format);
+  /// overrides generation when parseable.
+  std::string schedule_text;
+  /// Cohort sampling: one full-protocol session stands for 1/sample_rate
+  /// aggregate viewers. Tagging/reweighting only — the fluid tier itself
+  /// never reads this (see SampleRateDoesNotTouchFluidState).
+  double sample_rate = 1e-3;
+  /// Fluid integration step; snapped so it divides the epoch length
+  /// (grid points never straddle an epoch boundary).
+  Duration step = seconds(10);
+  /// Scales BroadcastInfo viewer curves up to the mass audience: the
+  /// map's viewer counts are a popularity signal, the true audience of a
+  /// service with millions of users is this multiple of it.
+  double baseline_multiplier = 50;
+  /// Mean audience membership time (churn time constant).
+  double mean_watch_s = 240;
+  /// Viewers beyond this watch HLS (accessVideo's switch threshold).
+  int hls_viewer_threshold = 100;
+  double segment_duration_s = 3.6;
+};
+
+/// Per-epoch aggregate totals across all broadcasts.
+struct AggregateEpoch {
+  double arrivals = 0;
+  double departures = 0;
+  double pop_begin = 0;
+  double pop_end = 0;
+  double viewer_seconds = 0;
+  double peak_concurrent = 0;  // max over grid points in the epoch
+  double rtmp_viewer_seconds = 0;
+  double hls_viewer_seconds = 0;
+  double edge_requests = 0;
+  double edge_hits = 0;
+  double origin_requests = 0;  // edge misses fetched upstream
+  double bytes = 0;            // media bytes delivered to the fluid tier
+};
+
+class AggregateAudience {
+ public:
+  /// Per-broadcast per-epoch conservation book (the property-test
+  /// surface): pop_end = pop_begin + arrivals - departures.
+  struct BroadcastEpoch {
+    std::size_t epoch = 0;
+    double arrivals = 0;
+    double departures = 0;
+    double pop_begin = 0;
+    double pop_end = 0;
+  };
+
+  /// Integrates the full fluid state at construction (closed process —
+  /// immutable afterwards, safe to share across shards). `servers`
+  /// resolves which origin/edge ips the fluid load lands on; only ips are
+  /// kept, the pool is not retained.
+  AggregateAudience(std::shared_ptr<const WorldTimeline> timeline,
+                    FlashCrowdSchedule schedule,
+                    const MediaServerPool& servers,
+                    const AggregateConfig& cfg, Duration epoch_length);
+
+  const AggregateConfig& config() const { return cfg_; }
+  const FlashCrowdSchedule& schedule() const { return schedule_; }
+  Duration epoch_length() const { return epoch_length_; }
+
+  /// Fluid load book, same key space as the session ledgers; the runner
+  /// merges it into the EpochLoadBoard before the shard ledgers.
+  const EpochLoadLedger& ledger() const { return ledger_; }
+
+  const std::vector<AggregateEpoch>& epochs() const { return epochs_; }
+  const std::map<BroadcastId, std::vector<BroadcastEpoch>>& per_broadcast()
+      const {
+    return per_broadcast_;
+  }
+
+  /// Aggregate population of broadcast `id` at `t` (closed-form target
+  /// trajectory; 0 for broadcasts the fluid tier does not cover).
+  double viewers_at(const BroadcastId& id, TimePoint t) const;
+  /// Crowd on top of the broadcast's native viewers_at — what the API
+  /// overlay adds to n_watching so flash-crowded cohort sessions cross
+  /// the HLS threshold like real ones would.
+  double extra_viewers_at(const BroadcastInfo& b, TimePoint t) const;
+
+  /// Campaign-wide peak concurrent fluid viewers (max over the grid).
+  double peak_concurrent() const { return peak_concurrent_; }
+  /// Total fluid viewer-sessions (arrivals); cohort size ~= this *
+  /// sample_rate.
+  double total_arrivals() const { return total_arrivals_; }
+  double total_viewer_seconds() const { return total_viewer_seconds_; }
+
+  /// Spike -> resolved broadcast id ("" when no live broadcast could
+  /// host the spike). Index-aligned with schedule().spikes().
+  const std::vector<BroadcastId>& spike_targets() const {
+    return spike_targets_;
+  }
+
+ private:
+  struct BroadcastPlan {
+    const sim::IntervalTimeline<BroadcastInfo>::Entry* entry = nullptr;
+    std::vector<std::size_t> spikes;  // indices into schedule_.spikes()
+    std::string origin_ip;
+  };
+
+  double target_at(const BroadcastPlan& plan, TimePoint t) const;
+  void resolve_spikes(const WorldTimeline& timeline);
+  void integrate(const MediaServerPool& servers);
+
+  FlashCrowdSchedule schedule_;
+  AggregateConfig cfg_;
+  Duration epoch_length_;
+  Duration step_;  // snapped to divide epoch_length_
+  Duration horizon_;
+
+  std::vector<BroadcastId> spike_targets_;
+  std::unordered_map<std::string, std::vector<std::size_t>>
+      spikes_by_broadcast_;
+  std::array<std::string, 2> edge_ips_;
+
+  EpochLoadLedger ledger_;
+  std::vector<AggregateEpoch> epochs_;
+  std::map<BroadcastId, std::vector<BroadcastEpoch>> per_broadcast_;
+  /// Kept for viewers_at readback: broadcast id -> its timeline entry +
+  /// assigned spikes (the timeline shared_ptr keeps entries alive).
+  std::shared_ptr<const WorldTimeline> timeline_;
+  std::unordered_map<std::string, BroadcastPlan> plans_;
+  double peak_concurrent_ = 0;
+  double total_arrivals_ = 0;
+  double total_viewer_seconds_ = 0;
+};
+
+/// The campaign's schedule from its config: explicit text when given and
+/// parseable (a warning is printed otherwise), else generated from
+/// schedule_seed + gen. Used identically by both campaign modes.
+FlashCrowdSchedule make_flash_crowd_schedule(const AggregateConfig& cfg);
+
+}  // namespace psc::service

@@ -11,6 +11,14 @@ ApiServer::ApiServer(WorldView& world, MediaServerPool& servers,
     : world_(world), servers_(servers), cfg_(cfg),
       limiter_(cfg.rate_limit) {}
 
+int ApiServer::watching_at(const BroadcastInfo& b, TimePoint now) const {
+  int watching = b.viewers_at(now);
+  if (viewer_overlay_) {
+    watching += static_cast<int>(std::lround(viewer_overlay_(b, now)));
+  }
+  return watching;
+}
+
 json::Value ApiServer::describe(const BroadcastInfo& b, TimePoint now) const {
   json::Object o;
   o["id"] = b.id;
@@ -20,7 +28,7 @@ json::Value ApiServer::describe(const BroadcastInfo& b, TimePoint now) const {
   o["ip_lat"] = std::round(b.location.lat_deg * 100) / 100;
   o["ip_lng"] = std::round(b.location.lon_deg * 100) / 100;
   o["start"] = to_s(b.start_time);
-  o["n_watching"] = b.viewers_at(now);
+  o["n_watching"] = watching_at(b, now);
   o["available_for_replay"] = b.available_for_replay;
   return json::Value(std::move(o));
 }
@@ -65,7 +73,7 @@ json::Value ApiServer::handle_access_video(const json::Value& body,
   }
   // Public streams go over plaintext RTMP (port 80) / HTTP; private
   // broadcasts are encrypted end to end: RTMPS and HTTPS for HLS (§3).
-  const int watching = b->viewers_at(now);
+  const int watching = watching_at(*b, now);
   if (watching >= cfg_.hls_viewer_threshold) {
     const MediaServer& edge = servers_.hls_edge_for(access_counter_++);
     resp["protocol"] = "hls";

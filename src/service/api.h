@@ -77,7 +77,21 @@ class ApiServer {
   Duration last_injected_latency() const { return last_injected_latency_; }
   std::size_t requests_faulted() const { return faulted_; }
 
+  /// Aggregate-audience overlay (hybrid-fidelity campaigns): extra
+  /// concurrent viewers on top of a broadcast's native count. Raises
+  /// n_watching in responses and the accessVideo HLS switch — so a
+  /// flash-crowded broadcast serves its cohort over HLS exactly as the
+  /// real service sheds load — but never feeds back into the world
+  /// process itself. nullptr = off (bit-identical to pre-overlay builds).
+  void set_viewer_overlay(
+      std::function<double(const BroadcastInfo&, TimePoint)> fn) {
+    viewer_overlay_ = std::move(fn);
+  }
+
  private:
+  /// Concurrent viewers the API reports: the broadcast's own curve plus
+  /// the aggregate overlay when set.
+  int watching_at(const BroadcastInfo& b, TimePoint now) const;
   json::Value describe(const BroadcastInfo& b, TimePoint now) const;
   json::Value handle_map_feed(const json::Value& body, TimePoint now);
   json::Value handle_get_broadcasts(const json::Value& body, TimePoint now);
@@ -91,6 +105,7 @@ class ApiServer {
   obs::Obs* obs_ = nullptr;
   RateLimiter limiter_;
   std::function<fault::ApiFault(TimePoint)> fault_hook_;
+  std::function<double(const BroadcastInfo&, TimePoint)> viewer_overlay_;
   Duration last_injected_latency_{0};
   std::vector<json::Value> playback_metas_;
   std::size_t served_ = 0;

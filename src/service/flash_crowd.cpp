@@ -1,0 +1,248 @@
+#include "service/flash_crowd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace psc::service {
+
+namespace {
+
+constexpr const char* kHeader = "# psc-flashcrowd v1";
+
+struct ShapeTraits {
+  const char* name;
+  /// Share of generated spikes of this shape (relative weight).
+  double weight;
+  double rise_lo, rise_hi;  // seconds
+  double hold_lo, hold_hi;
+  double tau_lo, tau_hi;
+};
+
+// Raids dominate event-driven surges; celebrity-goes-live events are
+// rarer but hold their audience; organic build-ups are the background.
+constexpr ShapeTraits kShapes[kSpikeShapeCount] = {
+    {"raid", 3, 3, 20, 30, 180, 60, 240},
+    {"celebrity_live", 1, 20, 90, 300, 900, 180, 600},
+    {"organic", 2, 90, 360, 60, 360, 240, 720},
+};
+
+/// Snap a generated value onto a decimal grid (1/scale) so the %.9g text
+/// form recovers the exact double on parse — same trick as fault::Plan.
+double snap(double v, double scale) { return std::round(v * scale) / scale; }
+
+Error schedule_error(std::size_t line, std::string message) {
+  return make_error("flashcrowd",
+                    strf("line %zu: %s", line, message.c_str()));
+}
+
+bool parse_number(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  const std::string buf(s);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* spike_shape_name(SpikeShape s) {
+  return kShapes[static_cast<int>(s)].name;
+}
+
+bool spike_shape_from_name(std::string_view name, SpikeShape* out) {
+  for (int i = 0; i < kSpikeShapeCount; ++i) {
+    if (name == kShapes[i].name) {
+      *out = static_cast<SpikeShape>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+double Spike::viewers_at(TimePoint t) const {
+  if (t < start || peak_viewers <= 0) return 0;
+  const double u = to_s(t - start);
+  const double rise_s = to_s(rise);
+  if (u < rise_s) return peak_viewers * (u / rise_s);
+  const double after_rise = u - rise_s;
+  const double hold_s = to_s(hold);
+  if (after_rise < hold_s) return peak_viewers;
+  const double tau_s = to_s(decay_tau);
+  if (tau_s <= 0) return 0;
+  return peak_viewers * std::exp(-(after_rise - hold_s) / tau_s);
+}
+
+FlashCrowdSchedule::FlashCrowdSchedule(std::vector<Spike> spikes)
+    : spikes_(std::move(spikes)) {
+  std::sort(spikes_.begin(), spikes_.end(), [](const Spike& a,
+                                               const Spike& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.shape != b.shape) return a.shape < b.shape;
+    if (a.channel_rank != b.channel_rank) {
+      return a.channel_rank < b.channel_rank;
+    }
+    if (a.peak_viewers != b.peak_viewers) {
+      return a.peak_viewers < b.peak_viewers;
+    }
+    if (a.rise != b.rise) return a.rise < b.rise;
+    if (a.hold != b.hold) return a.hold < b.hold;
+    return a.decay_tau < b.decay_tau;
+  });
+}
+
+FlashCrowdSchedule FlashCrowdSchedule::generate(
+    std::uint64_t seed, const FlashCrowdGenConfig& cfg) {
+  Rng root(seed);
+  std::vector<Spike> out;
+  const double horizon_s = std::max(0.0, to_s(cfg.horizon));
+  double weight_total = 0;
+  for (const ShapeTraits& t : kShapes) weight_total += t.weight;
+  for (int i = 0; i < kSpikeShapeCount; ++i) {
+    // Per-shape forked stream: changing one shape's count never perturbs
+    // the spikes of another.
+    Rng rng = root.fork(static_cast<std::uint64_t>(i) + 1);
+    const ShapeTraits& t = kShapes[i];
+    const long count = std::lround(cfg.spikes_per_1800s * horizon_s /
+                                   1800.0 * t.weight / weight_total);
+    for (long n = 0; n < count; ++n) {
+      Spike s;
+      s.shape = static_cast<SpikeShape>(i);
+      s.start = time_at(snap(rng.uniform(0, horizon_s), 1000));
+      s.peak_viewers = snap(
+          std::min(cfg.peak_cap, rng.pareto(cfg.peak_xm, cfg.peak_alpha)),
+          1);
+      s.rise = seconds(snap(rng.uniform(t.rise_lo, t.rise_hi), 1000));
+      s.hold = seconds(snap(rng.uniform(t.hold_lo, t.hold_hi), 1000));
+      s.decay_tau = seconds(snap(rng.uniform(t.tau_lo, t.tau_hi), 1000));
+      s.channel_rank = static_cast<int>(
+          rng.zipf(std::max(1, cfg.max_rank), cfg.rank_zipf_s) - 1);
+      out.push_back(s);
+    }
+  }
+  return FlashCrowdSchedule(std::move(out));
+}
+
+Result<FlashCrowdSchedule> FlashCrowdSchedule::parse(std::string_view text) {
+  // Hard cap so a pathological (fuzzed) input cannot balloon memory.
+  constexpr std::size_t kMaxSpikes = 100000;
+  std::vector<Spike> spikes;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!saw_header) {
+      if (line != kHeader) {
+        return schedule_error(line_no,
+                              strf("expected header '%s'", kHeader));
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+
+    // spike <shape> key=value...
+    std::vector<std::string_view> tokens;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && line[i] == ' ') ++i;
+      std::size_t j = i;
+      while (j < line.size() && line[j] != ' ') ++j;
+      if (j > i) tokens.push_back(line.substr(i, j - i));
+      i = j;
+    }
+    if (tokens.empty()) continue;
+    if (tokens[0] != "spike") {
+      return schedule_error(line_no, strf("unknown directive '%.*s'",
+                                          static_cast<int>(tokens[0].size()),
+                                          tokens[0].data()));
+    }
+    if (tokens.size() < 2) {
+      return schedule_error(line_no, "spike needs a shape");
+    }
+    Spike s;
+    if (!spike_shape_from_name(tokens[1], &s.shape)) {
+      return schedule_error(line_no, strf("unknown spike shape '%.*s'",
+                                          static_cast<int>(tokens[1].size()),
+                                          tokens[1].data()));
+    }
+    bool have_start = false, have_peak = false;
+    for (std::size_t k = 2; k < tokens.size(); ++k) {
+      const std::string_view tok = tokens[k];
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string_view::npos) {
+        return schedule_error(line_no, "expected key=value");
+      }
+      const std::string_view key = tok.substr(0, eq);
+      double v = 0;
+      if (!parse_number(tok.substr(eq + 1), &v)) {
+        return schedule_error(line_no, strf("bad number for '%.*s'",
+                                            static_cast<int>(key.size()),
+                                            key.data()));
+      }
+      if (key == "start") {
+        if (v < 0) return schedule_error(line_no, "start must be >= 0");
+        s.start = time_at(v);
+        have_start = true;
+      } else if (key == "peak") {
+        if (v < 0) return schedule_error(line_no, "peak must be >= 0");
+        s.peak_viewers = v;
+        have_peak = true;
+      } else if (key == "rise") {
+        if (v < 0) return schedule_error(line_no, "rise must be >= 0");
+        s.rise = seconds(v);
+      } else if (key == "hold") {
+        if (v < 0) return schedule_error(line_no, "hold must be >= 0");
+        s.hold = seconds(v);
+      } else if (key == "tau") {
+        if (v < 0) return schedule_error(line_no, "tau must be >= 0");
+        s.decay_tau = seconds(v);
+      } else if (key == "rank") {
+        if (v != std::floor(v) || v < 0 || v > 1e6) {
+          return schedule_error(line_no, "rank must be an integer >= 0");
+        }
+        s.channel_rank = static_cast<int>(v);
+      } else {
+        return schedule_error(line_no, strf("unknown key '%.*s'",
+                                            static_cast<int>(key.size()),
+                                            key.data()));
+      }
+    }
+    if (!have_start || !have_peak) {
+      return schedule_error(line_no, "spike needs start= and peak=");
+    }
+    if (spikes.size() >= kMaxSpikes) {
+      return schedule_error(line_no, "too many spikes");
+    }
+    spikes.push_back(s);
+  }
+  if (!saw_header) return make_error("flashcrowd", "empty schedule text");
+  return FlashCrowdSchedule(std::move(spikes));
+}
+
+std::string FlashCrowdSchedule::to_text() const {
+  std::string out = kHeader;
+  out += '\n';
+  for (const Spike& s : spikes_) {
+    out += strf(
+        "spike %s start=%.9g peak=%.9g rise=%.9g hold=%.9g tau=%.9g "
+        "rank=%d\n",
+        spike_shape_name(s.shape), to_s(s.start), s.peak_viewers,
+        to_s(s.rise), to_s(s.hold), to_s(s.decay_tau), s.channel_rank);
+  }
+  return out;
+}
+
+}  // namespace psc::service

@@ -1,0 +1,102 @@
+// Deterministic flash-crowd timeline.
+//
+// A FlashCrowdSchedule is an immutable, sorted list of viewer spikes —
+// when a crowd arrives, how fast it rises, how long it holds and how it
+// decays. Spikes are pure data generated from a SplitMix64 seed (or
+// parsed from a small text format) *before* any simulation runs, so every
+// shard of a campaign sees the same crowd timeline regardless of thread
+// count — exactly like fault::Plan and the shared-world WorldTimeline.
+//
+// The burst shapes follow the Twitch.TV measurement study (PAPERS.md):
+// audience mass concentrates on a handful of top channels (Zipf rank
+// skew) and the large swings are event-driven — a raid dumps an existing
+// audience onto a channel within seconds, a celebrity going live draws a
+// fast ramp that holds, organic discovery builds and fades slowly. The
+// AggregateAudience (aggregate_audience.h) resolves each spike's
+// channel_rank onto a live broadcast and integrates the resulting
+// viewer-count trajectories.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/units.h"
+
+namespace psc::service {
+
+/// Burst taxonomy (Twitch study: event-driven surges dominate).
+enum class SpikeShape {
+  Raid,           // an existing audience lands at once: seconds-long rise
+  CelebrityLive,  // push-notification ramp, long hold
+  Organic,        // discovery/front-page build-up, slow rise and fade
+};
+inline constexpr int kSpikeShapeCount = 3;
+
+const char* spike_shape_name(SpikeShape s);
+/// False (and *out untouched) for an unknown name.
+bool spike_shape_from_name(std::string_view name, SpikeShape* out);
+
+struct Spike {
+  SpikeShape shape = SpikeShape::Raid;
+  TimePoint start{};
+  double peak_viewers = 0;
+  Duration rise{0};       // linear ramp 0 -> peak
+  Duration hold{0};       // plateau at peak
+  Duration decay_tau{0};  // exponential decay time constant after the hold
+  /// Popularity rank of the target channel among broadcasts live at
+  /// `start` (0 = most-watched). The audience model resolves this onto a
+  /// concrete broadcast id — the Twitch study's channel-popularity skew.
+  int channel_rank = 0;
+
+  /// Crowd size contributed by this spike at `t` (closed form, >= 0).
+  double viewers_at(TimePoint t) const;
+};
+
+struct FlashCrowdGenConfig {
+  /// Timeline length; spikes all start inside [0, horizon). Also the
+  /// fluid tier's integration horizon in independent-worlds mode.
+  Duration horizon = seconds(1800);
+  /// Mean spike count over a 1800 s horizon (scaled by horizon).
+  double spikes_per_1800s = 6;
+  /// Pareto peak-size skew: most spikes are modest, a few are enormous.
+  double peak_xm = 2e4;
+  double peak_alpha = 1.1;
+  double peak_cap = 1e6;
+  /// Spikes hit popular channels: rank ~ Zipf(max_rank, rank_zipf_s) - 1.
+  int max_rank = 12;
+  double rank_zipf_s = 1.4;
+};
+
+class FlashCrowdSchedule {
+ public:
+  FlashCrowdSchedule() = default;
+
+  /// Deterministic timeline from `seed`: same seed + config => identical
+  /// schedule, on every shard and every machine.
+  static FlashCrowdSchedule generate(std::uint64_t seed,
+                                     const FlashCrowdGenConfig& cfg = {});
+
+  /// Parse the text format (see to_text). Malformed input yields a clean
+  /// Error; accepted input is canonicalised exactly like generate's
+  /// output, so to_text(parse(t)) is a fixpoint after one application.
+  static Result<FlashCrowdSchedule> parse(std::string_view text);
+
+  /// Canonical text form:
+  ///   # psc-flashcrowd v1
+  ///   spike raid start=120.5 peak=250000 rise=8 hold=45 tau=120 rank=0
+  std::string to_text() const;
+
+  bool empty() const { return spikes_.empty(); }
+  std::size_t size() const { return spikes_.size(); }
+  const std::vector<Spike>& spikes() const { return spikes_; }
+
+ private:
+  explicit FlashCrowdSchedule(std::vector<Spike> spikes);  // canonical sort
+
+  std::vector<Spike> spikes_;  // sorted by (start, shape, rank, ...)
+};
+
+}  // namespace psc::service

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/strings.h"
+
 namespace psc::service {
 
 namespace {
@@ -56,6 +58,27 @@ void EpochLoadLedger::add_request(const std::string& server_ip, TimePoint at_,
   LoadAccount& acc = at(server_ip, epoch_of(at_));
   acc.requests += 1;
   acc.bytes += bytes;
+}
+
+void EpochLoadLedger::add_raw(const std::string& server_ip, std::size_t e,
+                              const LoadAccount& delta) {
+  LoadAccount& acc = at(server_ip, e);
+  acc.session_seconds += delta.session_seconds;
+  acc.sessions += delta.sessions;
+  acc.bytes += delta.bytes;
+  acc.requests += delta.requests;
+}
+
+std::string EpochLoadLedger::debug_text() const {
+  std::string out;
+  for (std::size_t e = 0; e < epochs_.size(); ++e) {
+    for (const auto& [ip, acc] : epochs_[e]) {
+      out += strf("%zu %s ss=%.17g n=%.17g b=%.17g r=%.17g\n", e,
+                  ip.c_str(), acc.session_seconds, acc.sessions, acc.bytes,
+                  acc.requests);
+    }
+  }
+  return out;
 }
 
 const LoadAccount* EpochLoadLedger::account(const std::string& server_ip,

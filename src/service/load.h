@@ -61,6 +61,13 @@ class EpochLoadLedger {
   /// Contribute one served request at an instant.
   void add_request(const std::string& server_ip, TimePoint at, double bytes);
 
+  /// Fold a precomputed account delta directly into epoch `e` — the
+  /// fluid AggregateAudience books whole viewer populations this way
+  /// (session_seconds/sessions/requests are then fractional aggregates,
+  /// not individual sessions).
+  void add_raw(const std::string& server_ip, std::size_t e,
+               const LoadAccount& delta);
+
   /// nullptr when the server had no load in that epoch.
   const LoadAccount* account(const std::string& server_ip,
                              std::size_t epoch) const;
@@ -68,6 +75,11 @@ class EpochLoadLedger {
   const std::map<std::string, LoadAccount>* epoch(std::size_t e) const;
   std::size_t epoch_count() const { return epochs_.size(); }
   void clear() { epochs_.clear(); }
+
+  /// Canonical text dump (every epoch, every server, %.17g): two ledgers
+  /// are byte-identical iff their contents are. Used by determinism and
+  /// sample-rate-invariance tests.
+  std::string debug_text() const;
 
  private:
   LoadAccount& at(const std::string& server_ip, std::size_t e);

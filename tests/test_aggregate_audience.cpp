@@ -1,0 +1,419 @@
+// Property tests that keep the fluid viewer tier honest: the flash-crowd
+// schedule text form is an exact fixpoint, per-broadcast-per-epoch
+// conservation (arrivals - departures = delta population) and
+// non-negativity hold over the whole integration, the cache model stays
+// inside its bounds, and — the hybrid-fidelity contract — the cohort
+// sample rate can never perturb the fluid state or the campaign QoE it
+// feeds back into.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+#include "core/study.h"
+#include "analysis/stats.h"
+#include "service/aggregate_audience.h"
+#include "service/flash_crowd.h"
+#include "service/servers.h"
+#include "service/world_timeline.h"
+
+namespace psc::service {
+namespace {
+
+// ---------------- FlashCrowdSchedule: text fixpoint ----------------
+
+TEST(FlashCrowdSchedule, GenerateIsDeterministicAndSeedSensitive) {
+  FlashCrowdGenConfig cfg;
+  const std::string a = FlashCrowdSchedule::generate(11, cfg).to_text();
+  const std::string b = FlashCrowdSchedule::generate(11, cfg).to_text();
+  const std::string c = FlashCrowdSchedule::generate(12, cfg).to_text();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_GT(FlashCrowdSchedule::generate(11, cfg).size(), 0u);
+}
+
+TEST(FlashCrowdSchedule, TextRoundTripIsAFixpoint) {
+  // Generated values are snapped to a decimal grid, so text -> parse ->
+  // text recovers every byte (the same contract as fault::Plan).
+  for (std::uint64_t seed : {1ull, 11ull, 77ull, 0xABCDEFull}) {
+    const FlashCrowdSchedule gen = FlashCrowdSchedule::generate(seed);
+    const std::string t1 = gen.to_text();
+    auto parsed = FlashCrowdSchedule::parse(t1);
+    ASSERT_TRUE(parsed) << parsed.error().message;
+    const std::string t2 = parsed.value().to_text();
+    EXPECT_EQ(t1, t2) << "seed " << seed;
+    // And spike-for-spike equality, not just text equality.
+    ASSERT_EQ(parsed.value().size(), gen.size());
+  }
+}
+
+TEST(FlashCrowdSchedule, ParseCanonicalisesUnsortedInput) {
+  // Hand-written schedules need not be sorted; one parse+to_text round
+  // reaches the canonical form, after which it is a fixpoint.
+  const std::string messy =
+      "# psc-flashcrowd v1\n"
+      "\n"
+      "# a comment, then out-of-order spikes\n"
+      "spike organic start=900 peak=5000 rise=120 hold=60 tau=300\n"
+      "spike raid start=120 peak=80000 rise=5 hold=45 tau=90 rank=2\n";
+  auto first = FlashCrowdSchedule::parse(messy);
+  ASSERT_TRUE(first);
+  const std::string canon = first.value().to_text();
+  EXPECT_NE(canon, messy);
+  auto second = FlashCrowdSchedule::parse(canon);
+  ASSERT_TRUE(second);
+  EXPECT_EQ(second.value().to_text(), canon);
+  EXPECT_EQ(first.value().spikes()[0].shape, SpikeShape::Raid);
+  EXPECT_EQ(to_s(first.value().spikes()[0].start), 120);
+}
+
+TEST(FlashCrowdSchedule, ParseRejectsMalformedInput) {
+  const char* bad[] = {
+      "",                                          // no header
+      "spike raid start=1 peak=2\n",               // missing header
+      "# psc-flashcrowd v2\n",                     // wrong version
+      "# psc-flashcrowd v1\nburst raid start=1 peak=2\n",  // directive
+      "# psc-flashcrowd v1\nspike\n",              // no shape
+      "# psc-flashcrowd v1\nspike comet start=1 peak=2\n",  // shape
+      "# psc-flashcrowd v1\nspike raid peak=2\n",  // start missing
+      "# psc-flashcrowd v1\nspike raid start=1\n", // peak missing
+      "# psc-flashcrowd v1\nspike raid start=x peak=2\n",   // number
+      "# psc-flashcrowd v1\nspike raid start=-5 peak=2\n",  // negative
+      "# psc-flashcrowd v1\nspike raid start=1 peak=2 rank=1.5\n",
+      "# psc-flashcrowd v1\nspike raid start=1 peak=2 zorp=3\n",  // key
+      "# psc-flashcrowd v1\nspike raid start=1 peak=2 rise\n",  // no '='
+  };
+  for (const char* text : bad) {
+    auto r = FlashCrowdSchedule::parse(text);
+    EXPECT_FALSE(r) << "accepted: " << text;
+  }
+  // Header-only is a *valid* empty schedule (the flashcrowd-off text).
+  auto empty = FlashCrowdSchedule::parse("# psc-flashcrowd v1\n");
+  ASSERT_TRUE(empty);
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST(FlashCrowdSchedule, SpikeClosedFormIsNonNegativeAndShaped) {
+  Spike s;
+  s.start = time_at(100);
+  s.peak_viewers = 1000;
+  s.rise = seconds(10);
+  s.hold = seconds(20);
+  s.decay_tau = seconds(30);
+  EXPECT_EQ(s.viewers_at(time_at(99)), 0);
+  EXPECT_DOUBLE_EQ(s.viewers_at(time_at(105)), 500);   // mid-rise
+  EXPECT_DOUBLE_EQ(s.viewers_at(time_at(110)), 1000);  // plateau start
+  EXPECT_DOUBLE_EQ(s.viewers_at(time_at(129)), 1000);  // plateau end
+  EXPECT_NEAR(s.viewers_at(time_at(160)), 1000 * std::exp(-1.0), 1e-9);
+  for (double t = 0; t < 400; t += 7) {
+    EXPECT_GE(s.viewers_at(time_at(t)), 0) << t;
+  }
+  s.decay_tau = seconds(0);  // no tail
+  EXPECT_EQ(s.viewers_at(time_at(131)), 0);
+}
+
+// ---------------- AggregateAudience: fluid-tier properties ----------------
+
+WorldConfig crowd_world() {
+  WorldConfig cfg;
+  cfg.target_concurrent = 150;
+  cfg.hotspot_count = 30;
+  return cfg;
+}
+
+AggregateConfig crowd_config() {
+  AggregateConfig cfg;
+  cfg.enabled = true;
+  cfg.schedule_seed = 11;
+  cfg.gen.horizon = seconds(900);
+  cfg.gen.peak_xm = 5e3;
+  cfg.gen.peak_cap = 2e5;
+  cfg.sample_rate = 0.01;
+  return cfg;
+}
+
+class AggregateAudienceTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kSeed = 311;
+
+  AggregateAudienceTest()
+      : timeline_(WorldTimeline::record(crowd_world(), kSeed, seconds(900),
+                                        seconds(300))),
+        pool_(7),
+        cfg_(crowd_config()),
+        audience_(timeline_, make_flash_crowd_schedule(cfg_), pool_, cfg_,
+                  seconds(300)) {}
+
+  std::shared_ptr<const WorldTimeline> timeline_;
+  MediaServerPool pool_;
+  AggregateConfig cfg_;
+  AggregateAudience audience_;
+};
+
+TEST_F(AggregateAudienceTest, ConservationPerBroadcastPerEpoch) {
+  // The property the fluid tier is built around: within every broadcast's
+  // every epoch row, pop_end = pop_begin + arrivals - departures, and
+  // consecutive rows chain exactly (no viewers created or lost at epoch
+  // boundaries).
+  ASSERT_FALSE(audience_.per_broadcast().empty());
+  std::size_t rows = 0;
+  for (const auto& [id, book] : audience_.per_broadcast()) {
+    for (std::size_t i = 0; i < book.size(); ++i) {
+      const auto& be = book[i];
+      const double tol = 1e-9 * (1 + be.arrivals + be.departures);
+      EXPECT_NEAR(be.pop_end, be.pop_begin + be.arrivals - be.departures,
+                  tol)
+          << id << " epoch " << be.epoch;
+      if (i > 0) {
+        EXPECT_EQ(book[i].epoch, book[i - 1].epoch + 1) << id;
+        EXPECT_DOUBLE_EQ(book[i].pop_begin, book[i - 1].pop_end) << id;
+      }
+      ++rows;
+    }
+  }
+  EXPECT_GT(rows, 0u);
+}
+
+TEST_F(AggregateAudienceTest, ConservationAcrossCampaignEpochs) {
+  ASSERT_FALSE(audience_.epochs().empty());
+  double total_in = 0, total_out = 0;
+  for (const AggregateEpoch& e : audience_.epochs()) {
+    const double tol = 1e-9 * (1 + e.arrivals + e.departures);
+    EXPECT_NEAR(e.pop_end, e.pop_begin + e.arrivals - e.departures, tol);
+    total_in += e.arrivals;
+    total_out += e.departures;
+  }
+  // Same mass, summed epoch-wise vs broadcast-wise (fp order differs).
+  EXPECT_NEAR(total_in, audience_.total_arrivals(), 1e-9 * total_in);
+  EXPECT_GT(total_in, 0);
+  EXPECT_GT(total_out, 0);
+}
+
+TEST_F(AggregateAudienceTest, NonNegativityEverywhere) {
+  for (const auto& [id, book] : audience_.per_broadcast()) {
+    for (const auto& be : book) {
+      EXPECT_GE(be.pop_begin, 0) << id;
+      EXPECT_GE(be.pop_end, 0) << id;
+      EXPECT_GE(be.arrivals, 0) << id;
+      EXPECT_GE(be.departures, 0) << id;
+    }
+  }
+  for (const AggregateEpoch& e : audience_.epochs()) {
+    EXPECT_GE(e.pop_begin, 0);
+    EXPECT_GE(e.pop_end, 0);
+    EXPECT_GE(e.viewer_seconds, 0);
+    EXPECT_GE(e.peak_concurrent, 0);
+    EXPECT_GE(e.rtmp_viewer_seconds, 0);
+    EXPECT_GE(e.hls_viewer_seconds, 0);
+    EXPECT_GE(e.edge_requests, 0);
+    EXPECT_GE(e.edge_hits, 0);
+    EXPECT_GE(e.origin_requests, 0);
+    EXPECT_GE(e.bytes, 0);
+  }
+  EXPECT_GE(audience_.peak_concurrent(), 0);
+}
+
+TEST_F(AggregateAudienceTest, CacheAndDeliverySplitBounds) {
+  for (const AggregateEpoch& e : audience_.epochs()) {
+    // A hit is a request the edge did not forward; misses go upstream.
+    const double slack = 1e-9 * (1 + e.edge_requests);
+    EXPECT_LE(e.edge_hits, e.edge_requests + slack);
+    EXPECT_GE(e.edge_hits + e.origin_requests, e.edge_requests - slack);
+    // RTMP/HLS split partitions the viewer time.
+    EXPECT_NEAR(e.rtmp_viewer_seconds + e.hls_viewer_seconds,
+                e.viewer_seconds, 1e-6 * (1 + e.viewer_seconds));
+  }
+}
+
+TEST_F(AggregateAudienceTest, LedgerSessionSecondsMatchEpochTotals) {
+  // The load the fluid tier books on the servers is exactly the viewer
+  // time it integrated — nothing double-counted, nothing dropped.
+  for (std::size_t e = 0; e < audience_.epochs().size(); ++e) {
+    double ledger_ss = 0;
+    if (const auto* bucket = audience_.ledger().epoch(e)) {
+      for (const auto& [ip, acc] : *bucket) ledger_ss += acc.session_seconds;
+    }
+    const double want = audience_.epochs()[e].viewer_seconds;
+    EXPECT_NEAR(ledger_ss, want, 1e-6 * (1 + want)) << "epoch " << e;
+  }
+}
+
+TEST_F(AggregateAudienceTest, SpikesResolveOntoLivePublicBroadcasts) {
+  const auto& spikes = audience_.schedule().spikes();
+  ASSERT_EQ(audience_.spike_targets().size(), spikes.size());
+  std::size_t resolved = 0;
+  for (std::size_t i = 0; i < spikes.size(); ++i) {
+    const BroadcastId& target = audience_.spike_targets()[i];
+    if (target.empty()) continue;  // nothing live at that instant
+    ++resolved;
+    bool ok = false;
+    timeline_->for_each_present(spikes[i].start, [&](const BroadcastInfo& b) {
+      if (b.id == target) ok = !b.is_private && b.live_at(spikes[i].start);
+    });
+    EXPECT_TRUE(ok) << "spike " << i << " -> " << target;
+  }
+  EXPECT_GT(resolved, 0u);
+}
+
+TEST_F(AggregateAudienceTest, ExplicitScheduleDrivesTheOverlay) {
+  // Pin one rank-0 raid via schedule text and check the crowd actually
+  // lands on the most-watched live broadcast and shows up in the overlay
+  // the API adds to n_watching.
+  AggregateConfig cfg = cfg_;
+  cfg.schedule_text =
+      "# psc-flashcrowd v1\n"
+      "spike raid start=300 peak=50000 rise=10 hold=200 tau=60 rank=0\n";
+  const AggregateAudience aud(timeline_, make_flash_crowd_schedule(cfg),
+                              pool_, cfg, seconds(300));
+  ASSERT_EQ(aud.schedule().size(), 1u);
+  const BroadcastId& target = aud.spike_targets()[0];
+  ASSERT_FALSE(target.empty());
+
+  const BroadcastInfo* best = nullptr;
+  timeline_->for_each_present(time_at(300), [&](const BroadcastInfo& b) {
+    if (b.is_private || !b.live_at(time_at(300))) return;
+    if (best == nullptr || b.peak_viewers > best->peak_viewers ||
+        (b.peak_viewers == best->peak_viewers && b.id < best->id)) {
+      best = &b;
+    }
+  });
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->id, target);  // rank 0 = head of the popularity order
+
+  const TimePoint probe = time_at(310);  // rise complete, deep in the hold
+  if (best->live_at(probe)) {
+    EXPECT_GE(aud.viewers_at(target, probe), 50000);
+    EXPECT_GE(aud.extra_viewers_at(*best, probe), 50000 - 1e-6);
+  }
+  // Unknown broadcasts carry no fluid audience.
+  BroadcastInfo ghost;
+  ghost.id = "NOSUCHBCAST12";
+  EXPECT_EQ(aud.viewers_at(ghost.id, probe), 0);
+  EXPECT_EQ(aud.extra_viewers_at(ghost, probe), 0);
+}
+
+TEST_F(AggregateAudienceTest, SampleRateDoesNotTouchFluidState) {
+  // The hybrid-fidelity contract: the cohort sample rate is observation
+  // only. Integrating the same world at 1/100 and 1/1000 must produce a
+  // byte-identical load ledger and identical epoch aggregates.
+  AggregateConfig coarse = cfg_;
+  coarse.sample_rate = 1.0 / 100;
+  AggregateConfig fine = cfg_;
+  fine.sample_rate = 1.0 / 1000;
+  const AggregateAudience a(timeline_, make_flash_crowd_schedule(coarse),
+                            pool_, coarse, seconds(300));
+  const AggregateAudience b(timeline_, make_flash_crowd_schedule(fine),
+                            pool_, fine, seconds(300));
+  EXPECT_FALSE(a.ledger().debug_text().empty());
+  EXPECT_EQ(a.ledger().debug_text(), b.ledger().debug_text());
+  ASSERT_EQ(a.epochs().size(), b.epochs().size());
+  for (std::size_t e = 0; e < a.epochs().size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.epochs()[e].viewer_seconds,
+                     b.epochs()[e].viewer_seconds);
+    EXPECT_DOUBLE_EQ(a.epochs()[e].edge_hits, b.epochs()[e].edge_hits);
+  }
+  EXPECT_DOUBLE_EQ(a.peak_concurrent(), b.peak_concurrent());
+  EXPECT_DOUBLE_EQ(a.total_arrivals(), b.total_arrivals());
+}
+
+TEST_F(AggregateAudienceTest, ZeroMultiplierEmptyScheduleIsInert) {
+  // The flashcrowd-off fluid state: no populations, no load, no overlay.
+  AggregateConfig cfg = cfg_;
+  cfg.baseline_multiplier = 0;
+  cfg.schedule_text = "# psc-flashcrowd v1\n";
+  const AggregateAudience aud(timeline_, make_flash_crowd_schedule(cfg),
+                              pool_, cfg, seconds(300));
+  EXPECT_EQ(aud.peak_concurrent(), 0);
+  EXPECT_EQ(aud.total_arrivals(), 0);
+  EXPECT_EQ(aud.ledger().debug_text(), "");
+  timeline_->for_each_present(time_at(300), [&](const BroadcastInfo& b) {
+    EXPECT_EQ(aud.extra_viewers_at(b, time_at(300)), 0) << b.id;
+  });
+}
+
+TEST(MakeFlashCrowdSchedule, FallsBackToGenerationOnBadText) {
+  AggregateConfig cfg = crowd_config();
+  cfg.schedule_text = "not a schedule";
+  const FlashCrowdSchedule from_bad = make_flash_crowd_schedule(cfg);
+  const FlashCrowdSchedule generated =
+      FlashCrowdSchedule::generate(cfg.schedule_seed, cfg.gen);
+  EXPECT_EQ(from_bad.to_text(), generated.to_text());
+}
+
+// ---------------- Campaign-level sample-rate invariance ----------------
+
+TEST(HybridFidelityCampaign, CohortQoeIsInvariantToSampleRate) {
+  // Two shared-world campaigns, identical except for the cohort sample
+  // rate: every session's QoE must be bit-identical (the rate only scales
+  // the statistical weights), so the weighted KS distance between the
+  // reweighted CDFs is exactly zero.
+  auto campaign = [](double sample_rate) {
+    core::ShardedCampaign c;
+    c.base.seed = 909;
+    c.base.world.target_concurrent = 150;
+    c.base.world.hotspot_count = 30;
+    c.base.mode = core::CampaignMode::shared_world;
+    c.base.aggregate = crowd_config();
+    c.base.aggregate.gen.horizon = seconds(600);
+    c.base.aggregate.sample_rate = sample_rate;
+    c.sessions = 24;
+    c.shard_size = 8;
+    return c;
+  };
+  core::ShardedRunner runner(2);
+  const core::CampaignResult coarse = runner.run(campaign(1.0 / 100));
+  const core::CampaignResult fine = runner.run(campaign(1.0 / 1000));
+  ASSERT_EQ(coarse.sessions.size(), fine.sessions.size());
+  ASSERT_FALSE(coarse.sessions.empty());
+
+  std::vector<double> join_a, join_b, stall_a, stall_b, w_a, w_b;
+  for (std::size_t i = 0; i < coarse.sessions.size(); ++i) {
+    const auto& a = coarse.sessions[i].stats;
+    const auto& b = fine.sessions[i].stats;
+    EXPECT_TRUE(a.cohort);
+    EXPECT_TRUE(b.cohort);
+    EXPECT_DOUBLE_EQ(a.cohort_weight, 100);
+    EXPECT_DOUBLE_EQ(b.cohort_weight, 1000);
+    // Same session, same world, same fluid tier -> same QoE bits.
+    EXPECT_EQ(a.broadcast_id, b.broadcast_id) << i;
+    EXPECT_DOUBLE_EQ(a.join_time_s, b.join_time_s) << i;
+    EXPECT_DOUBLE_EQ(a.stall_ratio, b.stall_ratio) << i;
+    EXPECT_DOUBLE_EQ(a.agg_viewers_at_join, b.agg_viewers_at_join) << i;
+    EXPECT_DOUBLE_EQ(a.server_load_at_join, b.server_load_at_join) << i;
+    join_a.push_back(a.join_time_s);
+    join_b.push_back(b.join_time_s);
+    stall_a.push_back(a.stall_ratio);
+    stall_b.push_back(b.stall_ratio);
+    w_a.push_back(a.cohort_weight);
+    w_b.push_back(b.cohort_weight);
+  }
+  EXPECT_EQ(analysis::weighted_ks_distance(join_a, w_a, join_b, w_b), 0);
+  EXPECT_EQ(analysis::weighted_ks_distance(stall_a, w_a, stall_b, w_b), 0);
+}
+
+// ---------------- Weighted stats used by the reweighting ----------------
+
+TEST(WeightedStats, QuantileAndKsBehave) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> uniform = {1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(analysis::weighted_quantile(xs, uniform, 0.5), 2);
+  EXPECT_DOUBLE_EQ(analysis::weighted_quantile(xs, uniform, 1.0), 4);
+  // Mass concentrated on one point drags every quantile there.
+  const std::vector<double> skewed = {0.01, 0.01, 100, 0.01};
+  EXPECT_DOUBLE_EQ(analysis::weighted_quantile(xs, skewed, 0.5), 3);
+
+  // Identical distributions at different constant weights: distance 0.
+  const std::vector<double> w10 = {10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(analysis::weighted_ks_distance(xs, uniform, xs, w10), 0);
+  // Disjoint supports: distance 1.
+  const std::vector<double> ys = {10, 11, 12, 13};
+  EXPECT_DOUBLE_EQ(analysis::weighted_ks_distance(xs, uniform, ys, w10), 1);
+  // Empty or weightless samples: defined as 0.
+  EXPECT_DOUBLE_EQ(analysis::weighted_ks_distance({}, {}, xs, uniform), 0);
+}
+
+}  // namespace
+}  // namespace psc::service

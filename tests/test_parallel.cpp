@@ -139,6 +139,84 @@ TEST(ShardedRunner, DeterministicAcrossThreadCounts) {
 #endif
 }
 
+/// The cohort fields ride on top of the core QoE fingerprint: serialised
+/// separately so tests can compare QoE with and without them.
+std::string cohort_fingerprint(const CampaignResult& r) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const SessionRecord& rec : r.sessions) {
+    const client::SessionStats& s = rec.stats;
+    out << s.cohort << '|' << s.cohort_weight << '|'
+        << s.agg_viewers_at_join << '|' << s.server_load_at_join << '\n';
+  }
+  return out.str();
+}
+
+ShardedCampaign flashcrowd_campaign(std::uint64_t seed, int sessions,
+                                    CampaignMode mode) {
+  ShardedCampaign c = small_campaign(seed, sessions);
+  c.base.mode = mode;
+  c.shard_size = 8;
+  c.base.aggregate.enabled = true;
+  c.base.aggregate.schedule_seed = 11;
+  c.base.aggregate.gen.horizon = seconds(600);
+  c.base.aggregate.gen.peak_xm = 5e3;
+  c.base.aggregate.gen.peak_cap = 2e5;
+  c.base.aggregate.sample_rate = 0.01;
+  return c;
+}
+
+// Flash-crowd campaigns keep the headline guarantee: the fluid tier is
+// integrated once up front and folded at the barriers in a fixed order,
+// so QoE *and* the cohort tags are byte-identical across thread counts in
+// both campaign modes.
+TEST(ShardedRunner, FlashCrowdDeterministicAcrossThreadCounts) {
+  for (CampaignMode mode :
+       {CampaignMode::independent_worlds, CampaignMode::shared_world}) {
+    const ShardedCampaign campaign = flashcrowd_campaign(909, 24, mode);
+    const CampaignResult r1 = ShardedRunner(1).run(campaign);
+    const CampaignResult r2 = ShardedRunner(2).run(campaign);
+    const CampaignResult r8 = ShardedRunner(8).run(campaign);
+    const std::string seq = fingerprint(r1);
+    EXPECT_FALSE(seq.empty());
+    EXPECT_EQ(fingerprint(r2), seq) << static_cast<int>(mode);
+    EXPECT_EQ(fingerprint(r8), seq) << static_cast<int>(mode);
+    const std::string cohort = cohort_fingerprint(r1);
+    EXPECT_EQ(cohort_fingerprint(r2), cohort) << static_cast<int>(mode);
+    EXPECT_EQ(cohort_fingerprint(r8), cohort) << static_cast<int>(mode);
+    // Every full-protocol session is cohort-tagged at 1/sample_rate.
+    for (const SessionRecord& rec : r1.sessions) {
+      EXPECT_TRUE(rec.stats.cohort);
+      EXPECT_DOUBLE_EQ(rec.stats.cohort_weight, 100);
+    }
+  }
+}
+
+// Aggregate off must mean *off*: a campaign with the tier disabled and a
+// campaign with the tier enabled but carrying zero crowd (multiplier 0,
+// empty schedule) produce byte-identical QoE — the fluid machinery adds
+// no RNG draws, no load and no overlay unless there is actual audience.
+TEST(ShardedRunner, FlashCrowdOffIsInert) {
+  for (CampaignMode mode :
+       {CampaignMode::independent_worlds, CampaignMode::shared_world}) {
+    ShardedCampaign off = small_campaign(77, 12);
+    off.base.mode = mode;
+    ShardedCampaign zero = off;
+    zero.base.aggregate.enabled = true;
+    zero.base.aggregate.baseline_multiplier = 0;
+    zero.base.aggregate.schedule_text = "# psc-flashcrowd v1\n";
+    // Below the derived shared-world horizon (~580 s at shard_size 4), so
+    // enabling the tier does not lengthen the recorded world.
+    zero.base.aggregate.gen.horizon = seconds(500);
+    ShardedRunner runner(2);
+    const CampaignResult r_off = runner.run(off);
+    const CampaignResult r_zero = runner.run(zero);
+    ASSERT_FALSE(r_off.sessions.empty());
+    EXPECT_EQ(fingerprint(r_zero), fingerprint(r_off))
+        << static_cast<int>(mode);
+  }
+}
+
 // Cross-shard coupling, the thing independent_worlds cannot produce:
 // with shard 0's seed and plan held fixed, adding shards 1..3 must change
 // shard 0's results (their server load reaches it via the epoch board)

@@ -105,7 +105,9 @@ TEST_F(ReplayEquivalenceTest, TeleportLandsOnTheSameBroadcast) {
       const BroadcastInfo* a = live_.teleport(rng_live, seconds(90));
       const BroadcastInfo* b = replay_.teleport(rng_replay, seconds(90));
       ASSERT_EQ(a == nullptr, b == nullptr) << "t=" << t;
-      if (a != nullptr) EXPECT_EQ(a->id, b->id) << "t=" << t;
+      if (a != nullptr) {
+        EXPECT_EQ(a->id, b->id) << "t=" << t;
+      }
     }
   }
 }
@@ -212,6 +214,63 @@ TEST(EpochLoadBoard, MergesShardsAndLagsOneEpoch) {
   EXPECT_DOUBLE_EQ(to_s(board.penalty("ip", time_at(150), cfg)), 0.015);
   EXPECT_DOUBLE_EQ(to_s(board.penalty("ip", time_at(50), cfg)), 0.0);
   EXPECT_DOUBLE_EQ(to_s(board.penalty("other-ip", time_at(150), cfg)), 0.0);
+}
+
+TEST(EpochLoadBoard, PenaltyClampsExactlyAtTheSaturationBoundary) {
+  EpochLoadBoard board(seconds(100));
+  EpochLoadLedger shard(seconds(100));
+  // 250 session-seconds in epoch 0 -> 2.5 average concurrent.
+  shard.add_session("ip", time_at(0), time_at(100), 2.5, 0);
+  board.merge_epoch(0, shard);
+  EpochLoadConfig cfg;
+  cfg.epoch_length = seconds(100);
+  cfg.max_extra_latency = millis(15);
+  const TimePoint t = time_at(150);  // epoch 1, reads epoch 0
+
+  cfg.latency_per_session = millis(5);  // 12.5 ms: below the cap
+  EXPECT_DOUBLE_EQ(to_s(board.penalty("ip", t, cfg)), 0.0125);
+  cfg.latency_per_session = millis(6);  // 15 ms: *exactly* the cap
+  EXPECT_DOUBLE_EQ(to_s(board.penalty("ip", t, cfg)), 0.015);
+  cfg.latency_per_session = millis(7);  // 17.5 ms: clamped to the cap
+  EXPECT_DOUBLE_EQ(to_s(board.penalty("ip", t, cfg)), 0.015);
+  cfg.latency_per_session = Duration{0};  // feedback disabled
+  EXPECT_DOUBLE_EQ(to_s(board.penalty("ip", t, cfg)), 0.0);
+  // The fluid tier books six-figure concurrency; the cap must hold there
+  // too rather than overflow into absurd latencies.
+  EpochLoadLedger crowd(seconds(100));
+  LoadAccount mass;
+  mass.session_seconds = 5e7;  // 500k average concurrent
+  crowd.add_raw("edge", 0, mass);
+  board.merge_epoch(0, crowd);
+  cfg.latency_per_session = millis(3);
+  EXPECT_DOUBLE_EQ(to_s(board.penalty("edge", t, cfg)), 0.015);
+}
+
+TEST(EpochLoadBoard, EpochBoundaryReadsArePredecessorExclusive) {
+  // epoch_of is half-open [e*len, (e+1)*len): a session starting exactly
+  // on a boundary belongs to the *new* epoch and reads the one just
+  // closed. Reads of unmerged epochs yield zero — which is why sessions
+  // price their penalty at session start (always one fully merged epoch
+  // behind), never at a later clock inside the session.
+  EpochLoadBoard board(seconds(100));
+  EXPECT_EQ(board.epoch_of(time_at(0)), 0u);
+  EXPECT_EQ(board.epoch_of(time_at(99.999)), 0u);
+  EXPECT_EQ(board.epoch_of(time_at(100)), 1u);
+  EXPECT_EQ(board.epoch_of(time_at(200)), 2u);
+
+  EpochLoadLedger shard(seconds(100));
+  shard.add_session("ip", time_at(0), time_at(100), 1.0, 0);   // epoch 0
+  shard.add_session("ip", time_at(100), time_at(400), 3.0, 0); // 1, 2, 3
+  board.merge_epoch(0, shard);
+  board.merge_epoch(1, shard);
+  // Start exactly on the boundary: reads the closed epoch 0, not epoch 1.
+  EXPECT_DOUBLE_EQ(board.previous_epoch_concurrent("ip", time_at(100)), 1);
+  // Just inside epoch 0: nothing before it.
+  EXPECT_DOUBLE_EQ(board.previous_epoch_concurrent("ip", time_at(99.9)), 0);
+  // Start on the next boundary: reads epoch 1's merged average.
+  EXPECT_DOUBLE_EQ(board.previous_epoch_concurrent("ip", time_at(200)), 3);
+  // Epoch 2 exists in the ledger but was never merged: reads zero.
+  EXPECT_DOUBLE_EQ(board.previous_epoch_concurrent("ip", time_at(300)), 0);
 }
 
 // ---------------- Crawling a replayed world ----------------
