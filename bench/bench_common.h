@@ -53,6 +53,8 @@
 #include "analysis/stats.h"
 #include "core/parallel.h"
 #include "core/study.h"
+#include "obs/attrib.h"
+#include "obs/slo.h"
 
 namespace psc::bench {
 
@@ -223,7 +225,8 @@ class WallTimer {
 inline void emit_bench_line(
     const char* bench, double wall_s, const obs::Registry& metrics,
     std::initializer_list<std::pair<const char*, double>> extra = {},
-    const core::KernelTotals* kernel = nullptr) {
+    const core::KernelTotals* kernel = nullptr,
+    const std::vector<std::pair<std::string, std::string>>& str_extra = {}) {
   std::printf(
       "BENCH {\"bench\":\"%s\",\"wall_s\":%.3f,\"threads\":%d,"
       "\"shard_size\":%d,\"mode\":\"%s\",\"fault_plan\":\"%s\","
@@ -243,6 +246,10 @@ inline void emit_bench_line(
   for (const auto& [key, value] : extra) {
     std::printf(",\"%s\":%g", key, value);
   }
+  for (const auto& [key, value] : str_extra) {
+    // String values are trusted literals (cause names, labels).
+    std::printf(",\"%s\":\"%s\"", key.c_str(), value.c_str());
+  }
   if (!metrics.empty()) {
     std::printf(",\"metric_series\":%zu", metrics.series());
   }
@@ -259,10 +266,17 @@ inline void emit_bench_line(
 /// path). Then add() each CampaignResult and finish() once: it emits the
 /// consolidated BENCH line and writes the JSON snapshot / Chrome trace.
 ///
-/// The snapshot file has three keys: "config" (run knobs), "metrics"
+/// The snapshot file has five keys: "config" (run knobs), "metrics"
 /// (the deterministic campaign registry — byte-identical across
-/// PSC_THREADS) and "process" (wall-clock shard/barrier timings, which
-/// are *not* deterministic; CI diffs ".metrics" only).
+/// PSC_THREADS), "attribution" (per-cause stall budget, derived from the
+/// registry), "slo" (objective evaluation over the merged SloTrack) and
+/// "process" (wall-clock shard/barrier timings, which are *not*
+/// deterministic; CI diffs the deterministic keys only).
+///
+/// If a bench exits early (exception, std::exit before finish()), the
+/// destructor still flushes whatever campaigns were add()ed to the
+/// requested output files — a partial snapshot beats a silent zero-byte
+/// one. Only finish() prints the BENCH line.
 class Reporter {
  public:
   explicit Reporter(const char* bench, int argc = 0, char** argv = nullptr)
@@ -291,11 +305,17 @@ class Reporter {
            arg.rfind("--trace-out=", 0) == 0;
   }
 
-  /// Fold one campaign's deterministic metrics and per-shard trace lanes
-  /// into the bench-wide aggregate (call in campaign order).
+  ~Reporter() {
+    if (!finished_) write_outputs();
+  }
+
+  /// Fold one campaign's deterministic metrics, SLO observations and
+  /// per-shard trace lanes into the bench-wide aggregate (call in
+  /// campaign order).
   void add(const core::CampaignResult& r) {
     merged_.merge(r.metrics);
     kernel_.merge(r.kernel);
+    slo_.merge(r.slo);
     for (const auto& lane : r.shard_traces) lanes_.push_back(lane);
   }
 
@@ -305,11 +325,27 @@ class Reporter {
   /// Metrics recorded by the bench itself (outside any campaign).
   obs::Registry& local() { return merged_; }
 
+  /// The SLO observations aggregated over the added campaigns.
+  const obs::SloTrack& slo() const { return slo_; }
+
+  /// Extra string-valued BENCH fields (e.g. the top stall causes),
+  /// appended after the numeric extras on the next finish().
+  void add_string_field(const std::string& key, const std::string& value) {
+    string_extras_.emplace_back(key, value);
+  }
+
   /// Emit the BENCH line and write the requested output files.
   void finish(double wall_s,
               std::initializer_list<std::pair<const char*, double>> extra =
                   {}) {
-    emit_bench_line(bench_.c_str(), wall_s, merged_, extra, &kernel_);
+    finished_ = true;
+    emit_bench_line(bench_.c_str(), wall_s, merged_, extra, &kernel_,
+                    string_extras_);
+    write_outputs();
+  }
+
+ private:
+  void write_outputs() {
     if (!metrics_path_.empty() && obs::metrics_enabled()) {
       std::string out = "{\"config\":{\"bench\":\"" + bench_ + "\"";
       char buf[96];
@@ -319,6 +355,8 @@ class Reporter {
                     mode_name(campaign_mode()));
       out += buf;
       out += "\"metrics\":" + merged_.to_json();
+      out += ",\"attribution\":" + obs::attribution_json(merged_);
+      out += ",\"slo\":" + obs::slo_json(slo_, obs::active_slo_config());
       out += ",\"process\":" + obs::process_to_json();
       out += "}\n";
       write_file(metrics_path_, out);
@@ -328,7 +366,6 @@ class Reporter {
     }
   }
 
- private:
   static void write_file(const std::string& path, const std::string& data) {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -342,9 +379,12 @@ class Reporter {
   std::string bench_;
   std::string metrics_path_;
   std::string trace_path_;
+  bool finished_ = false;
   obs::Registry merged_;
+  obs::SloTrack slo_;
   core::KernelTotals kernel_;
   std::vector<std::vector<obs::TraceEvent>> lanes_;
+  std::vector<std::pair<std::string, std::string>> string_extras_;
 };
 
 inline void print_header(const char* id, const char* title,

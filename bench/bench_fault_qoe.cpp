@@ -112,10 +112,28 @@ int main(int argc, char** argv) {
                               ? "sweep"
                               : bench::fault_plan_path(),
                           fseed);
+
+  // The stall budget's top three causes ride the BENCH line so the perf
+  // trajectory can see *why* a faulted run stalled, not just how much.
+  // All six fields are always present ("" / 0 when attribution found
+  // fewer than three causes, e.g. collectors off or a clean run).
+  const auto top = obs::top_causes(reporter.local(), 3);
+  double cause_s[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < 3; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "cause_%zu", i + 1);
+    reporter.add_string_field(key,
+                              i < top.size() ? top[i].first : std::string());
+    if (i < top.size()) cause_s[i] = top[i].second;
+  }
+
   reporter.finish(timer.elapsed_s(),
                   {{"sessions", total_sessions},
                    {"gave_up", total_gave_up},
                    {"reconnects", total_reconnects},
-                   {"retries", total_retries}});
+                   {"retries", total_retries},
+                   {"cause_1_s", cause_s[0]},
+                   {"cause_2_s", cause_s[1]},
+                   {"cause_3_s", cause_s[2]}});
   return 0;
 }

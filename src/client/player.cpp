@@ -23,9 +23,12 @@ Player::Player(const PlayerConfig& cfg, TimePoint session_start,
 void Player::end_stall(TimePoint at) {
   if (!in_stall_span_) return;
   in_stall_span_ = false;
-  if (stall_hist_ != nullptr) stall_hist_->record(to_s(at - stall_begin_));
+  // Book the span with exactly the seconds accumulated into stalled_ for
+  // it, so per-cause attribution re-adds to the session total exactly.
+  if (stall_hist_ != nullptr) stall_hist_->record(to_s(span_stalled_));
   if (obs_ != nullptr) {
     obs_->trace.complete("player", "stall", stall_begin_, at);
+    obs_->log.log(obs::EventKind::StallEnd, to_s(at), to_s(span_stalled_));
   }
 }
 
@@ -51,13 +54,16 @@ void Player::advance(TimePoint t) {
       state_ = State::Stalled;
       ++stall_count_;
       stalled_ += dt - playable;
+      span_stalled_ = dt - playable;
       if (obs_ != nullptr) {
         stall_begin_ = last_ + playable;
         in_stall_span_ = true;
+        obs_->log.log(obs::EventKind::StallStart, to_s(stall_begin_));
       }
     }
   } else if (state_ == State::Stalled) {
     stalled_ += dt;
+    span_stalled_ += dt;
   }
   // Joining time is derived at start; no accumulation needed.
   last_ = t;
@@ -80,10 +86,19 @@ void Player::on_media(TimePoint arrival, Duration pts_begin,
     state_ = State::Playing;
     started_ = true;
     join_time_ = arrival - session_start_;
+    if (obs_ != nullptr) {
+      obs_->log.log(obs::EventKind::JoinDone, to_s(arrival),
+                    to_s(join_time_));
+    }
   } else if (state_ == State::Stalled &&
              buffered >= cfg_.resume_threshold) {
     state_ = State::Playing;
     end_stall(arrival);
+  } else if (state_ == State::Stalled && in_stall_span_) {
+    // Media arrived but stayed under the resume threshold: pacing
+    // evidence for the attribution pass.
+    obs_->log.log(obs::EventKind::Media, to_s(arrival),
+                  to_s(pts_end - pts_begin));
   }
 }
 

@@ -75,6 +75,7 @@ class Player {
   obs::Histogram* stall_hist_ = nullptr;   // stall durations, seconds
   obs::Histogram* buffer_hist_ = nullptr;  // buffer level at media arrival
   TimePoint stall_begin_{};
+  Duration span_stalled_{0};  // stalled_ accrued in the open span
   bool in_stall_span_ = false;
 
   State state_ = State::Joining;

@@ -176,6 +176,10 @@ void RtmpViewerSession::schedule_reconnect() {
     return;
   }
   ++retry_attempts_;
+  if (obs_ != nullptr) {
+    obs_->log.log(obs::EventKind::Retry, to_s(sim_.now()),
+                  static_cast<double>(retry_attempts_), 0, "rtmp");
+  }
   const Duration delay = reconnect_backoff_->next();
   sim_.schedule_after(delay, [this, gen = conn_gen_] {
     // A newer drop supersedes this attempt (its own ladder is running).
@@ -196,6 +200,8 @@ void RtmpViewerSession::attempt_reconnect() {
   if (obs_ != nullptr) {
     obs_->metrics.counter("rtmp_reconnects_total").add(1);
     obs_->trace.instant("fault", "rtmp reconnect", sim_.now());
+    obs_->log.log(obs::EventKind::Reconnect, to_s(sim_.now()),
+                  static_cast<double>(reconnects_));
   }
   make_connection();
   pump();
@@ -207,6 +213,7 @@ void RtmpViewerSession::give_up() {
   if (obs_ != nullptr) {
     obs_->metrics.counter("sessions_gave_up_total").add(1);
     obs_->trace.instant("fault", "rtmp give up", sim_.now());
+    obs_->log.log(obs::EventKind::GaveUp, to_s(sim_.now()), 0, 0, "rtmp");
   }
   finish();
 }
@@ -444,6 +451,9 @@ void HlsViewerSession::maybe_fetch_next() {
             "player",
             strf("abr r%zu->r%zu", previous, current_rendition_),
             sim_.now());
+        obs_->log.log(obs::EventKind::AbrSwitch, to_s(sim_.now()),
+                      static_cast<double>(previous),
+                      static_cast<double>(current_rendition_));
       }
     }
     issue_fetch(seq, current_rendition_, /*attempt=*/0,
@@ -478,6 +488,9 @@ void HlsViewerSession::issue_fetch(std::uint64_t seq, std::size_t rendition,
                 strf("hls timeout seg %llu",
                      static_cast<unsigned long long>(seq)),
                 sim_.now());
+            // Status 0 = timed out before any response arrived.
+            obs_->log.log(obs::EventKind::FetchOutcome, to_s(sim_.now()), 0,
+                          edge_idx, "timeout");
           }
           handle_fetch_failure(seq, rendition, attempt, edge_idx);
         });
@@ -505,18 +518,22 @@ void HlsViewerSession::issue_fetch(std::uint64_t seq, std::size_t rendition,
     if (resp.status != 200) {
       // 404: not on the edge (yet); the client backs off and re-polls.
       // 5xx under faults: retry with backoff on the other edge.
+      if (obs_ != nullptr) {
+        obs_->log.log(obs::EventKind::FetchOutcome, to_s(sim_.now()),
+                      resp.status, edge_idx);
+      }
       settle_fetch(fid);
       handle_fetch_failure(seq, rendition, attempt, edge_idx);
       return;
     }
     const auto* es = pipe_.find_segment(uri);
     edge_link.send(resp.serialize(),
-                   [this, es, rendition, fetch_start,
-                    fid](TimePoint, util::BufferSlice data) {
+                   [this, es, rendition, fetch_start, fid,
+                    edge_idx](TimePoint, util::BufferSlice data) {
       device_.downlink().send(
           std::move(data),
-          [this, es, rendition, fetch_start, fid](TimePoint t2,
-                                                  util::BufferSlice d) {
+          [this, es, rendition, fetch_start, fid,
+           edge_idx](TimePoint t2, util::BufferSlice d) {
             if (live_fetches_.count(fid) == 0) return;  // timed out
             settle_fetch(fid);
             --in_flight_;
@@ -539,6 +556,8 @@ void HlsViewerSession::issue_fetch(std::uint64_t seq, std::size_t rendition,
                   .record(dl_s);
               obs_->trace.complete("service", "GET segment", fetch_start,
                                    t2);
+              obs_->log.log(obs::EventKind::FetchOutcome, to_s(t2), 200,
+                            edge_idx);
             }
             // Isolate the GET response body — "saving the response of
             // HTTP GET request which contains an MPEG-TS file" (§2).
@@ -584,6 +603,8 @@ void HlsViewerSession::handle_fetch_failure(std::uint64_t seq,
   const Duration delay = fault::backoff_delay(pol, attempt, rng_);
   if (obs_ != nullptr) {
     obs_->metrics.counter("hls_retries_total").add(1);
+    obs_->log.log(obs::EventKind::Retry, to_s(sim_.now()), attempt + 1, 0,
+                  "hls");
   }
   // The in-flight slot stays held: the retry inherits it. Fail over to
   // the other edge — the paper's clients already talk to two PoPs.
@@ -614,6 +635,7 @@ void HlsViewerSession::give_up() {
   if (obs_ != nullptr) {
     obs_->metrics.counter("sessions_gave_up_total").add(1);
     obs_->trace.instant("fault", "hls give up", sim_.now());
+    obs_->log.log(obs::EventKind::GaveUp, to_s(sim_.now()), 0, 0, "hls");
   }
   finish();
 }

@@ -88,6 +88,9 @@ void harvest_obs(Study& study, CampaignResult& r) {
   r.kernel.merge(study.kernel_totals());  // raw totals: no obs toggle
   if (!obs::enabled()) return;
   r.metrics.merge(study.obs().metrics);
+  r.slo.merge(study.obs().slo);
+  const std::vector<obs::LogEvent> events = study.obs().log.take_events();
+  r.events.insert(r.events.end(), events.begin(), events.end());
   r.shard_traces.push_back(study.obs().trace.take_events());
 }
 
@@ -126,6 +129,7 @@ std::vector<CampaignResult> ShardedRunner::run_many(
       const ShardedCampaign& c = campaigns[job.campaign];
       StudyConfig cfg = c.base;
       cfg.seed = shard_seed(c.base.seed, job.shard);
+      cfg.shard_index = job.shard;
       Study study(cfg);
       CampaignResult r =
           c.two_device
@@ -158,6 +162,9 @@ std::vector<CampaignResult> ShardedRunner::run_many(
       }
       merged[ci].metrics.merge(r.metrics);
       merged[ci].kernel.merge(r.kernel);
+      merged[ci].slo.merge(r.slo);
+      merged[ci].events.insert(merged[ci].events.end(), r.events.begin(),
+                               r.events.end());
       for (auto& lane : r.shard_traces) {
         merged[ci].shard_traces.push_back(std::move(lane));
       }
@@ -221,6 +228,7 @@ CampaignResult ShardedRunner::run_shared(const ShardedCampaign& c) {
   for (std::size_t i = 0; i < n_shards; ++i) {
     StudyConfig cfg = c.base;
     cfg.seed = shard_seed(c.base.seed, i);
+    cfg.shard_index = i;
     studies.push_back(std::make_unique<Study>(cfg, shared));
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/attrib.h"
+#include "obs/slo.h"
 #include "util/strings.h"
 
 namespace psc::core {
@@ -56,6 +58,7 @@ Study::Study(const StudyConfig& cfg)
       api_(*world_view_, servers_, cfg.api) {
   servers_.load_ledger().set_epoch_length(cfg_.load.epoch_length);
   obs_.trace.set_enabled(obs::trace_enabled());
+  obs_.log.set_enabled(obs::metrics_enabled());
   api_.set_obs(obs_ptr());
   init_faults();
   init_aggregate(nullptr);
@@ -72,6 +75,7 @@ Study::Study(const StudyConfig& cfg, const SharedWorldContext& shared)
       api_(*world_view_, servers_, cfg.api) {
   servers_.load_ledger().set_epoch_length(cfg_.load.epoch_length);
   obs_.trace.set_enabled(obs::trace_enabled());
+  obs_.log.set_enabled(obs::metrics_enabled());
   api_.set_obs(obs_ptr());
   init_faults();
   init_aggregate(&shared);
@@ -147,6 +151,7 @@ std::optional<json::Value> Study::access_video_with_retry(
     const std::string& broadcast_id, std::size_t session_idx) {
   fault::Backoff backoff(session_faults_->policy.api_retry,
                          Rng(rng_.engine()()));
+  int attempt = 0;
   for (;;) {
     json::Object req;
     req["cookie"] = strf("viewer-%zu", session_idx);
@@ -162,12 +167,16 @@ std::optional<json::Value> Study::access_video_with_retry(
     if (backoff.exhausted()) {
       if (obs::Obs* o = obs_ptr()) {
         o->metrics.counter("api_gave_up_total").add(1);
+        o->log.log(obs::EventKind::GaveUp, to_s(sim_.now()), 0, 0, "api");
       }
       return std::nullopt;
     }
     const Duration delay = backoff.next();
+    ++attempt;
     if (obs::Obs* o = obs_ptr()) {
       o->metrics.counter("api_retries_total").add(1);
+      o->log.log(obs::EventKind::Retry, to_s(sim_.now()), attempt, status,
+                 "api");
     }
     sim_.run_until(sim_.now() + delay);
   }
@@ -215,6 +224,15 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
 
   // accessVideo: the service decides RTMP vs HLS from current popularity.
   const std::size_t session_idx = session_counter_++;
+  // Session uid: shard-stable, so event-log records and histogram
+  // exemplars name the same session for any PSC_THREADS.
+  const std::uint64_t session_uid =
+      (cfg_.shard_index << 20) | static_cast<std::uint64_t>(session_idx);
+  if (obs::Obs* o = obs_ptr()) {
+    // The protocol is unknown until accessVideo answers; API retry
+    // events recorded before then carry an empty proto.
+    o->log.begin_session(session_uid, "", to_s(sim_.now()));
+  }
   json::Value access;
   if (session_faults_) {
     auto a = access_video_with_retry(b->id, session_idx);
@@ -222,6 +240,11 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
       // The API never recovered within the retry budget: the app drops
       // back to the channel list without ever opening a player. The
       // pipeline still gets an orderly retirement.
+      if (obs::Obs* o = obs_ptr()) {
+        o->log.end_session(to_s(sim_.now()), 0, 0);
+        attribute_current_session(o, session_uid, session_begin, sim_.now(),
+                                  Duration{0});
+      }
       pipeline.stop();
       pipeline.retire();
       retired_pipelines_.emplace_back(pipeline.safe_destroy_at(),
@@ -237,6 +260,9 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
         api_.call("accessVideo", json::Value(std::move(req)), sim_.now());
   }
   const bool use_hls = access["protocol"].as_string() == "hls";
+  if (obs::Obs* o = obs_ptr()) {
+    o->log.set_proto(use_hls ? "hls" : "rtmp");
+  }
 
   // Per-session buffer jitter: the app's effective startup buffer varies
   // with device state and stream conditions, which is what spreads the
@@ -250,6 +276,7 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
   std::string load_ip_a;
   std::string load_ip_b;
   double load_weight = 1.0;
+  Duration penalty_paid{0};  // worst load penalty on this session's path
   // Priced at session_begin, not now: the clock is past the preroll
   // here, and a session that teleported near the end of epoch e would
   // otherwise ask for epoch e itself — which the barrier has not merged
@@ -269,10 +296,13 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
     load_ip_a = edge_a.ip;
     load_ip_b = edge_b.ip;
     load_weight = 0.5;
+    const Duration pen_a = penalty(edge_a.ip);
+    const Duration pen_b = penalty(edge_b.ip);
+    penalty_paid = std::max(pen_a, pen_b);
     session = std::make_unique<client::HlsViewerSession>(
         sim_, pipeline, device, edge_a, edge_b, pc, rng_.engine()(),
-        client::HlsViewerSession::Mode::Live, cfg_.hls_adaptive,
-        penalty(edge_a.ip), penalty(edge_b.ip), obs_ptr());
+        client::HlsViewerSession::Mode::Live, cfg_.hls_adaptive, pen_a,
+        pen_b, obs_ptr());
   } else {
     client::PlayerConfig pc = cfg_.rtmp_player;
     pc.start_threshold = seconds(to_s(pc.start_threshold) * jitter);
@@ -280,9 +310,10 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
     const service::MediaServer& origin =
         servers_.rtmp_origin_for(b->location, b->id);
     load_ip_a = origin.ip;
+    penalty_paid = penalty(origin.ip);
     session = std::make_unique<client::RtmpViewerSession>(
-        sim_, pipeline, device, origin, pc, rng_.engine()(),
-        penalty(origin.ip), obs_ptr());
+        sim_, pipeline, device, origin, pc, rng_.engine()(), penalty_paid,
+        obs_ptr());
   }
   if (session_faults_) session->set_faults(&*session_faults_);
   const TimePoint watch_begin = sim_.now();
@@ -324,10 +355,12 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
   if (obs::Obs* o = obs_ptr()) {
     const char* proto = use_hls ? "hls" : "rtmp";
     o->metrics.counter(strf("sessions_total{proto=\"%s\"}", proto)).add(1);
+    // Exemplar context: worst join/stall buckets link back to the
+    // session uid and its sim-time neighbourhood in the trace.
     o->metrics.histogram(strf("join_time_s{proto=\"%s\"}", proto))
-        .record(rec.stats.join_time_s);
+        .record(rec.stats.join_time_s, to_s(watch_end), session_uid);
     o->metrics.histogram(strf("session_stalled_s{proto=\"%s\"}", proto))
-        .record(rec.stats.stalled_s);
+        .record(rec.stats.stalled_s, to_s(watch_end), session_uid);
     // One kernel-lane span per session: teleport to watch end, on the
     // shard's own trace lane.
     o->trace.complete("kernel",
@@ -345,6 +378,19 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
       o->metrics.histogram("cohort_agg_viewers_at_join")
           .record(rec.stats.agg_viewers_at_join);
     }
+    // SLO observations bucket by the load epoch of the session *start*
+    // (same convention as the load board: the teleport prices the epoch).
+    const double epoch_len = to_s(cfg_.load.epoch_length);
+    const std::uint64_t epoch =
+        epoch_len > 0
+            ? static_cast<std::uint64_t>(to_s(session_begin) / epoch_len)
+            : 0;
+    o->slo.observe("join_s", proto, epoch, rec.stats.join_time_s);
+    o->slo.observe("stall_ratio", proto, epoch, rec.stats.stall_ratio);
+    o->log.end_session(to_s(watch_end), rec.stats.played_s,
+                       rec.stats.stalled_s);
+    attribute_current_session(o, session_uid, session_begin, watch_end,
+                              penalty_paid);
   }
   // Retire rather than destroy: late events may still reference these
   // objects; retirement frees their bulk buffers and neuters callbacks.
@@ -357,6 +403,48 @@ std::optional<SessionRecord> Study::run_one_session(client::Device& device,
   retired_pipelines_.emplace_back(pipeline.safe_destroy_at(),
                                   std::move(pipeline_ptr));
   return rec;
+}
+
+namespace {
+
+/// fault::Plan kinds -> attribution causes (obs cannot see fault:: — the
+/// dependency runs the other way — so the mapping lives here).
+obs::Cause cause_from_fault_kind(fault::Kind k) {
+  switch (k) {
+    case fault::Kind::LinkBlackout: return obs::Cause::RadioBlackout;
+    case fault::Kind::RateCollapse: return obs::Cause::RateCollapse;
+    case fault::Kind::HandoverGap: return obs::Cause::HandoverGap;
+    case fault::Kind::EdgeOutage: return obs::Cause::EdgeOutage;
+    case fault::Kind::OriginRestart: return obs::Cause::OriginRestart;
+    case fault::Kind::ApiErrorBurst: return obs::Cause::ApiFault;
+    case fault::Kind::ApiLatencyBurst: return obs::Cause::ApiFault;
+  }
+  return obs::Cause::Unattributed;
+}
+
+}  // namespace
+
+void Study::attribute_current_session(obs::Obs* o, std::uint64_t uid,
+                                      TimePoint begin, TimePoint end,
+                                      Duration penalty_paid) {
+  if (!o->log.enabled()) return;
+  obs::SessionEvidence evidence;
+  evidence.load_penalty_s = to_s(penalty_paid);
+  if (fault_plan_ != nullptr) {
+    const double lo = to_s(begin);
+    const double hi = to_s(end);
+    for (const fault::Episode& e : fault_plan_->episodes()) {
+      const double es = to_s(e.start);
+      const double ee = to_s(e.end());
+      if (ee <= lo) continue;
+      if (es >= hi) break;  // episodes are sorted by start
+      evidence.episodes.push_back(
+          {cause_from_fault_kind(e.kind), es, ee});
+    }
+  }
+  const obs::SessionAttribution att =
+      obs::attribute_session(o->log.current_session_events(), evidence);
+  obs::record_attribution(*o, att, uid);
 }
 
 void Study::finalize_obs() {
@@ -390,6 +478,14 @@ void Study::finalize_obs() {
   o->metrics.gauge("sim_virtual_time_s").set_max(to_s(sim_.now()));
   o->metrics.counter("trace_events_dropped_total")
       .add(static_cast<double>(o->trace.dropped()));
+  o->metrics.counter("log_events_dropped_total")
+      .add(static_cast<double>(o->log.dropped()));
+
+  // SLO violations as tracer instants, stamped at the failing epoch's
+  // end. Evaluated on this shard's own observations (the campaign-level
+  // verdicts over the merged track live in the snapshot's `slo` section).
+  obs::emit_violation_instants(o->trace, o->slo, obs::active_slo_config(),
+                               to_s(cfg_.load.epoch_length));
 
   // Load-ledger occupancy: what the pool's per-epoch account booked.
   const service::EpochLoadLedger& ledger = servers_.load_ledger();

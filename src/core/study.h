@@ -45,6 +45,11 @@ enum class CampaignMode { independent_worlds, shared_world };
 
 struct StudyConfig {
   std::uint64_t seed = 42;
+  /// Position of this shard in its campaign (0 for standalone studies).
+  /// Set by the sharded runner; folded into session uids so event-log
+  /// records and histogram exemplars identify sessions the same way for
+  /// any PSC_THREADS.
+  std::uint64_t shard_index = 0;
   service::WorldConfig world;
   service::ApiConfig api;
   service::PipelineConfig pipeline;
@@ -147,6 +152,12 @@ struct CampaignResult {
   /// One sim-time trace lane per shard (index = shard = Chrome tid);
   /// serialize with obs::chrome_trace_json(). Empty when tracing was off.
   std::vector<std::vector<obs::TraceEvent>> shard_traces;
+  /// Structured per-session event logs, appended in shard order (see
+  /// obs/eventlog.h). Empty when metrics were off.
+  std::vector<obs::LogEvent> events;
+  /// Per-epoch SLO observations, merged in shard order; evaluate with
+  /// obs::evaluate_slo()/obs::slo_json(). Empty when metrics were off.
+  obs::SloTrack slo;
 
   std::vector<SessionRecord> rtmp() const;
   std::vector<SessionRecord> hls() const;
@@ -249,6 +260,13 @@ class Study {
   /// nullopt when the retry budget is exhausted.
   std::optional<json::Value> access_video_with_retry(
       const std::string& broadcast_id, std::size_t session_idx);
+
+  /// Replay the just-ended session's event log against the fault-plan
+  /// windows and the load penalty it paid, then record per-cause
+  /// stall/slow-join series into the registry (obs/attrib.h).
+  void attribute_current_session(obs::Obs* o, std::uint64_t uid,
+                                 TimePoint begin, TimePoint end,
+                                 Duration penalty_paid);
 
   /// Retired pipelines/sessions/devices: kept alive (with bulk buffers
   /// freed) because late simulation events may still reference them.

@@ -1,9 +1,12 @@
-// The per-shard observability bundle: one metric registry + one tracer,
-// single-writer, passed by pointer (nullptr = instrumentation off) from a
-// Study down into the components it builds.
+// The per-shard observability bundle: one metric registry + one tracer +
+// one structured event log + one SLO track, single-writer, passed by
+// pointer (nullptr = instrumentation off) from a Study down into the
+// components it builds.
 #pragma once
 
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace psc::obs {
@@ -11,6 +14,8 @@ namespace psc::obs {
 struct Obs {
   Registry metrics;
   Tracer trace;
+  EventLog log;
+  SloTrack slo;
 };
 
 }  // namespace psc::obs

@@ -85,6 +85,29 @@ void Histogram::record(double v) {
   sum_ += v;
 }
 
+void Histogram::record(double v, double t_s, std::uint64_t session) {
+  if (std::isnan(v)) v = 0;
+  if (v < 0) v = 0;
+  record(v);
+  offer_exemplar(bucket_index(v), v, t_s, session);
+}
+
+void Histogram::offer_exemplar(std::size_t bucket, double v, double t_s,
+                               std::uint64_t session) {
+  auto it = exemplars_.find(bucket);
+  if (it == exemplars_.end()) {
+    exemplars_[bucket] = Exemplar{v, t_s, session};
+    return;
+  }
+  Exemplar& ex = it->second;
+  // Higher value wins; equal values go to the smaller session id. Both
+  // comparisons are total, so the survivor is independent of arrival
+  // (and hence shard-merge) order.
+  if (v > ex.value || (v == ex.value && session < ex.session)) {
+    ex = Exemplar{v, t_s, session};
+  }
+}
+
 double Histogram::quantile(double q) const {
   if (count_ == 0) return 0;
   if (q <= 0) return min_;
@@ -120,6 +143,9 @@ void Histogram::merge(const Histogram& other) {
   }
   count_ += other.count_;
   sum_ += other.sum_;
+  for (const auto& [bucket, ex] : other.exemplars_) {
+    offer_exemplar(bucket, ex.value, ex.t_s, ex.session);
+  }
 }
 
 // --- Registry ---
@@ -187,7 +213,23 @@ std::string Registry::to_json() const {
            ",\"mean\":" + format_number(h.mean()) +
            ",\"p50\":" + format_number(h.quantile(0.5)) +
            ",\"p90\":" + format_number(h.quantile(0.9)) +
-           ",\"p99\":" + format_number(h.quantile(0.99)) + "}";
+           ",\"p99\":" + format_number(h.quantile(0.99));
+    // Exemplars are emitted only when present, so series recorded through
+    // the contextless record(v) keep their existing snapshot shape.
+    if (!h.exemplars().empty()) {
+      out += ",\"exemplars\":[";
+      bool efirst = true;
+      for (const auto& [bucket, ex] : h.exemplars()) {
+        if (!efirst) out += ',';
+        efirst = false;
+        out += "{\"bucket\":" + format_number(static_cast<double>(bucket)) +
+               ",\"value\":" + format_number(ex.value) +
+               ",\"t_s\":" + format_number(ex.t_s) + ",\"session\":" +
+               format_number(static_cast<double>(ex.session)) + "}";
+      }
+      out += ']';
+    }
+    out += "}";
   }
   out += "}}";
   return out;

@@ -63,6 +63,17 @@ class Gauge {
   double value_ = 0;
 };
 
+/// Worst-case witness for one histogram bucket: the sim-time and session
+/// id of the max-value sample that landed there, so a snapshot links a
+/// bucket straight to the trace span / event log of its worst session.
+/// Replacement is deterministic: higher value wins, equal values go to
+/// the smaller session id — order-insensitive, so shard merges commute.
+struct Exemplar {
+  double value = 0;
+  double t_s = 0;  // sim time of the sample, seconds
+  std::uint64_t session = 0;
+};
+
 /// Fixed-bucket log-linear histogram over non-negative values.
 ///
 /// Layout: bucket 0 holds exact zeros (and negative inputs, clamped);
@@ -80,6 +91,10 @@ class Histogram {
       3 + static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets;
 
   void record(double v);
+  /// Record with exemplar context: additionally remembers the max-value
+  /// sample per bucket (see Exemplar). Sparse — only buckets touched by
+  /// this overload carry exemplars.
+  void record(double v, double t_s, std::uint64_t session);
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const { return count_ == 0 ? 0 : min_; }
@@ -101,12 +116,21 @@ class Histogram {
   /// Upper bound (representative value) of bucket `i`.
   static double bucket_upper(std::size_t i);
 
+  /// Per-bucket exemplars, keyed by bucket index (sparse).
+  const std::map<std::size_t, Exemplar>& exemplars() const {
+    return exemplars_;
+  }
+
  private:
+  void offer_exemplar(std::size_t bucket, double v, double t_s,
+                      std::uint64_t session);
+
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t count_ = 0;
   double sum_ = 0;
   double min_ = 0;
   double max_ = 0;
+  std::map<std::size_t, Exemplar> exemplars_;
 };
 
 /// Named metrics, keyed by full series name (labels spelled inline, e.g.
@@ -192,9 +216,16 @@ class Gauge {
   void merge(const Gauge&) {}
 };
 
+struct Exemplar {
+  double value = 0;
+  double t_s = 0;
+  std::uint64_t session = 0;
+};
+
 class Histogram {
  public:
   void record(double) {}
+  void record(double, double, std::uint64_t) {}
   std::uint64_t count() const { return 0; }
   double sum() const { return 0; }
   double min() const { return 0; }
@@ -202,6 +233,10 @@ class Histogram {
   double mean() const { return 0; }
   double quantile(double) const { return 0; }
   void merge(const Histogram&) {}
+  const std::map<std::size_t, Exemplar>& exemplars() const {
+    static const std::map<std::size_t, Exemplar> kEmpty;
+    return kEmpty;
+  }
 };
 
 class Registry {

@@ -12,6 +12,9 @@
 
 #include "core/parallel.h"
 #include "core/study.h"
+#include "obs/attrib.h"
+#include "obs/eventlog.h"
+#include "obs/slo.h"
 
 namespace psc::core {
 namespace {
@@ -69,6 +72,15 @@ ShardedCampaign shared_campaign(std::uint64_t seed, int sessions) {
 }
 
 #if PSC_OBS
+/// The observability side of the determinism contract, serialised: SLO
+/// evaluation, the merged event log and the attribution section must be
+/// byte-identical across thread counts just like the metrics.
+std::string obs_fingerprint(const CampaignResult& r) {
+  return obs::slo_json(r.slo, obs::active_slo_config()) + "\n" +
+         obs::event_log_json(r.events) + "\n" +
+         obs::attribution_json(r.metrics);
+}
+
 /// Force metrics + tracing on for one test, restoring the env-derived
 /// defaults afterwards so the other tests run uninstrumented.
 class ScopedObsEnabled {
@@ -117,6 +129,9 @@ TEST(ShardedRunner, DeterministicAcrossThreadCounts) {
   EXPECT_NE(trace.find("\"cat\":\"kernel\""), std::string::npos);
   EXPECT_EQ(obs::chrome_trace_json(r2.shard_traces), trace);
   EXPECT_EQ(obs::chrome_trace_json(r8.shard_traces), trace);
+  EXPECT_FALSE(r1.events.empty());
+  EXPECT_EQ(obs_fingerprint(r2), obs_fingerprint(r1));
+  EXPECT_EQ(obs_fingerprint(r8), obs_fingerprint(r1));
 #endif
 
   // Full paper-bench scale (480 sessions, 40 shards): epoch barriers,
@@ -136,6 +151,9 @@ TEST(ShardedRunner, DeterministicAcrossThreadCounts) {
   const std::string shared_trace = obs::chrome_trace_json(s1.shard_traces);
   EXPECT_EQ(obs::chrome_trace_json(s2.shard_traces), shared_trace);
   EXPECT_EQ(obs::chrome_trace_json(s8.shard_traces), shared_trace);
+  EXPECT_FALSE(s1.events.empty());
+  EXPECT_EQ(obs_fingerprint(s2), obs_fingerprint(s1));
+  EXPECT_EQ(obs_fingerprint(s8), obs_fingerprint(s1));
 #endif
 }
 

@@ -1,0 +1,271 @@
+// psc_report: paired diff of two observability snapshots.
+//
+// Loads a baseline and a current run — either bench snapshot files
+// (--metrics-out=FILE output: {"config","metrics","attribution","slo",
+// "process"}) or files containing a `BENCH {...}` line (the last one
+// wins) — and prints:
+//
+//   * per-metric deltas (counters, gauges, histogram summary stats),
+//   * the per-cause stall-budget shift from the attribution sections,
+//   * an SLO pass/fail table for both runs.
+//
+// Exit status is the CI contract (docs/OBSERVABILITY.md):
+//   0  no regression: every compared value within --rel-tol (default 0,
+//      i.e. byte-identical metrics — the determinism check), no SLO
+//      newly failing
+//   1  regression: a value moved beyond tolerance or an SLO that passed
+//      in the baseline fails in the current run
+//   2  usage or I/O error (unreadable file, malformed JSON)
+//
+// The "process" section is wall-clock and nondeterministic; it is never
+// compared.
+//
+// Usage:
+//   psc_report BASELINE CURRENT [--rel-tol=X] [--quiet]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace {
+
+using psc::json::Value;
+
+struct Snapshot {
+  std::map<std::string, double> metrics;  // flattened series -> value
+  std::map<std::string, double> causes;   // cause -> stall seconds
+  double total_stall_s = 0;
+  std::map<std::string, bool> slo;        // objective -> pass
+  bool has_slo = false;
+};
+
+bool read_file(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+/// Flatten one Registry JSON ({"counters":..,"gauges":..,"histograms":..})
+/// into name -> value entries. Histograms contribute their summary stats
+/// as `name.count`, `name.sum`, ... Exemplars are identity metadata, not
+/// measurements, so they are not compared.
+void flatten_metrics(const Value& m, std::map<std::string, double>* out) {
+  for (const char* kind : {"counters", "gauges"}) {
+    for (const auto& [name, v] : m[kind].as_object()) {
+      (*out)[name] = v.as_number();
+    }
+  }
+  for (const auto& [name, h] : m["histograms"].as_object()) {
+    for (const auto& [stat, v] : h.as_object()) {
+      if (stat == "exemplars") continue;
+      (*out)[name + "." + stat] = v.as_number();
+    }
+  }
+}
+
+void load_attribution(const Value& a, Snapshot* s) {
+  s->total_stall_s = a["total_stall_s"].as_number();
+  for (const auto& c : a["causes"].as_array()) {
+    s->causes[c["cause"].as_string()] = c["stall_s"].as_number();
+  }
+}
+
+void load_slo(const Value& slo, Snapshot* s) {
+  for (const auto& r : slo["results"].as_array()) {
+    s->slo[r["name"].as_string()] = r["pass"].as_bool(true);
+    s->has_slo = true;
+  }
+}
+
+/// A BENCH line's JSON object flattens directly: numbers become metrics,
+/// the cause_N string fields pair up with their cause_N_s values.
+void load_bench_line(const Value& obj, Snapshot* s) {
+  for (const auto& [key, v] : obj.as_object()) {
+    if (v.is_number()) {
+      // wall_s and threads vary run to run / machine to machine; a diff
+      // on them is noise, not a regression.
+      if (key == "wall_s" || key == "threads") continue;
+      s->metrics[key] = v.as_number();
+    }
+  }
+  for (int i = 1; i <= 3; ++i) {
+    char name[16], secs[16];
+    std::snprintf(name, sizeof(name), "cause_%d", i);
+    std::snprintf(secs, sizeof(secs), "cause_%d_s", i);
+    const std::string cause = obj[name].as_string();
+    if (!cause.empty()) s->causes[cause] = obj[secs].as_number();
+  }
+}
+
+bool load_snapshot(const char* path, Snapshot* s) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "psc_report: cannot read %s\n", path);
+    return false;
+  }
+  // A file with BENCH lines (bench stdout) diffs the last line's fields.
+  std::size_t bench = std::string::npos;
+  for (std::size_t pos = text.find("BENCH {"); pos != std::string::npos;
+       pos = text.find("BENCH {", pos + 1)) {
+    bench = pos;
+  }
+  if (bench != std::string::npos) {
+    const std::size_t eol = text.find('\n', bench);
+    const std::string line = text.substr(
+        bench + 6,
+        eol == std::string::npos ? std::string::npos : eol - bench - 6);
+    auto parsed = psc::json::parse(line);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "psc_report: %s: bad BENCH line: %s\n", path,
+                   parsed.error().to_string().c_str());
+      return false;
+    }
+    load_bench_line(parsed.value(), s);
+    return true;
+  }
+  auto parsed = psc::json::parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "psc_report: %s: %s\n", path,
+                 parsed.error().to_string().c_str());
+    return false;
+  }
+  const Value& root = parsed.value();
+  flatten_metrics(root.has("metrics") ? root["metrics"] : root, &s->metrics);
+  if (root.has("attribution")) load_attribution(root["attribution"], s);
+  if (root.has("slo")) load_slo(root["slo"], s);
+  return true;
+}
+
+bool within(double base, double cur, double rel_tol) {
+  if (base == cur) return true;
+  const double mag = std::fmax(std::fabs(base), std::fabs(cur));
+  return std::fabs(cur - base) <= rel_tol * mag;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* base_path = nullptr;
+  const char* cur_path = nullptr;
+  double rel_tol = 0;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rel-tol=", 0) == 0) {
+      rel_tol = std::atof(arg.c_str() + 10);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (base_path == nullptr) {
+      base_path = argv[i];
+    } else if (cur_path == nullptr) {
+      cur_path = argv[i];
+    } else {
+      std::fprintf(stderr, "psc_report: unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (base_path == nullptr || cur_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: psc_report BASELINE CURRENT [--rel-tol=X] "
+                 "[--quiet]\n");
+    return 2;
+  }
+
+  Snapshot base, cur;
+  if (!load_snapshot(base_path, &base) || !load_snapshot(cur_path, &cur)) {
+    return 2;
+  }
+
+  // --- Per-metric deltas over the union of series names. A series that
+  // exists on only one side is a structural change, hence a regression.
+  int changed = 0, compared = 0;
+  std::map<std::string, double> all = base.metrics;
+  for (const auto& [k, v] : cur.metrics) all.emplace(k, 0);
+  if (!quiet) std::printf("metric deltas (%s -> %s):\n", base_path, cur_path);
+  for (const auto& [name, unused] : all) {
+    (void)unused;
+    const auto b = base.metrics.find(name);
+    const auto c = cur.metrics.find(name);
+    ++compared;
+    if (b == base.metrics.end() || c == cur.metrics.end()) {
+      ++changed;
+      if (!quiet) {
+        std::printf("  %-48s %s\n", name.c_str(),
+                    b == base.metrics.end() ? "added" : "removed");
+      }
+      continue;
+    }
+    if (within(b->second, c->second, rel_tol)) continue;
+    ++changed;
+    if (!quiet) {
+      std::printf("  %-48s %.9g -> %.9g (%+.9g)\n", name.c_str(), b->second,
+                  c->second, c->second - b->second);
+    }
+  }
+  if (!quiet && changed == 0) {
+    std::printf("  (all %d series identical within tolerance)\n", compared);
+  }
+
+  // --- Per-cause stall budget shift.
+  std::map<std::string, double> cause_union = base.causes;
+  for (const auto& [k, v] : cur.causes) cause_union.emplace(k, 0);
+  if (!quiet && !cause_union.empty()) {
+    std::printf("\nstall budget by cause (seconds):\n");
+    std::printf("  %-18s %12s %12s %12s\n", "cause", "baseline", "current",
+                "shift");
+    for (const auto& [cause, unused] : cause_union) {
+      (void)unused;
+      const auto b = base.causes.find(cause);
+      const auto c = cur.causes.find(cause);
+      const double bv = b == base.causes.end() ? 0 : b->second;
+      const double cv = c == cur.causes.end() ? 0 : c->second;
+      std::printf("  %-18s %12.3f %12.3f %+12.3f\n", cause.c_str(), bv, cv,
+                  cv - bv);
+    }
+  }
+
+  // --- SLO pass/fail table. A newly failing objective is a regression
+  // even when every raw delta sits inside the tolerance.
+  int slo_regressions = 0;
+  if (base.has_slo || cur.has_slo) {
+    std::map<std::string, bool> names;
+    for (const auto& [k, v] : base.slo) names.emplace(k, v);
+    for (const auto& [k, v] : cur.slo) names.emplace(k, v);
+    if (!quiet) {
+      std::printf("\nSLO verdicts:\n");
+      std::printf("  %-28s %-10s %-10s\n", "objective", "baseline",
+                  "current");
+    }
+    for (const auto& [name, unused] : names) {
+      (void)unused;
+      const auto b = base.slo.find(name);
+      const auto c = cur.slo.find(name);
+      const bool bp = b == base.slo.end() || b->second;
+      const bool cp = c == cur.slo.end() || c->second;
+      if (bp && !cp) ++slo_regressions;
+      if (!quiet) {
+        std::printf("  %-28s %-10s %-10s%s\n", name.c_str(),
+                    b == base.slo.end() ? "-" : (bp ? "pass" : "FAIL"),
+                    c == cur.slo.end() ? "-" : (cp ? "pass" : "FAIL"),
+                    bp && !cp ? "  <- regression" : "");
+      }
+    }
+  }
+
+  const bool regression = changed > 0 || slo_regressions > 0;
+  if (!quiet) {
+    std::printf("\n%d/%d series changed, %d SLO regression(s): %s\n",
+                changed, compared, slo_regressions,
+                regression ? "REGRESSION" : "OK");
+  }
+  return regression ? 1 : 0;
+}
