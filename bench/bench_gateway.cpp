@@ -1,0 +1,166 @@
+// Gateway loopback throughput: one real-socket publisher, N concurrent
+// real-socket HLS viewers, everything on one thread against the
+// in-process epoll gateway.
+//
+// This is a wall-clock bench (real sockets, not sim time): the publisher
+// blasts a deterministic synthetic stream as fast as the kernel accepts
+// it, and every viewer polls the live playlist and fetches each new
+// segment as it appears. The BENCH line carries served-segment and byte
+// throughput plus the wall latency from the publisher's connect to the
+// first committed segment — the gateway-side half of the paper's
+// join-to-first-frame path.
+//
+// Scale knobs: PSC_GW_VIEWERS (default 8), PSC_GW_FRAMES (default 360,
+// ~12 s of 30 fps video -> ~4 segments at the 3.6 s target).
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "gateway/clients.h"
+#include "gateway/gateway.h"
+#include "hls/playlist.h"
+
+using namespace psc;
+
+namespace {
+
+struct Viewer {
+  gateway::HlsFetchClient client;
+  bool waiting = false;       // a request is in flight
+  bool want_playlist = true;  // next request is the playlist
+  std::set<std::string> fetched;
+  std::vector<std::string> todo;
+  bool saw_endlist = false;
+  std::size_t bytes = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter("gateway_loopback", argc, argv);
+  bench::print_header("gateway", "real-socket loopback throughput",
+                      "n/a (systems bench; no paper figure)");
+
+  const int n_viewers = bench::env_int("PSC_GW_VIEWERS", 8);
+  const int n_frames = bench::env_int("PSC_GW_FRAMES", 360);
+  const std::string stream = "gwbench0000001";
+
+  gateway::GatewayConfig cfg;
+  cfg.rtmp_port = 0;
+  cfg.http_port = 0;
+  cfg.enable_api = false;
+  cfg.playlist_window = 64;  // nothing falls off mid-bench
+  cfg.retain_extra = 8;
+  gateway::Gateway gw(cfg);
+  if (const Status s = gw.start(); !s.ok()) {
+    std::fprintf(stderr, "bench_gateway: start failed: %s\n",
+                 s.error().to_string().c_str());
+    return 1;
+  }
+
+  const gateway::SyntheticMedia media = gateway::synthetic_frames(7, n_frames);
+
+  bench::WallTimer timer;
+  gateway::PublishClient pub("live", stream, 21);
+  if (!pub.connect(gw.rtmp_port()).ok()) return 1;
+
+  std::vector<Viewer> viewers(static_cast<std::size_t>(n_viewers));
+  for (auto& v : viewers) {
+    if (!v.client.connect(gw.http_port()).ok()) return 1;
+  }
+
+  bool config_sent = false;
+  std::size_t next_frame = 0;
+  bool publisher_closed = false;
+  double first_segment_s = -1;
+
+  // Single-threaded pump: publisher, gateway, viewers, repeat. Bounded at
+  // 60 wall seconds so a wedged build cannot hang CI.
+  while (timer.elapsed_s() < 60.0) {
+    if (!publisher_closed) {
+      if (pub.publishing()) {
+        if (!config_sent) {
+          pub.send_avc_config(media.sps, media.pps);
+          config_sent = true;
+        }
+        // Feed in bursts; the pump flushes as the socket accepts.
+        for (int burst = 0; burst < 30 && next_frame < media.samples.size();
+             ++burst) {
+          pub.send_sample(media.samples[next_frame++]);
+        }
+        if (next_frame == media.samples.size() && pub.pending() == 0) {
+          pub.close();
+          publisher_closed = true;
+        }
+      }
+      if (!publisher_closed && !pub.step()) publisher_closed = true;
+    }
+    gw.poll_once(0);
+    if (first_segment_s < 0 && gw.store().segments_stored() > 0) {
+      first_segment_s = timer.elapsed_s();
+    }
+
+    bool all_done = publisher_closed;
+    for (auto& v : viewers) {
+      if (v.client.closed()) continue;
+      if (!v.waiting) {
+        if (!v.todo.empty()) {
+          const std::string uri = v.todo.back();
+          v.todo.pop_back();
+          v.client.get("/hls/" + stream + "/" + uri);
+          v.want_playlist = false;
+          v.waiting = true;
+        } else if (!v.saw_endlist) {
+          v.client.get("/hls/" + stream + "/media.m3u8");
+          v.want_playlist = true;
+          v.waiting = true;
+        }
+      }
+      if (!v.client.step()) continue;
+      if (v.waiting && v.client.done()) {
+        v.waiting = false;
+        http::Response resp = v.client.take_response();
+        v.bytes += resp.body.size();
+        if (v.want_playlist && resp.status == 200) {
+          auto parsed = hls::parse_m3u8(to_string(resp.body.view()));
+          if (parsed.ok()) {
+            for (const auto& ref : parsed.value().segments) {
+              if (v.fetched.insert(ref.uri).second) v.todo.push_back(ref.uri);
+            }
+            v.saw_endlist = parsed.value().ended;
+          }
+        }
+      }
+      if (!(v.saw_endlist && v.todo.empty() && !v.waiting)) all_done = false;
+    }
+    if (all_done) break;
+  }
+
+  const double wall = timer.elapsed_s();
+  std::size_t viewer_bytes = 0;
+  for (const auto& v : viewers) viewer_bytes += v.bytes;
+  std::printf("viewers=%d frames=%d stored=%llu served=%llu "
+              "viewer_bytes=%zu wall=%.3fs\n",
+              n_viewers, n_frames,
+              static_cast<unsigned long long>(gw.store().segments_stored()),
+              static_cast<unsigned long long>(gw.segments_served()),
+              viewer_bytes, wall);
+
+  reporter.local().merge(gw.metrics());
+  reporter.finish(
+      wall,
+      {{"viewers", static_cast<double>(n_viewers)},
+       {"segments_stored", static_cast<double>(gw.store().segments_stored())},
+       {"segments_served", static_cast<double>(gw.segments_served())},
+       {"bytes_served", static_cast<double>(gw.bytes_served())},
+       {"segs_per_s",
+        wall > 0 ? static_cast<double>(gw.segments_served()) / wall : 0},
+       {"bytes_per_s",
+        wall > 0 ? static_cast<double>(gw.bytes_served()) / wall : 0},
+       {"accept_to_first_segment_s",
+        first_segment_s < 0 ? 0 : first_segment_s}});
+  return 0;
+}

@@ -1,0 +1,252 @@
+#include "gateway/clients.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "service/origin_server.h"
+#include "util/rng.h"
+
+namespace psc::gateway {
+
+// ---- SocketPump --------------------------------------------------------
+
+SocketPump::~SocketPump() { close(); }
+
+Status SocketPump::connect(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return make_error("gateway_io", "socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const int rc =
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    close();
+    return make_error("gateway_io",
+                      std::string("connect: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  connecting_ = rc != 0;
+  connected_ = rc == 0;
+  return Status::ok_status();
+}
+
+void SocketPump::queue(Bytes data) {
+  if (data.empty()) return;
+  if (pending_off_ > 0) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(pending_off_));
+    pending_off_ = 0;
+  }
+  pending_.insert(pending_.end(), data.begin(), data.end());
+}
+
+bool SocketPump::step(Bytes& received) {
+  if (fd_ < 0) return false;
+  if (connecting_) {
+    pollfd p{fd_, POLLOUT, 0};
+    if (::poll(&p, 1, 0) > 0 && (p.revents & POLLOUT) != 0) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        close();
+        return false;
+      }
+      connecting_ = false;
+      connected_ = true;
+    }
+    if (connecting_) return true;  // not writable yet
+  }
+  while (pending_off_ < pending_.size()) {
+    const ssize_t n = ::send(fd_, pending_.data() + pending_off_,
+                             pending_.size() - pending_off_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close();
+      return false;
+    }
+    pending_off_ += static_cast<std::size_t>(n);
+  }
+  if (pending_off_ == pending_.size()) {
+    pending_.clear();
+    pending_off_ = 0;
+  }
+  std::uint8_t buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      received.insert(received.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      peer_closed_ = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close();
+    return false;
+  }
+  return true;
+}
+
+void SocketPump::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  connecting_ = connected_ = false;
+}
+
+// ---- PublishClient -----------------------------------------------------
+
+Status PublishClient::connect(std::uint16_t port) {
+  return pump_.connect(port);
+}
+
+bool PublishClient::step() {
+  if (session_.has_output()) pump_.queue(session_.take_output());
+  Bytes in;
+  if (!pump_.step(in)) return false;
+  if (!in.empty() && !session_.on_input(in).ok()) {
+    pump_.close();
+    return false;
+  }
+  // The session may have replied (handshake echo, command responses).
+  if (session_.has_output()) pump_.queue(session_.take_output());
+  Bytes more;
+  if (!pump_.step(more)) return false;
+  if (!more.empty() && !session_.on_input(more).ok()) {
+    pump_.close();
+    return false;
+  }
+  return !pump_.peer_closed() || pump_.pending() > 0;
+}
+
+// ---- HlsFetchClient ----------------------------------------------------
+
+Status HlsFetchClient::connect(std::uint16_t port) {
+  return pump_.connect(port);
+}
+
+void HlsFetchClient::get(const std::string& path) {
+  http::Request req;
+  req.method = "GET";
+  req.path = path;
+  req.headers["Host"] = "gateway";
+  request(req);
+}
+
+void HlsFetchClient::request(const http::Request& req) {
+  response_.reset();
+  pump_.queue(to_bytes(req.serialize()));
+}
+
+bool HlsFetchClient::step() {
+  Bytes in;
+  if (!pump_.step(in)) return false;
+  if (!in.empty()) inbuf_.insert(inbuf_.end(), in.begin(), in.end());
+  if (!response_.has_value()) {
+    // Frame by Content-Length, then hand the complete message to the
+    // regular parser.
+    const std::string text(reinterpret_cast<const char*>(inbuf_.data()),
+                           inbuf_.size());
+    const std::size_t head_end = text.find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      std::size_t body_len = 0;
+      const std::size_t cl = text.find("Content-Length:");
+      if (cl != std::string::npos && cl < head_end) {
+        body_len = static_cast<std::size_t>(
+            std::strtoull(text.c_str() + cl + 15, nullptr, 10));
+      }
+      const std::size_t total = head_end + 4 + body_len;
+      if (inbuf_.size() >= total) {
+        auto parsed =
+            http::Response::parse(BytesView(inbuf_.data(), total));
+        if (parsed.ok()) response_ = std::move(parsed.value());
+        inbuf_.erase(inbuf_.begin(),
+                     inbuf_.begin() + static_cast<std::ptrdiff_t>(total));
+        if (!parsed.ok()) {
+          pump_.close();
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+http::Response HlsFetchClient::take_response() {
+  http::Response r = std::move(*response_);
+  response_.reset();
+  return r;
+}
+
+// ---- differential reference -------------------------------------------
+
+SyntheticMedia synthetic_frames(std::uint64_t seed, int frames) {
+  SyntheticMedia out;
+  media::VideoEncoder enc(media::VideoConfig{}, media::ContentModelConfig{},
+                          0.0, Rng(seed));
+  out.sps = enc.sps();
+  out.pps = enc.pps();
+  while (static_cast<int>(out.samples.size()) < frames) {
+    if (auto s = enc.next_frame()) out.samples.push_back(std::move(*s));
+  }
+  return out;
+}
+
+std::vector<hls::Segment> sim_reference_segments(const SyntheticMedia& media,
+                                                 const std::string& stream_key,
+                                                 Duration segment_target,
+                                                 std::uint64_t seed) {
+  service::MediaOrigin origin(seed);
+  hls::Segmenter segmenter(segment_target);
+  std::vector<hls::Segment> out;
+
+  service::MediaOrigin::StreamHooks hooks;
+  hooks.on_sample = [&](const std::string&, const media::MediaSample& sample,
+                        TimePoint) {
+    if (auto seg = segmenter.push(sample)) out.push_back(std::move(*seg));
+  };
+  hooks.on_publish_end = [&](const std::string&, TimePoint) {
+    if (auto seg = segmenter.flush()) out.push_back(std::move(*seg));
+  };
+  origin.set_stream_hooks(std::move(hooks));
+
+  const int conn = origin.open_connection();
+  rtmp::PublisherSession pub("live", stream_key, seed + 1);
+  auto pump = [&] {
+    for (int i = 0; i < 64; ++i) {
+      bool any = false;
+      if (pub.has_output()) {
+        if (!origin.on_input(conn, pub.take_output()).ok()) return;
+        any = true;
+      }
+      if (origin.has_output(conn)) {
+        if (!pub.on_input(origin.take_output(conn)).ok()) return;
+        any = true;
+      }
+      if (!any) return;
+    }
+  };
+  pump();
+  if (!pub.publishing()) return out;
+  pub.send_avc_config(media.sps, media.pps);
+  for (const media::MediaSample& s : media.samples) pub.send_sample(s);
+  pump();
+  origin.close_connection(conn);  // fires on_publish_end -> flush
+  return out;
+}
+
+}  // namespace psc::gateway

@@ -1,0 +1,135 @@
+// Loopback peers for the interop gateway, plus the sans-io differential
+// reference.
+//
+// PublishClient speaks real RTMP over a real (non-blocking) TCP socket —
+// handshake, connect/createStream/publish, FLV-tagged media — by wrapping
+// the same sans-io rtmp::PublisherSession the simulated broadcaster uses.
+// HlsFetchClient issues HTTP GETs and frames responses by Content-Length.
+// Both are single-threaded step() pumps so a test can interleave them with
+// Gateway::poll_once() on one thread (deterministic, ASan-friendly).
+//
+// synthetic_frames() + sim_reference_segments() are the two halves of the
+// differential contract: the same encoded frames pushed through a pure
+// sans-io RTMP loopback (PublisherSession -> MediaOrigin -> Segmenter, no
+// sockets anywhere) must yield TS segments byte-identical to what the
+// gateway serves after the frames travelled a real socket.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "http/http.h"
+#include "hls/segmenter.h"
+#include "media/encoder.h"
+#include "media/types.h"
+#include "rtmp/session.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/units.h"
+
+namespace psc::gateway {
+
+/// Non-blocking loopback socket pump shared by both clients.
+class SocketPump {
+ public:
+  SocketPump() = default;
+  ~SocketPump();
+  SocketPump(const SocketPump&) = delete;
+  SocketPump& operator=(const SocketPump&) = delete;
+
+  Status connect(std::uint16_t port);
+  /// Queue bytes for the peer (sent as the socket accepts them).
+  void queue(Bytes data);
+  /// One pump turn: finish connecting, flush queued bytes, read whatever
+  /// is available into `received`. Returns false once the socket is
+  /// closed/failed (look at error() for why).
+  bool step(Bytes& received);
+  void close();
+
+  bool connected() const { return connected_; }
+  bool closed() const { return fd_ < 0; }
+  bool peer_closed() const { return peer_closed_; }
+  std::size_t pending() const { return pending_.size() - pending_off_; }
+
+ private:
+  int fd_ = -1;
+  bool connecting_ = false;
+  bool connected_ = false;
+  bool peer_closed_ = false;
+  Bytes pending_;
+  std::size_t pending_off_ = 0;
+};
+
+/// Publishes a synthetic stream to a real RTMP port.
+class PublishClient {
+ public:
+  PublishClient(std::string app, std::string stream_key, std::uint64_t seed)
+      : session_(std::move(app), std::move(stream_key), seed) {}
+
+  Status connect(std::uint16_t port);
+  /// One pump turn; returns false once the transport is gone.
+  bool step();
+  bool publishing() const { return session_.publishing(); }
+
+  void send_avc_config(const media::Sps& sps, const media::Pps& pps) {
+    session_.send_avc_config(sps, pps);
+  }
+  void send_sample(const media::MediaSample& sample) {
+    session_.send_sample(sample);
+  }
+  /// Close the socket (the gateway sees an orderly publisher departure).
+  void close() { pump_.close(); }
+  bool closed() const { return pump_.closed(); }
+  /// Bytes queued toward the wire but not yet accepted by the kernel
+  /// (session-internal output not yet pumped counts too).
+  std::size_t pending() const {
+    return pump_.pending() + (session_.has_output() ? 1 : 0);
+  }
+
+ private:
+  rtmp::PublisherSession session_;
+  SocketPump pump_;
+};
+
+/// Fetches one HTTP resource per request over a keep-alive connection.
+class HlsFetchClient {
+ public:
+  Status connect(std::uint16_t port);
+  /// Issue GET `path` (the previous response must have been taken).
+  void get(const std::string& path);
+  /// Issue an arbitrary request (POST /api/v2/* bridging and friends).
+  void request(const http::Request& req);
+  /// One pump turn; returns false once the transport is gone.
+  bool step();
+  /// A complete response is ready.
+  bool done() const { return response_.has_value(); }
+  http::Response take_response();
+  void close() { pump_.close(); }
+  bool closed() const { return pump_.closed(); }
+
+ private:
+  SocketPump pump_;
+  Bytes inbuf_;
+  std::optional<http::Response> response_;
+};
+
+/// Deterministic synthetic media: one encoded video stream (the encoder
+/// the campaigns use) ready to publish.
+struct SyntheticMedia {
+  media::Sps sps;
+  media::Pps pps;
+  std::vector<media::MediaSample> samples;
+};
+SyntheticMedia synthetic_frames(std::uint64_t seed, int frames);
+
+/// The sim-only pipeline: push `media` through a sans-io RTMP loopback
+/// into a MediaOrigin whose stream hooks feed an hls::Segmenter — the
+/// exact component chain the gateway hosts, minus every socket. Returns
+/// the committed segments (flush included).
+std::vector<hls::Segment> sim_reference_segments(const SyntheticMedia& media,
+                                                 const std::string& stream_key,
+                                                 Duration segment_target,
+                                                 std::uint64_t seed);
+
+}  // namespace psc::gateway

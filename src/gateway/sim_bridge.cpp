@@ -1,0 +1,47 @@
+#include "gateway/sim_bridge.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace psc::gateway {
+
+namespace {
+
+double steady_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SimBridge::SimBridge(sim::Simulation& sim, WallClock clock)
+    : sim_(sim), clock_(clock ? std::move(clock) : WallClock(steady_now_s)) {
+  t0_ = clock_();
+  sim_start_s_ = to_s(sim_.now());
+}
+
+TimePoint SimBridge::deadline() const {
+  return time_at(sim_start_s_ + wall_elapsed_s());
+}
+
+void SimBridge::advance() {
+  const TimePoint target = deadline();
+  // run_until leaves the clock at min(target, last event time) and never
+  // past target — the "sim never ahead of wall" invariant is the kernel's
+  // own contract; the bridge just computes the target.
+  if (target > sim_.now()) sim_.run_until(target);
+}
+
+int SimBridge::poll_timeout_ms(int cap_ms) const {
+  const auto due = sim_.next_due_bound();
+  if (!due) return cap_ms;
+  const double wall_at_due = t0_ + (to_s(*due) - sim_start_s_);
+  const double wait_s = wall_at_due - clock_();
+  if (wait_s <= 0) return 0;
+  const double ms = std::ceil(wait_s * 1e3);
+  return std::min(cap_ms, static_cast<int>(std::max(1.0, ms)));
+}
+
+}  // namespace psc::gateway

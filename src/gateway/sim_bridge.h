@@ -1,0 +1,62 @@
+// SimBridge: paces a sim::Simulation against the wall clock.
+//
+// The interop gateway runs the *same* service objects the deterministic
+// campaigns use (MediaOrigin, ApiServer, the HLS segmenter), but its peers
+// are real sockets living on wall-clock time. The bridge maps the two
+// timelines: sim t=0 is pinned to the wall instant the bridge is created,
+// and advance() runs the simulation up to `wall_now - t0` — never past it.
+// Between epoll waits the gateway therefore sees a simulation whose clock
+// trails the wall clock by at most one poll interval, while inside the
+// simulation every event still fires in exact (when, seq) order, identical
+// to a pure-sim run of the same schedule (tests/test_gateway_bridge.cpp
+// asserts both properties).
+//
+// The wall clock is injected as a callable so tests can drive a manual
+// clock; the default reads std::chrono::steady_clock.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulation.h"
+#include "util/units.h"
+
+namespace psc::gateway {
+
+class SimBridge {
+ public:
+  /// Monotonic wall-clock seconds. The absolute origin is irrelevant —
+  /// only differences are used.
+  using WallClock = std::function<double()>;
+
+  /// Pins sim-time zero to the current wall instant. `sim.now()` need not
+  /// be zero: the bridge maps wall elapsed onto `sim_start + elapsed`.
+  explicit SimBridge(sim::Simulation& sim, WallClock clock = {});
+
+  /// Run the simulation up to the current wall-mapped deadline. The sim
+  /// clock never ends up ahead of `deadline()`; events due at or before it
+  /// fire in (when, seq) order.
+  void advance();
+
+  /// The sim time corresponding to "now" on the wall.
+  TimePoint deadline() const;
+
+  /// Wall seconds since construction.
+  double wall_elapsed_s() const { return clock_() - t0_; }
+
+  /// Milliseconds a poller may sleep before the next sim event could be
+  /// due, clamped to [0, cap_ms]. cap_ms when nothing is pending (socket
+  /// readiness is the only other wake-up source, and the cap bounds how
+  /// stale the sim clock can get while idle).
+  int poll_timeout_ms(int cap_ms) const;
+
+  TimePoint now() const { return sim_.now(); }
+  sim::Simulation& sim() { return sim_; }
+
+ private:
+  sim::Simulation& sim_;
+  WallClock clock_;
+  double t0_ = 0;
+  double sim_start_s_ = 0;
+};
+
+}  // namespace psc::gateway

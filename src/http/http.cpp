@@ -157,4 +157,54 @@ Response Response::not_found() {
   return r;
 }
 
+Status RequestParser::fail(Error e) {
+  error_ = e;
+  buf_.clear();
+  return std::move(e);
+}
+
+Status RequestParser::push(BytesView data) {
+  if (error_) return *error_;
+  buf_.append(reinterpret_cast<const char*>(data.data()), data.size());
+  for (;;) {
+    const std::size_t head_end = buf_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buf_.size() > kMaxHeadBytes) {
+        return fail(make_error("http", "request head too large"));
+      }
+      return {};
+    }
+    // Reuse the one-shot parser on the head (it validates the request
+    // line and splits the headers); the body is attached below once the
+    // Content-Length bytes have arrived.
+    auto head = Request::parse(buf_.substr(0, head_end + 4));
+    if (!head) return fail(head.error());
+    std::size_t body_len = 0;
+    if (auto it = head.value().headers.find("Content-Length");
+        it != head.value().headers.end()) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(it->second.c_str(), &end, 10);
+      if (end == it->second.c_str() || *end != '\0') {
+        return fail(make_error("http", "malformed Content-Length"));
+      }
+      body_len = static_cast<std::size_t>(n);
+    }
+    if (body_len > kMaxBodyBytes) {
+      return fail(make_error("http", "request body too large"));
+    }
+    const std::size_t total = head_end + 4 + body_len;
+    if (buf_.size() < total) return {};  // body still in flight
+    Request req = std::move(head).value();
+    req.body = buf_.substr(head_end + 4, body_len);
+    out_.push_back(std::move(req));
+    buf_.erase(0, total);
+  }
+}
+
+std::vector<Request> RequestParser::take_requests() {
+  std::vector<Request> out;
+  out.swap(out_);
+  return out;
+}
+
 }  // namespace psc::http

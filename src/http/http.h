@@ -8,7 +8,10 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "util/buffer.h"
 #include "util/bytes.h"
@@ -47,5 +50,44 @@ struct Response {
 };
 
 const char* reason_for(int status);
+
+/// Incremental request parser for byte streams that fragment arbitrarily
+/// (real sockets deliver at any granularity, including one byte at a
+/// time). Feed bytes with push(); complete requests accumulate and come
+/// out of take_requests() in arrival order. Framing: headers end at
+/// CRLFCRLF, the body length is Content-Length (absent = 0), and the
+/// buffer may hold several pipelined requests. The parser is
+/// split-invariant: any partition of the same byte stream yields the same
+/// request sequence and the same terminal error, which the gateway's
+/// golden-corpus regression tests assert at granularities 1/7/random.
+class RequestParser {
+ public:
+  /// Oversize guards: hostile peers must not grow the buffer unboundedly.
+  static constexpr std::size_t kMaxHeadBytes = 64 * 1024;
+  static constexpr std::size_t kMaxBodyBytes = 16 * 1024 * 1024;
+
+  /// Append bytes; parses as many complete requests as possible. Once an
+  /// error is returned the parser is poisoned: the connection should be
+  /// closed, and further pushes report the same error.
+  Status push(BytesView data);
+  Status push(std::string_view text) {
+    return push(BytesView(reinterpret_cast<const std::uint8_t*>(text.data()),
+                          text.size()));
+  }
+
+  /// Requests completed so far, in arrival order (moves them out).
+  std::vector<Request> take_requests();
+
+  bool failed() const { return error_.has_value(); }
+  /// Bytes buffered but not yet parsed into a complete request.
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  Status fail(Error e);
+
+  std::string buf_;
+  std::vector<Request> out_;
+  std::optional<Error> error_;
+};
 
 }  // namespace psc::http

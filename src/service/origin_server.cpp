@@ -31,12 +31,18 @@ void MediaOrigin::wire_publish_hooks(int conn) {
     c.is_publisher = true;
     Stream& s = stream_of(key);
     s.publisher_conn = conn;
+    if (stream_hooks_.on_publish_start) {
+      stream_hooks_.on_publish_start(key, now_);
+    }
   };
   cbs.on_avc_config = [this, conn](const media::AvcDecoderConfig& cfg) {
     Connection& c = connections_.at(conn);
     if (c.stream.empty()) return;
     Stream& s = stream_of(c.stream);
     s.config = cfg;
+    if (stream_hooks_.on_avc_config) {
+      stream_hooks_.on_avc_config(c.stream, cfg);
+    }
     // Late config: forward to already-attached players.
     for (int player : s.players) {
       auto it = connections_.find(player);
@@ -55,6 +61,9 @@ void MediaOrigin::wire_publish_hooks(int conn) {
       auto annexb = media::avcc_to_annexb(sample.data);
       if (!annexb) return;
       sample.data = std::move(annexb).value();
+    }
+    if (stream_hooks_.on_sample) {
+      stream_hooks_.on_sample(c.stream, sample, now_);
     }
     if (sample.kind == media::SampleKind::Video && sample.keyframe) {
       s.backlog.clear();
@@ -97,6 +106,9 @@ void MediaOrigin::close_connection(int conn) {
           sit->second.publisher_conn == conn) {
         // Publisher gone: the stream ends.
         streams_.erase(sit);
+        if (stream_hooks_.on_publish_end) {
+          stream_hooks_.on_publish_end(it->second.stream, now_);
+        }
       }
     }
   }

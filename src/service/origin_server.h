@@ -63,6 +63,23 @@ class MediaOrigin {
     fault_hook_ = std::move(hook);
   }
 
+  /// Published-stream observer: lets a co-located packager (the interop
+  /// gateway's HLS segmenter) tap the ingest path without owning a player
+  /// connection. on_sample sees the stream exactly as the fan-out path
+  /// does — video already converted back to Annex-B — and on_publish_end
+  /// fires when the publisher's connection closes (stream over). Unset
+  /// hooks leave origin behaviour bit-identical.
+  struct StreamHooks {
+    std::function<void(const std::string&, TimePoint)> on_publish_start;
+    std::function<void(const std::string&, const media::AvcDecoderConfig&)>
+        on_avc_config;
+    std::function<void(const std::string&, const media::MediaSample&,
+                       TimePoint)>
+        on_sample;
+    std::function<void(const std::string&, TimePoint)> on_publish_end;
+  };
+  void set_stream_hooks(StreamHooks hooks) { stream_hooks_ = std::move(hooks); }
+
  private:
   struct Stream {
     std::optional<media::AvcDecoderConfig> config;
@@ -83,6 +100,7 @@ class MediaOrigin {
 
   std::uint64_t seed_;
   std::function<bool(TimePoint)> fault_hook_;
+  StreamHooks stream_hooks_;
   int next_conn_ = 1;
   TimePoint now_{};
   EpochLoadLedger ledger_;

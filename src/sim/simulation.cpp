@@ -160,6 +160,29 @@ void Simulation::run_events_until(TimePoint until) {
   }
 }
 
+std::optional<TimePoint> Simulation::next_due_bound() const {
+  if (live_count_ == 0) return std::nullopt;
+  TimePoint bound{Duration{1e18}};
+  bool found = false;
+  if (!heap_.empty()) {
+    bound = heap_.front().when;
+    found = true;
+  }
+  if (wheel_count_ > 0) {
+    // First occupied bucket at or ahead of the cursor; its floor time
+    // bounds every node resident in it from below.
+    for (std::uint64_t k = cursor_; k < cursor_ + buckets_.size(); ++k) {
+      if (buckets_[k % buckets_.size()].empty()) continue;
+      const TimePoint floor_t{Duration{static_cast<double>(k) * tick_s_}};
+      if (!found || floor_t < bound) bound = floor_t;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return std::nullopt;  // only cancelled nodes remain queued
+  return bound < now_ ? now_ : bound;
+}
+
 void Simulation::run_all() {
   // Drain everything; the clock stays at the last executed event.
   run_events_until(TimePoint{Duration{1e18}});

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sim/callback.h"
@@ -95,6 +96,16 @@ class Simulation {
 
   /// True if any events are pending.
   bool pending() const { return live_count_ > 0; }
+
+  /// Lower bound on the due time of the next live event, or nullopt when
+  /// nothing is pending. The bound may be early — a cancelled node still
+  /// resting in the heap, or a wheel bucket whose nodes are due later than
+  /// its floor, both pull it down — but it is never late, which is the
+  /// contract a wall-clock pacer needs to size its poll timeout
+  /// (gateway::SimBridge): waking too early costs one extra poll, waking
+  /// too late would stall due events. O(buckets) worst case, O(1) when the
+  /// heap is non-empty and no wheel traffic is ahead of it.
+  std::optional<TimePoint> next_due_bound() const;
 
   /// --- Kernel counters (always on; a handful of arithmetic ops per
   /// event, far below measurement noise). A Study folds these into its

@@ -1,0 +1,276 @@
+// Interop gateway tests: the loopback differential contract (real-socket
+// publish == sans-io sim-only pipeline, byte for byte), the HTTP surface,
+// API bridging, and graceful-lifecycle guarantees.
+//
+// Everything is single-threaded: the test interleaves client step() pumps
+// with Gateway::poll_once(), so there is no cross-thread scheduling to
+// perturb sanitizer runs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gateway/clients.h"
+#include "gateway/gateway.h"
+#include "hls/playlist.h"
+#include "json/json.h"
+
+namespace psc {
+namespace {
+
+gateway::GatewayConfig test_config() {
+  gateway::GatewayConfig cfg;
+  cfg.rtmp_port = 0;  // ephemeral: tests never collide on ports
+  cfg.http_port = 0;
+  cfg.enable_api = false;
+  cfg.playlist_window = 64;  // keep every segment fetchable
+  cfg.retain_extra = 8;
+  return cfg;
+}
+
+/// Interleave a publisher with the gateway until `done` or turn budget.
+template <typename DoneFn>
+bool pump(gateway::Gateway& gw, gateway::PublishClient& pub, DoneFn done,
+          int max_turns = 20000) {
+  for (int i = 0; i < max_turns; ++i) {
+    if (done()) return true;
+    pub.step();
+    gw.poll_once(0);
+  }
+  return done();
+}
+
+/// Fetch one resource through a live HTTP connection, pumping the gateway.
+http::Response fetch(gateway::Gateway& gw, gateway::HlsFetchClient& client,
+                     const std::string& path) {
+  client.get(path);
+  for (int i = 0; i < 20000 && !client.done(); ++i) {
+    client.step();
+    gw.poll_once(0);
+  }
+  EXPECT_TRUE(client.done()) << "no response for " << path;
+  return client.done() ? client.take_response() : http::Response{};
+}
+
+/// Publish `media` over a real socket and wait until the gateway has
+/// committed the post-close flush (stream marked ended).
+void publish_over_socket(gateway::Gateway& gw,
+                         const gateway::SyntheticMedia& media,
+                         const std::string& key) {
+  gateway::PublishClient pub("live", key, 77);
+  ASSERT_TRUE(pub.connect(gw.rtmp_port()).ok());
+  ASSERT_TRUE(pump(gw, pub, [&] { return pub.publishing(); }));
+  pub.send_avc_config(media.sps, media.pps);
+  for (const auto& s : media.samples) pub.send_sample(s);
+  ASSERT_TRUE(pump(gw, pub, [&] { return pub.pending() == 0; }));
+  pub.close();
+  for (int i = 0; i < 20000; ++i) {
+    const auto* st = gw.store().find_stream(key);
+    if (st != nullptr && st->ended) return;
+    gw.poll_once(0);
+  }
+  FAIL() << "publish end never reached the store";
+}
+
+TEST(GatewayDifferential, RealSocketMatchesSimOnlyPipeline) {
+  auto gw_cfg = test_config();
+  gateway::Gateway gw(gw_cfg);
+  ASSERT_TRUE(gw.start().ok());
+  const std::string key = "diffstream0001";
+  const gateway::SyntheticMedia media = gateway::synthetic_frames(5, 300);
+  publish_over_socket(gw, media, key);
+
+  const std::vector<hls::Segment> reference = gateway::sim_reference_segments(
+      media, key, gw_cfg.segment_target, gw_cfg.seed);
+  ASSERT_GT(reference.size(), 1u);  // ~10 s at 30 fps -> >= 2 segments
+
+  // Store-level identity.
+  const auto* st = gw.store().find_stream(key);
+  ASSERT_NE(st, nullptr);
+  ASSERT_EQ(st->segments.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(st->segments[i].segment.sequence, reference[i].sequence);
+    EXPECT_TRUE(st->segments[i].segment.ts_data == reference[i].ts_data)
+        << "segment " << i << " differs";
+  }
+
+  // Wire-level identity: fetch the playlist + every segment over HTTP.
+  gateway::HlsFetchClient client;
+  ASSERT_TRUE(client.connect(gw.http_port()).ok());
+  http::Response pl = fetch(gw, client, "/hls/" + key + "/media.m3u8");
+  ASSERT_EQ(pl.status, 200);
+  EXPECT_EQ(pl.headers["Content-Type"], "application/vnd.apple.mpegurl");
+  auto parsed = hls::parse_m3u8(to_string(pl.body.view()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().ended);
+  ASSERT_EQ(parsed.value().segments.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    http::Response seg =
+        fetch(gw, client, "/hls/" + key + "/" + parsed.value().segments[i].uri);
+    ASSERT_EQ(seg.status, 200);
+    EXPECT_EQ(seg.headers["Content-Type"], "video/mp2t");
+    EXPECT_TRUE(seg.body == reference[i].ts_data)
+        << "served segment " << i << " differs from sim-only pipeline";
+  }
+}
+
+TEST(GatewayHttp, SurfaceAndErrors) {
+  gateway::Gateway gw(test_config());
+  ASSERT_TRUE(gw.start().ok());
+  gateway::HlsFetchClient client;
+  ASSERT_TRUE(client.connect(gw.http_port()).ok());
+
+  EXPECT_EQ(fetch(gw, client, "/healthz").status, 200);
+  http::Response streams = fetch(gw, client, "/streams");
+  EXPECT_EQ(streams.status, 200);
+  EXPECT_EQ(streams.headers["Content-Type"], "application/json");
+  EXPECT_EQ(fetch(gw, client, "/nonexistent").status, 404);
+  EXPECT_EQ(fetch(gw, client, "/hls/nostream/media.m3u8").status, 404);
+  EXPECT_EQ(fetch(gw, client, "/hls/nostream/seg_0.ts").status, 404);
+  // Keep-alive: all of the above rode one connection.
+  EXPECT_EQ(gw.http_accepted(), 1u);
+
+  const gateway::SyntheticMedia media = gateway::synthetic_frames(6, 120);
+  publish_over_socket(gw, media, "httpstream0001");
+  http::Response master =
+      fetch(gw, client, "/hls/httpstream0001/master.m3u8");
+  ASSERT_EQ(master.status, 200);
+  auto variants = hls::parse_master_m3u8(to_string(master.body.view()));
+  ASSERT_TRUE(variants.ok());
+  ASSERT_EQ(variants.value().size(), 1u);
+  EXPECT_EQ(variants.value()[0].uri, "media.m3u8");
+}
+
+TEST(GatewayHttp, MalformedRequestGets400AndClose) {
+  gateway::Gateway gw(test_config());
+  ASSERT_TRUE(gw.start().ok());
+  gateway::SocketPump peer;
+  ASSERT_TRUE(peer.connect(gw.http_port()).ok());
+  peer.queue(to_bytes("BROKEN\r\n\r\n"));
+  Bytes received;
+  for (int i = 0; i < 20000 && !peer.peer_closed(); ++i) {
+    if (!peer.step(received)) break;
+    gw.poll_once(0);
+  }
+  const std::string reply = to_string(received);
+  EXPECT_NE(reply.find("400"), std::string::npos) << reply;
+  EXPECT_TRUE(peer.peer_closed());
+}
+
+TEST(GatewayApi, PostBridgesToApiServer) {
+  auto cfg = test_config();
+  cfg.enable_api = true;
+  cfg.world_concurrent = 20;
+  gateway::Gateway gw(cfg);
+  ASSERT_TRUE(gw.start().ok());
+  gateway::HlsFetchClient client;
+  ASSERT_TRUE(client.connect(gw.http_port()).ok());
+
+  http::Request req;
+  req.method = "POST";
+  req.path = "/api/v2/rankedBroadcastFeed";
+  req.headers["Host"] = "gateway";
+  req.body = "{\"cookie\":\"testuser\"}";
+  req.headers["Content-Length"] = std::to_string(req.body.size());
+  client.request(req);
+  for (int i = 0; i < 20000 && !client.done(); ++i) {
+    client.step();
+    gw.poll_once(0);
+  }
+  ASSERT_TRUE(client.done());
+  http::Response resp = client.take_response();
+  EXPECT_EQ(resp.status, 200);
+  auto body = json::parse(to_string(resp.body.view()));
+  ASSERT_TRUE(body.ok());
+  // The prepopulated world answers with actual broadcasts.
+  EXPECT_GT(gw.api()->requests_served(), 0u);
+}
+
+TEST(GatewayLifecycle, MidPublishShutdownLeavesNoTornSegment) {
+  gateway::Gateway gw(test_config());
+  ASSERT_TRUE(gw.start().ok());
+  const std::string key = "tornstream0001";
+  const gateway::SyntheticMedia media = gateway::synthetic_frames(9, 60);
+
+  gateway::PublishClient pub("live", key, 42);
+  ASSERT_TRUE(pub.connect(gw.rtmp_port()).ok());
+  ASSERT_TRUE(pump(gw, pub, [&] { return pub.publishing(); }));
+  pub.send_avc_config(media.sps, media.pps);
+  for (const auto& s : media.samples) pub.send_sample(s);
+  ASSERT_TRUE(pump(gw, pub, [&] { return pub.pending() == 0; }));
+  // 60 frames = 2 s < the 3.6 s target: the segmenter holds an open
+  // partial segment. Shut down mid-publish WITHOUT closing the client.
+  ASSERT_TRUE(pump(gw, pub, [&] {
+    const auto* st = gw.store().find_stream(key);
+    return st != nullptr;  // publish reached the store
+  }));
+  gw.request_shutdown();
+
+  const auto* st = gw.store().find_stream(key);
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(st->ended);
+  ASSERT_GE(st->segments.size(), 1u);
+  for (const auto& stored : st->segments) {
+    // Whole TS packets only: a torn segment would break the 188-byte
+    // packet lattice.
+    EXPECT_GT(stored.segment.ts_data.size(), 0u);
+    EXPECT_EQ(stored.segment.ts_data.size() % 188, 0u);
+    EXPECT_EQ(stored.segment.ts_data[0], 0x47);  // TS sync byte
+  }
+  auto parsed = hls::parse_m3u8(gw.store().media_playlist(key));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().ended);
+
+  // Listeners are gone, existing work drains.
+  EXPECT_FALSE(gw.loop().listening());
+  for (int i = 0; i < 20000 && !gw.drained(); ++i) {
+    pub.step();
+    gw.poll_once(0);
+  }
+  EXPECT_TRUE(gw.drained());
+}
+
+TEST(GatewayLifecycle, ShutdownDrainsViewersCleanly) {
+  gateway::Gateway gw(test_config());
+  ASSERT_TRUE(gw.start().ok());
+  const std::string key = "drainstream001";
+  // 150 frames = 5 s > the 3.6 s target: one segment commits mid-publish.
+  const gateway::SyntheticMedia media = gateway::synthetic_frames(11, 150);
+
+  gateway::HlsFetchClient client;
+  ASSERT_TRUE(client.connect(gw.http_port()).ok());
+
+  gateway::PublishClient pub("live", key, 13);
+  ASSERT_TRUE(pub.connect(gw.rtmp_port()).ok());
+  ASSERT_TRUE(pump(gw, pub, [&] { return pub.publishing(); }));
+  pub.send_avc_config(media.sps, media.pps);
+  for (const auto& s : media.samples) pub.send_sample(s);
+  ASSERT_TRUE(pump(gw, pub, [&] { return pub.pending() == 0; }));
+  ASSERT_TRUE(pump(gw, pub, [&] {
+    const auto* st = gw.store().find_stream(key);
+    return st != nullptr && !st->segments.empty();
+  }));
+
+  // The committed segment is servable while the publisher is still live.
+  const auto* st = gw.store().find_stream(key);
+  ASSERT_NE(st, nullptr);
+  http::Response seg = fetch(gw, client, "/hls/" + key + "/seg_0.ts");
+  EXPECT_EQ(seg.status, 200);
+  EXPECT_TRUE(seg.body == st->segments[0].segment.ts_data);
+
+  // Shutdown flushes the open tail and drains both live connections.
+  gw.request_shutdown();
+  st = gw.store().find_stream(key);
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(st->ended);
+  EXPECT_GE(st->segments.size(), 2u);  // flushed tail joined seg_0
+  for (int i = 0; i < 20000 && !gw.drained(); ++i) {
+    pub.step();
+    client.step();
+    gw.poll_once(0);
+  }
+  EXPECT_TRUE(gw.drained());
+}
+
+}  // namespace
+}  // namespace psc

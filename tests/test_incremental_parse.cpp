@@ -1,0 +1,249 @@
+// Incremental-arrival hardening: a TCP peer may deliver any byte stream
+// one byte at a time, in 7-byte slivers, or in random-sized bursts. For
+// every golden-corpus input of the wire-format fuzz targets, the
+// incremental parsers (http::RequestParser, rtmp::ChunkReader) must
+// produce exactly the same parsed units — and the same terminal error on
+// malformed input — regardless of how the bytes were split.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "http/http.h"
+#include "rtmp/chunk.h"
+#include "rtmp/message.h"
+#include "testing/fuzz_target.h"
+#include "testing/mutator.h"
+#include "util/bytes.h"
+
+namespace psc {
+namespace {
+
+std::vector<Bytes> corpus_for(const std::string& target) {
+  testing::register_builtin_targets();
+  const testing::FuzzTarget* t =
+      testing::TargetRegistry::instance().find(target);
+  EXPECT_NE(t, nullptr) << "missing fuzz target " << target;
+  return t != nullptr ? t->corpus() : std::vector<Bytes>{};
+}
+
+/// Split `input` into pieces: fixed `granularity`, or random sizes in
+/// [1, 64] drawn from `rng` when granularity == 0.
+std::vector<BytesView> split(const Bytes& input, std::size_t granularity,
+                             testing::Mutator* rng) {
+  std::vector<BytesView> pieces;
+  std::size_t off = 0;
+  while (off < input.size()) {
+    std::size_t n = granularity != 0 ? granularity : 1 + rng->below(64);
+    n = std::min(n, input.size() - off);
+    pieces.emplace_back(input.data() + off, n);
+    off += n;
+  }
+  return pieces;
+}
+
+// --- HTTP ---
+
+struct HttpParse {
+  std::vector<http::Request> requests;
+  bool failed = false;
+  std::string error_code;
+};
+
+HttpParse http_parse(const std::vector<BytesView>& pieces) {
+  http::RequestParser p;
+  HttpParse out;
+  for (const auto piece : pieces) {
+    const Status s = p.push(piece);
+    if (!s.ok()) {
+      out.failed = true;
+      out.error_code = s.error().code;
+      break;
+    }
+  }
+  out.requests = p.take_requests();
+  return out;
+}
+
+void expect_same_http(const HttpParse& bulk, const HttpParse& inc,
+                      const std::string& label) {
+  ASSERT_EQ(bulk.failed, inc.failed) << label;
+  EXPECT_EQ(bulk.error_code, inc.error_code) << label;
+  ASSERT_EQ(bulk.requests.size(), inc.requests.size()) << label;
+  for (std::size_t i = 0; i < bulk.requests.size(); ++i) {
+    EXPECT_EQ(bulk.requests[i].method, inc.requests[i].method) << label;
+    EXPECT_EQ(bulk.requests[i].path, inc.requests[i].path) << label;
+    EXPECT_EQ(bulk.requests[i].headers, inc.requests[i].headers) << label;
+    EXPECT_EQ(bulk.requests[i].body, inc.requests[i].body) << label;
+  }
+}
+
+TEST(IncrementalParse, HttpRequestSplitInvariance) {
+  const auto corpus = corpus_for("http_request");
+  ASSERT_FALSE(corpus.empty());
+  testing::Mutator rng(0x9E3779B97F4A7C15ull);
+  for (std::size_t c = 0; c < corpus.size(); ++c) {
+    const Bytes& input = corpus[c];
+    const HttpParse bulk =
+        http_parse({BytesView(input.data(), input.size())});
+    for (std::size_t gran : {std::size_t{1}, std::size_t{7}, std::size_t{0}}) {
+      const auto pieces = split(input, gran, &rng);
+      expect_same_http(bulk, http_parse(pieces),
+                       "corpus[" + std::to_string(c) + "] granularity " +
+                           std::to_string(gran));
+    }
+  }
+}
+
+TEST(IncrementalParse, HttpPipelinedPairSurvivesByteAtATime) {
+  const std::string two =
+      "GET /hls/s/media.m3u8 HTTP/1.1\r\nHost: gw\r\n\r\n"
+      "POST /api/v2/accessVideo HTTP/1.1\r\nHost: gw\r\n"
+      "Content-Length: 4\r\n\r\nabcd";
+  const Bytes input = to_bytes(two);
+  const HttpParse bulk = http_parse({BytesView(input.data(), input.size())});
+  ASSERT_FALSE(bulk.failed);
+  ASSERT_EQ(bulk.requests.size(), 2u);
+  EXPECT_EQ(bulk.requests[1].body, "abcd");
+  testing::Mutator rng(7);
+  expect_same_http(bulk, http_parse(split(input, 1, &rng)), "pipelined/1");
+}
+
+TEST(IncrementalParse, HttpMalformedSameErrorAtEveryGranularity) {
+  const std::vector<std::string> bad = {
+      "BROKEN\r\n\r\n",
+      "GET / HTTP/1.1\r\nContent-Length: zork\r\n\r\n",
+      "GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+      // Oversize body declaration trips the guard at header completion.
+      "POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n",
+  };
+  testing::Mutator rng(11);
+  for (const auto& text : bad) {
+    const Bytes input = to_bytes(text);
+    const HttpParse bulk = http_parse({BytesView(input.data(), input.size())});
+    EXPECT_TRUE(bulk.failed) << text;
+    expect_same_http(bulk, http_parse(split(input, 1, &rng)), text + "/1");
+    expect_same_http(bulk, http_parse(split(input, 7, &rng)), text + "/7");
+  }
+}
+
+TEST(IncrementalParse, HttpOversizeHeadRejectedWithoutUnboundedBuffering) {
+  http::RequestParser p;
+  const Bytes filler(4096, 'a');
+  Status last = Status::ok_status();
+  // No CRLFCRLF ever arrives; the head guard must fire near 64 KiB.
+  for (int i = 0; i < 64 && last.ok(); ++i) {
+    last = p.push(BytesView(filler.data(), filler.size()));
+  }
+  EXPECT_FALSE(last.ok());
+  EXPECT_TRUE(p.failed());
+  EXPECT_LE(p.buffered(), http::RequestParser::kMaxHeadBytes + filler.size());
+}
+
+// --- RTMP chunk stream ---
+
+struct ChunkParse {
+  std::vector<rtmp::Message> messages;
+  bool failed = false;
+  std::string error_code;
+};
+
+ChunkParse chunk_parse(const std::vector<BytesView>& pieces) {
+  rtmp::ChunkReader r;
+  ChunkParse out;
+  for (const auto piece : pieces) {
+    const Status s = r.push(piece);
+    if (!s.ok()) {
+      out.failed = true;
+      out.error_code = s.error().code;
+      break;
+    }
+  }
+  out.messages = r.take_messages();
+  return out;
+}
+
+void expect_same_chunks(const ChunkParse& bulk, const ChunkParse& inc,
+                        const std::string& label) {
+  ASSERT_EQ(bulk.failed, inc.failed) << label;
+  EXPECT_EQ(bulk.error_code, inc.error_code) << label;
+  ASSERT_EQ(bulk.messages.size(), inc.messages.size()) << label;
+  for (std::size_t i = 0; i < bulk.messages.size(); ++i) {
+    const auto& a = bulk.messages[i];
+    const auto& b = inc.messages[i];
+    EXPECT_EQ(static_cast<int>(a.type), static_cast<int>(b.type)) << label;
+    EXPECT_EQ(a.timestamp_ms, b.timestamp_ms) << label;
+    EXPECT_EQ(a.stream_id, b.stream_id) << label;
+    EXPECT_EQ(a.payload, b.payload) << label;
+  }
+}
+
+TEST(IncrementalParse, RtmpChunkSplitInvariance) {
+  const auto corpus = corpus_for("rtmp_chunk");
+  ASSERT_FALSE(corpus.empty());
+  testing::Mutator rng(0xD1B54A32D192ED03ull);
+  for (std::size_t c = 0; c < corpus.size(); ++c) {
+    const Bytes& input = corpus[c];
+    const ChunkParse bulk =
+        chunk_parse({BytesView(input.data(), input.size())});
+    for (std::size_t gran : {std::size_t{1}, std::size_t{7}, std::size_t{0}}) {
+      const auto pieces = split(input, gran, &rng);
+      expect_same_chunks(bulk, chunk_parse(pieces),
+                         "corpus[" + std::to_string(c) + "] granularity " +
+                             std::to_string(gran));
+    }
+  }
+}
+
+// A multi-chunk message (payload > the 128-byte default chunk size) built
+// with the repo's own writer must reassemble identically at every split.
+TEST(IncrementalParse, RtmpMultiChunkMessageByteAtATime) {
+  rtmp::Message msg;
+  msg.type = rtmp::MessageType::Video;
+  msg.timestamp_ms = 1234;
+  msg.stream_id = 1;
+  msg.payload.resize(1000);
+  for (std::size_t i = 0; i < msg.payload.size(); ++i) {
+    msg.payload[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  ByteWriter w;
+  rtmp::ChunkWriter cw;
+  cw.write(w, rtmp::kCsidVideo, msg);
+  const Bytes input = w.take();
+
+  const ChunkParse bulk = chunk_parse({BytesView(input.data(), input.size())});
+  ASSERT_FALSE(bulk.failed);
+  ASSERT_EQ(bulk.messages.size(), 1u);
+  EXPECT_EQ(bulk.messages[0].payload, msg.payload);
+  testing::Mutator rng(3);
+  expect_same_chunks(bulk, chunk_parse(split(input, 1, &rng)), "video/1");
+  expect_same_chunks(bulk, chunk_parse(split(input, 7, &rng)), "video/7");
+  expect_same_chunks(bulk, chunk_parse(split(input, 0, &rng)), "video/rand");
+}
+
+// Mutated corpus entries: whatever the outcome (clean parse or clean
+// error), it must not depend on arrival granularity.
+TEST(IncrementalParse, MutatedInputsSplitInvariant) {
+  const auto corpus = corpus_for("rtmp_chunk");
+  ASSERT_FALSE(corpus.empty());
+  testing::Mutator mut(99);
+  testing::Mutator rng(17);
+  const std::span<const Bytes> splice(corpus.data(), corpus.size());
+  for (int iter = 0; iter < 200; ++iter) {
+    const Bytes input = mut.mutate(
+        BytesView(corpus[iter % corpus.size()].data(),
+                  corpus[iter % corpus.size()].size()),
+        splice);
+    if (input.empty()) continue;
+    const ChunkParse bulk =
+        chunk_parse({BytesView(input.data(), input.size())});
+    expect_same_chunks(bulk, chunk_parse(split(input, 1, &rng)),
+                       "mut[" + std::to_string(iter) + "]/1");
+    expect_same_chunks(bulk, chunk_parse(split(input, 0, &rng)),
+                       "mut[" + std::to_string(iter) + "]/rand");
+  }
+}
+
+}  // namespace
+}  // namespace psc

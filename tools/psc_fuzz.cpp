@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "gateway/oracle.h"
 #include "obs/metrics.h"
 #include "testing/runner.h"
 
@@ -34,6 +35,10 @@ void usage() {
                "--corpus-dir and exit\n"
                "  --repro=<file>        run one saved input through "
                "--target and exit\n"
+               "  --gateway             live-peer oracle: replay mutants "
+               "over real loopback\n"
+               "                        sockets against an in-process "
+               "gateway\n"
                "  --list                list registered targets\n"
                "  --metrics-out=<file>  write a JSON metrics snapshot "
                "(iterations/findings per target) at exit\n");
@@ -52,6 +57,7 @@ bool parse_u64(const char* s, std::uint64_t* out) {
 int main(int argc, char** argv) {
   psc::testing::FuzzOptions opts;
   bool list = false;
+  bool gateway_oracle = false;
   std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
@@ -91,6 +97,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = value("--metrics-out=");
       psc::obs::set_metrics_enabled(true);
+    } else if (arg == "--gateway") {
+      gateway_oracle = true;
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -110,6 +118,14 @@ int main(int argc, char** argv) {
       std::printf("%-16s %s\n", t.name.c_str(), t.description.c_str());
     }
     return 0;
+  }
+
+  if (gateway_oracle) {
+    psc::gateway::OracleOptions gw_opts;
+    gw_opts.iters = opts.iters;
+    gw_opts.seed = opts.seed;
+    gw_opts.corpus_dir = opts.corpus_dir;
+    return psc::gateway::run_gateway_oracle(gw_opts, std::cout);
   }
 
   auto reports = psc::testing::run_fuzz(opts, std::cout);

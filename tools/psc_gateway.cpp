@@ -1,0 +1,237 @@
+// psc_gateway: run the real-socket interop gateway, or probe one.
+//
+// Server mode (default):
+//   psc_gateway --rtmp-port=1935 --http-port=8080 --metrics-out=snap.json
+// listens on loopback, bridges real RTMP publishers and HLS fetchers onto
+// the sim-time service tier, and on SIGINT/SIGTERM stops accepting,
+// flushes every in-flight segment and writes the final metrics snapshot
+// before exiting 0.
+//
+// Probe mode (CI smoke / differential validation):
+//   psc_gateway --probe --rtmp-port=P --http-port=Q [--frames=N]
+// connects to a *running* gateway, publishes a deterministic synthetic
+// stream over real RTMP, fetches the playlist and every segment over real
+// HTTP, and diffs the served TS bytes against the sans-io sim-only
+// pipeline fed the same frames. Exit 0 iff byte-identical.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "bench_common.h"
+#include "gateway/clients.h"
+#include "gateway/gateway.h"
+#include "hls/playlist.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: psc_gateway [options]\n"
+      "  --rtmp-port=<p>      RTMP listener port (default 1935; 0 = any)\n"
+      "  --http-port=<p>      HTTP/HLS listener port (default 8080; 0 = any)\n"
+      "  --seed=<n>           service seed (default 1)\n"
+      "  --duration=<s>       serve this long then drain (default: until "
+      "SIGINT/SIGTERM)\n"
+      "  --no-api             do not host the World/ApiServer tier\n"
+      "  --segment-target=<s> HLS segment target duration (default 3.6)\n"
+      "  --metrics-out=<file> write the final metrics snapshot JSON\n"
+      "  --probe              probe a running gateway instead of serving\n"
+      "  --frames=<n>         probe: synthetic frames to publish "
+      "(default 300)\n"
+      "  --stream=<key>       probe: stream key (default gwprobe0000001)\n");
+}
+
+int run_probe(std::uint16_t rtmp_port, std::uint16_t http_port, int frames,
+              const std::string& stream_key, std::uint64_t seed,
+              psc::Duration segment_target) {
+  using namespace psc;
+  const gateway::SyntheticMedia media =
+      gateway::synthetic_frames(seed, frames);
+
+  // Publish over the real socket.
+  gateway::PublishClient pub("live", stream_key, seed + 100);
+  if (const Status s = pub.connect(rtmp_port); !s.ok()) {
+    std::fprintf(stderr, "probe: rtmp connect failed: %s\n",
+                 s.error().to_string().c_str());
+    return 1;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(20);
+  while (!pub.publishing()) {
+    if (!pub.step() || std::chrono::steady_clock::now() > deadline) {
+      std::fprintf(stderr, "probe: publish never accepted\n");
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  pub.send_avc_config(media.sps, media.pps);
+  for (const auto& s : media.samples) pub.send_sample(s);
+  const auto flush_deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(20);
+  while (pub.pending() > 0 && pub.step()) {
+    if (std::chrono::steady_clock::now() > flush_deadline) {
+      std::fprintf(stderr, "probe: publish flush timed out\n");
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  pub.close();  // orderly departure: the gateway flushes + ENDLISTs
+
+  // Fetch the playlist until it carries ENDLIST, then every segment.
+  gateway::HlsFetchClient fetch;
+  if (const Status s = fetch.connect(http_port); !s.ok()) {
+    std::fprintf(stderr, "probe: http connect failed: %s\n",
+                 s.error().to_string().c_str());
+    return 1;
+  }
+  auto fetch_one = [&](const std::string& path,
+                       http::Response* out) -> bool {
+    fetch.get(path);
+    const auto end = std::chrono::steady_clock::now() +
+                     std::chrono::seconds(10);
+    while (!fetch.done()) {
+      if (!fetch.step() || std::chrono::steady_clock::now() > end) {
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    *out = fetch.take_response();
+    return true;
+  };
+
+  hls::MediaPlaylist playlist;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    http::Response resp;
+    if (!fetch_one("/hls/" + stream_key + "/media.m3u8", &resp)) {
+      std::fprintf(stderr, "probe: playlist fetch failed\n");
+      return 1;
+    }
+    if (resp.status == 200) {
+      auto parsed = hls::parse_m3u8(psc::to_string(resp.body.view()));
+      if (parsed.ok() && parsed.value().ended) {
+        playlist = std::move(parsed.value());
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (!playlist.ended) {
+    std::fprintf(stderr, "probe: playlist never reached ENDLIST\n");
+    return 1;
+  }
+
+  const std::vector<hls::Segment> reference = gateway::sim_reference_segments(
+      media, stream_key, segment_target, seed);
+  if (playlist.segments.size() != reference.size()) {
+    std::fprintf(stderr, "probe: segment count mismatch: served %zu vs %zu\n",
+                 playlist.segments.size(), reference.size());
+    return 1;
+  }
+  for (std::size_t i = 0; i < playlist.segments.size(); ++i) {
+    http::Response resp;
+    if (!fetch_one("/hls/" + stream_key + "/" + playlist.segments[i].uri,
+                   &resp) ||
+        resp.status != 200) {
+      std::fprintf(stderr, "probe: segment fetch failed: %s\n",
+                   playlist.segments[i].uri.c_str());
+      return 1;
+    }
+    if (!(resp.body == reference[i].ts_data)) {
+      std::fprintf(stderr, "probe: segment %zu differs (%zu vs %zu bytes)\n",
+                   i, resp.body.size(), reference[i].ts_data.size());
+      return 1;
+    }
+  }
+  std::printf("PROBE OK: %zu segment(s) byte-identical to sim-only pipeline\n",
+              playlist.segments.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  psc::gateway::GatewayConfig cfg;
+  bool probe = false;
+  int frames = 300;
+  double duration_s = 0;
+  std::string stream_key = "gwprobe0000001";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (psc::bench::Reporter::owns_flag(arg)) continue;
+    if (arg.rfind("--rtmp-port=", 0) == 0) {
+      cfg.rtmp_port = static_cast<std::uint16_t>(std::atoi(arg.c_str() + 12));
+    } else if (arg.rfind("--http-port=", 0) == 0) {
+      cfg.http_port = static_cast<std::uint16_t>(std::atoi(arg.c_str() + 12));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      cfg.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--duration=", 0) == 0) {
+      duration_s = std::atof(arg.c_str() + 11);
+    } else if (arg == "--no-api") {
+      cfg.enable_api = false;
+    } else if (arg.rfind("--segment-target=", 0) == 0) {
+      cfg.segment_target = psc::seconds(std::atof(arg.c_str() + 17));
+    } else if (arg == "--probe") {
+      probe = true;
+    } else if (arg.rfind("--frames=", 0) == 0) {
+      frames = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--stream=", 0) == 0) {
+      stream_key = arg.substr(9);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "psc_gateway: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (probe) {
+    return run_probe(cfg.rtmp_port, cfg.http_port, frames, stream_key,
+                     cfg.seed, cfg.segment_target);
+  }
+
+  psc::bench::Reporter reporter("psc_gateway", argc, argv);
+  psc::bench::WallTimer timer;
+
+  psc::gateway::Gateway gw(cfg);
+  if (const psc::Status s = gw.start(); !s.ok()) {
+    std::fprintf(stderr, "psc_gateway: start failed: %s\n",
+                 s.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("psc_gateway: rtmp://127.0.0.1:%u/live  http://127.0.0.1:%u\n",
+              gw.rtmp_port(), gw.http_port());
+  std::fflush(stdout);
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  gw.run([&] {
+    return g_stop == 0 &&
+           (duration_s <= 0 || timer.elapsed_s() < duration_s);
+  });
+
+  reporter.local().merge(gw.metrics());
+  reporter.finish(timer.elapsed_s(),
+                  {{"http_requests", static_cast<double>(gw.http_requests())},
+                   {"segments_served",
+                    static_cast<double>(gw.segments_served())},
+                   {"bytes_served", static_cast<double>(gw.bytes_served())},
+                   {"rtmp_accepted", static_cast<double>(gw.rtmp_accepted())},
+                   {"segments_stored",
+                    static_cast<double>(gw.store().segments_stored())},
+                   {"drained", gw.drained() ? 1.0 : 0.0}});
+  return 0;
+}
